@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Multi-device and per-core free page queue ablations.
+ *
+ * The PTE's <SID, device id, LBA> decomposition (Section III-B) lets
+ * one SMU serve up to 8 block devices; the per-core free page queue
+ * variant (Section V future work) gives the OS a per-thread handle
+ * for memory policy and isolates cores from each other's refill
+ * races. Both are exercised here.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace hwdp;
+using metrics::Table;
+
+namespace {
+
+struct Writer : workloads::Workload
+{
+    os::File *wal;
+    std::uint64_t n = 0;
+    std::uint64_t limit;
+    Writer(os::File *w, std::uint64_t limit) : wal(w), limit(limit) {}
+    workloads::Op
+    next(sim::Rng &) override
+    {
+        if (n >= limit)
+            return workloads::Op::makeDone();
+        return workloads::Op::makeFileWrite(wal, n++, pageSize, true);
+    }
+    const char *label() const override { return "writer"; }
+};
+
+} // namespace
+
+int
+main()
+{
+    metrics::banner("Ablation: read/write isolation across devices",
+                    "reads on their own device dodge the writer's "
+                    "channel occupancy");
+    {
+        Table t({"layout", "read latency us", "writes completed"});
+        for (unsigned devices : {1u, 2u}) {
+            auto cfg = bench::paperConfig(system::PagingMode::hwdp);
+            cfg.nDevices = devices;
+            system::System sys(cfg);
+            unsigned reader_dev = devices - 1;
+            auto data =
+                sys.mapDataset("data", 64 * 1024, nullptr, reader_dev);
+            auto *wal = sys.createFile("wal", 16 * 1024, 0);
+            sys.addThread(*sys.makeWorkload<Writer>(wal, 6000), 0,
+                          *data.as);
+            auto *rd = sys.makeWorkload<workloads::FioWorkload>(
+                data.vma, 3000);
+            auto *tc = sys.addThread(*rd, 1, *data.as);
+            sys.runUntilThreadsDone(seconds(60.0));
+            t.addRow({devices == 1 ? "shared device"
+                                   : "reads on second device",
+                      Table::num(tc->faultedOpLatencyUs().mean()),
+                      std::to_string(sys.ssdAt(0).writesCompleted())});
+        }
+        t.print();
+    }
+
+    metrics::banner("Ablation: global vs per-core free page queues",
+                    "does splitting the pool help or hurt?");
+    {
+        struct Cfg
+        {
+            const char *label;
+            bool perCore;
+            std::uint64_t capacity;
+        };
+        Table t({"queues", "total entries", "storm-core OS bounces",
+                 "victim-core OS bounces", "victim latency us"});
+        for (const Cfg &qc : std::initializer_list<Cfg>{
+                 {"global", false, 1024},
+                 {"per-core, same total", true, 1024},
+                 {"per-core, sized per core", true, 16 * 1024}}) {
+            auto cfg = bench::paperConfig(system::PagingMode::hwdp);
+            cfg.smu.perCoreFreeQueues = qc.perCore;
+            cfg.smu.nFreeQueues = 16;
+            cfg.smu.freeQueueCapacity = qc.capacity;
+            cfg.kpooldPeriod = milliseconds(8.0); // slow: storms bite
+            system::System sys(cfg);
+            auto mf = sys.mapDataset("f", 16 * bench::defaultMemFrames);
+
+            // Core 0: fault storm. Core 1: a modest reader (victim).
+            auto *storm = sys.makeWorkload<workloads::FioWorkload>(
+                mf.vma, 12000);
+            sys.addThread(*storm, 0, *mf.as);
+            auto *victim = sys.makeWorkload<workloads::FioWorkload>(
+                mf.vma, 1500);
+            auto *vtc = sys.addThread(*victim, 1, *mf.as);
+            sys.runUntilThreadsDone(seconds(60.0));
+
+            t.addRow({qc.label, std::to_string(qc.capacity),
+                      std::to_string(sys.core(0).mmu().smuRejections()),
+                      std::to_string(sys.core(1).mmu().smuRejections()),
+                      Table::num(vtc->faultedOpLatencyUs().mean())});
+        }
+        t.print();
+        std::printf("\nfinding: at equal total size, per-core queues "
+                    "FRAGMENT the pool (the storm core exhausts its "
+                    "1/16th while the victim's 15/16ths sit idle) — "
+                    "their value is per-thread policy enforcement "
+                    "(Section V), and they must be sized per core, "
+                    "which the third row shows largely restores "
+                    "hardware-only operation\n");
+    }
+    return 0;
+}

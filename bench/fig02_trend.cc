@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 2: the shrinking CPU-storage performance gap.
+ *
+ * The paper's figure plots historical trends (from Bryant & O'Hallaron)
+ * showing disk access falling from tens of millions of CPU cycles to
+ * tens of thousands with ultra-low-latency SSDs. We regenerate the
+ * table from the device profiles the simulator itself uses, expressed
+ * in cycles of the 2.8 GHz evaluation CPU.
+ */
+
+#include <cstdio>
+
+#include "metrics/report.hh"
+#include "ssd/ssd_profile.hh"
+
+using namespace hwdp;
+using metrics::Table;
+
+int
+main()
+{
+    metrics::banner("Figure 2: storage access time in CPU cycles",
+                    "2.8 GHz CPU; the gap shrinks ~1000x");
+
+    const double cycles_per_us = 2800.0;
+    Table t({"device", "era", "4KB access", "CPU cycles"});
+
+    struct Row
+    {
+        const char *profile;
+        const char *era;
+    };
+    for (const Row &r : std::initializer_list<Row>{
+             {"hdd", "~2005"},
+             {"sata_ssd", "~2010"},
+             {"nvme_flash", "~2015"},
+             {"zssd", "2018"},
+             {"optane_ssd", "2018"},
+             {"optane_pmm", "2019"}}) {
+        auto p = ssd::profileByName(r.profile);
+        double us = toMicroseconds(p.unloadedRead4k());
+        char acc[32];
+        if (us >= 1000.0)
+            std::snprintf(acc, sizeof(acc), "%.1f ms", us / 1000.0);
+        else
+            std::snprintf(acc, sizeof(acc), "%.1f us", us);
+        char cyc[32];
+        std::snprintf(cyc, sizeof(cyc), "%.0f", us * cycles_per_us);
+        t.addRow({p.name, r.era, acc, cyc});
+    }
+    t.print();
+    std::printf("\npaper shape: tens of millions of cycles (disk) down "
+                "to tens of thousands (ULL SSDs) while CPU cycle time "
+                "flattened\n");
+    return 0;
+}

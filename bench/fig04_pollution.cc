@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 4: the cost of page faults on YCSB-C — ideal (pre-loaded,
+ * MAP_POPULATE, no faults) vs OSDP (cold, faulting).
+ *
+ * Paper: OSDP achieves less than half the ideal throughput, and the
+ * user-level IPC drops with elevated user-level cache and branch
+ * misses — the indirect, microarchitectural cost of OS fault handling.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace hwdp;
+using metrics::Table;
+
+namespace {
+
+struct Run
+{
+    double opsPerSec;
+    double userIpc;
+    double l1iMpki, l1dMpki, llcMpki, brMpki;
+};
+
+Run
+runYcsbC(bool preload)
+{
+    auto cfg = bench::paperConfig(system::PagingMode::osdp);
+    // Dataset fits in memory (the Figure 4 configuration).
+    std::uint64_t pages = bench::defaultMemFrames * 3 / 4;
+
+    system::System sys(cfg);
+    auto mf = sys.mapDataset("kv.dat", pages);
+    if (preload)
+        sys.preload(mf);
+    auto *wal = sys.createFile("kv.wal", 64 * 1024);
+    struct Holder : workloads::Workload
+    {
+        std::unique_ptr<workloads::KvStore> s;
+        workloads::Op next(sim::Rng &) override
+        {
+            return workloads::Op::makeDone();
+        }
+        const char *label() const override { return "holder"; }
+    };
+    auto *h = sys.makeWorkload<Holder>();
+    h->s = std::make_unique<workloads::KvStore>(mf.vma, wal, pages);
+    for (unsigned t = 0; t < 4; ++t) {
+        auto *wl =
+            sys.makeWorkload<workloads::YcsbWorkload>('C', *h->s, 8000);
+        sys.addThread(*wl, t, *mf.as);
+    }
+    sys.runUntilThreadsDone(seconds(120.0));
+
+    Run r;
+    r.opsPerSec = sys.throughputOpsPerSec();
+    r.userIpc = sys.aggregateUserIpc();
+    std::uint64_t instr = 0;
+    for (auto &tc : sys.threads())
+        instr += tc->userInstructions();
+    auto &mc = sys.caches().counters(ExecMode::user);
+    double ki = static_cast<double>(instr) / 1000.0;
+    r.l1iMpki = static_cast<double>(mc.l1iMisses) / ki;
+    r.l1dMpki = static_cast<double>(mc.l1dMisses) / ki;
+    r.llcMpki = static_cast<double>(mc.llcMisses) / ki;
+    r.brMpki = static_cast<double>(sys.userBranchMispredicts()) / ki;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    metrics::banner("Figure 4: ideal (no faults) vs OSDP on YCSB-C",
+                    "paper: OSDP < 0.5x throughput; user IPC and "
+                    "user-level miss events degrade");
+
+    Run ideal = runYcsbC(true);
+    Run osdp = runYcsbC(false);
+
+    Table t({"metric", "ideal", "OSDP", "OSDP / ideal"});
+    t.addRow({"throughput (ops/s)", Table::num(ideal.opsPerSec, 0),
+              Table::num(osdp.opsPerSec, 0),
+              Table::num(osdp.opsPerSec / ideal.opsPerSec)});
+    t.addRow({"user-level IPC", Table::num(ideal.userIpc),
+              Table::num(osdp.userIpc),
+              Table::num(osdp.userIpc / ideal.userIpc)});
+    t.addRow({"user L1I MPKI", Table::num(ideal.l1iMpki),
+              Table::num(osdp.l1iMpki),
+              Table::num(osdp.l1iMpki / std::max(ideal.l1iMpki, 1e-9))});
+    t.addRow({"user L1D MPKI", Table::num(ideal.l1dMpki),
+              Table::num(osdp.l1dMpki),
+              Table::num(osdp.l1dMpki / std::max(ideal.l1dMpki, 1e-9))});
+    t.addRow({"user LLC MPKI", Table::num(ideal.llcMpki),
+              Table::num(osdp.llcMpki),
+              Table::num(osdp.llcMpki / std::max(ideal.llcMpki, 1e-9))});
+    t.addRow({"user branch MPKI", Table::num(ideal.brMpki),
+              Table::num(osdp.brMpki),
+              Table::num(osdp.brMpki / std::max(ideal.brMpki, 1e-9))});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 13: throughput improvement of HWDP over OSDP across
+ * workloads (FIO, DBBench readrandom, YCSB A-F) and thread counts.
+ *
+ * Paper: uniform-access workloads (FIO, DBBench) gain 29.4-57.1%;
+ * the skewed, write-mixed YCSB workloads gain 5.3-27.3% with the
+ * read-only YCSB-C at the top; gains shrink somewhat as the thread
+ * count (and SSD write contention) grows.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.hh"
+
+using namespace hwdp;
+using metrics::Table;
+
+int
+main()
+{
+    metrics::banner(
+        "Figure 13: HWDP throughput gain over OSDP",
+        "paper: FIO/DBBench +29.4..57.1%, YCSB +5.3..27.3% (C max)");
+
+    struct W
+    {
+        char code;      // 'I' = FIO, 'U' = DBBench, 'A'..'F' = YCSB
+        const char *name;
+    };
+    const W workloads[] = {
+        {'I', "fio"},     {'U', "dbbench"}, {'A', "ycsb_a"},
+        {'B', "ycsb_b"},  {'C', "ycsb_c"},  {'D', "ycsb_d"},
+        {'E', "ycsb_e"},  {'F', "ycsb_f"},
+    };
+
+    Table t({"workload", "1 thr", "2 thr", "4 thr", "8 thr"});
+    for (const W &w : workloads) {
+        std::vector<std::string> row{w.name};
+        for (unsigned threads : {1u, 2u, 4u, 8u}) {
+            std::uint64_t ops = w.code == 'E' ? 2500 : 5000;
+            double osdp, hwdp;
+            if (w.code == 'I') {
+                osdp = bench::runFio(
+                           bench::paperConfig(system::PagingMode::osdp),
+                           threads, ops, 8 * bench::defaultMemFrames)
+                           .opsPerSec;
+                hwdp = bench::runFio(
+                           bench::paperConfig(system::PagingMode::hwdp),
+                           threads, ops, 8 * bench::defaultMemFrames)
+                           .opsPerSec;
+            } else {
+                osdp = bench::runKv(
+                           bench::paperConfig(system::PagingMode::osdp),
+                           w.code, threads, ops)
+                           .opsPerSec;
+                hwdp = bench::runKv(
+                           bench::paperConfig(system::PagingMode::hwdp),
+                           w.code, threads, ops)
+                           .opsPerSec;
+            }
+            row.push_back("+" + Table::pct(hwdp / osdp - 1.0));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    return 0;
+}

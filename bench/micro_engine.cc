@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Engine microbenchmarks (google-benchmark): the hot paths the
+ * figure benches lean on — event queue throughput, PMSHR CAM lookup,
+ * cache tag-array access, zipfian key generation and page-table
+ * walks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/pmshr.hh"
+#include "mem/cache_array.hh"
+#include "os/page_table.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "workloads/key_chooser.hh"
+
+using namespace hwdp;
+
+namespace {
+
+void
+BM_EventQueueScheduleStep(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    class Noop : public sim::Event
+    {
+      public:
+        void process() override {}
+    } ev;
+    Tick t = 0;
+    for (auto _ : state) {
+        eq.schedule(&ev, ++t);
+        eq.step();
+    }
+}
+BENCHMARK(BM_EventQueueScheduleStep);
+
+void
+BM_EventQueueFanout(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        for (int i = 0; i < 1024; ++i)
+            eq.scheduleLambda(static_cast<Tick>(i + 1), [] {});
+        eq.run();
+    }
+}
+BENCHMARK(BM_EventQueueFanout);
+
+void
+BM_PmshrLookup(benchmark::State &state)
+{
+    core::Pmshr pmshr(static_cast<unsigned>(state.range(0)));
+    for (int i = 0; i < state.range(0); ++i)
+        pmshr.allocate(0x1000 + i * 8);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pmshr.lookup(0x1000 + (i++ % state.range(0)) * 8));
+    }
+}
+BENCHMARK(BM_PmshrLookup)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_CacheArrayAccess(benchmark::State &state)
+{
+    mem::CacheArray cache("bench", 32 * 1024, 8);
+    sim::Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.range(1 << 20) * 64));
+}
+BENCHMARK(BM_CacheArrayAccess);
+
+void
+BM_ZipfianNext(benchmark::State &state)
+{
+    workloads::ZipfianChooser zipf(1 << 20);
+    sim::Rng rng(11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.next(rng, 1 << 20));
+}
+BENCHMARK(BM_ZipfianNext);
+
+void
+BM_PageTableWalkRefs(benchmark::State &state)
+{
+    os::PageTable pt;
+    sim::Rng rng(13);
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        pt.writePte(i * pageSize, os::pte::makePresent(i, 0));
+    for (auto _ : state) {
+        VAddr va = rng.range(4096) * pageSize;
+        benchmark::DoNotOptimize(pt.walkRefs(va, false));
+    }
+}
+BENCHMARK(BM_PageTableWalkRefs);
+
+void
+BM_KptedGuidedScan(benchmark::State &state)
+{
+    os::PageTable pt;
+    // 64Ki PTEs with a sparse set of hardware-handled entries.
+    sim::Rng rng(17);
+    for (std::uint64_t i = 0; i < 65536; ++i)
+        pt.writePte(i * pageSize,
+                    os::pte::makeLbaAugmented(0, 0, i, 0));
+    for (int i = 0; i < 128; ++i) {
+        VAddr va = rng.range(65536) * pageSize;
+        auto refs = pt.walkRefs(va, true);
+        refs.pte.write(os::pte::makePresent(1, 0, true));
+        pt.markUpperLba(va);
+    }
+    for (auto _ : state) {
+        state.PauseTiming();
+        // Re-mark a fresh batch so each iteration has work.
+        for (int i = 0; i < 128; ++i) {
+            VAddr va = rng.range(65536) * pageSize;
+            auto refs = pt.walkRefs(va, true);
+            refs.pte.write(os::pte::makePresent(1, 0, true));
+            pt.markUpperLba(va);
+        }
+        state.ResumeTiming();
+        std::uint64_t visited = 0;
+        pt.scanUnsynced(0, 65536 * pageSize,
+                        [](VAddr, os::EntryRef ref) {
+                            ref.write(os::pte::clearLbaBit(ref.value()));
+                        },
+                        &visited);
+        benchmark::DoNotOptimize(visited);
+    }
+}
+BENCHMARK(BM_KptedGuidedScan);
+
+} // namespace
+
+BENCHMARK_MAIN();

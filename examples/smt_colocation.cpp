@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SMT co-location scenario (paper Section VI-C, "Polling vs Context
+ * Switching"): an I/O-bound thread and a compute-bound thread pinned
+ * to the two hardware threads of one physical core.
+ *
+ * Under OSDP the I/O thread's kernel work competes for issue slots
+ * and pollutes the caches; under HWDP it stalls silently while the
+ * SMU works, leaving the whole core to its sibling.
+ *
+ *   $ ./build/examples/smt_colocation [kernel]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "system/system.hh"
+#include "workloads/fio.hh"
+#include "workloads/spec_like.hh"
+
+using namespace hwdp;
+
+namespace {
+
+struct Result
+{
+    std::uint64_t fioOps;
+    double specIpc;
+};
+
+Result
+coRun(system::PagingMode mode, const std::string &kernel)
+{
+    system::MachineConfig cfg;
+    cfg.mode = mode;
+    cfg.memFrames = 64 * 1024;
+
+    system::System sys(cfg);
+    auto mf = sys.mapDataset("fio.dat", 512 * 1024); // stays cold
+
+    unsigned sibling = sys.kernel().scheduler().siblingOf(0);
+    auto *fio = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 0);
+    auto *fio_tc = sys.addThread(*fio, 0, *mf.as);
+
+    auto *spec = sys.makeWorkload<workloads::SpecLikeWorkload>(kernel, 0);
+    auto *spec_as = sys.kernel().createAddressSpace();
+    auto *spec_tc = sys.addThread(*spec, sibling, *spec_as);
+
+    sys.runFor(milliseconds(50.0));
+    return Result{fio_tc->appOps(), spec_tc->userIpc()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string kernel = argc > 1 ? argv[1] : "x264_like";
+    std::printf("SMT co-location: FIO (logical core 0) + %s (its "
+                "sibling)\n\n", kernel.c_str());
+
+    Result osdp = coRun(system::PagingMode::osdp, kernel);
+    Result hwdp = coRun(system::PagingMode::hwdp, kernel);
+
+    std::printf("                     OSDP      HWDP\n");
+    std::printf("FIO 4KB reads     %7llu   %7llu   (%.2fx, paper: "
+                ">1.72x)\n",
+                static_cast<unsigned long long>(osdp.fioOps),
+                static_cast<unsigned long long>(hwdp.fioOps),
+                static_cast<double>(hwdp.fioOps) /
+                    static_cast<double>(osdp.fioOps));
+    std::printf("co-runner IPC     %7.3f   %7.3f   (+%.1f%%)\n",
+                osdp.specIpc, hwdp.specIpc,
+                (hwdp.specIpc / osdp.specIpc - 1.0) * 100.0);
+    std::printf("\nthe stalled HWDP pipeline consumes no issue slots, "
+                "so both threads win\n");
+    return 0;
+}

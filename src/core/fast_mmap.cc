@@ -1,0 +1,83 @@
+#include "core/fast_mmap.hh"
+
+#include <algorithm>
+
+#include "core/kpoold.hh"
+#include "core/kpted.hh"
+#include "core/smu.hh"
+
+namespace hwdp::core {
+
+HwdpOsSupport::HwdpOsSupport(os::Kernel &kernel) : k(kernel)
+{
+}
+
+void
+HwdpOsSupport::registerFastVma(os::AddressSpace &as, os::Vma *vma)
+{
+    vmas.push_back(FastVma{&as, vma});
+}
+
+void
+HwdpOsSupport::unregisterFastVma(os::Vma *vma)
+{
+    vmas.erase(std::remove_if(vmas.begin(), vmas.end(),
+                              [vma](const FastVma &fv) {
+                                  return fv.vma == vma;
+                              }),
+               vmas.end());
+}
+
+void
+HwdpOsSupport::attachSmu(Smu *s)
+{
+    smu = s;
+    smu->setQueueEmptyCallback([this] {
+        // Wake kpoold early so the queue refills before the next miss
+        // where possible.
+        if (kpoold)
+            kpoold->kick();
+    });
+    installHooks();
+}
+
+void
+HwdpOsSupport::attachKpted(Kpted *kt)
+{
+    kpted = kt;
+    installHooks();
+}
+
+void
+HwdpOsSupport::attachKpoold(Kpoold *kp)
+{
+    kpoold = kp;
+    k.setRefillHook([this](unsigned core) {
+        if (kpoold)
+            kpoold->refillOverlapped(core);
+    });
+    installHooks();
+}
+
+void
+HwdpOsSupport::installHooks()
+{
+    os::Kernel::HwdpHooks hooks;
+    if (kpted) {
+        Kpted *kt = kpted;
+        hooks.syncMetadata = [kt](os::AddressSpace &as, VAddr lo,
+                                  VAddr hi, unsigned core,
+                                  std::function<void()> done) {
+            kt->syncRange(as, lo, hi, core, std::move(done));
+        };
+    }
+    if (smu) {
+        Smu *s = smu;
+        hooks.smuBarrier = [s](std::function<void()> done) {
+            s->barrier(std::move(done));
+        };
+    }
+    k.setHwdpHooks(std::move(hooks));
+}
+
+} // namespace hwdp::core

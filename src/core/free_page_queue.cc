@@ -1,0 +1,72 @@
+#include "core/free_page_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::core {
+
+FreePageQueue::FreePageQueue(std::uint64_t capacity,
+                             unsigned prefetch_depth)
+    : cap(capacity), depth(prefetch_depth)
+{
+    if (capacity == 0)
+        fatal("free page queue: zero capacity");
+}
+
+bool
+FreePageQueue::push(Pfn pfn)
+{
+    if (ring.size() >= cap)
+        return false;
+    ring.push_back(pfn);
+    return true;
+}
+
+FreePageQueue::PopResult
+FreePageQueue::pop(Tick mem_round_trip)
+{
+    ++nPops;
+    PopResult r;
+    if (!buffer.empty()) {
+        r.ok = true;
+        r.pfn = buffer.front();
+        buffer.pop_front();
+        r.latency = 0;
+        ++nBufferHits;
+        return r;
+    }
+    if (!ring.empty()) {
+        r.ok = true;
+        r.pfn = ring.front();
+        ring.pop_front();
+        r.latency = mem_round_trip; // exposed memory read
+        return r;
+    }
+    ++nEmptyPops;
+    return r;
+}
+
+void
+FreePageQueue::refillPrefetch()
+{
+    if (!prefetchOn)
+        return;
+    while (buffer.size() < depth && !ring.empty()) {
+        buffer.push_back(ring.front());
+        ring.pop_front();
+    }
+}
+
+void
+FreePageQueue::setPrefetchEnabled(bool on)
+{
+    prefetchOn = on;
+    if (!on) {
+        // Spill buffered entries back so none are stranded.
+        while (!buffer.empty()) {
+            ring.push_front(buffer.back());
+            buffer.pop_back();
+        }
+    }
+}
+
+} // namespace hwdp::core

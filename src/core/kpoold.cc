@@ -1,0 +1,83 @@
+#include "core/kpoold.hh"
+
+#include <algorithm>
+
+namespace hwdp::core {
+
+Kpoold::Kpoold(os::Kernel &kernel, std::vector<FreePageQueue *> fpqs,
+               unsigned core, Tick period, std::uint64_t max_batch)
+    : os::KThread("kpoold", core, kernel.scheduler(),
+                  kernel.eventQueue(), period),
+      kernel(kernel), fpqs(std::move(fpqs)), maxBatch(max_batch)
+{
+}
+
+std::uint64_t
+Kpoold::donateTo(FreePageQueue &q, std::uint64_t want)
+{
+    std::uint64_t pushed = 0;
+    while (pushed < want && q.freeSlots() > 0) {
+        Pfn pfn = kernel.physMem().alloc();
+        if (pfn == mem::PhysMem::invalidPfn) {
+            // Memory pressure: let the reclaimer catch up and retry
+            // next period.
+            kernel.reclaimer().kick();
+            break;
+        }
+        os::Page &pg = kernel.page(pfn);
+        pg.inUse = true;
+        pg.inSmuQueue = true;
+        q.push(pfn);
+        ++pushed;
+    }
+    nDonated += pushed;
+    return pushed;
+}
+
+std::uint64_t
+Kpoold::donate(std::uint64_t want)
+{
+    std::uint64_t per_queue = std::max<std::uint64_t>(
+        want / fpqs.size(), 1);
+    std::uint64_t pushed = 0;
+    for (FreePageQueue *q : fpqs)
+        pushed += donateTo(*q, per_queue);
+    return pushed;
+}
+
+void
+Kpoold::batch(std::function<void()> done)
+{
+    std::uint64_t pushed = donate(maxBatch);
+    unsigned phys = sched.physCoreOf(core());
+    Tick dur = sched.kernelExec().runBatch(
+        phys, os::phases::kpooldPerPage, pushed);
+    eq.scheduleLambdaIn(dur, std::move(done), "kpoold.batch");
+}
+
+void
+Kpoold::prime()
+{
+    for (FreePageQueue *q : fpqs) {
+        donateTo(*q, q->capacity());
+        q->refillPrefetch();
+    }
+}
+
+void
+Kpoold::refillOverlapped(unsigned faulting_core)
+{
+    ++nOverlapped;
+    // The state change happens immediately; the cycles are charged as
+    // kernel work on the faulting core, where they overlap the fault's
+    // device I/O time (Section IV-D).
+    std::uint64_t pushed = donate(maxBatch);
+    if (pushed == 0)
+        return;
+    std::vector<const os::KernelPhase *> work(
+        static_cast<std::size_t>(std::min<std::uint64_t>(pushed, 64)),
+        &os::phases::kpooldPerPage);
+    sched.queueKernelWork(faulting_core, std::move(work), [] {});
+}
+
+} // namespace hwdp::core

@@ -1,0 +1,60 @@
+#include "core/kpted.hh"
+
+namespace hwdp::core {
+
+Kpted::Kpted(os::Kernel &kernel, HwdpOsSupport &support, unsigned core,
+             Tick period, bool guided_scan)
+    : os::KThread("kpted", core, kernel.scheduler(), kernel.eventQueue(),
+                  period),
+      kernel(kernel), support(support), guided(guided_scan)
+{
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+Kpted::scan(os::AddressSpace &as, VAddr lo, VAddr hi)
+{
+    std::uint64_t visited = 0;
+    auto fn = [this, &as](VAddr va, os::EntryRef ref) {
+        kernel.syncHardwareHandledPte(as, va, ref);
+    };
+    std::uint64_t synced =
+        guided ? as.pageTable().scanUnsynced(lo, hi, fn, &visited)
+               : as.pageTable().scanUnsyncedFull(lo, hi, fn, &visited);
+    nSynced += synced;
+    nVisited += visited;
+    return {synced, visited};
+}
+
+void
+Kpted::batch(std::function<void()> done)
+{
+    std::uint64_t synced = 0;
+    std::uint64_t visited = 0;
+    for (const FastVma &fv : support.fastVmas()) {
+        auto [s, v] = scan(*fv.as, fv.vma->start, fv.vma->end);
+        synced += s;
+        visited += v;
+    }
+
+    unsigned phys = sched.physCoreOf(core());
+    Tick dur = sched.kernelExec().runBatch(
+        phys, os::phases::kptedScanEntry, visited);
+    dur += sched.kernelExec().runBatch(phys, os::phases::kptedPerPage,
+                                       synced);
+    eq.scheduleLambdaIn(dur, std::move(done), "kpted.batch");
+}
+
+void
+Kpted::syncRange(os::AddressSpace &as, VAddr lo, VAddr hi,
+                 unsigned caller_core, std::function<void()> done)
+{
+    auto [synced, visited] = scan(as, lo, hi);
+    unsigned phys = sched.physCoreOf(caller_core);
+    Tick dur = sched.kernelExec().runBatch(
+        phys, os::phases::kptedScanEntry, visited);
+    dur += sched.kernelExec().runBatch(phys, os::phases::kptedPerPage,
+                                       synced);
+    eq.scheduleLambdaIn(dur, std::move(done), "kpted.syncRange");
+}
+
+} // namespace hwdp::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * kpted: the background page-table-entry metadata-sync thread.
+ *
+ * Periodically (default one second in the paper; the period scales
+ * with the simulated memory size) scans the page tables of fast-mmap
+ * areas for PTEs with both present and LBA bits set — pages whose
+ * misses the hardware handled — and synchronises OS metadata for
+ * them: LRU insertion, page-struct updates, reverse mapping, page
+ * cache insertion; finally it clears the PTE's LBA bit (Section IV-C).
+ * The scan is guided by the LBA bits kpted itself clears in the PMD
+ * and PUD entries, so clean subtrees are skipped; the ablation bench
+ * compares against an exhaustive scan.
+ */
+
+#ifndef HWDP_CORE_KPTED_HH
+#define HWDP_CORE_KPTED_HH
+
+#include "core/fast_mmap.hh"
+#include "os/kthread.hh"
+
+namespace hwdp::core {
+
+class Kpted : public os::KThread
+{
+  public:
+    Kpted(os::Kernel &kernel, HwdpOsSupport &support, unsigned core,
+          Tick period, bool guided_scan = true);
+
+    void batch(std::function<void()> done) override;
+
+    /**
+     * Synchronous range sync (the munmap/msync barrier): scans
+     * [lo, hi) of @p as on @p caller_core, charging kpted phases
+     * there, then fires @p done.
+     */
+    void syncRange(os::AddressSpace &as, VAddr lo, VAddr hi,
+                   unsigned caller_core, std::function<void()> done);
+
+    std::uint64_t pagesSynced() const { return nSynced; }
+    std::uint64_t entriesVisited() const { return nVisited; }
+    bool guidedScan() const { return guided; }
+
+  private:
+    os::Kernel &kernel;
+    HwdpOsSupport &support;
+    bool guided;
+    std::uint64_t nSynced = 0;
+    std::uint64_t nVisited = 0;
+
+    /** One scan pass over a range; returns (synced, visited). */
+    std::pair<std::uint64_t, std::uint64_t>
+    scan(os::AddressSpace &as, VAddr lo, VAddr hi);
+};
+
+} // namespace hwdp::core
+
+#endif // HWDP_CORE_KPTED_HH

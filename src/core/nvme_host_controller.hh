@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The SMU's NVMe host controller (Figure 8).
+ *
+ * Holds one set of queue descriptor registers per block device (up to
+ * 8 per SMU, Figure 9): SQ/CQ base addresses, sizes, pointers, the CQ
+ * phase and the doorbell addresses. For each device the OS allocates
+ * an isolated, urgent-priority NVMe I/O queue pair with interrupts
+ * disabled; completions are detected by snooping the memory write the
+ * device performs at CQ base + CQ head. Commands are tagged with the
+ * PMSHR entry index so the completion unit can resolve them without
+ * any lookup structure.
+ */
+
+#ifndef HWDP_CORE_NVME_HOST_CONTROLLER_HH
+#define HWDP_CORE_NVME_HOST_CONTROLLER_HH
+
+#include <array>
+#include <functional>
+
+#include "sim/sim_object.hh"
+#include "ssd/ssd_device.hh"
+
+namespace hwdp::core {
+
+class NvmeHostController : public sim::SimObject
+{
+  public:
+    struct Timing
+    {
+        /** 64 B NVMe command write to host memory. */
+        Tick cmdWrite = nanoseconds(77.16);
+        /** Posted PCIe register write (SQ doorbell). */
+        Tick doorbell = nanoseconds(1.60);
+        /** Completion-unit protocol handling, in cycles. */
+        Cycles completionCycles = 2;
+        Tick cyclePeriod = 357;
+    };
+
+    /** Maximum block devices per SMU: 3-bit device id (Section III-B). */
+    static constexpr unsigned maxDevices = 8;
+
+    /** Bits per descriptor register set (for the area model). */
+    static constexpr unsigned descriptorBits = 352;
+
+    NvmeHostController(std::string name, sim::EventQueue &eq,
+                       const Timing &timing);
+
+    /**
+     * Install the queue descriptor registers for @p dev_id: allocates
+     * an isolated urgent-priority queue pair on the device with
+     * interrupts disabled and arms the CQ-write snooper.
+     */
+    void configureDevice(unsigned dev_id, ssd::SsdDevice *dev,
+                         std::uint16_t queue_depth = 1024);
+
+    bool deviceConfigured(unsigned dev_id) const;
+
+    /**
+     * Issue a 4 KB read of @p lba on @p dev_id into @p dma_addr,
+     * tagged with @p tag (the PMSHR index). @p issued fires once the
+     * doorbell write completes (device time starts there); the
+     * controller-wide completion callback fires with the tag when the
+     * CQ write is snooped and the completion protocol has run.
+     */
+    void issueRead(unsigned dev_id, Lba lba, PAddr dma_addr,
+                   std::uint16_t tag, std::function<void()> issued);
+
+    /** Completion delivery to the page miss handler. */
+    void setCompletionCallback(std::function<void(std::uint16_t tag)> fn)
+    {
+        onComplete = std::move(fn);
+    }
+
+    const Timing &timing() const { return tm; }
+
+    std::uint64_t readsIssued() const { return statIssued.value(); }
+
+  private:
+    struct Descriptor
+    {
+        bool valid = false;
+        ssd::SsdDevice *dev = nullptr;
+        std::uint16_t qid = 0;
+    };
+
+    Timing tm;
+    std::array<Descriptor, maxDevices> descs;
+    std::function<void(std::uint16_t)> onComplete;
+
+    sim::Counter &statIssued;
+    sim::Counter &statCompleted;
+
+    void onCqWrite(unsigned dev_id, const nvme::CompletionEntry &cqe);
+};
+
+} // namespace hwdp::core
+
+#endif // HWDP_CORE_NVME_HOST_CONTROLLER_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Page Miss Status Holding Registers (PMSHR).
+ *
+ * A fully-associative CAM keyed by PTE physical address — the unique
+ * identifier of a virtual page's miss (Section III-C). Duplicate
+ * misses to the same page coalesce onto the existing entry, so no
+ * page aliases can be created by concurrent threads. The entry count
+ * bounds the SMU's outstanding I/O; the paper picks 32 empirically
+ * (the ablation bench sweeps this).
+ */
+
+#ifndef HWDP_CORE_PMSHR_HH
+#define HWDP_CORE_PMSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cpu/mmu.hh"
+#include "sim/types.hh"
+
+namespace hwdp::core {
+
+class Pmshr
+{
+  public:
+    struct Entry
+    {
+        bool valid = false;
+        PAddr pteAddr = 0;
+        cpu::PageMissRequest req;
+        Pfn pfn = 0;
+        Tick started = 0;
+        /** Coalesced waiters (pending page-table walks). */
+        std::vector<std::function<void(bool)>> waiters;
+    };
+
+    explicit Pmshr(unsigned n_entries = 32);
+
+    /** CAM lookup by PTE address; -1 when absent. */
+    int lookup(PAddr pte_addr) const;
+
+    /** Allocate an entry; -1 when full. */
+    int allocate(PAddr pte_addr);
+
+    Entry &entry(int idx);
+    const Entry &entry(int idx) const;
+
+    /** Release an entry after broadcast. */
+    void invalidate(int idx);
+
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(entries.size());
+    }
+    unsigned occupancy() const { return used; }
+    bool full() const { return used == entries.size(); }
+
+    /** Register-file size in bits (for the area model, Section VI-D). */
+    static constexpr unsigned entryBits = 300;
+
+    std::uint64_t coalescedCount() const { return nCoalesced; }
+    void noteCoalesced() { ++nCoalesced; }
+
+  private:
+    std::vector<Entry> entries;
+    unsigned used = 0;
+    std::uint64_t nCoalesced = 0;
+};
+
+} // namespace hwdp::core
+
+#endif // HWDP_CORE_PMSHR_HH

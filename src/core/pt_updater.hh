@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SMU page table updater.
+ *
+ * After the device I/O completes, the SMU updates the PTE in place —
+ * replacing the LBA field with the newly allocated PFN — and sets the
+ * LBA bits of the PMD and PUD entries so kpted can find the PTE later.
+ * Crucially the PTE's own LBA bit is NOT cleared: present + LBA means
+ * "resident, OS metadata pending" (Table I). The three entry accesses
+ * rarely miss the LLC; the paper charges 97 cycles (three LLC
+ * read+writes, Figure 11(b)).
+ */
+
+#ifndef HWDP_CORE_PT_UPDATER_HH
+#define HWDP_CORE_PT_UPDATER_HH
+
+#include "cpu/mmu.hh"
+#include "sim/types.hh"
+
+namespace hwdp::core {
+
+class PageTableUpdater
+{
+  public:
+    /**
+     * @param update_cycles Latency of the three entry read+writes.
+     */
+    PageTableUpdater(Cycles update_cycles, Tick cycle_period)
+        : updateCycles(update_cycles), period(cycle_period)
+    {
+    }
+
+    /**
+     * Perform the updates for a completed miss.
+     * @return the latency charged.
+     */
+    Tick update(const cpu::PageMissRequest &req, Pfn pfn);
+
+    Cycles cost() const { return updateCycles; }
+
+    std::uint64_t updates() const { return nUpdates; }
+
+  private:
+    Cycles updateCycles;
+    Tick period;
+    std::uint64_t nUpdates = 0;
+};
+
+} // namespace hwdp::core
+
+#endif // HWDP_CORE_PT_UPDATER_HH

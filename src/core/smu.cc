@@ -1,0 +1,251 @@
+#include "core/smu.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hwdp::core {
+
+Smu::Smu(std::string name, sim::EventQueue &eq, unsigned sid,
+         const Params &params, os::Kernel &kernel)
+    : sim::SimObject(std::move(name), eq), socketId(sid), prm(params),
+      kernel(kernel), pmshrUnit(params.pmshrEntries),
+      nvme(this->name() + ".nvme", eq, params.nvme),
+      updater(params.ptUpdateCycles, params.cyclePeriod),
+      statHandled(stats().counter("handled",
+                                  "page misses completed in hardware")),
+      statZeroFill(stats().counter(
+          "zero_fills", "anonymous first-touch misses zero-filled")),
+      statPrefetch(stats().counter("prefetches",
+                                   "sequential next-page prefetches")),
+      statCoalesced(stats().counter("coalesced",
+                                    "duplicate misses coalesced")),
+      statRejectEmpty(stats().counter(
+          "rejected_queue_empty", "bounces: free page queue empty")),
+      statRejectFull(stats().counter("rejected_pmshr_full",
+                                     "bounces: PMSHR full")),
+      statLatency(stats().histogram(
+          "miss_latency_us", "hardware miss handling latency (us)", 0.5,
+          400))
+{
+    unsigned n_queues = prm.perCoreFreeQueues
+                            ? std::max(prm.nFreeQueues, 1u)
+                            : 1u;
+    std::uint64_t per_queue = std::max<std::uint64_t>(
+        prm.freeQueueCapacity / n_queues, 16);
+    for (unsigned q = 0; q < n_queues; ++q) {
+        fpqs.push_back(std::make_unique<FreePageQueue>(
+            per_queue, prm.prefetchDepth));
+    }
+
+    nvme.setCompletionCallback(
+        [this](std::uint16_t tag) { onIoComplete(tag); });
+}
+
+FreePageQueue &
+Smu::freePageQueue(unsigned core)
+{
+    return *fpqs[prm.perCoreFreeQueues ? core % fpqs.size() : 0];
+}
+
+std::vector<FreePageQueue *>
+Smu::freePageQueues()
+{
+    std::vector<FreePageQueue *> v;
+    for (auto &q : fpqs)
+        v.push_back(q.get());
+    return v;
+}
+
+void
+Smu::configureDevice(unsigned dev_id, ssd::SsdDevice *dev)
+{
+    // The SMU's SQ must never fill while the PMSHR still has space;
+    // size it generously above the PMSHR capacity.
+    auto depth = static_cast<std::uint16_t>(
+        std::max<unsigned>(64, prm.pmshrEntries * 4));
+    nvme.configureDevice(dev_id, dev, depth);
+}
+
+void
+Smu::handleMiss(cpu::PageMissRequest req)
+{
+    // Two register writes deliver the request, then the CAM lookup.
+    Tick delay =
+        (prm.requestRegWrites + prm.camLookup) * prm.cyclePeriod;
+    Tick started = now();
+    eq.scheduleLambdaIn(delay,
+                        [this, req = std::move(req), started]() mutable {
+                            lookupStep(std::move(req), started);
+                        },
+                        name() + ".lookup");
+}
+
+void
+Smu::lookupStep(cpu::PageMissRequest req, Tick started)
+{
+    // (1) Outstanding miss to the same page? Coalesce: the walk goes
+    // pending and resumes on the broadcast.
+    int idx = pmshrUnit.lookup(req.refs.pte.addr);
+    if (idx >= 0) {
+        pmshrUnit.noteCoalesced();
+        ++statCoalesced;
+        pmshrUnit.entry(idx).waiters.push_back(std::move(req.done));
+        return;
+    }
+
+    // (2) Allocate a PMSHR entry.
+    idx = pmshrUnit.allocate(req.refs.pte.addr);
+    if (idx < 0) {
+        ++statRejectFull;
+        req.done(false);
+        return;
+    }
+
+    // (3) Fetch a free page frame from the requesting core's queue.
+    FreePageQueue &fpq = freePageQueue(req.core);
+    auto pop = fpq.pop(prm.memRoundTrip);
+    if (!pop.ok) {
+        pmshrUnit.invalidate(idx);
+        ++statRejectEmpty;
+        if (onQueueEmpty)
+            onQueueEmpty();
+        req.done(false);
+        checkBarrier();
+        return;
+    }
+
+    // (4) Complete the entry with the PFN, then (5) issue the I/O.
+    Pmshr::Entry &e = pmshrUnit.entry(idx);
+    e.pfn = pop.pfn;
+    e.started = started;
+    unsigned dev = req.dev;
+    Lba lba = req.lba;
+    e.req = std::move(req);
+
+    PAddr dma = static_cast<PAddr>(pop.pfn) << pageShift;
+    Tick delay = pop.latency + prm.pfnWrite * prm.cyclePeriod;
+    auto tag = static_cast<std::uint16_t>(idx);
+
+    // First-touch anonymous page: the reserved LBA tells the SMU to
+    // bypass I/O processing entirely and zero-fill the frame
+    // (Section V).
+    unsigned req_core = e.req.core;
+    if (lba == os::pte::zeroFillLba) {
+        ++statZeroFill;
+        eq.scheduleLambdaIn(delay + prm.zeroFillLatency,
+                            [this, tag, req_core] {
+                                freePageQueue(req_core).refillPrefetch();
+                                onIoComplete(tag);
+                            },
+                            name() + ".zerofill");
+        return;
+    }
+
+    eq.scheduleLambdaIn(
+        delay,
+        [this, dev, lba, dma, tag, req_core] {
+            nvme.issueRead(dev, lba, dma, tag, [this, req_core] {
+                // Device time: eagerly refill the prefetch buffer so
+                // the next free-page fetch costs nothing (III-C).
+                freePageQueue(req_core).refillPrefetch();
+            });
+        },
+        name() + ".issue");
+
+    // Only demand misses trigger a prefetch — a prefetch spawning
+    // further prefetches would run away through the whole mapping.
+    if (prm.sequentialPrefetch && !e.req.isPrefetch)
+        maybePrefetchNext(e.req);
+}
+
+void
+Smu::maybePrefetchNext(const cpu::PageMissRequest &req)
+{
+    if (req.lba == os::pte::zeroFillLba || !req.as)
+        return;
+    VAddr next = req.vaddr + pageSize;
+    os::WalkRefs refs = req.as->pageTable().walkRefs(next, false);
+    if (!refs.pte.valid())
+        return;
+    os::pte::Entry e = refs.pte.value();
+    if (!os::pte::isLbaAugmented(e) ||
+        os::pte::lbaOf(e) == os::pte::zeroFillLba)
+        return;
+    if (pmshrUnit.full() || pmshrUnit.lookup(refs.pte.addr) >= 0)
+        return;
+    // Never starve demand misses of free pages: prefetch only from
+    // surplus.
+    if (freePageQueue(req.core).size() < prm.prefetchDepth)
+        return;
+
+    ++statPrefetch;
+    cpu::PageMissRequest pf;
+    pf.isPrefetch = true;
+    pf.refs = refs;
+    pf.sid = os::pte::socketIdOf(e);
+    pf.dev = os::pte::deviceIdOf(e);
+    pf.lba = os::pte::lbaOf(e);
+    pf.as = req.as;
+    pf.vaddr = next;
+    pf.core = req.core;
+    pf.done = [](bool) {}; // nobody waits; a late touch coalesces
+    // Skip the request-transfer cycles: the prefetch is generated
+    // inside the SMU itself.
+    lookupStep(std::move(pf), now());
+}
+
+void
+Smu::onIoComplete(std::uint16_t tag)
+{
+    // (6) I/O complete: (7) update PTE/PMD/PUD in place, then (8)
+    // broadcast completion and invalidate the entry.
+    Pmshr::Entry &e = pmshrUnit.entry(tag);
+    Tick update_lat = updater.update(e.req, e.pfn);
+    Tick delay = update_lat + prm.notifyCycles * prm.cyclePeriod;
+
+    eq.scheduleLambdaIn(
+        delay,
+        [this, tag] {
+            Pmshr::Entry &entry = pmshrUnit.entry(tag);
+            // Model bookkeeping: the frame left the SMU queue (the OS
+            // flag exists so reclaim never touches donated frames).
+            kernel.page(entry.pfn).inSmuQueue = false;
+
+            ++statHandled;
+            statLatency.sample(toMicroseconds(now() - entry.started));
+
+            auto done = std::move(entry.req.done);
+            auto waiters = std::move(entry.waiters);
+            pmshrUnit.invalidate(tag);
+
+            done(true);
+            for (auto &w : waiters)
+                w(true);
+            checkBarrier();
+        },
+        name() + ".broadcast");
+}
+
+void
+Smu::barrier(std::function<void()> done)
+{
+    if (pmshrUnit.occupancy() == 0) {
+        done();
+        return;
+    }
+    barrierWaiters.push_back(std::move(done));
+}
+
+void
+Smu::checkBarrier()
+{
+    if (pmshrUnit.occupancy() != 0 || barrierWaiters.empty())
+        return;
+    auto waiters = std::move(barrierWaiters);
+    barrierWaiters.clear();
+    for (auto &w : waiters)
+        w();
+}
+
+} // namespace hwdp::core

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The Storage Management Unit (SMU) — the paper's core contribution.
+ *
+ * One SMU per socket. The page miss handler (Figure 7) receives miss
+ * requests from MMUs, coalesces duplicates in the PMSHR, fetches a
+ * free page frame from the free page queue (prefetch-buffered), has
+ * the NVMe host controller issue a 4 KB read on the device's isolated
+ * urgent queue, snoops the completion, updates the PTE/PMD/PUD in
+ * place and broadcasts completion to the stalled walkers — all
+ * without a single instruction of OS code on the critical path.
+ *
+ * When the PMSHR is full or the free page queue is empty the miss is
+ * bounced back to the MMU, which raises a conventional page fault
+ * (the OS then also refills the queue, Section IV-D).
+ */
+
+#ifndef HWDP_CORE_SMU_HH
+#define HWDP_CORE_SMU_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/free_page_queue.hh"
+#include "core/nvme_host_controller.hh"
+#include "core/pmshr.hh"
+#include "core/pt_updater.hh"
+#include "cpu/mmu.hh"
+#include "os/kernel.hh"
+
+namespace hwdp::core {
+
+class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
+{
+  public:
+    struct Params
+    {
+        unsigned pmshrEntries = 32;
+        std::uint64_t freeQueueCapacity = 4096;
+        unsigned prefetchDepth = 16;
+
+        /** MMU-to-SMU request transfer (two register writes). */
+        Cycles requestRegWrites = 2;
+        /** PMSHR CAM lookup. */
+        Cycles camLookup = 5;
+        /** Writing the allocated PFN into the PMSHR entry. */
+        Cycles pfnWrite = 1;
+        /** PTE + PMD + PUD read/update (three LLC read+writes). */
+        Cycles ptUpdateCycles = 97;
+        /** Completion-unit bookkeeping. */
+        Cycles completionCycles = 2;
+        /** Broadcast to MMUs + walk completion check. */
+        Cycles notifyCycles = 2;
+
+        /** Exposed memory read when the prefetch buffer is empty. */
+        Tick memRoundTrip = nanoseconds(90);
+
+        /**
+         * Zeroing a 4 KB frame for a first-touch anonymous miss
+         * (Section V): the SMU bypasses the NVMe path and a hardware
+         * zero engine prepares the frame.
+         */
+        Tick zeroFillLatency = nanoseconds(300);
+
+        /**
+         * Sequential next-page prefetch (Section V, "Prefetching
+         * Support", left as future work by the paper): on a miss,
+         * also fill the following page when its PTE is still
+         * LBA-augmented. A later touch either finds the PTE present
+         * or coalesces onto the in-flight PMSHR entry.
+         */
+        bool sequentialPrefetch = false;
+
+        /**
+         * Per-core free page queues (Section V, "Enforcing OS-level
+         * Resource Management Policy", future work in the paper):
+         * each thread context draws from its own queue so an OS
+         * memory policy (NUMA, cgroups, coloring) can be enforced
+         * per core. freeQueueCapacity is split across the queues.
+         */
+        bool perCoreFreeQueues = false;
+        unsigned nFreeQueues = 16;
+
+        NvmeHostController::Timing nvme{};
+        Tick cyclePeriod = 357;
+    };
+
+    Smu(std::string name, sim::EventQueue &eq, unsigned sid,
+        const Params &params, os::Kernel &kernel);
+
+    /** Install queue descriptor registers for a block device. */
+    void configureDevice(unsigned dev_id, ssd::SsdDevice *dev);
+
+    // ---- cpu::PageMissHandlerIface -------------------------------------
+    void handleMiss(cpu::PageMissRequest req) override;
+
+    /** Queue serving @p core (queue 0 in the default global mode). */
+    FreePageQueue &freePageQueue(unsigned core = 0);
+    unsigned numFreeQueues() const
+    {
+        return static_cast<unsigned>(fpqs.size());
+    }
+    /** All queues (kpoold refills every one). */
+    std::vector<FreePageQueue *> freePageQueues();
+
+    Pmshr &pmshr() { return pmshrUnit; }
+    NvmeHostController &hostController() { return nvme; }
+    const Params &params() const { return prm; }
+    unsigned sid() const { return socketId; }
+
+    /** Invoked when a pop finds the free page queue empty. */
+    void setQueueEmptyCallback(std::function<void()> fn)
+    {
+        onQueueEmpty = std::move(fn);
+    }
+
+    /**
+     * SMU barrier (Section IV-C): fires @p done once no page miss is
+     * outstanding. Used by munmap before tearing PTEs down.
+     */
+    void barrier(std::function<void()> done);
+
+    std::uint64_t handled() const { return statHandled.value(); }
+    std::uint64_t zeroFills() const { return statZeroFill.value(); }
+    std::uint64_t prefetches() const { return statPrefetch.value(); }
+    std::uint64_t coalesced() const { return statCoalesced.value(); }
+    std::uint64_t rejectedQueueEmpty() const
+    {
+        return statRejectEmpty.value();
+    }
+    std::uint64_t rejectedPmshrFull() const
+    {
+        return statRejectFull.value();
+    }
+    sim::Histogram &missLatencyUs() { return statLatency; }
+
+  private:
+    unsigned socketId;
+    Params prm;
+    os::Kernel &kernel;
+    Pmshr pmshrUnit;
+    std::vector<std::unique_ptr<FreePageQueue>> fpqs;
+    NvmeHostController nvme;
+    PageTableUpdater updater;
+    std::function<void()> onQueueEmpty;
+    std::vector<std::function<void()>> barrierWaiters;
+
+    sim::Counter &statHandled;
+    sim::Counter &statZeroFill;
+    sim::Counter &statPrefetch;
+    sim::Counter &statCoalesced;
+    sim::Counter &statRejectEmpty;
+    sim::Counter &statRejectFull;
+    sim::Histogram &statLatency;
+
+    void lookupStep(cpu::PageMissRequest req, Tick started);
+    void onIoComplete(std::uint16_t tag);
+    void checkBarrier();
+
+    /** Issue a next-page prefetch fill for the page after @p req. */
+    void maybePrefetchNext(const cpu::PageMissRequest &req);
+};
+
+} // namespace hwdp::core
+
+#endif // HWDP_CORE_SMU_HH

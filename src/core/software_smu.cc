@@ -1,0 +1,171 @@
+#include "core/software_smu.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::core {
+
+SoftwareSmu::SoftwareSmu(std::string name, sim::EventQueue &eq,
+                         os::Kernel &kernel, FreePageQueue &fpq)
+    : sim::SimObject(std::move(name), eq), kernel(kernel), fpq(fpq),
+      devices(8),
+      statHandled(stats().counter("handled",
+                                  "misses handled by the emulation")),
+      statCoalesced(stats().counter("coalesced",
+                                    "duplicate misses coalesced")),
+      statQueueEmpty(stats().counter(
+          "queue_empty", "bounces to the normal path: queue empty")),
+      statLatency(stats().histogram(
+          "miss_latency_us", "SW-emulated miss latency (us)", 0.5, 400))
+{
+}
+
+void
+SoftwareSmu::configureDevice(unsigned dev_id, ssd::SsdDevice *dev,
+                             std::uint16_t queue_depth)
+{
+    if (dev_id >= devices.size())
+        fatal("software smu: device id out of range");
+    // Interrupts stay enabled: the modified interrupt handler touches
+    // the mwait-monitored address (Section VI-A).
+    std::uint16_t qid = dev->createQueuePair(
+        queue_depth, nvme::Priority::urgent, true);
+    dev->setCompletionListener(
+        qid,
+        [this, dev_id](std::uint16_t q,
+                       const nvme::CompletionEntry &cqe) {
+            // The emulated completion path consumes the CQ entry and
+            // rings the CQ doorbell (cost inside swSmuComplete).
+            DeviceSlot &slot = devices[dev_id];
+            if (slot.dev->queuePair(q).cqHasWork())
+                slot.dev->queuePair(q).popCqe();
+            slot.dev->ringCqDoorbell(q);
+            onInterrupt(cqe.cid);
+        });
+    devices[dev_id] = DeviceSlot{true, dev, qid};
+}
+
+void
+SoftwareSmu::install()
+{
+    kernel.setFaultInterceptor(
+        [this](os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+               os::pte::Entry e, std::function<void()> resume) {
+            return intercept(t, as, vaddr, e, std::move(resume));
+        });
+}
+
+std::uint64_t
+SoftwareSmu::pageKey(const os::AddressSpace &as, VAddr va)
+{
+    return (static_cast<std::uint64_t>(as.id()) << 48) ^
+           (va >> pageShift);
+}
+
+bool
+SoftwareSmu::intercept(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+                       os::pte::Entry e, std::function<void()> resume)
+{
+    if (!os::pte::isLbaAugmented(e))
+        return false;
+
+    vaddr &= ~pageOffsetMask;
+    unsigned core = t.core();
+    auto &sched = kernel.scheduler();
+
+    // Outstanding miss to the same page? Join it: this faulter also
+    // runs the emulation entry code, then mwaits alongside.
+    auto pit = byPage.find(pageKey(as, vaddr));
+    if (pit != byPage.end()) {
+        ++statCoalesced;
+        std::uint16_t cid = pit->second;
+        sched.runPhases(core, {&os::phases::swSmuSubmit},
+                        [this, &t, core, cid,
+                         resume = std::move(resume)]() mutable {
+                            kernel.scheduler().setHwStalled(core, true);
+                            inflight[cid].waiters.emplace_back(
+                                &t, std::move(resume));
+                        });
+        return true;
+    }
+
+    // Free page from the shared queue; when it is empty, bounce back
+    // to the normal path (which also triggers the overlapped refill).
+    auto pop = fpq.pop(0);
+    if (!pop.ok) {
+        ++statQueueEmpty;
+        return false;
+    }
+
+    unsigned dev_id = os::pte::deviceIdOf(e);
+    Lba lba = os::pte::lbaOf(e);
+    if (dev_id >= devices.size() || !devices[dev_id].valid)
+        panic("software smu: fault on unconfigured device ", dev_id);
+
+    std::uint16_t cid = nextCid++;
+    Inflight inf;
+    inf.t = &t;
+    inf.as = &as;
+    inf.vaddr = vaddr;
+    inf.pfn = pop.pfn;
+    inf.started = now();
+    inf.resume = std::move(resume);
+    inflight.emplace(cid, std::move(inf));
+    byPage[pageKey(as, vaddr)] = cid;
+
+    // Emulated PMSHR insert + NVMe command build/submit, then mwait.
+    sched.runPhases(
+        core, {&os::phases::swSmuSubmit},
+        [this, core, cid, dev_id, lba, pfn = pop.pfn] {
+            DeviceSlot &slot = devices[dev_id];
+            nvme::SubmissionEntry sqe;
+            sqe.opcode = nvme::Opcode::read;
+            sqe.cid = cid;
+            sqe.slba = lba;
+            sqe.prp1 = static_cast<PAddr>(pfn) << pageShift;
+            if (!slot.dev->queuePair(slot.qid).pushSqe(sqe))
+                panic("software smu: SQ full");
+            slot.dev->ringSqDoorbell(slot.qid);
+            // monitor/mwait: the thread keeps the core but consumes no
+            // execution resources until the interrupt touches the
+            // monitored line.
+            kernel.scheduler().setHwStalled(core, true);
+        });
+    return true;
+}
+
+void
+SoftwareSmu::onInterrupt(std::uint16_t cid)
+{
+    auto it = inflight.find(cid);
+    if (it == inflight.end())
+        panic("software smu: completion for unknown cid ", cid);
+
+    // The emulation resumes on the faulting core: wake from mwait,
+    // run the emulated completion (CQ protocol + PTE update), then
+    // return to user. Metadata stays for kpted, as in hardware.
+    Inflight inf = std::move(it->second);
+    inflight.erase(it);
+    byPage.erase(pageKey(*inf.as, inf.vaddr));
+
+    unsigned core = inf.t->core();
+    kernel.scheduler().runPhases(
+        core, {&os::phases::swSmuWake, &os::phases::swSmuComplete},
+        [this, inf = std::move(inf)]() mutable {
+            os::Vma *vma = inf.as->findVma(inf.vaddr);
+            if (!vma)
+                panic("software smu: VMA vanished under a miss");
+            kernel.installHardwareHandled(*inf.as, *vma, inf.vaddr,
+                                          inf.pfn);
+            ++statHandled;
+            statLatency.sample(toMicroseconds(now() - inf.started));
+
+            kernel.scheduler().setHwStalled(inf.t->core(), false);
+            inf.resume();
+            for (auto &[wt, wresume] : inf.waiters) {
+                kernel.scheduler().setHwStalled(wt->core(), false);
+                wresume();
+            }
+        });
+}
+
+} // namespace hwdp::core

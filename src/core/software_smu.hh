@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Software-emulated SMU (the paper's real-machine prototype, VI-A).
+ *
+ * A kernel-resident emulation of the SMU used to evaluate HWDP on a
+ * real x86 machine and, in Figure 17, as the "SW-only" baseline the
+ * hardware is compared against. At the early stage of the page fault
+ * handler a routine checks the PTE's LBA bit; if set it jumps to a
+ * function that emulates the SMU — software PMSHR check/insert, NVMe
+ * command construction on an isolated queue — and then waits on the
+ * completion with monitor/mwait. The interrupt handler merely touches
+ * the monitored address; the emulation resumes, completes the miss
+ * and updates the PTE exactly as the hardware would (LBA bit kept,
+ * metadata deferred to kpted).
+ */
+
+#ifndef HWDP_CORE_SOFTWARE_SMU_HH
+#define HWDP_CORE_SOFTWARE_SMU_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/free_page_queue.hh"
+#include "os/kernel.hh"
+#include "ssd/ssd_device.hh"
+
+namespace hwdp::core {
+
+class SoftwareSmu : public sim::SimObject
+{
+  public:
+    SoftwareSmu(std::string name, sim::EventQueue &eq, os::Kernel &kernel,
+                FreePageQueue &fpq);
+
+    /** Allocate this emulation's isolated queue pair on a device. */
+    void configureDevice(unsigned dev_id, ssd::SsdDevice *dev,
+                         std::uint16_t queue_depth = 1024);
+
+    /** Register as the kernel's early-fault interceptor. */
+    void install();
+
+    std::uint64_t handled() const { return statHandled.value(); }
+    std::uint64_t coalesced() const { return statCoalesced.value(); }
+    sim::Histogram &missLatencyUs() { return statLatency; }
+
+  private:
+    struct DeviceSlot
+    {
+        bool valid = false;
+        ssd::SsdDevice *dev = nullptr;
+        std::uint16_t qid = 0;
+    };
+
+    struct Inflight
+    {
+        os::Thread *t;
+        os::AddressSpace *as;
+        VAddr vaddr;
+        Pfn pfn;
+        Tick started;
+        std::function<void()> resume;
+        /** Coalesced faulters: (thread, resume). */
+        std::vector<std::pair<os::Thread *, std::function<void()>>>
+            waiters;
+    };
+
+    os::Kernel &kernel;
+    FreePageQueue &fpq;
+    std::vector<DeviceSlot> devices;
+    std::unordered_map<std::uint16_t, Inflight> inflight; // by cid
+    std::unordered_map<std::uint64_t, std::uint16_t> byPage;
+    std::uint16_t nextCid = 0;
+
+    sim::Counter &statHandled;
+    sim::Counter &statCoalesced;
+    sim::Counter &statQueueEmpty;
+    sim::Histogram &statLatency;
+
+    bool intercept(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+                   os::pte::Entry e, std::function<void()> resume);
+    void onInterrupt(std::uint16_t cid);
+
+    static std::uint64_t pageKey(const os::AddressSpace &as, VAddr va);
+};
+
+} // namespace hwdp::core
+
+#endif // HWDP_CORE_SOFTWARE_SMU_HH

@@ -1,0 +1,205 @@
+#include "cpu/mmu.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::cpu {
+
+Mmu::Mmu(std::string name, sim::EventQueue &eq, unsigned logical_core,
+         mem::CacheHierarchy &caches, os::Kernel &kernel,
+         Tick cycle_period)
+    : sim::SimObject(std::move(name), eq), core(logical_core),
+      physCore(kernel.scheduler().physCoreOf(logical_core)),
+      caches(caches), kernel(kernel), period(cycle_period),
+      walkUnit(caches, physCore, cycle_period), smus(8, nullptr),
+      statAccesses(stats().counter("accesses", "memory accesses")),
+      statHwMiss(stats().counter("hw_misses",
+                                 "page misses sent to an SMU")),
+      statOsFault(stats().counter("os_faults",
+                                  "page misses raised as exceptions")),
+      statSmuReject(stats().counter(
+          "smu_rejections", "SMU bounces (queue empty / PMSHR full)")),
+      statTimeout(stats().counter(
+          "stall_timeouts",
+          "hardware stalls converted to context switches"))
+{
+}
+
+void
+Mmu::attachSmu(unsigned sid, PageMissHandlerIface *smu)
+{
+    if (sid >= smus.size())
+        fatal("mmu: socket id ", sid, " out of range");
+    smus[sid] = smu;
+}
+
+Tick
+Mmu::dataAccess(VAddr vaddr, Pfn pfn, bool is_write)
+{
+    PAddr paddr = (static_cast<PAddr>(pfn) << pageShift) |
+                  (vaddr & pageOffsetMask);
+    Cycles lat = caches.access(physCore, paddr, false,
+                               ExecMode::user).latency;
+    if (is_write) {
+        // The hardware would set the PTE/TLB dirty state on the first
+        // write; the model tracks it on the page for reclaim.
+        kernel.page(pfn).dirty = true;
+    }
+    return lat * period;
+}
+
+void
+Mmu::access(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+            bool is_write, std::function<void(AccessInfo)> done)
+{
+    ++statAccesses;
+    doAccess(t, as, vaddr, is_write, now(), AccessInfo{}, 0,
+             std::move(done));
+}
+
+void
+Mmu::doAccess(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+              bool is_write, Tick start, AccessInfo info,
+              unsigned attempts, std::function<void(AccessInfo)> done)
+{
+    if (attempts > 8)
+        panic("mmu: access at ", vaddr, " not making progress");
+
+    // 1. TLB.
+    Tlb::Result tr = tlbUnit.lookup(vaddr);
+    if (tr.hit) {
+        Tick lat = tr.l1Hit ? 0 : 4 * period; // L2 STLB latency
+        lat += dataAccess(vaddr, tr.pfn, is_write);
+        info.latency = (now() + lat) - start;
+        eq.scheduleLambdaIn(lat,
+                            [info, done = std::move(done)] { done(info); },
+                            "mmu.hit");
+        return;
+    }
+
+    // 2. Page-table walk.
+    Walker::Outcome out = walkUnit.walk(as, vaddr);
+    Tick wl = out.latency;
+
+    if (out.kind == Walker::Classification::present) {
+        Pfn pfn = os::pte::pfnOf(out.entry);
+        tlbUnit.insert(vaddr, pfn);
+        Tick lat = wl + dataAccess(vaddr, pfn, is_write);
+        info.latency = (now() + lat) - start;
+        eq.scheduleLambdaIn(lat,
+                            [info, done = std::move(done)] { done(info); },
+                            "mmu.walked");
+        return;
+    }
+
+    if (out.kind == Walker::Classification::hwMiss) {
+        unsigned sid = os::pte::socketIdOf(out.entry);
+        PageMissHandlerIface *smu = sid < smus.size() ? smus[sid]
+                                                      : nullptr;
+        if (smu) {
+            ++statHwMiss;
+            info.faulted = true;
+            // Pipeline stall: the thread keeps the core but consumes
+            // no issue slots (SMT sibling benefits, Figure 16).
+            kernel.scheduler().setHwStalled(core, true);
+
+            PageMissRequest req;
+            req.refs = out.refs;
+            req.sid = sid;
+            req.dev = os::pte::deviceIdOf(out.entry);
+            req.lba = os::pte::lbaOf(out.entry);
+            req.as = &as;
+            req.vaddr = vaddr & ~pageOffsetMask;
+            req.core = core;
+            // Shared stall state for the long-latency timeout remedy.
+            struct StallState
+            {
+                bool completed = false;
+                bool switched = false;
+            };
+            auto state = std::make_shared<StallState>();
+
+            req.done = [this, &t, &as, vaddr, is_write, start, info,
+                        attempts, state,
+                        done = std::move(done)](bool success) mutable {
+                state->completed = true;
+                kernel.scheduler().setHwStalled(core, false);
+
+                auto resume = [this, &t, &as, vaddr, is_write, start,
+                               info, attempts, success,
+                               done = std::move(done)]() mutable {
+                    if (success) {
+                        info.hwHandled = true;
+                        doAccess(t, as, vaddr, is_write, start, info,
+                                 attempts + 1, std::move(done));
+                    } else {
+                        // SMU bounce: raise the exception after all
+                        // (Section III-C, free page queue empty).
+                        ++statSmuReject;
+                        kernel.handlePageFault(
+                            t, as, vaddr, is_write, true,
+                            [this, &t, &as, vaddr, is_write, start,
+                             info, attempts,
+                             done = std::move(done)]() mutable {
+                                doAccess(t, as, vaddr, is_write, start,
+                                         info, attempts + 1,
+                                         std::move(done));
+                            });
+                    }
+                };
+                if (state->switched) {
+                    // The thread timed out and was descheduled: wake
+                    // it and continue in its context.
+                    t.setResumeAction(std::move(resume));
+                    kernel.scheduler().wake(&t);
+                } else {
+                    resume();
+                }
+            };
+            eq.scheduleLambdaIn(wl,
+                                [smu, req = std::move(req)]() mutable {
+                                    smu->handleMiss(std::move(req));
+                                },
+                                "mmu.smureq");
+
+            if (stallTimeout > 0) {
+                eq.scheduleLambdaIn(
+                    wl + stallTimeout,
+                    [this, &t, state] {
+                        if (state->completed || state->switched)
+                            return;
+                        // Timeout exception: stop wasting the core and
+                        // switch out; block() charges the switch.
+                        state->switched = true;
+                        ++statTimeout;
+                        kernel.scheduler().setHwStalled(core, false);
+                        kernel.scheduler().kernelExec().run(
+                            physCore, os::phases::exceptionEntry);
+                        kernel.scheduler().block(&t);
+                    },
+                    "mmu.stallTimeout");
+            }
+            return;
+        }
+        // LBA-augmented PTE but no SMU for the socket: fall through to
+        // the OS (it can always service a file-backed fault).
+    }
+
+    // 3. Conventional exception.
+    ++statOsFault;
+    info.faulted = true;
+    eq.scheduleLambdaIn(
+        wl,
+        [this, &t, &as, vaddr, is_write, start, info, attempts,
+         done = std::move(done)]() mutable {
+            kernel.handlePageFault(
+                t, as, vaddr, is_write, false,
+                [this, &t, &as, vaddr, is_write, start, info, attempts,
+                 done = std::move(done)]() mutable {
+                    doAccess(t, as, vaddr, is_write, start, info,
+                             attempts + 1, std::move(done));
+                });
+        },
+        "mmu.exception");
+}
+
+} // namespace hwdp::cpu

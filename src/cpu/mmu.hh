@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Memory management unit: TLB + walker + page-miss routing.
+ *
+ * The MMU performs every user memory access for one logical core:
+ * TLB lookup, page-table walk on a miss, then — for a non-present
+ * page — either the conventional exception (OSDP) or a page-miss
+ * request to the SMU identified by the PTE's socket id (HWDP,
+ * Section III). While the SMU works, the core's pipeline is stalled:
+ * the thread keeps the logical core but consumes no issue slots,
+ * which the scheduler's width-share model exposes to the SMT sibling.
+ */
+
+#ifndef HWDP_CPU_MMU_HH
+#define HWDP_CPU_MMU_HH
+
+#include <functional>
+#include <vector>
+
+#include "cpu/tlb.hh"
+#include "cpu/walker.hh"
+#include "os/kernel.hh"
+#include "sim/sim_object.hh"
+
+namespace hwdp::cpu {
+
+/** A page-miss request handed to an SMU (Section III-C, Figure 7). */
+struct PageMissRequest
+{
+    os::WalkRefs refs;       ///< PUD entry, PMD entry and PTE refs.
+    unsigned sid = 0;
+    unsigned dev = 0;
+    Lba lba = 0;
+    os::AddressSpace *as = nullptr;
+    VAddr vaddr = 0;
+    unsigned core = 0;       ///< Requesting logical core.
+
+    /** Set for SMU-generated prefetch fills (no walker waits). */
+    bool isPrefetch = false;
+
+    /** Invoked with success=false when the SMU must bounce to the OS. */
+    std::function<void(bool success)> done;
+};
+
+/** Implemented by core::Smu (and test fakes). */
+class PageMissHandlerIface
+{
+  public:
+    virtual ~PageMissHandlerIface() = default;
+    virtual void handleMiss(PageMissRequest req) = 0;
+};
+
+/** Outcome summary delivered with the access completion. */
+struct AccessInfo
+{
+    bool faulted = false;     ///< Any miss handling happened.
+    bool hwHandled = false;   ///< Handled by the SMU without the OS.
+    Tick latency = 0;         ///< Total access latency.
+};
+
+class Mmu : public sim::SimObject
+{
+  public:
+    Mmu(std::string name, sim::EventQueue &eq, unsigned logical_core,
+        mem::CacheHierarchy &caches, os::Kernel &kernel,
+        Tick cycle_period);
+
+    /**
+     * Register the SMU responsible for socket @p sid (PTEs carry the
+     * socket id of their home SMU).
+     */
+    void attachSmu(unsigned sid, PageMissHandlerIface *smu);
+
+    /**
+     * Long-latency remedy (Section V): when a hardware miss stalls
+     * the pipeline longer than this, raise a timeout exception and
+     * context-switch; the completion wakes the thread. 0 disables.
+     */
+    void setStallTimeout(Tick t) { stallTimeout = t; }
+    Tick stallTimeoutTicks() const { return stallTimeout; }
+
+    std::uint64_t stallTimeouts() const { return statTimeout.value(); }
+
+    /**
+     * Perform a user memory access on behalf of thread @p t.
+     * @p done fires when the data is available.
+     */
+    void access(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+                bool is_write, std::function<void(AccessInfo)> done);
+
+    Tlb &tlb() { return tlbUnit; }
+    Walker &walker() { return walkUnit; }
+
+    std::uint64_t hwMisses() const { return statHwMiss.value(); }
+    std::uint64_t osFaults() const { return statOsFault.value(); }
+    std::uint64_t smuRejections() const { return statSmuReject.value(); }
+
+  private:
+    unsigned core;
+    unsigned physCore;
+    mem::CacheHierarchy &caches;
+    os::Kernel &kernel;
+    Tick period;
+    Tick stallTimeout = 0;
+    Tlb tlbUnit;
+    Walker walkUnit;
+    std::vector<PageMissHandlerIface *> smus; // by socket id
+
+    sim::Counter &statAccesses;
+    sim::Counter &statHwMiss;
+    sim::Counter &statOsFault;
+    sim::Counter &statSmuReject;
+    sim::Counter &statTimeout;
+
+    void doAccess(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+                  bool is_write, Tick start, AccessInfo info,
+                  unsigned attempts, std::function<void(AccessInfo)> done);
+
+    /** Data access through the hierarchy once translated. */
+    Tick dataAccess(VAddr vaddr, Pfn pfn, bool is_write);
+};
+
+} // namespace hwdp::cpu
+
+#endif // HWDP_CPU_MMU_HH

@@ -1,0 +1,208 @@
+#include "cpu/thread_context.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hwdp::cpu {
+
+ThreadContext::ThreadContext(std::string name, unsigned core,
+                             os::Kernel &kernel, Mmu &mmu,
+                             mem::CacheHierarchy &caches,
+                             mem::BranchPredictor &bp,
+                             os::AddressSpace &as,
+                             workloads::Workload &workload,
+                             const CoreParams &params, sim::Rng rng)
+    : os::Thread(std::move(name), core), kernel(kernel), mmuRef(mmu),
+      caches(caches), bp(bp), as(as), workload(workload), prm(params),
+      rng(rng), physCore(kernel.scheduler().physCoreOf(core)),
+      memLat("mem_latency_us", "per-access latency (us)", 0.5, 400),
+      faultedOpLat("faulted_op_latency_us",
+                   "app-op latency when a page miss occurred (us)", 0.5,
+                   400)
+{
+}
+
+void
+ThreadContext::run()
+{
+    if (!startedFlag) {
+        startedFlag = true;
+        started = kernel.now();
+    }
+    if (hasResumeAction()) {
+        takeResumeAction()();
+        return;
+    }
+    nextOp();
+}
+
+void
+ThreadContext::nextOp()
+{
+    if (isDone)
+        return;
+
+    // Operation boundary: let pending interrupt work run (it borrows
+    // this context, no full context switch).
+    if (kernel.scheduler().kernelWorkPending(core())) {
+        setResumeAction([this] { nextOp(); });
+        kernel.scheduler().preemptForKernelWork(this);
+        return;
+    }
+
+    workloads::Op op = workload.next(rng);
+    if (!appOpOpen && op.kind != workloads::Op::Kind::done) {
+        appOpOpen = true;
+        appOpFaulted = false;
+        appOpStart = kernel.now();
+    }
+    switch (op.kind) {
+      case workloads::Op::Kind::compute:
+        execCompute(op.compute, [this, op] { completeOp(op); });
+        return;
+
+      case workloads::Op::Kind::mem: {
+        Tick start = kernel.now();
+        ++nMemOps;
+        mmuRef.access(*this, as, op.addr, op.write,
+                      [this, op, start](AccessInfo info) {
+                          memLat.sample(toMicroseconds(info.latency));
+                          if (info.faulted) {
+                              appOpFaulted = true;
+                              ++nFaulted;
+                              faultStall += kernel.now() - start;
+                              if (info.hwHandled)
+                                  ++nHwHandled;
+                          } else {
+                              uCycles += info.latency / prm.cyclePeriod;
+                              mCycles += info.latency / prm.cyclePeriod;
+                          }
+                          completeOp(op);
+                      });
+        return;
+      }
+
+      case workloads::Op::Kind::fileWrite:
+        kernel.writeFile(*this, *op.file, op.pageIndex, op.bytes,
+                         [this, op] { completeOp(op); });
+        return;
+
+      case workloads::Op::Kind::msync:
+        kernel.msyncVma(*this, op.vma, [this, op] { completeOp(op); });
+        return;
+
+      case workloads::Op::Kind::idle:
+        kernel.eventQueue().scheduleLambdaIn(
+            op.idleTicks, [this, op] { completeOp(op); }, "tc.idle");
+        return;
+
+      case workloads::Op::Kind::done:
+        isDone = true;
+        finished = kernel.now();
+        kernel.scheduler().finish(this);
+        if (onFinished)
+            onFinished();
+        return;
+    }
+    panic("thread '", name(), "': unhandled op kind");
+}
+
+void
+ThreadContext::completeOp(const workloads::Op &op)
+{
+    if (op.endsAppOp) {
+        ++nAppOps;
+        if (appOpFaulted)
+            faultedOpLat.sample(toMicroseconds(kernel.now() -
+                                               appOpStart));
+        appOpOpen = false;
+    }
+    nextOp();
+}
+
+void
+ThreadContext::execCompute(const workloads::ComputeSpec &spec,
+                           std::function<void()> done)
+{
+    // Issue-slot share depends on what the SMT sibling is doing right
+    // now (sampled at burst start; bursts are short).
+    double share = kernel.scheduler().widthShare(core());
+
+    Cycles extra = 0;
+    Cycles data_stall = 0;
+
+    // Data references: mostly the hot set, occasionally the cold
+    // region (two-level working-set model).
+    auto n_refs = static_cast<std::uint64_t>(
+        static_cast<double>(spec.instructions) * spec.memRefFrac);
+    for (std::uint64_t i = 0; i < n_refs; ++i) {
+        VAddr a;
+        if (spec.coldBytes > 0 && rng.chance(spec.coldFrac)) {
+            a = spec.hotBase + spec.hotBytes +
+                (rng.range(spec.coldBytes) & ~7ULL);
+        } else {
+            a = spec.hotBase + (rng.range(spec.hotBytes) & ~7ULL);
+        }
+        auto r = caches.access(physCore, a, false, ExecMode::user);
+        if (r.latency > prm.l1HitLatency)
+            data_stall += r.latency - prm.l1HitLatency;
+    }
+    // Overlapped misses (memory-level parallelism) hide part of the
+    // data-stall cycles.
+    extra += static_cast<Cycles>(static_cast<double>(data_stall) /
+                                 std::max(spec.mlp, 1.0));
+
+    // Instruction fetch: one line per 16 instructions, streaming over
+    // the text footprint.
+    std::uint64_t n_lines = spec.instructions / 16 + 1;
+    std::uint64_t text_lines = std::max<std::uint64_t>(
+        spec.textBytes / lineSize, 1);
+    for (std::uint64_t i = 0; i < n_lines; ++i) {
+        VAddr a = spec.textBase + ((fetchSeq + i) % text_lines) * lineSize;
+        auto r = caches.access(physCore, a, true, ExecMode::user);
+        if (r.latency > prm.l1HitLatency)
+            extra += r.latency - prm.l1HitLatency;
+    }
+    // Cold-path fetches (rare branches, library calls) from a 1 MB
+    // region: the workload's intrinsic L1I miss floor.
+    for (std::uint32_t i = 0; i < spec.icacheColdLines; ++i) {
+        VAddr a = spec.textBase + 0x100'0000 +
+                  ((fetchSeq * 13 + i * 67) % 16384) * lineSize;
+        auto r = caches.access(physCore, a, true, ExecMode::user);
+        if (r.latency > prm.l1HitLatency)
+            extra += r.latency - prm.l1HitLatency;
+    }
+    fetchSeq += n_lines;
+
+    // Branches through the shared predictor. Per-site outcomes are
+    // strongly biased (branchBias = taken probability), so the
+    // baseline misprediction rate is ~(1 - bias) and kernel pollution
+    // of the history register / pattern table shows up as extra
+    // mispredictions after each OS entry.
+    auto n_br = static_cast<std::uint64_t>(
+        static_cast<double>(spec.instructions) * spec.branchFrac);
+    std::uint64_t mispred = 0;
+    for (std::uint64_t i = 0; i < n_br; ++i) {
+        std::uint64_t site = rng.range(spec.staticBranches);
+        std::uint64_t pc = spec.textBase + site * 16;
+        bool taken = rng.chance(spec.branchBias);
+        if (!bp.predictAndUpdate(pc, taken, ExecMode::user))
+            ++mispred;
+    }
+
+    auto base = static_cast<Cycles>(
+        static_cast<double>(spec.instructions) * prm.baseCpi);
+    Cycles cycles = base + extra + mispred * prm.mispredPenalty;
+    auto duration = static_cast<Tick>(
+        static_cast<double>(cycles * prm.cyclePeriod) / share);
+
+    uInstr += spec.instructions;
+    uCycles += duration / prm.cyclePeriod; // wall cycles in user mode
+    cCycles += duration / prm.cyclePeriod;
+
+    kernel.eventQueue().scheduleLambdaIn(duration, std::move(done),
+                                         "tc.compute");
+}
+
+} // namespace hwdp::cpu

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A hardware thread executing a workload.
+ *
+ * The ThreadContext pulls operations from its workload and executes
+ * them against the machine: compute bursts run real references through
+ * the cache hierarchy and branch predictor (so OS pollution is felt),
+ * memory accesses go through the MMU (TLB, walker, demand paging),
+ * file writes go through the kernel's syscall path. User-mode
+ * instruction/cycle accounting follows the PMU convention the paper
+ * uses: fault-resolution time is not user time.
+ */
+
+#ifndef HWDP_CPU_THREAD_CONTEXT_HH
+#define HWDP_CPU_THREAD_CONTEXT_HH
+
+#include <array>
+#include <functional>
+
+#include "cpu/mmu.hh"
+#include "os/kernel.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace hwdp::cpu {
+
+struct CoreParams
+{
+    Tick cyclePeriod = 357;   ///< 2.8 GHz.
+    double baseCpi = 0.45;    ///< CPI with all-hit caches.
+    Cycles mispredPenalty = 15;
+    Cycles l1HitLatency = 4;  ///< Folded into baseCpi.
+};
+
+class ThreadContext : public os::Thread
+{
+  public:
+    ThreadContext(std::string name, unsigned core, os::Kernel &kernel,
+                  Mmu &mmu, mem::CacheHierarchy &caches,
+                  mem::BranchPredictor &bp, os::AddressSpace &as,
+                  workloads::Workload &workload, const CoreParams &params,
+                  sim::Rng rng);
+
+    void run() override;
+
+    /** Invoked once the workload yields its done op. */
+    void setOnFinished(std::function<void()> fn)
+    {
+        onFinished = std::move(fn);
+    }
+
+    os::AddressSpace &addressSpace() { return as; }
+    Mmu &mmu() { return mmuRef; }
+
+    // ---- Measurements ---------------------------------------------------
+    std::uint64_t userInstructions() const { return uInstr; }
+    Cycles userCycles() const { return uCycles; }
+    Cycles computeCycles() const { return cCycles; }
+    Cycles memStallCycles() const { return mCycles; }
+    double userIpc() const
+    {
+        return uCycles ? static_cast<double>(uInstr) /
+                             static_cast<double>(uCycles)
+                       : 0.0;
+    }
+
+    std::uint64_t appOps() const { return nAppOps; }
+    std::uint64_t memOps() const { return nMemOps; }
+    std::uint64_t faultedOps() const { return nFaulted; }
+    std::uint64_t hwHandledOps() const { return nHwHandled; }
+
+    /** Wall time spent resolving page misses (any flavour). */
+    Tick faultStallTicks() const { return faultStall; }
+
+    Tick startTick() const { return started; }
+    Tick finishTick() const { return finished; }
+    bool done() const { return isDone; }
+
+    /** Per-access latency distribution. */
+    sim::Histogram &memLatencyUs() { return memLat; }
+
+    /**
+     * Application-op latency (first sub-op start to endsAppOp
+     * completion) for ops that included a page miss — FIO's reported
+     * per-4KB-read latency including its engine loop and data copy.
+     */
+    sim::Histogram &faultedOpLatencyUs() { return faultedOpLat; }
+
+  private:
+    os::Kernel &kernel;
+    Mmu &mmuRef;
+    mem::CacheHierarchy &caches;
+    mem::BranchPredictor &bp;
+    os::AddressSpace &as;
+    workloads::Workload &workload;
+    CoreParams prm;
+    sim::Rng rng;
+    unsigned physCore;
+
+    std::function<void()> onFinished;
+
+    std::uint64_t uInstr = 0;
+    Cycles uCycles = 0;
+    Cycles cCycles = 0;
+    Cycles mCycles = 0;
+    std::uint64_t nAppOps = 0;
+    std::uint64_t nMemOps = 0;
+    std::uint64_t nFaulted = 0;
+    std::uint64_t nHwHandled = 0;
+    Tick faultStall = 0;
+    Tick started = 0;
+    Tick finished = 0;
+    bool isDone = false;
+    bool startedFlag = false;
+    std::uint64_t fetchSeq = 0;
+
+    sim::Histogram memLat;
+    sim::Histogram faultedOpLat;
+    Tick appOpStart = 0;
+    bool appOpFaulted = false;
+    bool appOpOpen = false;
+
+    void nextOp();
+    void completeOp(const workloads::Op &op);
+    void execCompute(const workloads::ComputeSpec &spec,
+                     std::function<void()> done);
+};
+
+} // namespace hwdp::cpu
+
+#endif // HWDP_CPU_THREAD_CONTEXT_HH

@@ -1,0 +1,130 @@
+#include "cpu/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::cpu {
+
+Tlb::Tlb(unsigned l1_entries, unsigned l2_entries, unsigned l2_assoc)
+    : l1Cap(l1_entries), l2Assoc(l2_assoc)
+{
+    if (l1_entries == 0 || l2_entries == 0 || l2_assoc == 0 ||
+        l2_entries % l2_assoc != 0)
+        fatal("tlb: bad geometry");
+    l2Sets = l2_entries / l2_assoc;
+    l2.resize(l2_entries);
+}
+
+Tlb::Result
+Tlb::lookup(VAddr vaddr)
+{
+    ++nLookups;
+    std::uint64_t vpn = vaddr >> pageShift;
+
+    Result r;
+    auto it = l1Map.find(vpn);
+    if (it != l1Map.end()) {
+        l1Order.splice(l1Order.begin(), l1Order, it->second.second);
+        r.hit = true;
+        r.l1Hit = true;
+        r.pfn = it->second.first;
+        return r;
+    }
+    ++nL1Miss;
+
+    if (L2Entry *e = l2Find(vpn)) {
+        e->lastUse = ++useClock;
+        l1Insert(vpn, e->pfn);
+        r.hit = true;
+        r.pfn = e->pfn;
+        return r;
+    }
+    ++nMiss;
+    return r;
+}
+
+void
+Tlb::l1Insert(std::uint64_t vpn, Pfn pfn)
+{
+    auto it = l1Map.find(vpn);
+    if (it != l1Map.end()) {
+        it->second.first = pfn;
+        l1Order.splice(l1Order.begin(), l1Order, it->second.second);
+        return;
+    }
+    if (l1Map.size() >= l1Cap) {
+        std::uint64_t victim = l1Order.back();
+        l1Order.pop_back();
+        l1Map.erase(victim);
+    }
+    l1Order.push_front(vpn);
+    l1Map[vpn] = {pfn, l1Order.begin()};
+}
+
+Tlb::L2Entry *
+Tlb::l2Find(std::uint64_t vpn)
+{
+    std::uint64_t set = vpn % l2Sets;
+    L2Entry *base = &l2[set * l2Assoc];
+    for (unsigned w = 0; w < l2Assoc; ++w) {
+        if (base[w].valid && base[w].vpn == vpn)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+void
+Tlb::l2Insert(std::uint64_t vpn, Pfn pfn)
+{
+    std::uint64_t set = vpn % l2Sets;
+    L2Entry *base = &l2[set * l2Assoc];
+    L2Entry *victim = base;
+    for (unsigned w = 0; w < l2Assoc; ++w) {
+        L2Entry &e = base[w];
+        if (e.valid && e.vpn == vpn) {
+            e.pfn = pfn;
+            e.lastUse = ++useClock;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->pfn = pfn;
+    victim->lastUse = ++useClock;
+}
+
+void
+Tlb::insert(VAddr vaddr, Pfn pfn)
+{
+    std::uint64_t vpn = vaddr >> pageShift;
+    l1Insert(vpn, pfn);
+    l2Insert(vpn, pfn);
+}
+
+void
+Tlb::invalidate(VAddr vaddr)
+{
+    std::uint64_t vpn = vaddr >> pageShift;
+    auto it = l1Map.find(vpn);
+    if (it != l1Map.end()) {
+        l1Order.erase(it->second.second);
+        l1Map.erase(it);
+    }
+    if (L2Entry *e = l2Find(vpn))
+        e->valid = false;
+}
+
+void
+Tlb::flush()
+{
+    l1Map.clear();
+    l1Order.clear();
+    for (L2Entry &e : l2)
+        e.valid = false;
+}
+
+} // namespace hwdp::cpu

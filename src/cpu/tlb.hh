@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Two-level TLB model (per logical core).
+ *
+ * Geometry approximates the evaluation machine: a 64-entry
+ * fully-associative L1 DTLB in front of a 1536-entry 8-way L2 STLB.
+ * Only 4 KB translations are modelled (Section V: huge pages are not
+ * a first-class feature of the design).
+ */
+
+#ifndef HWDP_CPU_TLB_HH
+#define HWDP_CPU_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hwdp::cpu {
+
+class Tlb
+{
+  public:
+    struct Result
+    {
+        bool hit = false;      ///< Hit in either level.
+        bool l1Hit = false;
+        Pfn pfn = 0;
+    };
+
+    Tlb(unsigned l1_entries = 64, unsigned l2_entries = 1536,
+        unsigned l2_assoc = 8);
+
+    Result lookup(VAddr vaddr);
+
+    /** Install a translation in both levels. */
+    void insert(VAddr vaddr, Pfn pfn);
+
+    /** Shoot down one translation (both levels). */
+    void invalidate(VAddr vaddr);
+
+    /** Full flush (context switch between address spaces). */
+    void flush();
+
+    std::uint64_t lookups() const { return nLookups; }
+    std::uint64_t l1Misses() const { return nL1Miss; }
+    std::uint64_t misses() const { return nMiss; }
+
+  private:
+    unsigned l1Cap;
+    unsigned l2Assoc;
+    unsigned l2Sets;
+
+    /** L1: fully associative with LRU via list + map. */
+    std::list<std::uint64_t> l1Order; // front = MRU, holds VPNs
+    std::unordered_map<std::uint64_t,
+                       std::pair<Pfn, std::list<std::uint64_t>::iterator>>
+        l1Map;
+
+    struct L2Entry
+    {
+        std::uint64_t vpn = 0;
+        Pfn pfn = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+    std::vector<L2Entry> l2;
+    std::uint64_t useClock = 0;
+
+    std::uint64_t nLookups = 0;
+    std::uint64_t nL1Miss = 0;
+    std::uint64_t nMiss = 0;
+
+    void l1Insert(std::uint64_t vpn, Pfn pfn);
+    L2Entry *l2Find(std::uint64_t vpn);
+    void l2Insert(std::uint64_t vpn, Pfn pfn);
+};
+
+} // namespace hwdp::cpu
+
+#endif // HWDP_CPU_TLB_HH

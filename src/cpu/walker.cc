@@ -1,0 +1,53 @@
+#include "cpu/walker.hh"
+
+namespace hwdp::cpu {
+
+Walker::Walker(mem::CacheHierarchy &caches, unsigned phys_core,
+               Tick cycle_period)
+    : caches(caches), physCore(phys_core), period(cycle_period)
+{
+}
+
+Walker::Outcome
+Walker::walk(os::AddressSpace &as, VAddr vaddr)
+{
+    ++nWalks;
+    Outcome out;
+
+    os::WalkRefs refs = as.pageTable().walkRefs(vaddr, false);
+    out.refs = refs;
+
+    // Root access (PGD entry) is effectively always cached; charge the
+    // three lower-level entry reads through the hierarchy. Walker
+    // traffic is attributed to user mode: it exists identically under
+    // OSDP and HWDP and is not OS pollution.
+    Cycles cycles = 0;
+    for (const os::EntryRef *r : {&refs.pud, &refs.pmd, &refs.pte}) {
+        if (!r->valid())
+            break;
+        cycles += caches.access(physCore, r->addr, false,
+                                ExecMode::user).latency;
+    }
+    out.latency = cycles * period;
+
+    if (!refs.pte.valid()) {
+        out.kind = Classification::osFault;
+        return out;
+    }
+
+    os::pte::Entry e = refs.pte.value();
+    out.entry = e;
+    if (os::pte::isPresent(e)) {
+        // Hardware A-bit update on translation.
+        if (!os::pte::isAccessed(e))
+            refs.pte.write(e | os::pte::accessedBit);
+        out.kind = Classification::present;
+    } else if (os::pte::hasLbaBit(e)) {
+        out.kind = Classification::hwMiss;
+    } else {
+        out.kind = Classification::osFault;
+    }
+    return out;
+}
+
+} // namespace hwdp::cpu

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Hardware page-table walker, extended for LBA-augmented PTEs.
+ *
+ * On a TLB miss the walker reads the four levels of the tree through
+ * the cache hierarchy. The extension (Section III-B): when the leaf
+ * PTE has present=0 and LBA=1 the walker does not raise an exception —
+ * it classifies the access as a hardware-handled page miss and hands
+ * the MMU the three entry references plus the <SID, device, LBA>
+ * triple the SMU request needs.
+ */
+
+#ifndef HWDP_CPU_WALKER_HH
+#define HWDP_CPU_WALKER_HH
+
+#include "mem/cache_hierarchy.hh"
+#include "os/page_table.hh"
+#include "os/vma.hh"
+#include "sim/types.hh"
+
+namespace hwdp::cpu {
+
+class Walker
+{
+  public:
+    enum class Classification {
+        present,  ///< Translation available; PTE returned.
+        osFault,  ///< present=0, LBA=0: raise an exception.
+        hwMiss,   ///< present=0, LBA=1: send to the SMU.
+    };
+
+    struct Outcome
+    {
+        Classification kind = Classification::osFault;
+        Tick latency = 0;        ///< Walk latency (cache accesses).
+        os::pte::Entry entry = 0;
+        os::WalkRefs refs;       ///< Valid for present/hwMiss.
+    };
+
+    Walker(mem::CacheHierarchy &caches, unsigned phys_core,
+           Tick cycle_period);
+
+    /**
+     * Walk the tree for @p vaddr, charging cache accesses. Sets the
+     * accessed bit on a present PTE (the hardware A-bit update).
+     */
+    Outcome walk(os::AddressSpace &as, VAddr vaddr);
+
+    std::uint64_t walks() const { return nWalks; }
+
+  private:
+    mem::CacheHierarchy &caches;
+    unsigned physCore;
+    Tick period;
+    std::uint64_t nWalks = 0;
+};
+
+} // namespace hwdp::cpu
+
+#endif // HWDP_CPU_WALKER_HH

@@ -1,0 +1,78 @@
+#include "mem/branch_predictor.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::mem {
+
+BranchPredictor::BranchPredictor(unsigned history_bits)
+    : historyBits(history_bits)
+{
+    if (history_bits == 0 || history_bits > 24)
+        fatal("branch predictor: unreasonable history length ",
+              history_bits);
+    historyMask = (1ULL << historyBits) - 1;
+    pht.assign(std::size_t(1) << historyBits, 1); // weakly not-taken
+}
+
+std::uint64_t
+BranchPredictor::index(std::uint64_t pc) const
+{
+    // Classic gshare: XOR the branch address (sans byte offset) with
+    // the global history register.
+    return ((pc >> 2) ^ ghr) & historyMask;
+}
+
+bool
+BranchPredictor::predictAndUpdate(std::uint64_t pc, bool taken,
+                                  ExecMode mode)
+{
+    std::uint64_t idx = index(pc);
+    std::uint8_t &ctr = pht[idx];
+    bool predicted_taken = ctr >= 2;
+    bool correct = predicted_taken == taken;
+
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    ghr = ((ghr << 1) | (taken ? 1 : 0)) & historyMask;
+
+    auto m = static_cast<unsigned>(mode);
+    ++nLookups[m];
+    if (!correct)
+        ++nMiss[m];
+    return correct;
+}
+
+std::uint64_t
+BranchPredictor::lookups(ExecMode mode) const
+{
+    return nLookups[static_cast<unsigned>(mode)];
+}
+
+std::uint64_t
+BranchPredictor::mispredicts(ExecMode mode) const
+{
+    return nMiss[static_cast<unsigned>(mode)];
+}
+
+double
+BranchPredictor::missRate(ExecMode mode) const
+{
+    auto m = static_cast<unsigned>(mode);
+    return nLookups[m]
+               ? static_cast<double>(nMiss[m]) /
+                     static_cast<double>(nLookups[m])
+               : 0.0;
+}
+
+void
+BranchPredictor::reset()
+{
+    ghr = 0;
+    std::fill(pht.begin(), pht.end(), 1);
+    nLookups[0] = nLookups[1] = 0;
+    nMiss[0] = nMiss[1] = 0;
+}
+
+} // namespace hwdp::mem

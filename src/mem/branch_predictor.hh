@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Gshare branch predictor with a BTB-less interface.
+ *
+ * Kernel entries on every page fault execute thousands of kernel
+ * branches, shifting the global history and retraining pattern-table
+ * counters away from the user application's branches — one of the
+ * "hidden costs" the paper attributes to OS-based demand paging. The
+ * model keeps user/kernel accuracy separately so that cost is visible.
+ */
+
+#ifndef HWDP_MEM_BRANCH_PREDICTOR_HH
+#define HWDP_MEM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hwdp::mem {
+
+class BranchPredictor
+{
+  public:
+    /**
+     * @param history_bits Global-history length; the pattern table has
+     *                     2^history_bits two-bit counters.
+     */
+    explicit BranchPredictor(unsigned history_bits = 14);
+
+    /**
+     * Predict the branch at @p pc, then update with the actual
+     * @p taken outcome.
+     * @return true when the prediction was correct.
+     */
+    bool predictAndUpdate(std::uint64_t pc, bool taken, ExecMode mode);
+
+    std::uint64_t lookups(ExecMode mode) const;
+    std::uint64_t mispredicts(ExecMode mode) const;
+
+    /** Fraction of mispredicted branches in @p mode. */
+    double missRate(ExecMode mode) const;
+
+    /** Reset tables and counters. */
+    void reset();
+
+  private:
+    unsigned historyBits;
+    std::uint64_t historyMask;
+    std::uint64_t ghr = 0;
+    std::vector<std::uint8_t> pht; // 2-bit saturating counters
+
+    std::uint64_t nLookups[2] = {0, 0};
+    std::uint64_t nMiss[2] = {0, 0};
+
+    std::uint64_t index(std::uint64_t pc) const;
+};
+
+} // namespace hwdp::mem
+
+#endif // HWDP_MEM_BRANCH_PREDICTOR_HH

@@ -1,0 +1,114 @@
+#include "mem/cache_array.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace hwdp::mem {
+
+CacheArray::CacheArray(std::string name, std::uint64_t size_bytes,
+                       unsigned assoc, unsigned line_bytes)
+    : label(std::move(name)), bytes(size_bytes), ways(assoc),
+      line(line_bytes)
+{
+    if (assoc == 0 || line_bytes == 0 || size_bytes == 0)
+        fatal("cache '", label, "': degenerate geometry");
+    if (!std::has_single_bit(static_cast<std::uint64_t>(line_bytes)))
+        fatal("cache '", label, "': line size must be a power of two");
+    std::uint64_t n_lines = size_bytes / line_bytes;
+    if (n_lines % assoc != 0)
+        fatal("cache '", label, "': size not divisible by assoc * line");
+    sets = static_cast<unsigned>(n_lines / assoc);
+    if (!std::has_single_bit(static_cast<std::uint64_t>(sets)))
+        fatal("cache '", label, "': set count must be a power of two");
+    lineShiftBits = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint64_t>(line_bytes)));
+    entries.resize(static_cast<std::size_t>(sets) * ways);
+}
+
+std::uint64_t
+CacheArray::setIndex(std::uint64_t addr) const
+{
+    return (addr >> lineShiftBits) & (sets - 1);
+}
+
+std::uint64_t
+CacheArray::tagOf(std::uint64_t addr) const
+{
+    return addr >> lineShiftBits;
+}
+
+bool
+CacheArray::access(std::uint64_t addr)
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    Way *base = &entries[set * ways];
+    ++useClock;
+
+    Way *victim = base;
+    for (unsigned w = 0; w < ways; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock;
+            ++hits;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way; // prefer an invalid way
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    ++misses;
+    return false;
+}
+
+bool
+CacheArray::probe(std::uint64_t addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    const Way *base = &entries[set * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+CacheArray::invalidate(std::uint64_t addr)
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    Way *base = &entries[set * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+CacheArray::flush()
+{
+    for (Way &w : entries)
+        w.valid = false;
+}
+
+std::uint64_t
+CacheArray::occupancy() const
+{
+    std::uint64_t n = 0;
+    for (const Way &w : entries)
+        n += w.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace hwdp::mem

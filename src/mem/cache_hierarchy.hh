@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Three-level cache hierarchy with a shared LLC.
+ *
+ * Geometry defaults follow the evaluation machine (Xeon E5-2640 v3):
+ * 32 KB L1I + 32 KB L1D and 256 KB L2 per physical core, 20 MB shared
+ * LLC. Accesses return the service latency in core cycles and record
+ * per-privilege-mode hit/miss counters for the pollution figures.
+ */
+
+#ifndef HWDP_MEM_CACHE_HIERARCHY_HH
+#define HWDP_MEM_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "sim/types.hh"
+
+namespace hwdp::mem {
+
+/** Tunable geometry and latency parameters. */
+struct CacheParams
+{
+    std::uint64_t l1iBytes = 32 * 1024;
+    unsigned l1iAssoc = 8;
+    std::uint64_t l1dBytes = 32 * 1024;
+    unsigned l1dAssoc = 8;
+    std::uint64_t l2Bytes = 256 * 1024;
+    unsigned l2Assoc = 8;
+    std::uint64_t llcBytes = 20 * 1024 * 1024;
+    unsigned llcAssoc = 20;
+
+    Cycles l1Latency = 4;
+    Cycles l2Latency = 12;
+    Cycles llcLatency = 42;
+    Cycles dramLatency = 230;
+};
+
+/** Outcome of one hierarchy access. */
+struct CacheAccessResult
+{
+    Cycles latency = 0;
+    bool l1Miss = false;
+    bool l2Miss = false;
+    bool llcMiss = false;
+};
+
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(unsigned n_cores, const CacheParams &params);
+
+    /**
+     * Access one line.
+     * @param core    Physical core index (selects private caches).
+     * @param addr    Byte address; only the line address matters.
+     * @param is_inst True for instruction fetch (uses the L1I).
+     * @param mode    Privilege mode for attribution.
+     */
+    CacheAccessResult access(unsigned core, std::uint64_t addr,
+                             bool is_inst, ExecMode mode);
+
+    /** Per-mode miss counters (for Figures 4 and 14). */
+    struct ModeCounters
+    {
+        std::uint64_t l1iAccesses = 0, l1iMisses = 0;
+        std::uint64_t l1dAccesses = 0, l1dMisses = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t llcMisses = 0;
+    };
+
+    const ModeCounters &counters(ExecMode mode) const
+    {
+        return modeCtrs[static_cast<unsigned>(mode)];
+    }
+
+    void resetCounters();
+
+    const CacheParams &params() const { return prm; }
+    unsigned numCores() const { return static_cast<unsigned>(l1d.size()); }
+
+    CacheArray &llcArray() { return *llc; }
+
+  private:
+    CacheParams prm;
+    std::vector<std::unique_ptr<CacheArray>> l1i;
+    std::vector<std::unique_ptr<CacheArray>> l1d;
+    std::vector<std::unique_ptr<CacheArray>> l2;
+    std::unique_ptr<CacheArray> llc;
+    ModeCounters modeCtrs[2];
+};
+
+} // namespace hwdp::mem
+
+#endif // HWDP_MEM_CACHE_HIERARCHY_HH

@@ -1,0 +1,58 @@
+#include "mem/phys_mem.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::mem {
+
+PhysMem::PhysMem(sim::EventQueue &eq, std::uint64_t n_frames,
+                 std::uint64_t reserved)
+    : sim::SimObject("physmem", eq), nFrames(n_frames),
+      reservedFrames(reserved), allocated(n_frames, false),
+      allocs(stats().counter("allocs", "frames allocated")),
+      frees(stats().counter("frees", "frames freed")),
+      failedAllocs(stats().counter("failed_allocs",
+                                   "allocations that found no free frame"))
+{
+    if (reserved >= n_frames)
+        fatal("physmem: reserved (", reserved, ") >= total frames (",
+              n_frames, ")");
+    freeList.reserve(n_frames - reserved);
+    // Hand out low frame numbers first (reserved frames are the
+    // highest-numbered ones) so tests get predictable PFNs.
+    for (std::uint64_t pfn = n_frames - reserved; pfn-- > 0;)
+        freeList.push_back(pfn);
+}
+
+Pfn
+PhysMem::alloc()
+{
+    if (freeList.empty()) {
+        ++failedAllocs;
+        return invalidPfn;
+    }
+    Pfn pfn = freeList.back();
+    freeList.pop_back();
+    allocated[pfn] = true;
+    ++allocs;
+    return pfn;
+}
+
+void
+PhysMem::free(Pfn pfn)
+{
+    if (pfn >= nFrames)
+        panic("physmem: freeing out-of-range pfn ", pfn);
+    if (!allocated[pfn])
+        panic("physmem: double free of pfn ", pfn);
+    allocated[pfn] = false;
+    freeList.push_back(pfn);
+    ++frees;
+}
+
+bool
+PhysMem::isAllocated(Pfn pfn) const
+{
+    return pfn < nFrames && allocated[pfn];
+}
+
+} // namespace hwdp::mem

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Physical memory frame pool.
+ *
+ * Models the machine's DRAM as a pool of 4 KB frames. Only frame
+ * accounting is simulated — page payloads never exist. The OS reclaim
+ * logic and the SMU free-page queue both draw from this pool, so the
+ * pool is the ground truth for "how much memory the machine has",
+ * which is what the paper's dataset:memory ratios control.
+ */
+
+#ifndef HWDP_MEM_PHYS_MEM_HH
+#define HWDP_MEM_PHYS_MEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace hwdp::mem {
+
+class PhysMem : public sim::SimObject
+{
+  public:
+    /** Sentinel for "no frame". */
+    static constexpr Pfn invalidPfn = ~Pfn(0);
+
+    /**
+     * @param n_frames Total number of 4 KB frames in the machine.
+     * @param reserved Frames set aside for the kernel image / fixed
+     *                 structures; never allocatable.
+     */
+    PhysMem(sim::EventQueue &eq, std::uint64_t n_frames,
+            std::uint64_t reserved = 0);
+
+    /** Allocate one frame; returns invalidPfn when exhausted. */
+    Pfn alloc();
+
+    /** Return a frame to the pool. @pre pfn was allocated. */
+    void free(Pfn pfn);
+
+    /** True when @p pfn is currently allocated. */
+    bool isAllocated(Pfn pfn) const;
+
+    std::uint64_t totalFrames() const { return nFrames; }
+    std::uint64_t freeFrames() const { return freeList.size(); }
+    std::uint64_t allocatedFrames() const
+    {
+        return nFrames - reservedFrames - freeList.size();
+    }
+    std::uint64_t reservedCount() const { return reservedFrames; }
+
+    /** Total bytes of allocatable memory. */
+    std::uint64_t capacityBytes() const
+    {
+        return (nFrames - reservedFrames) * pageSize;
+    }
+
+  private:
+    std::uint64_t nFrames;
+    std::uint64_t reservedFrames;
+    std::vector<Pfn> freeList;
+    std::vector<bool> allocated;
+
+    sim::Counter &allocs;
+    sim::Counter &frees;
+    sim::Counter &failedAllocs;
+};
+
+} // namespace hwdp::mem
+
+#endif // HWDP_MEM_PHYS_MEM_HH

@@ -1,0 +1,68 @@
+#include "metrics/area_model.hh"
+
+#include "core/nvme_host_controller.hh"
+#include "core/pmshr.hh"
+#include "sim/logging.hh"
+
+namespace hwdp::metrics {
+
+AreaModel::AreaModel(double tech_nm) : techNm(tech_nm)
+{
+    if (tech_nm <= 0.0)
+        fatal("area model: nonsense technology node");
+    scale = (tech_nm / 22.0) * (tech_nm / 22.0);
+}
+
+double
+AreaModel::camArea(unsigned entries, unsigned bits_per_entry,
+                   unsigned tag_bits) const
+{
+    double cells = static_cast<double>(entries) * bits_per_entry *
+                   camBitUm2;
+    double match = static_cast<double>(entries) * tag_bits *
+                   camMatchPortUm2PerTagBit;
+    return (cells + match) * scale / 1e6; // um^2 -> mm^2
+}
+
+double
+AreaModel::registerArea(unsigned bits) const
+{
+    return static_cast<double>(bits) * registerBitUm2 * scale / 1e6;
+}
+
+double
+AreaModel::sramArea(unsigned entries, unsigned bits_per_entry) const
+{
+    return static_cast<double>(entries) * bits_per_entry * sramBitUm2 *
+           scale / 1e6;
+}
+
+std::vector<AreaComponent>
+AreaModel::smuArea(unsigned pmshr_entries, unsigned devices,
+                   unsigned prefetch_entries) const
+{
+    std::vector<AreaComponent> v;
+    v.push_back({"pmshr",
+                 camArea(pmshr_entries, core::Pmshr::entryBits,
+                         pmshrTagBits)});
+    v.push_back({"nvme_descriptor_regs",
+                 registerArea(devices *
+                              core::NvmeHostController::descriptorBits)});
+    // Prefetch buffer entries: <PFN, DMA address> = 64 + 64 bits.
+    v.push_back({"prefetch_buffer", sramArea(prefetch_entries, 128)});
+    v.push_back({"misc_registers", registerArea(miscBits)});
+    return v;
+}
+
+double
+AreaModel::smuTotalMm2(unsigned pmshr_entries, unsigned devices,
+                       unsigned prefetch_entries) const
+{
+    double t = 0.0;
+    for (const auto &c : smuArea(pmshr_entries, devices,
+                                 prefetch_entries))
+        t += c.areaMm2;
+    return t;
+}
+
+} // namespace hwdp::metrics

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Aligned-table printing for the bench harness.
+ *
+ * Every figure/table bench prints its rows through this so the
+ * regenerated output looks uniform and is easy to diff against
+ * EXPERIMENTS.md.
+ */
+
+#ifndef HWDP_METRICS_REPORT_HH
+#define HWDP_METRICS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace hwdp::metrics {
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience for mixed numeric rows. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with aligned columns to stdout. */
+    void print() const;
+
+    /** Render to a string (tests use this). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> hdr;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a section banner for a figure/table reproduction. */
+void banner(const std::string &title, const std::string &subtitle = "");
+
+} // namespace hwdp::metrics
+
+#endif // HWDP_METRICS_REPORT_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * NVMe protocol data structures.
+ *
+ * Faithful-enough models of the 64-byte submission queue entry and the
+ * 16-byte completion queue entry, plus the queue-priority classes the
+ * paper leans on ("urgent priority" for SMU queues, Section V). A
+ * single 4 KB read needs no PRP list — one PRP entry suffices — which
+ * is exactly the subset the SMU's NVMe host controller implements.
+ */
+
+#ifndef HWDP_NVME_NVME_TYPES_HH
+#define HWDP_NVME_NVME_TYPES_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hwdp::nvme {
+
+/** NVM command set opcodes (the subset the simulator uses). */
+enum class Opcode : std::uint8_t {
+    flush = 0x00,
+    write = 0x01,
+    read = 0x02,
+};
+
+/** Queue arbitration priority (NVMe weighted round robin classes). */
+enum class Priority : std::uint8_t {
+    urgent = 0,
+    high = 1,
+    medium = 2,
+    low = 3,
+};
+
+/**
+ * Submission queue entry. Field names follow the specification; the
+ * command is 64 bytes on the wire and the model preserves the fields
+ * that influence timing and routing.
+ */
+struct SubmissionEntry
+{
+    Opcode opcode = Opcode::read;
+    std::uint16_t cid = 0;     ///< Command identifier (echoed in CQE).
+    std::uint32_t nsid = 1;    ///< Namespace (block device) id.
+    std::uint64_t prp1 = 0;    ///< DMA address of the data buffer.
+    std::uint64_t slba = 0;    ///< Starting LBA.
+    std::uint16_t nlb = 0;     ///< Number of logical blocks, 0-based.
+
+    static constexpr unsigned wireBytes = 64;
+};
+
+/** Completion queue entry (16 bytes on the wire). */
+struct CompletionEntry
+{
+    std::uint32_t commandSpecific = 0;
+    std::uint16_t sqHead = 0;  ///< How far the device consumed the SQ.
+    std::uint16_t sqid = 0;    ///< Submission queue the command came from.
+    std::uint16_t cid = 0;     ///< Command identifier.
+    bool phase = false;        ///< Phase tag toggles per CQ wrap.
+    std::uint16_t status = 0;  ///< 0 = success.
+
+    static constexpr unsigned wireBytes = 16;
+};
+
+} // namespace hwdp::nvme
+
+#endif // HWDP_NVME_NVME_TYPES_HH

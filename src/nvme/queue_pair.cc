@@ -1,0 +1,106 @@
+#include "nvme/queue_pair.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::nvme {
+
+QueuePair::QueuePair(std::uint16_t qid, std::uint16_t depth, PAddr sq_base,
+                     PAddr cq_base, Priority priority)
+    : id(qid), nEntries(depth), sqBaseAddr(sq_base), cqBaseAddr(cq_base),
+      prio(priority), sqRing(depth), cqRing(depth),
+      cqValidPhase(depth, false)
+{
+    if (depth == 0)
+        fatal("nvme queue pair ", qid, ": zero depth");
+}
+
+PAddr
+QueuePair::cqHeadAddr() const
+{
+    return cqBaseAddr + static_cast<PAddr>(cqHead) *
+                            CompletionEntry::wireBytes;
+}
+
+bool
+QueuePair::sqFull() const
+{
+    return sqCount == nEntries;
+}
+
+std::uint16_t
+QueuePair::sqOccupancy() const
+{
+    return sqCount;
+}
+
+bool
+QueuePair::pushSqe(const SubmissionEntry &sqe)
+{
+    if (sqFull())
+        return false;
+    sqRing[sqTail] = sqe;
+    sqTail = static_cast<std::uint16_t>((sqTail + 1) % nEntries);
+    ++sqCount;
+    return true;
+}
+
+bool
+QueuePair::sqEmpty() const
+{
+    return sqCount == 0;
+}
+
+SubmissionEntry
+QueuePair::popSqe()
+{
+    if (sqEmpty())
+        panic("nvme qp ", id, ": pop from empty SQ");
+    SubmissionEntry e = sqRing[sqHead];
+    sqHead = static_cast<std::uint16_t>((sqHead + 1) % nEntries);
+    --sqCount;
+    return e;
+}
+
+bool
+QueuePair::cqFull() const
+{
+    return cqCount == nEntries;
+}
+
+bool
+QueuePair::pushCqe(CompletionEntry cqe)
+{
+    if (cqFull())
+        return false;
+    cqe.phase = cqPhase;
+    cqe.sqHead = sqHead;
+    cqe.sqid = id;
+    cqRing[cqTail] = cqe;
+    cqValidPhase[cqTail] = cqPhase;
+    cqTail = static_cast<std::uint16_t>((cqTail + 1) % nEntries);
+    if (cqTail == 0)
+        cqPhase = !cqPhase; // wrapped: device flips its phase
+    ++cqCount;
+    return true;
+}
+
+bool
+QueuePair::cqHasWork() const
+{
+    return cqCount > 0 && cqValidPhase[cqHead] == hostPhase;
+}
+
+CompletionEntry
+QueuePair::popCqe()
+{
+    if (!cqHasWork())
+        panic("nvme qp ", id, ": pop from empty CQ");
+    CompletionEntry e = cqRing[cqHead];
+    cqHead = static_cast<std::uint16_t>((cqHead + 1) % nEntries);
+    if (cqHead == 0)
+        hostPhase = !hostPhase; // wrapped: host flips expected phase
+    --cqCount;
+    return e;
+}
+
+} // namespace hwdp::nvme

@@ -1,0 +1,227 @@
+#include "os/fault_handler.hh"
+
+#include "os/kernel.hh"
+#include "sim/logging.hh"
+
+namespace hwdp::os {
+
+FaultHandler::FaultHandler(Kernel &kernel) : k(kernel)
+{
+}
+
+void
+FaultHandler::handle(Thread &t, AddressSpace &as, VAddr vaddr,
+                     bool is_write, bool smu_fallback,
+                     std::function<void()> resume)
+{
+    auto c = std::make_shared<Ctx>();
+    c->t = &t;
+    c->as = &as;
+    c->vaddr = vaddr & ~pageOffsetMask;
+    c->write = is_write;
+    c->fallback = smu_fallback;
+    c->start = k.now();
+    c->resume = std::move(resume);
+    if (smu_fallback)
+        ++k.statSmuFallback;
+
+    k.scheduler().runPhases(t.core(), {&phases::exceptionEntry},
+                            [this, c] { afterEntry(c); });
+}
+
+void
+FaultHandler::afterEntry(CtxPtr c)
+{
+    // The SW-emulated SMU hooks in at the early fault stage
+    // (Section VI-A): when the PTE carries the LBA bit, a software
+    // SMU routine takes over and the normal path never runs.
+    if (k.interceptor && !c->fallback) {
+        pte::Entry e = c->as->pageTable().readPte(c->vaddr);
+        if (k.interceptor(*c->t, *c->as, c->vaddr, e, c->resume))
+            return;
+    }
+    k.scheduler().runPhases(c->t->core(), {&phases::vmaLookup},
+                            [this, c] { lookupVma(c); });
+}
+
+void
+FaultHandler::lookupVma(CtxPtr c)
+{
+    c->vma = c->as->findVma(c->vaddr);
+    if (!c->vma)
+        panic("page fault outside any VMA at ", c->vaddr,
+              " (workloads are expected to be well-behaved)");
+    if (!c->vma->file) {
+        anonFault(c);
+        return;
+    }
+
+    std::uint64_t idx = c->vma->fileIndexOf(c->vaddr);
+    Pfn cached = k.pageCache().lookup(*c->vma->file, idx);
+    if (cached != PageCache::noFrame) {
+        minorFault(c, cached);
+        return;
+    }
+    majorFault(c);
+}
+
+void
+FaultHandler::minorFault(CtxPtr c, Pfn cached)
+{
+    k.scheduler().runPhases(
+        c->t->core(), {&phases::minorFaultFill}, [this, c, cached] {
+            Page &pg = k.page(cached);
+            pte::Entry cur = c->as->pageTable().readPte(c->vaddr);
+            if (pte::isPresent(cur)) {
+                // A concurrent faulter on the same address resolved
+                // the PTE while we charged the fill phases.
+                pg.referenced = true;
+                finish(c, true);
+                return;
+            }
+            k.rmap().setMapping(pg, *c->as, c->vaddr);
+            c->as->pageTable().writePte(
+                c->vaddr, pte::makePresent(cached, c->vma->prot));
+            pg.referenced = true;
+            finish(c, true);
+        });
+}
+
+void
+FaultHandler::anonFault(CtxPtr c)
+{
+    // First-touch anonymous fault: allocate a zeroed frame and map it
+    // — a minor fault with the page-allocation cost, no I/O.
+    c->pfn = k.physMem().alloc();
+    if (c->pfn == mem::PhysMem::invalidPfn) {
+        if (++c->allocRetries > 200)
+            panic("anon fault: memory exhausted and unreclaimable");
+        k.reclaimer().directReclaim(
+            c->t->core(), LruLists::demoteBatch,
+            [this, c] { anonFault(c); });
+        return;
+    }
+    k.scheduler().runPhases(
+        c->t->core(), {&phases::pageAlloc, &phases::minorFaultFill},
+        [this, c] {
+            k.installPage(*c->as, *c->vma, c->vaddr, c->pfn, true);
+            if (c->write)
+                k.page(c->pfn).dirty = true;
+            finish(c, true);
+        });
+}
+
+void
+FaultHandler::majorFault(CtxPtr c)
+{
+    File &file = *c->vma->file;
+    std::uint64_t idx = c->vma->fileIndexOf(c->vaddr);
+    std::uint64_t key = (static_cast<std::uint64_t>(file.id()) << 40) |
+                        idx;
+    auto it = inflight.find(key);
+    if (it != inflight.end()) {
+        // Another thread is already reading this page: wait on it and
+        // retry the lookup (which will hit the page cache) once woken.
+        it->second.push_back(c);
+        c->t->setResumeAction([this, c] { lookupVma(c); });
+        k.scheduler().block(c->t);
+        return;
+    }
+    inflight.emplace(key, std::vector<CtxPtr>{});
+    allocateFrame(c);
+}
+
+void
+FaultHandler::allocateFrame(CtxPtr c)
+{
+    c->pfn = k.physMem().alloc();
+    if (c->pfn != mem::PhysMem::invalidPfn) {
+        k.scheduler().runPhases(c->t->core(),
+                                {&phases::pageAlloc, &phases::ioSubmit},
+                                [this, c] { submitIo(c); });
+        return;
+    }
+
+    // Direct reclaim: synchronous shrink on the faulting core, then
+    // retry. Dirty pages free asynchronously via writeback, so a few
+    // retries may be needed under write-heavy load.
+    if (++c->allocRetries > 200)
+        panic("direct reclaim cannot free memory: all pages dirty or "
+              "pinned (frames=", k.physMem().totalFrames(), ")");
+    k.reclaimer().directReclaim(
+        c->t->core(), LruLists::demoteBatch, [this, c] {
+            if (k.physMem().freeFrames() > 0) {
+                allocateFrame(c);
+            } else {
+                // Wait for in-flight writeback, then retry.
+                k.eventQueue().scheduleLambdaIn(
+                    microseconds(50.0), [this, c] { allocateFrame(c); },
+                    "fault.allocRetry");
+            }
+        });
+}
+
+void
+FaultHandler::submitIo(CtxPtr c)
+{
+    File &file = *c->vma->file;
+    std::uint64_t idx = c->vma->fileIndexOf(c->vaddr);
+    unsigned dev_idx = k.deviceIndexOf(file.device());
+    Lba lba = file.lbaOf(idx);
+    unsigned core = c->t->core();
+
+    // When the fault is an SMU fallback the queue ran dry: refill it
+    // overlapped with this very device I/O (Section IV-D / AIOS).
+    if (c->fallback && k.refillHook)
+        k.refillHook(core);
+
+    c->t->setResumeAction([this, c] { ioFinished(c); });
+    k.blockLayer().submit(core, dev_idx, lba, false,
+                          BlockLayer::IoClass::faultRead, [this, c] {
+                              // Completion phases (irq, block layer,
+                              // wakeup) have run as kernel work on the
+                              // submitting core; now wake the thread.
+                              k.scheduler().wake(c->t);
+                          });
+    k.scheduler().block(c->t);
+}
+
+void
+FaultHandler::ioFinished(CtxPtr c)
+{
+    // Running again in the faulting thread's context: the fault-return
+    // path updates OS metadata and the PTE, then returns to user.
+    k.scheduler().runPhases(
+        c->t->core(),
+        {&phases::metadataUpdate, &phases::pteUpdateReturn}, [this, c] {
+            Page &pg = k.page(c->pfn);
+            k.installPage(*c->as, *c->vma, c->vaddr, c->pfn, true);
+            if (c->write)
+                pg.dirty = true;
+
+            // Release threads that piled up on the same page.
+            std::uint64_t key =
+                (static_cast<std::uint64_t>(c->vma->file->id()) << 40) |
+                c->vma->fileIndexOf(c->vaddr);
+            auto it = inflight.find(key);
+            if (it != inflight.end()) {
+                for (const CtxPtr &w : it->second)
+                    k.scheduler().wake(w->t);
+                inflight.erase(it);
+            }
+            finish(c, false);
+        });
+}
+
+void
+FaultHandler::finish(CtxPtr c, bool minor)
+{
+    if (minor)
+        ++k.statMinor;
+    else
+        ++k.statMajor;
+    k.statFaultLatency.sample(toMicroseconds(k.now() - c->start));
+    c->resume();
+}
+
+} // namespace hwdp::os

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The OSDP page-fault handler.
+ *
+ * Implements the conventional fault path the paper measures in
+ * Figure 3: exception entry, VMA lookup, page allocation, I/O
+ * submission through the block layer, context switch while the device
+ * works, interrupt-driven completion, wakeup, metadata update and
+ * PTE update + return. The same path also serves as the fallback when
+ * the SMU cannot take a miss (PMSHR full or free-page queue empty),
+ * in which case it additionally triggers the overlapped queue refill
+ * (Section IV-D).
+ */
+
+#ifndef HWDP_OS_FAULT_HANDLER_HH
+#define HWDP_OS_FAULT_HANDLER_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "os/vma.hh"
+#include "sim/types.hh"
+
+namespace hwdp::os {
+
+class Kernel;
+class Thread;
+
+class FaultHandler
+{
+  public:
+    explicit FaultHandler(Kernel &kernel);
+
+    void handle(Thread &t, AddressSpace &as, VAddr vaddr, bool is_write,
+                bool smu_fallback, std::function<void()> resume);
+
+  private:
+    Kernel &k;
+
+    struct Ctx
+    {
+        Thread *t;
+        AddressSpace *as;
+        VAddr vaddr;
+        bool write;
+        bool fallback;
+        Tick start;
+        std::function<void()> resume;
+        Vma *vma = nullptr;
+        Pfn pfn = 0;
+        unsigned allocRetries = 0;
+    };
+    using CtxPtr = std::shared_ptr<Ctx>;
+
+    void afterEntry(CtxPtr c);
+    void lookupVma(CtxPtr c);
+    void anonFault(CtxPtr c);
+    void minorFault(CtxPtr c, Pfn cached);
+    void majorFault(CtxPtr c);
+    void allocateFrame(CtxPtr c);
+    void submitIo(CtxPtr c);
+    void ioFinished(CtxPtr c);
+    void finish(CtxPtr c, bool minor);
+
+    /**
+     * Major faults in flight, keyed by (file id, page index). Later
+     * faulters on the same page wait for the first one's I/O instead
+     * of issuing a duplicate read (the lock_page serialisation in a
+     * real kernel).
+     */
+    std::unordered_map<std::uint64_t, std::vector<CtxPtr>> inflight;
+};
+
+} // namespace hwdp::os
+
+#endif // HWDP_OS_FAULT_HANDLER_HH

@@ -1,0 +1,96 @@
+#include "os/file_system.hh"
+
+#include "os/pte.hh"
+#include "sim/logging.hh"
+
+namespace hwdp::os {
+
+File::File(std::uint32_t id, std::string name, std::uint64_t n_pages,
+           BlockDeviceId bdev)
+    : fid(id), fname(std::move(name)), bdev(bdev), blockMap(n_pages, 0)
+{
+}
+
+Lba
+File::lbaOf(std::uint64_t index) const
+{
+    if (index >= blockMap.size())
+        panic("file '", fname, "': page index ", index, " beyond EOF");
+    return blockMap[index];
+}
+
+FileSystem::FileSystem(sim::Rng rng, std::uint64_t extent_pages)
+    : rng(rng), extentPages(extent_pages)
+{
+    if (extent_pages == 0)
+        fatal("file system: extent size must be positive");
+}
+
+File *
+FileSystem::createFile(const std::string &name, std::uint64_t n_pages,
+                       BlockDeviceId bdev)
+{
+    if (n_pages == 0)
+        fatal("file system: cannot create empty file '", name, "'");
+    if (lookup(name))
+        fatal("file system: file '", name, "' already exists");
+    auto id = static_cast<std::uint32_t>(files.size());
+    files.push_back(std::make_unique<File>(id, name, n_pages, bdev));
+    File &f = *files.back();
+    allocateExtents(f);
+    return &f;
+}
+
+void
+FileSystem::allocateExtents(File &f)
+{
+    std::uint64_t idx = 0;
+    while (idx < f.blockMap.size()) {
+        // Extent lengths vary around the mean; seams skip a few blocks
+        // to model allocation by other files.
+        std::uint64_t len = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   rng.normal(static_cast<double>(extentPages),
+                              static_cast<double>(extentPages) / 4.0)));
+        len = std::min(len, f.blockMap.size() - idx);
+        for (std::uint64_t i = 0; i < len; ++i)
+            f.blockMap[idx + i] = nextLba + i;
+        nextLba += len + rng.range(16);
+        idx += len;
+        // The top LBA is reserved as the anonymous zero-fill marker.
+        if (nextLba >= pte::zeroFillLba)
+            fatal("file system: device LBA space exhausted");
+    }
+}
+
+File *
+FileSystem::lookup(const std::string &name)
+{
+    for (auto &f : files) {
+        if (f->name() == name)
+            return f.get();
+    }
+    return nullptr;
+}
+
+File *
+FileSystem::byId(std::uint32_t id)
+{
+    if (id >= files.size())
+        return nullptr;
+    return files[id].get();
+}
+
+void
+FileSystem::remapPage(File &file, std::uint64_t index)
+{
+    if (index >= file.blockMap.size())
+        panic("remapPage: index ", index, " beyond EOF of '", file.name(),
+              "'");
+    file.blockMap[index] = nextLba;
+    nextLba += 1 + rng.range(4);
+    if (onRemap)
+        onRemap(file, index, file.blockMap[index]);
+}
+
+} // namespace hwdp::os

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Extent-based file system model.
+ *
+ * Maps (file, page index) to an LBA on a specific block device — the
+ * storage-layout knowledge the LBA-augmented page table mirrors into
+ * PTEs. Files are allocated in extents with configurable fragmentation
+ * so LBAs are realistic (mostly sequential with seams). Block mapping
+ * changes (copy-on-write or log-structured updates, Section IV-B)
+ * go through remapPage(), which notifies a registered listener so the
+ * kernel can patch LBA-augmented PTEs.
+ */
+
+#ifndef HWDP_OS_FILE_SYSTEM_HH
+#define HWDP_OS_FILE_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace hwdp::os {
+
+/** A block device address: socket-local SMU id + device id. */
+struct BlockDeviceId
+{
+    unsigned sid = 0;
+    unsigned dev = 0;
+
+    bool operator==(const BlockDeviceId &) const = default;
+};
+
+class File
+{
+  public:
+    File(std::uint32_t id, std::string name, std::uint64_t n_pages,
+         BlockDeviceId bdev);
+
+    std::uint32_t id() const { return fid; }
+    const std::string &name() const { return fname; }
+    std::uint64_t numPages() const { return blockMap.size(); }
+    BlockDeviceId device() const { return bdev; }
+
+    /** LBA backing page @p index. One LBA covers one 4 KB page. */
+    Lba lbaOf(std::uint64_t index) const;
+
+    /** True once the fast-mmap path has marked this file (IV-B). */
+    bool lbaAugmentedMapping() const { return marked; }
+    void markLbaAugmented() { marked = true; }
+
+  private:
+    friend class FileSystem;
+
+    std::uint32_t fid;
+    std::string fname;
+    BlockDeviceId bdev;
+    std::vector<Lba> blockMap; // page index -> LBA
+    bool marked = false;
+};
+
+class FileSystem
+{
+  public:
+    /**
+     * @param rng          Drives extent-seam placement.
+     * @param extent_pages Mean pages per contiguous extent.
+     */
+    explicit FileSystem(sim::Rng rng, std::uint64_t extent_pages = 512);
+
+    /** Create a file of @p n_pages 4 KB pages on @p bdev. */
+    File *createFile(const std::string &name, std::uint64_t n_pages,
+                     BlockDeviceId bdev);
+
+    File *lookup(const std::string &name);
+    File *byId(std::uint32_t id);
+
+    /**
+     * Re-locate one page's block (CoW / log-structured update) and
+     * notify the remap listener with the new LBA.
+     */
+    void remapPage(File &file, std::uint64_t index);
+
+    /** Listener invoked as (file, page index, new LBA). */
+    using RemapListener =
+        std::function<void(File &, std::uint64_t, Lba)>;
+    void setRemapListener(RemapListener fn) { onRemap = std::move(fn); }
+
+    std::uint64_t allocatedBlocks() const { return nextLba; }
+
+  private:
+    sim::Rng rng;
+    std::uint64_t extentPages;
+    std::vector<std::unique_ptr<File>> files;
+    Lba nextLba = 1024; // low LBAs reserved for superblock/metadata
+    RemapListener onRemap;
+
+    void allocateExtents(File &f);
+};
+
+} // namespace hwdp::os
+
+#endif // HWDP_OS_FILE_SYSTEM_HH

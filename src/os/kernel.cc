@@ -1,0 +1,461 @@
+#include "os/kernel.hh"
+
+#include <algorithm>
+
+#include "os/fault_handler.hh"
+#include "sim/logging.hh"
+
+namespace hwdp::os {
+
+Kernel::Kernel(sim::EventQueue &eq, const KernelParams &params,
+               mem::PhysMem &pm, mem::CacheHierarchy &caches,
+               std::vector<mem::BranchPredictor> &bps, sim::Rng rng)
+    : sim::SimObject("kernel", eq), prm(params), pm(pm), rng(rng),
+      statMajor(stats().counter("major_faults",
+                                "faults requiring device I/O")),
+      statMinor(stats().counter("minor_faults", "page-cache hit faults")),
+      statSmuFallback(stats().counter(
+          "smu_fallback_faults", "misses bounced from the SMU to the OS")),
+      statMmapCalls(stats().counter("mmap_calls", "mmap() invocations")),
+      statMunmapCalls(stats().counter("munmap_calls",
+                                      "munmap() invocations")),
+      statWalWrites(stats().counter("wal_write_ios",
+                                    "asynchronous write I/Os cut")),
+      statFaultLatency(stats().histogram(
+          "fault_latency_us", "OS-handled fault latency (us)", 0.5, 400))
+{
+    kernelExec = std::make_unique<KernelExec>(caches, bps, prm.cyclePeriod,
+                                              this->rng.fork());
+    sched = std::make_unique<Scheduler>(eq, prm.nLogical, prm.nPhysical,
+                                        *kernelExec, prm.smtShare);
+    fileSystem = std::make_unique<FileSystem>(this->rng.fork());
+    blk = std::make_unique<BlockLayer>(eq, *sched);
+    reverseMap = std::make_unique<Rmap>([this](AddressSpace &as, VAddr va) {
+        if (shootdownFn)
+            shootdownFn(as, va);
+    });
+
+    framePages.resize(pm.totalFrames());
+    for (std::uint64_t i = 0; i < framePages.size(); ++i)
+        framePages[i].pfn = i;
+
+    auto alloc_frames = pm.totalFrames() - pm.reservedCount();
+    auto low = static_cast<std::uint64_t>(
+        prm.lowWatermarkFrac * static_cast<double>(alloc_frames));
+    auto high = static_cast<std::uint64_t>(
+        prm.highWatermarkFrac * static_cast<double>(alloc_frames));
+    reclaim = std::make_unique<Reclaimer>(*this, prm.reclaimCore,
+                                          prm.reclaimPeriod,
+                                          std::max<std::uint64_t>(low, 8),
+                                          std::max<std::uint64_t>(high, 16));
+    sched->addThread(reclaim.get());
+
+    faults = std::make_unique<FaultHandler>(*this);
+
+    // LBA-augmented PTEs must track file-system block remapping
+    // (copy-on-write / log-structured updates, Section IV-B).
+    fileSystem->setRemapListener(
+        [this](File &file, std::uint64_t index, Lba new_lba) {
+            if (!file.lbaAugmentedMapping())
+                return;
+            for (auto &asp : spaces) {
+                for (auto &vma : asp->vmas()) {
+                    if (vma->file != &file || !vma->fastMmap)
+                        continue;
+                    if (index < vma->filePageOffset ||
+                        index >= vma->filePageOffset + vma->numPages())
+                        continue;
+                    VAddr va = vma->start +
+                               (index - vma->filePageOffset) * pageSize;
+                    pte::Entry e = asp->pageTable().readPte(va);
+                    if (pte::isLbaAugmented(e)) {
+                        BlockDeviceId bdev = file.device();
+                        asp->pageTable().writePte(
+                            va, pte::makeLbaAugmented(bdev.sid, bdev.dev,
+                                                      new_lba, vma->prot));
+                    }
+                }
+            }
+        });
+}
+
+Kernel::~Kernel() = default;
+
+void
+Kernel::attachDevice(ssd::SsdDevice *dev, BlockDeviceId bdev)
+{
+    for (const auto &a : attached) {
+        if (a.bdev == bdev)
+            fatal("kernel: device ", bdev.sid, ":", bdev.dev,
+                  " attached twice");
+    }
+    unsigned idx = blk->attachDevice(dev);
+    attached.push_back(AttachedDevice{dev, bdev, idx});
+}
+
+unsigned
+Kernel::deviceIndexOf(BlockDeviceId bdev) const
+{
+    for (const auto &a : attached) {
+        if (a.bdev == bdev)
+            return a.blkIndex;
+    }
+    panic("kernel: unknown block device ", bdev.sid, ":", bdev.dev);
+}
+
+ssd::SsdDevice &
+Kernel::deviceOf(BlockDeviceId bdev)
+{
+    for (const auto &a : attached) {
+        if (a.bdev == bdev)
+            return *a.dev;
+    }
+    panic("kernel: unknown block device ", bdev.sid, ":", bdev.dev);
+}
+
+Page &
+Kernel::page(Pfn pfn)
+{
+    if (pfn >= framePages.size())
+        panic("kernel: pfn ", pfn, " out of range");
+    return framePages[pfn];
+}
+
+AddressSpace *
+Kernel::createAddressSpace()
+{
+    spaces.push_back(std::make_unique<AddressSpace>(
+        static_cast<std::uint32_t>(spaces.size())));
+    return spaces.back().get();
+}
+
+void
+Kernel::setShootdownFn(Rmap::ShootdownFn fn)
+{
+    shootdownFn = std::move(fn);
+}
+
+void
+Kernel::mmapFile(Thread &t, AddressSpace &as, File &file, bool fast_mmap,
+                 std::function<void(Vma *)> done)
+{
+    ++statMmapCalls;
+    Vma *vma = as.addVma(&file, 0, file.numPages(), fast_mmap,
+                         pte::writableBit | pte::userBit);
+
+    unsigned phys = sched->physCoreOf(t.core());
+    Tick dur = kernelExec->run(phys, phases::syscallEntryExit);
+
+    if (fast_mmap) {
+        std::uint64_t populated = populateFastVma(as, file, vma);
+        dur += kernelExec->runBatch(phys, phases::mmapSetupPerPage,
+                                    populated);
+    }
+
+    eq.scheduleLambdaIn(dur, [done = std::move(done), vma] { done(vma); },
+                        "kernel.mmap");
+}
+
+std::uint64_t
+Kernel::populateFastVma(AddressSpace &as, File &file, Vma *vma)
+{
+    file.markLbaAugmented();
+    BlockDeviceId bdev = file.device();
+    std::uint64_t populated = 0;
+    for (std::uint64_t i = 0; i < vma->numPages(); ++i) {
+        VAddr va = vma->start + i * pageSize;
+        std::uint64_t idx = vma->filePageOffset + i;
+        Pfn cached = pcache.lookup(file, idx);
+        if (cached != PageCache::noFrame) {
+            // Cached page: link it directly (Section IV-B).
+            Page &pg = page(cached);
+            if (pg.as == nullptr) {
+                reverseMap->setMapping(pg, as, va);
+                as.pageTable().writePte(
+                    va, pte::makePresent(cached, vma->prot));
+            }
+        } else {
+            as.pageTable().writePte(
+                va, pte::makeLbaAugmented(bdev.sid, bdev.dev,
+                                          file.lbaOf(idx), vma->prot));
+        }
+        ++populated;
+    }
+    return populated;
+}
+
+Vma *
+Kernel::mmapFileSync(AddressSpace &as, File &file, bool fast_mmap)
+{
+    Vma *vma = as.addVma(&file, 0, file.numPages(), fast_mmap,
+                         pte::writableBit | pte::userBit);
+    if (fast_mmap)
+        populateFastVma(as, file, vma);
+    return vma;
+}
+
+Vma *
+Kernel::mmapAnonSync(AddressSpace &as, std::uint64_t n_pages,
+                     bool fast_mmap)
+{
+    Vma *vma = as.addVma(nullptr, 0, n_pages, fast_mmap,
+                         pte::writableBit | pte::userBit);
+    if (fast_mmap) {
+        // Mark every PTE with the reserved zero-fill LBA: the SMU
+        // allocates and installs a zeroed frame without touching any
+        // device (Section V).
+        for (std::uint64_t i = 0; i < n_pages; ++i) {
+            as.pageTable().writePte(
+                vma->start + i * pageSize,
+                pte::makeLbaAugmented(0, 0, pte::zeroFillLba,
+                                      vma->prot));
+        }
+    }
+    return vma;
+}
+
+void
+Kernel::munmapVma(Thread &t, AddressSpace &as, Vma *vma,
+                  std::function<void()> done)
+{
+    ++statMunmapCalls;
+    auto teardown = [this, &t, &as, vma, done = std::move(done)] {
+        unsigned phys = sched->physCoreOf(t.core());
+        Tick dur = kernelExec->run(phys, phases::syscallEntryExit);
+        std::uint64_t touched = 0;
+        as.pageTable().forEachPte(
+            vma->start, vma->end, [&](VAddr, EntryRef ref) {
+                pte::Entry e = ref.value();
+                if (pte::isPresent(e)) {
+                    Page &pg = page(pte::pfnOf(e));
+                    if (pg.as == &as)
+                        reverseMap->clearMapping(pg);
+                    // Pages stay in the page cache/LRU for reuse.
+                }
+                ref.write(0);
+                ++touched;
+            });
+        dur += kernelExec->runBatch(phys, phases::mmapSetupPerPage,
+                                    touched);
+        as.removeVma(vma);
+        eq.scheduleLambdaIn(dur, done, "kernel.munmap");
+    };
+
+    // Races between SMU page-miss handling and PTE unmapping are
+    // prevented by waiting on outstanding misses (the SMU barrier),
+    // then synchronising metadata, then tearing down (Section IV-C).
+    auto sync_then_teardown = [this, &as, vma, &t,
+                               teardown = std::move(teardown)] {
+        if (hwdpHooks.syncMetadata && vma->fastMmap) {
+            hwdpHooks.syncMetadata(as, vma->start, vma->end, t.core(),
+                                   teardown);
+        } else {
+            teardown();
+        }
+    };
+    if (hwdpHooks.smuBarrier && vma->fastMmap)
+        hwdpHooks.smuBarrier(sync_then_teardown);
+    else
+        sync_then_teardown();
+}
+
+void
+Kernel::msyncVma(Thread &t, Vma *vma, std::function<void()> done)
+{
+    AddressSpace *as = nullptr;
+    for (auto &asp : spaces) {
+        if (asp->findVma(vma->start) == vma)
+            as = asp.get();
+    }
+    if (!as)
+        panic("msync: VMA not found in any address space");
+
+    auto writeback = [this, &t, vma, as, done = std::move(done)] {
+        unsigned core = t.core();
+        unsigned phys = sched->physCoreOf(core);
+        Tick dur = kernelExec->run(phys, phases::syscallEntryExit);
+
+        auto remaining = std::make_shared<std::uint64_t>(0);
+        auto finished = std::make_shared<bool>(false);
+        auto maybe_done = [remaining, finished,
+                           done = std::move(done)]() mutable {
+            if (*finished && *remaining == 0)
+                done();
+        };
+
+        as->pageTable().forEachPte(
+            vma->start, vma->end, [&](VAddr, EntryRef ref) {
+                pte::Entry e = ref.value();
+                if (!pte::isPresent(e))
+                    return;
+                Page &pg = page(pte::pfnOf(e));
+                if (!(pg.dirty || pte::isDirty(e)) || pg.underWriteback)
+                    return;
+                pg.underWriteback = true;
+                kernelExec->run(phys, phases::writebackSubmit);
+                ++*remaining;
+                unsigned dev = deviceIndexOf(vma->file->device());
+                blk->submit(core, dev, vma->file->lbaOf(pg.index), true,
+                            BlockLayer::IoClass::writeback,
+                            [this, &pg, remaining, maybe_done]() mutable {
+                                pg.underWriteback = false;
+                                pg.dirty = false;
+                                --*remaining;
+                                maybe_done();
+                            });
+            });
+
+        eq.scheduleLambdaIn(dur,
+                            [finished, maybe_done]() mutable {
+                                *finished = true;
+                                maybe_done();
+                            },
+                            "kernel.msync");
+    };
+
+    // msync must observe consistent OS metadata: sync first (IV-C).
+    if (hwdpHooks.syncMetadata && vma->fastMmap)
+        hwdpHooks.syncMetadata(*as, vma->start, vma->end, t.core(),
+                               writeback);
+    else
+        writeback();
+}
+
+void
+Kernel::writeFile(Thread &t, File &file, std::uint64_t page_index,
+                  std::uint64_t bytes, std::function<void()> done)
+{
+    unsigned core = t.core();
+    unsigned phys = sched->physCoreOf(core);
+    Tick dur = kernelExec->run(phys, phases::syscallEntryExit);
+    dur += kernelExec->run(phys, phases::writeSyscall);
+
+    std::uint64_t &dirty = walDirtyBytes[file.id()];
+    dirty += bytes;
+    std::uint64_t chunk = prm.writebackChunkPages * pageSize;
+    while (dirty >= chunk) {
+        dirty -= chunk;
+        ++statWalWrites;
+        // Background writeback: asynchronous, lighter completion.
+        Lba lba = file.lbaOf(page_index % file.numPages());
+        blk->submit(core, deviceIndexOf(file.device()), lba, true,
+                    BlockLayer::IoClass::writeback, [] {});
+    }
+
+    eq.scheduleLambdaIn(dur, std::move(done), "kernel.write");
+}
+
+void
+Kernel::forkRevert(AddressSpace &as)
+{
+    // fork(): shared file pages across processes are unsupported, so
+    // all LBA-augmented PTEs revert to OS-handled ones and resident
+    // hardware-handled PTEs are synchronised immediately (Section V).
+    for (auto &vma : as.vmas()) {
+        if (!vma->fastMmap)
+            continue;
+        as.pageTable().forEachPte(
+            vma->start, vma->end, [&](VAddr va, EntryRef ref) {
+                pte::Entry e = ref.value();
+                if (pte::isLbaAugmented(e)) {
+                    ref.write(0); // plain non-present: OS handles it
+                } else if (pte::needsMetadataSync(e)) {
+                    syncHardwareHandledPte(as, va, ref);
+                }
+            });
+        vma->fastMmap = false;
+    }
+}
+
+void
+Kernel::handlePageFault(Thread &t, AddressSpace &as, VAddr vaddr,
+                        bool is_write, bool smu_fallback,
+                        std::function<void()> resume)
+{
+    faults->handle(t, as, vaddr, is_write, smu_fallback,
+                   std::move(resume));
+}
+
+void
+Kernel::installPage(AddressSpace &as, Vma &vma, VAddr vaddr, Pfn pfn,
+                    bool synced)
+{
+    Page &pg = page(pfn);
+    pg.inUse = true;
+    pg.file = vma.file;
+    pg.index = vma.fileIndexOf(vaddr);
+    pg.referenced = true;
+    reverseMap->setMapping(pg, as, vaddr);
+    as.pageTable().writePte(vaddr,
+                            pte::makePresent(pfn, vma.prot, !synced));
+    if (synced) {
+        if (vma.file) {
+            pcache.insert(*vma.file, pg.index, pfn);
+            pg.inPageCache = true;
+        }
+        reclaim->lru().insertInactive(pg);
+    } else {
+        as.pageTable().markUpperLba(vaddr);
+    }
+}
+
+void
+Kernel::installHardwareHandled(AddressSpace &as, Vma &vma, VAddr vaddr,
+                               Pfn pfn)
+{
+    // Only what the hardware writes: PTE (present, LBA bit preserved)
+    // and the upper-level LBA bits. OS metadata stays stale until
+    // kpted visits this PTE.
+    Page &pg = page(pfn);
+    pg.inUse = true;
+    pg.inSmuQueue = false;
+    as.pageTable().writePte(vaddr,
+                            pte::makePresent(pfn, vma.prot, true));
+    as.pageTable().markUpperLba(vaddr);
+}
+
+void
+Kernel::syncHardwareHandledPte(AddressSpace &as, VAddr vaddr,
+                               EntryRef ref)
+{
+    pte::Entry e = ref.value();
+    if (!pte::needsMetadataSync(e))
+        panic("syncHardwareHandledPte: PTE not in hardware-handled state");
+
+    Vma *vma = as.findVma(vaddr);
+    if (!vma)
+        panic("syncHardwareHandledPte: no VMA at ", vaddr);
+
+    Pfn pfn = pte::pfnOf(e);
+    Page &pg = page(pfn);
+    pg.inUse = true;
+    pg.file = vma->file;
+    pg.index = vma->fileIndexOf(vaddr);
+    pg.referenced = true;
+    if (pg.as == nullptr)
+        reverseMap->setMapping(pg, as, vaddr);
+    if (vma->file && !pg.inPageCache) {
+        pcache.insert(*vma->file, pg.index, pfn);
+        pg.inPageCache = true;
+    }
+    if (!pg.lruLinked)
+        reclaim->lru().insertInactive(pg);
+    ref.write(pte::clearLbaBit(e));
+}
+
+void
+Kernel::freePage(Page &pg)
+{
+    if (!pg.inUse)
+        panic("freePage: page ", pg.pfn, " not in use");
+    if (pg.lruLinked)
+        reclaim->lru().remove(pg);
+    if (pg.inPageCache && pg.file)
+        pcache.remove(*pg.file, pg.index);
+    Pfn pfn = pg.pfn;
+    pg.resetMetadata();
+    pg.pfn = pfn;
+    pm.free(pfn);
+}
+
+} // namespace hwdp::os

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * The OS kernel model: syscalls, demand paging, memory management.
+ *
+ * Owns the page-frame metadata, the page cache, the file system, the
+ * block layer, the scheduler and the reclaimer, and implements the
+ * OSDP page-fault path with the Figure 3 phase structure. The HWDP
+ * control plane (fast mmap population, kpted, kpoold, the SW-emulated
+ * SMU) hooks in through the interceptor/hook interfaces so the base
+ * kernel has no dependency on the hardware extension — mirroring the
+ * paper's claim that the extension is OS-agnostic (Section V).
+ */
+
+#ifndef HWDP_OS_KERNEL_HH
+#define HWDP_OS_KERNEL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/cache_hierarchy.hh"
+#include "mem/phys_mem.hh"
+#include "os/block_layer.hh"
+#include "os/file_system.hh"
+#include "os/page.hh"
+#include "os/page_cache.hh"
+#include "os/reclaim.hh"
+#include "os/rmap.hh"
+#include "os/scheduler.hh"
+#include "os/vma.hh"
+#include "sim/rng.hh"
+
+namespace hwdp::os {
+
+class FaultHandler;
+
+struct KernelParams
+{
+    unsigned nLogical = 16;
+    unsigned nPhysical = 8;
+    Tick cyclePeriod = 357; // 2.8 GHz in ps
+
+    /** Watermarks as fractions of allocatable frames. */
+    double lowWatermarkFrac = 0.04;
+    double highWatermarkFrac = 0.08;
+
+    /** Background reclaimer: core and period. */
+    unsigned reclaimCore = 0;     // chosen by System; last core typical
+    Tick reclaimPeriod = milliseconds(1.0);
+
+    /** Dirty bytes accumulated before a WAL writeback I/O is cut. */
+    std::uint64_t writebackChunkPages = 1;
+
+    double smtShare = 0.6;
+};
+
+class Kernel : public sim::SimObject
+{
+  public:
+    Kernel(sim::EventQueue &eq, const KernelParams &params,
+           mem::PhysMem &pm, mem::CacheHierarchy &caches,
+           std::vector<mem::BranchPredictor> &bps, sim::Rng rng);
+    ~Kernel() override;
+
+    // ---- Subsystems ---------------------------------------------------
+    Scheduler &scheduler() { return *sched; }
+    KernelExec &kexec() { return *kernelExec; }
+    FileSystem &fs() { return *fileSystem; }
+    BlockLayer &blockLayer() { return *blk; }
+    PageCache &pageCache() { return pcache; }
+    Rmap &rmap() { return *reverseMap; }
+    Reclaimer &reclaimer() { return *reclaim; }
+    mem::PhysMem &physMem() { return pm; }
+    const KernelParams &params() const { return prm; }
+
+    // ---- Devices ------------------------------------------------------
+    /** Attach an SSD as block device @p bdev; wires the block layer. */
+    void attachDevice(ssd::SsdDevice *dev, BlockDeviceId bdev);
+    unsigned deviceIndexOf(BlockDeviceId bdev) const;
+    ssd::SsdDevice &deviceOf(BlockDeviceId bdev);
+
+    // ---- Page-frame metadata -------------------------------------------
+    Page &page(Pfn pfn);
+    std::uint64_t numFrames() const
+    {
+        return static_cast<std::uint64_t>(framePages.size());
+    }
+
+    // ---- Address spaces --------------------------------------------------
+    AddressSpace *createAddressSpace();
+
+    // ---- Syscalls (timed; @p done fires when the call returns) ----------
+    /**
+     * mmap() a whole file. With @p fast_mmap the paper's new flag is
+     * set: every PTE is populated at map time with either the resident
+     * frame (page-cache hit) or an LBA-augmented entry (Section IV-B).
+     */
+    void mmapFile(Thread &t, AddressSpace &as, File &file, bool fast_mmap,
+                  std::function<void(Vma *)> done);
+
+    /**
+     * Boot-time mmap: same state effects as mmapFile but untimed
+     * (used by the system builder to set a machine up before the
+     * measured run starts).
+     */
+    Vma *mmapFileSync(AddressSpace &as, File &file, bool fast_mmap);
+
+    /**
+     * Anonymous mapping (heap/stack-like). With @p fast_mmap every
+     * PTE carries the reserved zero-fill LBA so first-touch minor
+     * faults are handled by the SMU without I/O (Section V). Untimed
+     * boot-time variant.
+     */
+    Vma *mmapAnonSync(AddressSpace &as, std::uint64_t n_pages,
+                      bool fast_mmap);
+
+    /**
+     * munmap() the VMA: synchronises HWDP metadata (via hooks), tears
+     * down PTEs and releases the pages.
+     */
+    void munmapVma(Thread &t, AddressSpace &as, Vma *vma,
+                   std::function<void()> done);
+
+    /** msync(): metadata barrier + writeback of dirty pages. */
+    void msyncVma(Thread &t, Vma *vma, std::function<void()> done);
+
+    /**
+     * Buffered write of @p bytes to @p file (WAL-style appends).
+     * Charges syscall phases; cuts an asynchronous write I/O whenever
+     * writebackChunkPages worth of dirty data has accumulated.
+     */
+    void writeFile(Thread &t, File &file, std::uint64_t page_index,
+                   std::uint64_t bytes, std::function<void()> done);
+
+    /** fork() semantics for fast-mmap areas: revert LBA PTEs (V). */
+    void forkRevert(AddressSpace &as);
+
+    // ---- Demand paging ---------------------------------------------------
+    /**
+     * Page-fault entry (called from the page-table walker).
+     * @param smu_fallback True when the SMU bounced the miss back to
+     *                     the OS (free-page queue empty / PMSHR full).
+     * @param resume       Runs in the faulting thread's context once
+     *                     the fault is resolved.
+     */
+    void handlePageFault(Thread &t, AddressSpace &as, VAddr vaddr,
+                         bool is_write, bool smu_fallback,
+                         std::function<void()> resume);
+
+    // ---- Page lifecycle (fault path, reclaim, HWDP control plane) -------
+    /**
+     * Install a resident page: PTE write plus, when @p synced, the OS
+     * metadata (page cache, LRU, rmap). With !synced the PTE keeps the
+     * LBA bit set and metadata is left for kpted (Table I row 3).
+     */
+    void installPage(AddressSpace &as, Vma &vma, VAddr vaddr, Pfn pfn,
+                     bool synced);
+
+    /** Release a frame and reset its metadata. */
+    void freePage(Page &page);
+
+    /**
+     * Install a page the way the hardware does it: PTE written with
+     * the LBA bit kept set, upper-level LBA bits marked, and *no* OS
+     * metadata touched (that is kpted's job, Table I row 3). Used by
+     * the software-emulated SMU; the real SMU's page-table updater
+     * performs the same writes through its entry references.
+     */
+    void installHardwareHandled(AddressSpace &as, Vma &vma, VAddr vaddr,
+                                Pfn pfn);
+
+    /** Metadata-only synchronisation of one hardware-handled PTE. */
+    void syncHardwareHandledPte(AddressSpace &as, VAddr vaddr,
+                                EntryRef ref);
+
+    // ---- HWDP hook points -------------------------------------------------
+    /**
+     * Early-fault interceptor (the SW-emulated SMU). Returns true when
+     * it takes ownership of the fault.
+     */
+    using FaultInterceptor = std::function<bool(
+        Thread &, AddressSpace &, VAddr, pte::Entry,
+        std::function<void()>)>;
+    void setFaultInterceptor(FaultInterceptor fn)
+    {
+        interceptor = std::move(fn);
+    }
+
+    /** Overlapped free-page-queue refill during OS-fault device I/O. */
+    void setRefillHook(std::function<void(unsigned core)> fn)
+    {
+        refillHook = std::move(fn);
+    }
+
+    struct HwdpHooks
+    {
+        /** kpted-style sync of a VMA range, then done. */
+        std::function<void(AddressSpace &, VAddr, VAddr, unsigned,
+                           std::function<void()>)> syncMetadata;
+        /** Wait for outstanding SMU page misses (SMU barrier). */
+        std::function<void(std::function<void()>)> smuBarrier;
+    };
+    void setHwdpHooks(HwdpHooks hooks) { hwdpHooks = std::move(hooks); }
+
+    /** TLB shootdown callback (registered by the CPU layer). */
+    void setShootdownFn(Rmap::ShootdownFn fn);
+
+    // ---- Fault statistics -------------------------------------------------
+    std::uint64_t majorFaults() const { return statMajor.value(); }
+    std::uint64_t minorFaults() const { return statMinor.value(); }
+    std::uint64_t smuFallbackFaults() const
+    {
+        return statSmuFallback.value();
+    }
+    sim::Histogram &faultLatencyUs() { return statFaultLatency; }
+
+  private:
+    friend class FaultHandler;
+
+    KernelParams prm;
+    mem::PhysMem &pm;
+    sim::Rng rng;
+
+    std::unique_ptr<KernelExec> kernelExec;
+    std::unique_ptr<Scheduler> sched;
+    std::unique_ptr<FileSystem> fileSystem;
+    std::unique_ptr<BlockLayer> blk;
+    std::unique_ptr<Rmap> reverseMap;
+    std::unique_ptr<Reclaimer> reclaim;
+    std::unique_ptr<FaultHandler> faults;
+    PageCache pcache;
+
+    std::vector<Page> framePages;
+    std::vector<std::unique_ptr<AddressSpace>> spaces;
+
+    struct AttachedDevice
+    {
+        ssd::SsdDevice *dev;
+        BlockDeviceId bdev;
+        unsigned blkIndex;
+    };
+    std::vector<AttachedDevice> attached;
+
+    /** Per-file partially filled writeback chunk (in pages). */
+    std::unordered_map<std::uint32_t, std::uint64_t> walDirtyBytes;
+
+    FaultInterceptor interceptor;
+    std::function<void(unsigned)> refillHook;
+    HwdpHooks hwdpHooks;
+    Rmap::ShootdownFn shootdownFn;
+
+    /** PTE population for a fast-mmap area; returns pages touched. */
+    std::uint64_t populateFastVma(AddressSpace &as, File &file, Vma *vma);
+
+    sim::Counter &statMajor;
+    sim::Counter &statMinor;
+    sim::Counter &statSmuFallback;
+    sim::Counter &statMmapCalls;
+    sim::Counter &statMunmapCalls;
+    sim::Counter &statWalWrites;
+    sim::Histogram &statFaultLatency;
+};
+
+} // namespace hwdp::os
+
+#endif // HWDP_OS_KERNEL_HH

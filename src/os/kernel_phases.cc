@@ -1,0 +1,235 @@
+#include "os/kernel_phases.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hwdp::os {
+
+const char *
+kernelCostCatName(KernelCostCat cat)
+{
+    switch (cat) {
+      case KernelCostCat::faultPath: return "fault_path";
+      case KernelCostCat::ioStack: return "io_stack";
+      case KernelCostCat::contextSwitch: return "context_switch";
+      case KernelCostCat::irq: return "irq";
+      case KernelCostCat::metadata: return "metadata";
+      case KernelCostCat::syscall: return "syscall";
+      case KernelCostCat::kpted: return "kpted";
+      case KernelCostCat::kpoold: return "kpoold";
+      case KernelCostCat::reclaim: return "reclaim";
+      case KernelCostCat::other: return "other";
+      default: return "?";
+    }
+}
+
+namespace phases {
+
+// Cycle budgets assume the evaluation machine's 2.8 GHz clock
+// (2800 cycles ~ 1 us). The before-device sum (exceptionEntry +
+// vmaLookup + pageAlloc + ioSubmit) is ~2.2 us and the after-device
+// critical path (irqDeliver + ioComplete + wakeupSched + contextSwitch
+// + metadataUpdate + pteUpdateReturn) is ~6.1 us, matching the
+// Figure 3 / Figure 11(a) decomposition against a 10.9 us device time.
+
+const KernelPhase exceptionEntry =
+    {"exception_entry", 750, 380, 16, 14, 40, KernelCostCat::faultPath};
+const KernelPhase vmaLookup =
+    {"vma_lookup", 480, 240, 12, 16, 30, KernelCostCat::faultPath};
+const KernelPhase pageAlloc =
+    {"page_alloc", 1600, 800, 20, 30, 60, KernelCostCat::faultPath};
+const KernelPhase ioSubmit =
+    {"io_submit", 3400, 1700, 60, 50, 150, KernelCostCat::ioStack};
+const KernelPhase contextSwitch =
+    {"context_switch", 3000, 950, 50, 45, 80,
+     KernelCostCat::contextSwitch};
+const KernelPhase irqDeliver =
+    {"irq_deliver", 770, 260, 12, 10, 20, KernelCostCat::irq};
+const KernelPhase ioComplete =
+    {"io_complete", 6800, 2900, 85, 75, 230, KernelCostCat::ioStack};
+const KernelPhase wakeupSched =
+    {"wakeup_sched", 1450, 520, 20, 18, 40, KernelCostCat::contextSwitch};
+const KernelPhase metadataUpdate =
+    {"metadata_update", 3600, 1700, 30, 60, 120, KernelCostCat::metadata};
+const KernelPhase pteUpdateReturn =
+    {"pte_update_return", 1400, 600, 15, 20, 45,
+     KernelCostCat::faultPath};
+
+const KernelPhase minorFaultFill =
+    {"minor_fault_fill", 1900, 900, 30, 30, 80, KernelCostCat::faultPath};
+const KernelPhase syscallEntryExit =
+    {"syscall_entry_exit", 600, 280, 10, 8, 20, KernelCostCat::syscall};
+const KernelPhase writeSyscall =
+    {"write_syscall", 4200, 2100, 70, 65, 170, KernelCostCat::syscall};
+const KernelPhase mmapSetupPerPage =
+    {"mmap_setup_per_page", 90, 60, 2, 3, 8, KernelCostCat::syscall};
+
+const KernelPhase reclaimScanPage =
+    {"reclaim_scan_page", 220, 120, 4, 6, 12, KernelCostCat::reclaim};
+const KernelPhase writebackSubmit =
+    {"writeback_submit", 1800, 900, 30, 28, 75, KernelCostCat::reclaim};
+const KernelPhase writebackComplete =
+    {"writeback_complete", 1200, 600, 20, 18, 45,
+     KernelCostCat::reclaim};
+
+// kpted synchronises metadata in batch: per page it performs the full
+// set of updates the inline fault path spreads across metadataUpdate,
+// the page-cache insertion inside ioComplete and the PTE write — plus
+// the LBA-bit clear. The instruction count is calibrated so the
+// end-to-end Figure 15 kernel-instruction reduction lands near the
+// paper's 62.6%; the batched loop's cache-friendly CPI (1.4 vs ~2.1
+// inline) is the "kpted cycles benefit from batching" effect.
+const KernelPhase kptedPerPage =
+    {"kpted_per_page", 5500, 3950, 14, 30, 65, KernelCostCat::kpted};
+// Scanning is cheap per entry: one cache line covers eight PTEs and
+// the guided walk touches little else.
+const KernelPhase kptedScanEntry =
+    {"kpted_scan_entry", 3, 2, 0, 1, 2, KernelCostCat::kpted};
+const KernelPhase kpooldPerPage =
+    {"kpoold_per_page", 420, 260, 5, 9, 16, KernelCostCat::kpoold};
+
+// Software-emulated SMU (the real-machine prototype of Section VI-A):
+// the fault still traps, then runs an in-kernel SMU emulation and an
+// mwait-based completion wait. Total ~2.0 us of software per fault,
+// which reproduces Figure 17's 14% (Z-SSD) to 44% (Optane PMM) HWDP
+// advantage.
+const KernelPhase swSmuSubmit =
+    {"sw_smu_submit", 1700, 850, 32, 28, 80, KernelCostCat::faultPath};
+const KernelPhase swSmuWake =
+    {"sw_smu_wake", 840, 180, 9, 7, 14, KernelCostCat::faultPath};
+const KernelPhase swSmuComplete =
+    {"sw_smu_complete", 2500, 1200, 45, 38, 100,
+     KernelCostCat::faultPath};
+
+} // namespace phases
+
+KernelExec::KernelExec(mem::CacheHierarchy &caches,
+                       std::vector<mem::BranchPredictor> &bps,
+                       Tick cycle_period, sim::Rng rng)
+    : caches(caches), bps(bps), period(cycle_period), rng(rng)
+{
+    if (cycle_period == 0)
+        fatal("KernelExec: zero cycle period");
+}
+
+Tick
+KernelExec::run(unsigned phys_core, const KernelPhase &phase)
+{
+    auto c = static_cast<unsigned>(phase.cat);
+    instrByCat[c] += phase.instructions;
+    cyclesByCat[c] += phase.cycles;
+    if (pollute)
+        applyPollution(phys_core, phase);
+    return phase.cycles * period;
+}
+
+Tick
+KernelExec::runBatch(unsigned phys_core, const KernelPhase &phase,
+                     std::uint64_t n)
+{
+    Tick total = 0;
+    auto c = static_cast<unsigned>(phase.cat);
+    instrByCat[c] += phase.instructions * n;
+    cyclesByCat[c] += phase.cycles * n;
+    total = phase.cycles * n * period;
+    if (pollute) {
+        // Batched work reuses the same code lines; pollute once per
+        // batch for instructions but scale data touches (each page has
+        // its own struct page / PTE line), capped to keep batches
+        // cheap to simulate.
+        KernelPhase scaled = phase;
+        std::uint64_t dc = static_cast<std::uint64_t>(phase.dcLines) * n;
+        scaled.dcLines = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+            dc, 4096));
+        std::uint64_t br = static_cast<std::uint64_t>(phase.branches) * n;
+        scaled.branches = static_cast<std::uint16_t>(
+            std::min<std::uint64_t>(br, 8192));
+        applyPollution(phys_core, scaled);
+    }
+    return total;
+}
+
+void
+KernelExec::applyPollution(unsigned phys_core, const KernelPhase &phase)
+{
+    ++invocation;
+    // Stable per-phase bases: kernel text/data live in a high region
+    // distinct from any user mapping. The FNV-ish hash spreads phases.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char *p = phase.name; *p; ++p)
+        h = (h ^ static_cast<std::uint64_t>(*p)) * 1099511628211ULL;
+
+    std::uint64_t text_base = 0xffff'ffff'8000'0000ULL + (h & 0x3f'ffc0);
+    std::uint64_t data_base = 0xffff'ea00'0000'0000ULL + ((h >> 20) &
+                                                          0xff'ffc0);
+
+    for (unsigned i = 0; i < phase.icLines; ++i) {
+        caches.access(phys_core, text_base + i * lineSize, true,
+                      ExecMode::kernel);
+    }
+    for (unsigned i = 0; i < phase.dcLines; ++i) {
+        // Half the data lines are stable structures, half vary per
+        // invocation (struct page, PTE, bio of *this* fault).
+        std::uint64_t addr;
+        if ((i & 1) == 0) {
+            addr = data_base + i * lineSize;
+        } else {
+            addr = data_base + 0x100'0000 +
+                   ((invocation * 37 + i) % 2048) * lineSize;
+        }
+        caches.access(phys_core, addr, false, ExecMode::kernel);
+    }
+    for (unsigned i = 0; i < phase.branches; ++i) {
+        std::uint64_t pc = text_base + (i % 1024) * 16;
+        // Kernel control flow is uncorrelated with the user patterns
+        // sharing the PHT: from an aliased user entry's point of view
+        // the interference is adversarial.
+        bool taken = rng.chance(0.5);
+        bps[phys_core].predictAndUpdate(pc, taken, ExecMode::kernel);
+    }
+}
+
+std::uint64_t
+KernelExec::instructions(KernelCostCat cat) const
+{
+    return instrByCat[static_cast<unsigned>(cat)];
+}
+
+Cycles
+KernelExec::cycles(KernelCostCat cat) const
+{
+    return cyclesByCat[static_cast<unsigned>(cat)];
+}
+
+std::uint64_t
+KernelExec::totalInstructions() const
+{
+    std::uint64_t t = 0;
+    for (unsigned i = 0; i < static_cast<unsigned>(KernelCostCat::numCats);
+         ++i)
+        t += instrByCat[i];
+    return t;
+}
+
+Cycles
+KernelExec::totalCycles() const
+{
+    Cycles t = 0;
+    for (unsigned i = 0; i < static_cast<unsigned>(KernelCostCat::numCats);
+         ++i)
+        t += cyclesByCat[i];
+    return t;
+}
+
+void
+KernelExec::resetAccounting()
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(KernelCostCat::numCats);
+         ++i) {
+        instrByCat[i] = 0;
+        cyclesByCat[i] = 0;
+    }
+}
+
+} // namespace hwdp::os

@@ -1,0 +1,66 @@
+#include "os/kthread.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::os {
+
+KThread::KThread(std::string name, unsigned core, Scheduler &sched,
+                 sim::EventQueue &eq, Tick period)
+    : Thread(std::move(name), core), sched(sched), eq(eq), per(period)
+{
+    kthread = true;
+    if (period == 0)
+        fatal("kthread '", this->name(), "': zero period");
+}
+
+void
+KThread::armTimer()
+{
+    if (stopped || timerArmed)
+        return;
+    timerArmed = true;
+    eq.scheduleLambdaIn(per,
+                        [this] {
+                            timerArmed = false;
+                            if (stopped)
+                                return;
+                            due = true;
+                            sched.wake(this);
+                        },
+                        name() + ".timer");
+}
+
+void
+KThread::kick()
+{
+    if (stopped)
+        return;
+    due = true;
+    sched.wake(this);
+}
+
+void
+KThread::run()
+{
+    if (!due || stopped) {
+        // First dispatch (or a spurious one): go to sleep until the
+        // timer fires.
+        armTimer();
+        sched.block(this);
+        return;
+    }
+    due = false;
+    ++nBatches;
+    batch([this] {
+        if (due && !stopped) {
+            // Kicked while the batch ran (e.g. the SMU free-page queue
+            // drained): run another batch right away.
+            sched.yield(this);
+            return;
+        }
+        armTimer();
+        sched.block(this);
+    });
+}
+
+} // namespace hwdp::os

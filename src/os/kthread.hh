@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Periodic kernel thread base class.
+ *
+ * kpted, kpoold and the background reclaimer are periodic batch
+ * workers: sleep for a period, wake, do one batch of work (charging
+ * kernel phases), sleep again. Their cost shows up in Figure 15 and
+ * their period is an explicit experiment parameter (Section VI-C),
+ * so the base class exposes it.
+ */
+
+#ifndef HWDP_OS_KTHREAD_HH
+#define HWDP_OS_KTHREAD_HH
+
+#include <functional>
+
+#include "os/scheduler.hh"
+#include "sim/types.hh"
+
+namespace hwdp::os {
+
+class KThread : public Thread
+{
+  public:
+    /**
+     * @param period Sleep time between batches.
+     */
+    KThread(std::string name, unsigned core, Scheduler &sched,
+            sim::EventQueue &eq, Tick period);
+
+    void run() final;
+
+    /**
+     * Perform one batch; must eventually invoke @p done exactly once
+     * (possibly asynchronously, e.g. after writeback I/O).
+     */
+    virtual void batch(std::function<void()> done) = 0;
+
+    Tick period() const { return per; }
+    void setPeriod(Tick p) { per = p; }
+
+    /** Stop re-arming the wake timer (lets the simulation drain). */
+    void stop() { stopped = true; }
+    bool isStopped() const { return stopped; }
+
+    /** Force an immediate wakeup (e.g. SMU queue ran dry). */
+    void kick();
+
+    std::uint64_t batchesRun() const { return nBatches; }
+
+  protected:
+    Scheduler &sched;
+    sim::EventQueue &eq;
+
+  private:
+    Tick per;
+    bool due = false;
+    bool stopped = false;
+    bool timerArmed = false;
+    std::uint64_t nBatches = 0;
+
+    void armTimer();
+};
+
+} // namespace hwdp::os
+
+#endif // HWDP_OS_KTHREAD_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-frame OS metadata (the moral equivalent of struct page).
+ *
+ * Exactly the state the paper's control-plane work manipulates: LRU
+ * membership, dirty/referenced bits, the page-cache identity
+ * (file, index) and the reverse mapping back to the single virtual
+ * mapping (the design reverts to OS paging on fork, so a page has at
+ * most one mapping — Section V).
+ */
+
+#ifndef HWDP_OS_PAGE_HH
+#define HWDP_OS_PAGE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hwdp::os {
+
+class AddressSpace;
+class File;
+
+struct Page
+{
+    Pfn pfn = 0;
+
+    /** Page-cache identity; nullptr for anonymous/free pages. */
+    File *file = nullptr;
+    std::uint64_t index = 0;
+
+    /** Reverse mapping (single mapping by design). */
+    AddressSpace *as = nullptr;
+    VAddr vaddr = 0;
+
+    bool inUse = false;        ///< Frame allocated to someone.
+    bool dirty = false;        ///< Needs writeback before reuse.
+    bool referenced = false;   ///< Second-chance bit for the clock.
+    bool active = false;       ///< On the active (vs inactive) list.
+    bool lruLinked = false;    ///< Present on an LRU list at all.
+    bool inPageCache = false;  ///< Indexed by the page cache.
+    bool underWriteback = false;
+    bool inSmuQueue = false;   ///< Donated to the SMU free page queue.
+
+    void
+    resetMetadata()
+    {
+        file = nullptr;
+        index = 0;
+        as = nullptr;
+        vaddr = 0;
+        inUse = false;
+        dirty = false;
+        referenced = false;
+        active = false;
+        lruLinked = false;
+        inPageCache = false;
+        underWriteback = false;
+        inSmuQueue = false;
+    }
+};
+
+} // namespace hwdp::os
+
+#endif // HWDP_OS_PAGE_HH

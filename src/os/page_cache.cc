@@ -1,0 +1,49 @@
+#include "os/page_cache.hh"
+
+#include "os/file_system.hh"
+#include "sim/logging.hh"
+
+namespace hwdp::os {
+
+std::uint64_t
+PageCache::key(const File &file, std::uint64_t index)
+{
+    // 24 bits of file id above 40 bits of page index: enough for the
+    // largest simulated files by a wide margin.
+    return (static_cast<std::uint64_t>(file.id()) << 40) |
+           (index & ((1ULL << 40) - 1));
+}
+
+Pfn
+PageCache::lookup(const File &file, std::uint64_t index) const
+{
+    ++nLookups;
+    auto it = map.find(key(file, index));
+    if (it == map.end())
+        return noFrame;
+    ++nHits;
+    return it->second;
+}
+
+bool
+PageCache::contains(const File &file, std::uint64_t index) const
+{
+    return map.find(key(file, index)) != map.end();
+}
+
+void
+PageCache::insert(const File &file, std::uint64_t index, Pfn pfn)
+{
+    auto [it, fresh] = map.emplace(key(file, index), pfn);
+    if (!fresh)
+        panic("page cache: duplicate insert of ", file.name(), ":", index);
+}
+
+void
+PageCache::remove(const File &file, std::uint64_t index)
+{
+    if (map.erase(key(file, index)) != 1)
+        panic("page cache: removing absent ", file.name(), ":", index);
+}
+
+} // namespace hwdp::os

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-file page cache index.
+ *
+ * Maps (file id, page index) to the resident frame. In the HWDP
+ * design the page cache is *eventually* updated by kpted for
+ * hardware-handled misses; pages faulted by the SMU are therefore
+ * invisible here until synchronised, which the tests assert.
+ */
+
+#ifndef HWDP_OS_PAGE_CACHE_HH
+#define HWDP_OS_PAGE_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace hwdp::os {
+
+class File;
+
+class PageCache
+{
+  public:
+    /** Look up the frame caching (file, index); invalid when absent. */
+    Pfn lookup(const File &file, std::uint64_t index) const;
+
+    /** True when (file, index) is resident in the cache. */
+    bool contains(const File &file, std::uint64_t index) const;
+
+    /** Insert a mapping. @pre not already present. */
+    void insert(const File &file, std::uint64_t index, Pfn pfn);
+
+    /** Remove a mapping. @pre present. */
+    void remove(const File &file, std::uint64_t index);
+
+    std::uint64_t size() const { return map.size(); }
+
+    std::uint64_t lookups() const { return nLookups; }
+    std::uint64_t hits() const { return nHits; }
+
+    static constexpr Pfn noFrame = ~Pfn(0);
+
+  private:
+    static std::uint64_t key(const File &file, std::uint64_t index);
+
+    std::unordered_map<std::uint64_t, Pfn> map;
+    mutable std::uint64_t nLookups = 0;
+    mutable std::uint64_t nHits = 0;
+};
+
+} // namespace hwdp::os
+
+#endif // HWDP_OS_PAGE_CACHE_HH

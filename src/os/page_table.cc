@@ -1,0 +1,232 @@
+#include "os/page_table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hwdp::os {
+
+namespace {
+
+/** Bytes of virtual address space one entry covers at each level. */
+constexpr std::uint64_t
+levelSpan(PtLevel level)
+{
+    return 1ULL << (pageShift +
+                    PageTable::bitsPerLevel * static_cast<unsigned>(level));
+}
+
+} // namespace
+
+PageTable::PageTable()
+    // Symbolic, process-unique table addresses: high "kernel" range.
+    : nextTableBase(0xffff'8000'0000'0000ULL)
+{
+    root = std::make_unique<Table>();
+    root->base = nextTableBase;
+    nextTableBase += pageSize;
+    nTables = 1;
+}
+
+PageTable::~PageTable() = default;
+
+unsigned
+PageTable::levelIndex(VAddr vaddr, PtLevel level)
+{
+    unsigned shift =
+        pageShift + bitsPerLevel * static_cast<unsigned>(level);
+    return static_cast<unsigned>((vaddr >> shift) & (entriesPerTable - 1));
+}
+
+PageTable::Table *
+PageTable::childTable(Table &t, unsigned idx, bool allocate)
+{
+    if (!t.child[idx]) {
+        if (!allocate)
+            return nullptr;
+        t.child[idx] = std::make_unique<Table>();
+        t.child[idx]->base = nextTableBase;
+        nextTableBase += pageSize;
+        ++nTables;
+        // The upper entry becomes a present table pointer.
+        t.e[idx] |= pte::presentBit;
+    }
+    return t.child[idx].get();
+}
+
+pte::Entry
+PageTable::readPte(VAddr vaddr) const
+{
+    const Table *t = root.get();
+    for (int level = 3; level >= 1; --level) {
+        unsigned idx = levelIndex(vaddr, static_cast<PtLevel>(level));
+        const Table *c = t->child[idx].get();
+        if (!c)
+            return 0;
+        t = c;
+    }
+    return t->e[levelIndex(vaddr, PtLevel::pt)];
+}
+
+void
+PageTable::writePte(VAddr vaddr, pte::Entry e)
+{
+    Table *t = root.get();
+    for (int level = 3; level >= 1; --level) {
+        unsigned idx = levelIndex(vaddr, static_cast<PtLevel>(level));
+        t = childTable(*t, idx, true);
+    }
+    t->e[levelIndex(vaddr, PtLevel::pt)] = e;
+}
+
+WalkRefs
+PageTable::walkRefs(VAddr vaddr, bool allocate)
+{
+    WalkRefs refs;
+    Table *pgd = root.get();
+    unsigned pgd_idx = levelIndex(vaddr, PtLevel::pgd);
+    Table *pud = childTable(*pgd, pgd_idx, allocate);
+    if (!pud)
+        return refs;
+
+    unsigned pud_idx = levelIndex(vaddr, PtLevel::pud);
+    refs.pud.slot = &pud->e[pud_idx];
+    refs.pud.addr = pud->base + pud_idx * sizeof(pte::Entry);
+
+    Table *pmd = childTable(*pud, pud_idx, allocate);
+    if (!pmd)
+        return refs;
+
+    unsigned pmd_idx = levelIndex(vaddr, PtLevel::pmd);
+    refs.pmd.slot = &pmd->e[pmd_idx];
+    refs.pmd.addr = pmd->base + pmd_idx * sizeof(pte::Entry);
+
+    Table *pt = childTable(*pmd, pmd_idx, allocate);
+    if (!pt)
+        return refs;
+
+    unsigned pt_idx = levelIndex(vaddr, PtLevel::pt);
+    refs.pte.slot = &pt->e[pt_idx];
+    refs.pte.addr = pt->base + pt_idx * sizeof(pte::Entry);
+    return refs;
+}
+
+void
+PageTable::markUpperLba(VAddr vaddr)
+{
+    WalkRefs refs = walkRefs(vaddr, false);
+    if (!refs.pud.valid() || !refs.pmd.valid())
+        panic("markUpperLba on unpopulated tree at vaddr ", vaddr);
+    refs.pmd.write(pte::setLbaBit(refs.pmd.value()));
+    refs.pud.write(pte::setLbaBit(refs.pud.value()));
+}
+
+std::uint64_t
+PageTable::scanImpl(VAddr start, VAddr end, bool guided,
+                    const std::function<void(VAddr, EntryRef)> &fn,
+                    std::uint64_t *entries_visited)
+{
+    std::uint64_t synced = 0;
+    std::uint64_t visited = 0;
+
+    constexpr std::uint64_t pud_span = levelSpan(PtLevel::pud);
+    constexpr std::uint64_t pmd_span = levelSpan(PtLevel::pmd);
+
+    for (VAddr va = start & ~(levelSpan(PtLevel::pgd) - 1); va < end;
+         va += levelSpan(PtLevel::pgd)) {
+        unsigned pgd_idx = levelIndex(va, PtLevel::pgd);
+        Table *pud_t = root->child[pgd_idx].get();
+        ++visited;
+        if (!pud_t)
+            continue;
+
+        VAddr pud_lo = std::max<VAddr>(va, start & ~(pud_span - 1));
+        for (VAddr pva = pud_lo; pva < end && pva < va +
+                 levelSpan(PtLevel::pgd); pva += pud_span) {
+            unsigned pud_idx = levelIndex(pva, PtLevel::pud);
+            ++visited;
+            Table *pmd_t = pud_t->child[pud_idx].get();
+            if (!pmd_t)
+                continue;
+            if (guided) {
+                if (!pte::hasLbaBit(pud_t->e[pud_idx]))
+                    continue;
+                // Clear before descending so a concurrent hardware
+                // miss re-marks the entry (scan-condition guarantee,
+                // Section IV-C).
+                pud_t->e[pud_idx] = pte::clearLbaBit(pud_t->e[pud_idx]);
+            }
+
+            VAddr pmd_lo = std::max<VAddr>(pva, start & ~(pmd_span - 1));
+            for (VAddr mva = pmd_lo; mva < end && mva < pva + pud_span;
+                 mva += pmd_span) {
+                unsigned pmd_idx = levelIndex(mva, PtLevel::pmd);
+                ++visited;
+                Table *pt_t = pmd_t->child[pmd_idx].get();
+                if (!pt_t)
+                    continue;
+                if (guided) {
+                    if (!pte::hasLbaBit(pmd_t->e[pmd_idx]))
+                        continue;
+                    pmd_t->e[pmd_idx] =
+                        pte::clearLbaBit(pmd_t->e[pmd_idx]);
+                }
+
+                for (unsigned i = 0; i < entriesPerTable; ++i) {
+                    VAddr pte_va = mva + static_cast<VAddr>(i) * pageSize;
+                    if (pte_va < start || pte_va >= end)
+                        continue;
+                    ++visited;
+                    pte::Entry e = pt_t->e[i];
+                    if (pte::needsMetadataSync(e)) {
+                        EntryRef ref{&pt_t->e[i],
+                                     pt_t->base + i * sizeof(pte::Entry)};
+                        fn(pte_va, ref);
+                        ++synced;
+                    }
+                }
+            }
+        }
+    }
+    if (entries_visited)
+        *entries_visited = visited;
+    return synced;
+}
+
+std::uint64_t
+PageTable::scanUnsynced(VAddr start, VAddr end,
+                        const std::function<void(VAddr, EntryRef)> &fn,
+                        std::uint64_t *entries_visited)
+{
+    return scanImpl(start, end, true, fn, entries_visited);
+}
+
+std::uint64_t
+PageTable::scanUnsyncedFull(VAddr start, VAddr end,
+                            const std::function<void(VAddr, EntryRef)> &fn,
+                            std::uint64_t *entries_visited)
+{
+    return scanImpl(start, end, false, fn, entries_visited);
+}
+
+void
+PageTable::forEachPte(VAddr start, VAddr end,
+                      const std::function<void(VAddr, EntryRef)> &fn)
+{
+    for (VAddr va = start; va < end; va += pageSize) {
+        WalkRefs refs = walkRefs(va, false);
+        if (!refs.pte.valid()) {
+            // Skip to the next leaf-table boundary to avoid a
+            // page-by-page crawl over unpopulated gigabytes.
+            VAddr span = levelSpan(PtLevel::pmd);
+            VAddr next = (va & ~(span - 1)) + span;
+            if (next <= va)
+                break;
+            va = next - pageSize;
+            continue;
+        }
+        fn(va, refs.pte);
+    }
+}
+
+} // namespace hwdp::os

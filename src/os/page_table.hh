@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Four-level x86-64-style page table with LBA-augmented entries.
+ *
+ * Levels follow Linux naming: PGD -> PUD -> PMD -> PT(E). Each table
+ * has 512 eight-byte entries and a unique simulated physical address,
+ * so components that operate on *entry addresses* — the SMU's page
+ * table updater receives the PUD-entry, PMD-entry and PTE addresses
+ * with every page-miss request (Section III-C) — have real, unique
+ * keys to work with.
+ */
+
+#ifndef HWDP_OS_PAGE_TABLE_HH
+#define HWDP_OS_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "os/pte.hh"
+#include "sim/types.hh"
+
+namespace hwdp::os {
+
+/** Levels of the tree, leaf first. */
+enum class PtLevel : unsigned { pt = 0, pmd = 1, pud = 2, pgd = 3 };
+
+/** A reference to one entry: its storage and its simulated address. */
+struct EntryRef
+{
+    pte::Entry *slot = nullptr;
+    PAddr addr = 0;
+
+    bool valid() const { return slot != nullptr; }
+    pte::Entry value() const { return *slot; }
+    void write(pte::Entry e) const { *slot = e; }
+};
+
+/** The three entry references a page-miss request carries to the SMU. */
+struct WalkRefs
+{
+    EntryRef pud;
+    EntryRef pmd;
+    EntryRef pte;
+};
+
+class PageTable
+{
+  public:
+    static constexpr unsigned entriesPerTable = 512;
+    static constexpr unsigned bitsPerLevel = 9;
+
+    PageTable();
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Read the leaf PTE for @p vaddr; returns 0 (not-present,
+     * OS-handled) when intermediate tables are absent.
+     */
+    pte::Entry readPte(VAddr vaddr) const;
+
+    /**
+     * Write the leaf PTE, creating intermediate tables as needed
+     * (the fast-mmap population path allocates the whole tree,
+     * Section IV-B).
+     */
+    void writePte(VAddr vaddr, pte::Entry e);
+
+    /**
+     * Get references to the PUD entry, PMD entry and PTE covering
+     * @p vaddr, creating tables when @p allocate. Refs are invalid
+     * when tables are absent and !allocate.
+     */
+    WalkRefs walkRefs(VAddr vaddr, bool allocate);
+
+    /** Set the LBA bit on the PMD and PUD entries covering @p vaddr. */
+    void markUpperLba(VAddr vaddr);
+
+    /**
+     * kpted scan over [start, end): visits only subtrees whose upper
+     * -level LBA bits are set, clearing those bits before descending
+     * (Section IV-C), then invokes @p fn for every PTE with both
+     * present and LBA bits set.
+     *
+     * @param fn            Called with (vaddr, EntryRef of the PTE).
+     * @param entries_visited Out: upper+leaf entries inspected, the
+     *                      scan-cost metric for the kpted ablation.
+     * @return number of PTEs synchronised (fn invocations).
+     */
+    std::uint64_t scanUnsynced(VAddr start, VAddr end,
+                               const std::function<void(VAddr,
+                                                        EntryRef)> &fn,
+                               std::uint64_t *entries_visited = nullptr);
+
+    /**
+     * Exhaustive variant that ignores upper-level LBA bits (the
+     * baseline the ablation compares against).
+     */
+    std::uint64_t scanUnsyncedFull(VAddr start, VAddr end,
+                                   const std::function<void(VAddr,
+                                                            EntryRef)> &fn,
+                                   std::uint64_t *entries_visited = nullptr);
+
+    /**
+     * Iterate every populated leaf PTE in [start, end) (used by
+     * munmap and fork-revert).
+     */
+    void forEachPte(VAddr start, VAddr end,
+                    const std::function<void(VAddr, EntryRef)> &fn);
+
+    /** Number of table pages currently allocated (space accounting). */
+    std::uint64_t tablePages() const { return nTables; }
+
+  private:
+    struct Table
+    {
+        std::array<pte::Entry, entriesPerTable> e{};
+        std::array<std::unique_ptr<Table>, entriesPerTable> child{};
+        PAddr base = 0;
+    };
+
+    std::unique_ptr<Table> root; // the PGD
+    std::uint64_t nTables = 0;
+    PAddr nextTableBase;
+
+    Table *childTable(Table &t, unsigned idx, bool allocate);
+
+    static unsigned levelIndex(VAddr vaddr, PtLevel level);
+
+    std::uint64_t scanImpl(VAddr start, VAddr end, bool guided,
+                           const std::function<void(VAddr, EntryRef)> &fn,
+                           std::uint64_t *entries_visited);
+};
+
+} // namespace hwdp::os
+
+#endif // HWDP_OS_PAGE_TABLE_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * LBA-augmented page table entry layout (paper Figure 6 / Table I).
+ *
+ * A 64-bit entry in one of two shapes:
+ *
+ *  present (P=1):   [63 NX][62:59 pkey][51:12 PFN][11:10 avl/LBA]
+ *                   [6 D][5 A][2 U][1 W][0 P=1]
+ *  LBA-augmented    [63 NX][62:59 pkey][58:18 LBA (41 bits)]
+ *  (P=0, LBA=1):    [17:15 device id (3)][14:12 socket id (3)]
+ *                   [10 LBA=1][2 U][1 W][0 P=0]
+ *
+ * The LBA bit is bit 10, the bit the paper's real-machine prototype
+ * uses. The socket-id / device-id / LBA widths are the paper's 3/3/41
+ * split, giving up to 8 sockets, 8 block devices per socket and 1 PB
+ * per device. Upper-level (PMD/PUD) entries reuse the same LBA bit to
+ * mean "some PTE below was hardware-handled and its OS metadata is not
+ * synchronised yet" (Table I), which is what lets kpted skip clean
+ * subtrees.
+ */
+
+#ifndef HWDP_OS_PTE_HH
+#define HWDP_OS_PTE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hwdp::os::pte {
+
+using Entry = std::uint64_t;
+
+inline constexpr Entry presentBit = 1ULL << 0;
+inline constexpr Entry writableBit = 1ULL << 1;
+inline constexpr Entry userBit = 1ULL << 2;
+inline constexpr Entry accessedBit = 1ULL << 5;
+inline constexpr Entry dirtyBit = 1ULL << 6;
+inline constexpr Entry lbaBit = 1ULL << 10;
+inline constexpr Entry nxBit = 1ULL << 63;
+
+inline constexpr unsigned pfnShift = 12;
+inline constexpr Entry pfnMask = ((1ULL << 40) - 1) << pfnShift;
+
+inline constexpr unsigned sidShift = 12;
+inline constexpr Entry sidFieldMask = 0x7ULL << sidShift;
+inline constexpr unsigned devShift = 15;
+inline constexpr Entry devFieldMask = 0x7ULL << devShift;
+inline constexpr unsigned lbaShift = 18;
+inline constexpr Entry lbaFieldMask = ((1ULL << 41) - 1) << lbaShift;
+
+/** Largest encodable LBA (41 bits => 1 PB of 512 B blocks). */
+inline constexpr std::uint64_t maxLba = (1ULL << 41) - 1;
+
+/**
+ * Reserved LBA marking a first-touch anonymous page (Section V,
+ * "Demand Paging Support for Anonymous Page"): the SMU bypasses I/O
+ * and installs a zero-filled frame. Real files never receive this
+ * block because the file system reserves it.
+ */
+inline constexpr Lba zeroFillLba = maxLba;
+
+inline bool isPresent(Entry e) { return e & presentBit; }
+inline bool hasLbaBit(Entry e) { return e & lbaBit; }
+inline bool isWritable(Entry e) { return e & writableBit; }
+inline bool isAccessed(Entry e) { return e & accessedBit; }
+inline bool isDirty(Entry e) { return e & dirtyBit; }
+
+/** Non-resident, LBA-augmented: hardware will handle the miss. */
+inline bool
+isLbaAugmented(Entry e)
+{
+    return !isPresent(e) && hasLbaBit(e);
+}
+
+/** Resident but OS metadata not yet synchronised (kpted pending). */
+inline bool
+needsMetadataSync(Entry e)
+{
+    return isPresent(e) && hasLbaBit(e);
+}
+
+/** Non-resident and not augmented: the OS must handle the miss. */
+inline bool
+isOsHandledMiss(Entry e)
+{
+    return !isPresent(e) && !hasLbaBit(e);
+}
+
+inline Pfn
+pfnOf(Entry e)
+{
+    return (e & pfnMask) >> pfnShift;
+}
+
+inline unsigned
+socketIdOf(Entry e)
+{
+    return static_cast<unsigned>((e & sidFieldMask) >> sidShift);
+}
+
+inline unsigned
+deviceIdOf(Entry e)
+{
+    return static_cast<unsigned>((e & devFieldMask) >> devShift);
+}
+
+inline Lba
+lbaOf(Entry e)
+{
+    return (e & lbaFieldMask) >> lbaShift;
+}
+
+/** Non-PFN, non-LBA-field bits (protection and friends). */
+inline Entry
+protectionOf(Entry e)
+{
+    return e & (writableBit | userBit | nxBit);
+}
+
+/** Build a resident entry. */
+inline Entry
+makePresent(Pfn pfn, Entry prot, bool keep_lba_bit = false)
+{
+    Entry e = presentBit | (prot & ~(pfnMask | presentBit | lbaBit));
+    e |= (static_cast<Entry>(pfn) << pfnShift) & pfnMask;
+    if (keep_lba_bit)
+        e |= lbaBit;
+    return e;
+}
+
+/** Build an LBA-augmented non-resident entry. */
+inline Entry
+makeLbaAugmented(unsigned sid, unsigned dev, Lba lba, Entry prot)
+{
+    Entry e = lbaBit | (prot & (writableBit | userBit | nxBit));
+    e |= (static_cast<Entry>(sid) << sidShift) & sidFieldMask;
+    e |= (static_cast<Entry>(dev) << devShift) & devFieldMask;
+    e |= (static_cast<Entry>(lba) << lbaShift) & lbaFieldMask;
+    return e;
+}
+
+/**
+ * Convert a resident PTE that still carries the LBA bit into a fully
+ * synchronised resident PTE (kpted's final step).
+ */
+inline Entry
+clearLbaBit(Entry e)
+{
+    return e & ~lbaBit;
+}
+
+inline Entry
+setLbaBit(Entry e)
+{
+    return e | lbaBit;
+}
+
+} // namespace hwdp::os::pte
+
+#endif // HWDP_OS_PTE_HH

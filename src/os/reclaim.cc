@@ -1,0 +1,208 @@
+#include "os/reclaim.hh"
+
+#include "os/kernel.hh"
+#include "sim/logging.hh"
+
+namespace hwdp::os {
+
+// ---------------------------------------------------------------- LruLists
+
+void
+LruLists::insert(Page &page, ListId list)
+{
+    if (page.lruLinked)
+        panic("lru: page ", page.pfn, " already linked");
+    auto &l = list == ListId::active ? active : inactive;
+    l.push_front(page.pfn);
+    where[page.pfn] = Loc{list, l.begin()};
+    page.lruLinked = true;
+    page.active = list == ListId::active;
+}
+
+void
+LruLists::insertInactive(Page &page)
+{
+    insert(page, ListId::inactive);
+}
+
+void
+LruLists::insertActive(Page &page)
+{
+    insert(page, ListId::active);
+}
+
+void
+LruLists::remove(Page &page)
+{
+    auto it = where.find(page.pfn);
+    if (it == where.end())
+        panic("lru: removing unlinked page ", page.pfn);
+    auto &l = it->second.list == ListId::active ? active : inactive;
+    l.erase(it->second.it);
+    where.erase(it);
+    page.lruLinked = false;
+    page.active = false;
+}
+
+Pfn
+LruLists::popCandidate()
+{
+    if (inactive.empty()) {
+        // Aging: demote the oldest active pages.
+        for (std::uint64_t i = 0; i < demoteBatch && !active.empty();
+             ++i) {
+            Pfn pfn = active.back();
+            active.pop_back();
+            inactive.push_front(pfn);
+            where[pfn] = Loc{ListId::inactive, inactive.begin()};
+        }
+    }
+    if (inactive.empty())
+        return invalidPfn;
+    Pfn pfn = inactive.back();
+    inactive.pop_back();
+    where.erase(pfn);
+    return pfn;
+}
+
+void
+LruLists::secondChance(Page &page)
+{
+    if (page.lruLinked)
+        panic("lru: second chance on a linked page");
+    page.referenced = false;
+    insert(page, ListId::active);
+}
+
+// --------------------------------------------------------------- Reclaimer
+
+Reclaimer::Reclaimer(Kernel &kernel, unsigned core, Tick period,
+                     std::uint64_t low_water, std::uint64_t high_water)
+    : KThread("kreclaimd", core, kernel.scheduler(), kernel.eventQueue(),
+              period),
+      kernel(kernel), lowWater(low_water), highWater(high_water)
+{
+    if (high_water <= low_water)
+        fatal("reclaimer: watermarks inverted");
+}
+
+std::uint64_t
+Reclaimer::shrink(unsigned core, std::uint64_t want,
+                  std::uint64_t *scanned)
+{
+    std::uint64_t freed = 0;
+    std::uint64_t seen = 0;
+    // Bounded scan: at worst look at 8x the target before giving up
+    // (everything referenced/dirty), mirroring shrink priority decay.
+    std::uint64_t budget = want * 8 + 32;
+
+    while (freed < want && seen < budget) {
+        Pfn pfn = lists.popCandidate();
+        if (pfn == LruLists::invalidPfn)
+            break;
+        ++seen;
+        Page &pg = kernel.page(pfn);
+        pg.lruLinked = false;
+
+        if (!pg.inUse || pg.underWriteback || pg.inSmuQueue) {
+            // Should not be on the LRU; tolerate and drop the link.
+            continue;
+        }
+
+        // Anonymous pages are not evictable (swap-out is outside the
+        // model, as it is a straightforward extension in the paper,
+        // Section V): park them on the active list.
+        if (pg.as != nullptr && pg.file == nullptr) {
+            pg.referenced = false;
+            lists.secondChance(pg);
+            continue;
+        }
+
+        // Referenced pages (hardware-set PTE accessed bit or software
+        // referenced flag) get a second chance on the active list.
+        bool referenced = pg.referenced;
+        if (pg.as != nullptr) {
+            pte::Entry e = pg.as->pageTable().readPte(pg.vaddr);
+            if (pte::isAccessed(e)) {
+                referenced = true;
+                pg.as->pageTable().writePte(pg.vaddr,
+                                            e & ~pte::accessedBit);
+            }
+        }
+        if (referenced) {
+            lists.secondChance(pg);
+            continue;
+        }
+
+        bool dirty;
+        if (pg.as != nullptr) {
+            dirty = kernel.rmap().unmapForEviction(pg);
+        } else {
+            dirty = pg.dirty; // unmapped page-cache page
+        }
+
+        if (dirty) {
+            // Drop the page-cache entry first so a racing fault
+            // re-reads from disk instead of mapping a frame that is
+            // about to be freed (the page-lock serialisation).
+            if (pg.inPageCache && pg.file) {
+                kernel.pageCache().remove(*pg.file, pg.index);
+                pg.inPageCache = false;
+            }
+            // Write back, then free on completion.
+            pg.underWriteback = true;
+            ++nWriteback;
+            kernel.kexec().run(kernel.scheduler().physCoreOf(core),
+                               phases::writebackSubmit);
+            File *file = pg.file;
+            unsigned dev = kernel.deviceIndexOf(file->device());
+            kernel.blockLayer().submit(
+                core, dev, file->lbaOf(pg.index), true,
+                BlockLayer::IoClass::writeback, [this, &pg] {
+                    pg.underWriteback = false;
+                    pg.dirty = false;
+                    kernel.freePage(pg);
+                    ++nEvicted;
+                });
+        } else {
+            kernel.freePage(pg);
+            ++nEvicted;
+            ++freed;
+        }
+    }
+    if (scanned)
+        *scanned = seen;
+    return freed;
+}
+
+void
+Reclaimer::batch(std::function<void()> done)
+{
+    std::uint64_t free_now = kernel.physMem().freeFrames();
+    if (free_now >= lowWater) {
+        done();
+        return;
+    }
+    std::uint64_t want = highWater - free_now;
+    std::uint64_t scanned = 0;
+    shrink(core(), want, &scanned);
+    Tick dur = kernel.kexec().runBatch(
+        kernel.scheduler().physCoreOf(core()), phases::reclaimScanPage,
+        scanned);
+    eq.scheduleLambdaIn(dur, std::move(done), "kreclaimd.batch");
+}
+
+void
+Reclaimer::directReclaim(unsigned core, std::uint64_t want,
+                         std::function<void()> done)
+{
+    ++nDirect;
+    std::uint64_t scanned = 0;
+    shrink(core, want, &scanned);
+    Tick dur = kernel.kexec().runBatch(kernel.scheduler().physCoreOf(core),
+                                       phases::reclaimScanPage, scanned);
+    kernel.eventQueue().scheduleLambdaIn(dur, std::move(done),
+                                         "direct_reclaim");
+}
+
+} // namespace hwdp::os

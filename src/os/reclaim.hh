@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Page replacement: LRU lists and the reclaimer.
+ *
+ * Linux-flavoured two-list design: pages enter the inactive list;
+ * referenced pages get a second chance onto the active list; when the
+ * inactive list runs dry a batch of active pages is demoted (aging).
+ * A background reclaimer thread (kswapd equivalent) keeps free memory
+ * between watermarks so the steady-state working set can churn; the
+ * fault path falls back to synchronous direct reclaim when allocation
+ * fails outright. The paper's kpted inserts hardware-faulted pages
+ * into these lists in batch (Section IV-C), and the one-second kpted
+ * period is justified by the LRU rotation time — which this module
+ * makes a measurable quantity.
+ */
+
+#ifndef HWDP_OS_RECLAIM_HH
+#define HWDP_OS_RECLAIM_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "os/kthread.hh"
+#include "sim/types.hh"
+
+namespace hwdp::os {
+
+class Kernel;
+struct Page;
+
+class LruLists
+{
+  public:
+    void insertInactive(Page &page);
+    void insertActive(Page &page);
+
+    /** Remove from whichever list holds the page. */
+    void remove(Page &page);
+
+    /**
+     * Pop the next eviction candidate from the inactive tail,
+     * demoting a batch of active pages first when inactive is empty.
+     * Returns invalid when both lists are empty.
+     */
+    Pfn popCandidate();
+
+    /** Second chance: requeue a referenced page onto the active list. */
+    void secondChance(Page &page);
+
+    std::uint64_t activeCount() const { return active.size(); }
+    std::uint64_t inactiveCount() const { return inactive.size(); }
+    std::uint64_t size() const { return active.size() + inactive.size(); }
+
+    bool contains(Pfn pfn) const { return where.count(pfn) != 0; }
+
+    static constexpr Pfn invalidPfn = ~Pfn(0);
+
+    /** Active pages demoted per refill of the inactive list. */
+    static constexpr std::uint64_t demoteBatch = 32;
+
+  private:
+    enum class ListId { active, inactive };
+    struct Loc
+    {
+        ListId list;
+        std::list<Pfn>::iterator it;
+    };
+
+    std::list<Pfn> active;   // front = most recent
+    std::list<Pfn> inactive; // front = most recent, evict from back
+    std::unordered_map<Pfn, Loc> where;
+
+    void insert(Page &page, ListId list);
+};
+
+class Reclaimer : public KThread
+{
+  public:
+    /**
+     * @param low_water  Free-frame count that triggers background
+     *                   reclaim.
+     * @param high_water Background reclaim target.
+     */
+    Reclaimer(Kernel &kernel, unsigned core, Tick period,
+              std::uint64_t low_water, std::uint64_t high_water);
+
+    void batch(std::function<void()> done) override;
+
+    /**
+     * Synchronous direct reclaim on the faulting path: frees up to
+     * @p want frames (clean pages immediately; dirty ones via
+     * writeback, which completes later). Charges reclaim phases on
+     * @p core, then calls @p done.
+     */
+    void directReclaim(unsigned core, std::uint64_t want,
+                       std::function<void()> done);
+
+    LruLists &lru() { return lists; }
+
+    std::uint64_t pagesEvicted() const { return nEvicted; }
+    std::uint64_t pagesWrittenBack() const { return nWriteback; }
+    std::uint64_t directReclaims() const { return nDirect; }
+
+    std::uint64_t lowWatermark() const { return lowWater; }
+    std::uint64_t highWatermark() const { return highWater; }
+
+  private:
+    Kernel &kernel;
+    LruLists lists;
+    std::uint64_t lowWater;
+    std::uint64_t highWater;
+
+    std::uint64_t nEvicted = 0;
+    std::uint64_t nWriteback = 0;
+    std::uint64_t nDirect = 0;
+
+    /**
+     * Evict up to @p want pages, returning the number freed now
+     * (dirty pages under writeback free later and do not count).
+     * @param scanned Out: pages examined (for phase charging).
+     */
+    std::uint64_t shrink(unsigned core, std::uint64_t want,
+                         std::uint64_t *scanned);
+};
+
+} // namespace hwdp::os
+
+#endif // HWDP_OS_RECLAIM_HH

@@ -1,0 +1,51 @@
+#include "os/vma.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hwdp::os {
+
+AddressSpace::AddressSpace(std::uint32_t id) : asid(id)
+{
+}
+
+Vma *
+AddressSpace::addVma(File *file, std::uint64_t file_page_offset,
+                     std::uint64_t n_pages, bool fast_mmap, pte::Entry prot)
+{
+    if (n_pages == 0)
+        fatal("addVma: zero-length mapping");
+    auto vma = std::make_unique<Vma>();
+    vma->start = nextMapBase;
+    vma->end = nextMapBase + n_pages * pageSize;
+    vma->file = file;
+    vma->filePageOffset = file_page_offset;
+    vma->fastMmap = fast_mmap;
+    vma->prot = prot;
+    nextMapBase = vma->end + pageSize; // one-page guard gap
+    areas.push_back(std::move(vma));
+    return areas.back().get();
+}
+
+void
+AddressSpace::removeVma(Vma *vma)
+{
+    auto it = std::find_if(areas.begin(), areas.end(),
+                           [vma](const auto &p) { return p.get() == vma; });
+    if (it == areas.end())
+        panic("removeVma: VMA not part of this address space");
+    areas.erase(it);
+}
+
+Vma *
+AddressSpace::findVma(VAddr va)
+{
+    for (auto &vma : areas) {
+        if (vma->contains(va))
+            return vma.get();
+    }
+    return nullptr;
+}
+
+} // namespace hwdp::os

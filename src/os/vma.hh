@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Virtual memory areas and per-process address spaces.
+ *
+ * An AddressSpace owns a page table and a sorted list of VMAs. The
+ * fast-mmap flag on a VMA is the paper's new mmap() flag (Section
+ * IV-B): it opts the area into hardware-based demand paging, causing
+ * every PTE in the area to be populated with either a resident frame
+ * or an LBA-augmented entry at map time.
+ */
+
+#ifndef HWDP_OS_VMA_HH
+#define HWDP_OS_VMA_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/page_table.hh"
+#include "os/pte.hh"
+#include "sim/types.hh"
+
+namespace hwdp::os {
+
+class File;
+
+struct Vma
+{
+    VAddr start = 0;
+    VAddr end = 0; // exclusive
+
+    File *file = nullptr;           ///< nullptr => anonymous.
+    std::uint64_t filePageOffset = 0;
+
+    bool fastMmap = false;          ///< Paper's new mmap() flag.
+    pte::Entry prot = pte::writableBit | pte::userBit;
+
+    std::uint64_t numPages() const { return (end - start) >> pageShift; }
+    bool contains(VAddr va) const { return va >= start && va < end; }
+
+    /** Page index within the backing file for @p va. */
+    std::uint64_t
+    fileIndexOf(VAddr va) const
+    {
+        return filePageOffset + ((va - start) >> pageShift);
+    }
+};
+
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(std::uint32_t id);
+
+    std::uint32_t id() const { return asid; }
+    PageTable &pageTable() { return pt; }
+    const PageTable &pageTable() const { return pt; }
+
+    /**
+     * Reserve a VMA for @p n_pages of @p file starting at file page
+     * @p file_page_offset. PTE population is the kernel's job.
+     */
+    Vma *addVma(File *file, std::uint64_t file_page_offset,
+                std::uint64_t n_pages, bool fast_mmap, pte::Entry prot);
+
+    /** Remove a VMA (after the kernel tears down its PTEs). */
+    void removeVma(Vma *vma);
+
+    /** VMA covering @p va, or nullptr. */
+    Vma *findVma(VAddr va);
+
+    const std::vector<std::unique_ptr<Vma>> &vmas() const { return areas; }
+
+  private:
+    std::uint32_t asid;
+    PageTable pt;
+    std::vector<std::unique_ptr<Vma>> areas;
+    VAddr nextMapBase = 0x0000'7f00'0000'0000ULL;
+};
+
+} // namespace hwdp::os
+
+#endif // HWDP_OS_VMA_HH

@@ -1,0 +1,146 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::sim {
+
+Event::Event(std::string name) : _name(std::move(name))
+{
+}
+
+Event::~Event()
+{
+    // Destroying a scheduled event would leave a dangling pointer in
+    // the queue's heap; the queue tolerates it only because entries
+    // carry a sequence number, but it is still a bug in the component.
+    // We cannot throw from a destructor, so this is best-effort.
+}
+
+EventQueue::EventQueue() = default;
+
+EventQueue::~EventQueue()
+{
+    // Drain and delete any self-owned lambda wrappers still pending.
+    while (!heap.empty()) {
+        Entry e = heap.top();
+        heap.pop();
+        if (e.ev->_scheduled && e.ev->_seq == e.seq) {
+            e.ev->_scheduled = false;
+            if (e.ev->_selfOwned)
+                delete e.ev;
+        }
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    if (ev->_scheduled)
+        panic("event '", ev->name(), "' scheduled twice");
+    if (when < curTick)
+        panic("event '", ev->name(), "' scheduled in the past (", when,
+              " < ", curTick, ")");
+    ev->_scheduled = true;
+    ev->_when = when;
+    ev->_seq = nextSeq++;
+    heap.push(Entry{when, ev->_seq, ev});
+    ++liveCount;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->_scheduled)
+        panic("descheduling idle event '", ev->name(), "'");
+    // Lazy removal: mark the event idle; its heap entry is skipped when
+    // it reaches the top because the sequence number no longer matches.
+    ev->_scheduled = false;
+    ev->_seq = ~std::uint64_t(0);
+    --liveCount;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->_scheduled)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
+                           std::string name)
+{
+    auto *ev = new LambdaEvent(std::move(fn), std::move(name));
+    ev->_selfOwned = true;
+    schedule(ev, when);
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!heap.empty()) {
+        const Entry &e = heap.top();
+        if (e.ev->_scheduled && e.ev->_seq == e.seq)
+            return;
+        heap.pop();
+    }
+}
+
+bool
+EventQueue::step()
+{
+    skipDead();
+    if (heap.empty())
+        return false;
+
+    Entry e = heap.top();
+    heap.pop();
+    --liveCount;
+
+    curTick = e.when;
+    Event *ev = e.ev;
+    ev->_scheduled = false;
+    ++nProcessed;
+    bool self_owned = ev->_selfOwned;
+    ev->process();
+    // A lambda event may have rescheduled itself inside process(); only
+    // delete it when it is done.
+    if (self_owned && !ev->_scheduled)
+        delete ev;
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (true) {
+        skipDead();
+        if (heap.empty())
+            break;
+        if (heap.top().when >= limit) {
+            curTick = limit;
+            break;
+        }
+        step();
+    }
+    return curTick;
+}
+
+Tick
+EventQueue::runWhile(const std::function<bool()> &cond, Tick limit)
+{
+    while (cond()) {
+        skipDead();
+        if (heap.empty())
+            break;
+        if (heap.top().when >= limit) {
+            curTick = limit;
+            break;
+        }
+        step();
+    }
+    return curTick;
+}
+
+} // namespace hwdp::sim

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Discrete-event simulation core: Event and EventQueue.
+ *
+ * Events are scheduled at absolute ticks and processed in tick order;
+ * events at the same tick run in scheduling (FIFO) order, which keeps
+ * component interactions deterministic. Events are externally owned:
+ * the queue never deletes them, so components can embed events as
+ * members (the gem5 pattern).
+ */
+
+#ifndef HWDP_SIM_EVENT_QUEUE_HH
+#define HWDP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hwdp::sim {
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled on an EventQueue. Subclasses implement
+ * process(). An event may be scheduled on at most one queue at a time.
+ */
+class Event
+{
+  public:
+    explicit Event(std::string name = "event");
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked when simulated time reaches the scheduled tick. */
+    virtual void process() = 0;
+
+    /** True while the event sits on a queue awaiting processing. */
+    bool scheduled() const { return _scheduled; }
+
+    /** The tick this event will fire at; valid only when scheduled. */
+    Tick when() const { return _when; }
+
+    const std::string &name() const { return _name; }
+
+  private:
+    friend class EventQueue;
+
+    std::string _name;
+    bool _scheduled = false;
+    /** Set by EventQueue::scheduleLambda: delete after firing. */
+    bool _selfOwned = false;
+    Tick _when = 0;
+    std::uint64_t _seq = 0;
+};
+
+/**
+ * An Event that forwards process() to a captured callable. Useful for
+ * one-off continuations in component state machines.
+ */
+class LambdaEvent : public Event
+{
+  public:
+    LambdaEvent(std::function<void()> fn, std::string name = "lambda")
+        : Event(std::move(name)), fn(std::move(fn))
+    {
+    }
+
+    void process() override { fn(); }
+
+  private:
+    std::function<void()> fn;
+};
+
+/**
+ * A tick-ordered queue of events with deterministic same-tick FIFO
+ * ordering. One queue drives one simulated machine.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+    ~EventQueue();
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /**
+     * Schedule @p ev at absolute tick @p when.
+     * @pre !ev->scheduled() && when >= now()
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Schedule @p ev @p delta ticks from now. */
+    void scheduleIn(Event *ev, Tick delta) { schedule(ev, now() + delta); }
+
+    /** Remove a scheduled event from the queue without processing it. */
+    void deschedule(Event *ev);
+
+    /** Move a scheduled event to a new (future) tick. */
+    void reschedule(Event *ev, Tick when);
+
+    /**
+     * Schedule a one-shot callable; the wrapper event deletes itself
+     * after firing (or when the queue is destroyed).
+     */
+    void scheduleLambda(Tick when, std::function<void()> fn,
+                        std::string name = "lambda");
+
+    /** Convenience: one-shot callable @p delta ticks from now. */
+    void
+    scheduleLambdaIn(Tick delta, std::function<void()> fn,
+                     std::string name = "lambda")
+    {
+        scheduleLambda(now() + delta, std::move(fn), std::move(name));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return liveCount == 0; }
+
+    /** Number of events awaiting processing. */
+    std::size_t size() const { return liveCount; }
+
+    /** Process a single event; returns false if the queue was empty. */
+    bool step();
+
+    /**
+     * Run until the queue drains or @p limit ticks is reached
+     * (exclusive). Returns the tick of the last processed event.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Run while @p cond holds and events remain. */
+    Tick runWhile(const std::function<bool()> &cond, Tick limit = maxTick);
+
+    /** Total number of events processed since construction. */
+    std::uint64_t processedCount() const { return nProcessed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    /** Heap of entries; descheduled entries are skipped lazily. */
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t nProcessed = 0;
+    std::size_t liveCount = 0;
+
+    /** Pop dead (descheduled / rescheduled) heap entries. */
+    void skipDead();
+};
+
+} // namespace hwdp::sim
+
+#endif // HWDP_SIM_EVENT_QUEUE_HH

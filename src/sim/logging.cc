@@ -1,0 +1,36 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+namespace hwdp {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+namespace detail {
+
+void
+logMessage(const char *prefix, const std::string &msg)
+{
+    // Errors always print; chatter respects the quiet flag.
+    bool is_error = prefix[0] == 'p' || prefix[0] == 'f';
+    if (quietFlag && !is_error)
+        return;
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+} // namespace detail
+} // namespace hwdp

@@ -1,0 +1,81 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hwdp::sim {
+
+std::uint64_t
+Rng::range(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::range with zero bound");
+    // Multiply-shift rejection-free mapping (Lemire); bias is below
+    // 2^-64 * bound which is negligible for simulation purposes.
+    unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::between(std::uint64_t lo, std::uint64_t hi)
+{
+    if (hi < lo)
+        panic("Rng::between with inverted bounds");
+    return lo + range(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa from the top bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    if (haveSpare) {
+        haveSpare = false;
+        return mean + stddev * spare;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    spare = r * std::sin(theta);
+    haveSpare = true;
+    return mean + stddev * r * std::cos(theta);
+}
+
+Rng
+Rng::fork()
+{
+    // Jump by consuming one value and re-mixing with a distinct odd
+    // constant so child streams do not overlap in practice.
+    return Rng(next() ^ 0xd1342543de82ef95ULL);
+}
+
+} // namespace hwdp::sim

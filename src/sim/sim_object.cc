@@ -1,0 +1,12 @@
+#include "sim/sim_object.hh"
+
+namespace hwdp::sim {
+
+SimObject::SimObject(std::string name, EventQueue &eq)
+    : eq(eq), _name(name), _stats(name)
+{
+}
+
+SimObject::~SimObject() = default;
+
+} // namespace hwdp::sim

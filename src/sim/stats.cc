@@ -1,0 +1,144 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace hwdp::sim {
+
+std::string
+Counter::valueString() const
+{
+    return std::to_string(val);
+}
+
+std::string
+Mean::valueString() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3) << mean() << " (n=" << n
+       << ", min=" << minValue() << ", max=" << maxValue() << ")";
+    return os.str();
+}
+
+Histogram::Histogram(std::string name, std::string desc, double bucket_width,
+                     std::size_t n_buckets)
+    : StatBase(std::move(name), std::move(desc)), width(bucket_width),
+      bins(n_buckets + 1, 0)
+{
+    if (bucket_width <= 0.0 || n_buckets == 0)
+        panic("histogram '", this->name(), "' has degenerate geometry");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++n;
+    sum += v;
+    auto idx = static_cast<std::size_t>(std::max(v, 0.0) / width);
+    if (idx >= bins.size())
+        idx = bins.size() - 1; // overflow bucket
+    ++bins[idx];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (n == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        seen += bins[i];
+        if (seen >= target) {
+            // Midpoint of the bucket keeps the estimate unbiased.
+            return (static_cast<double>(i) + 0.5) * width;
+        }
+    }
+    return static_cast<double>(bins.size()) * width;
+}
+
+std::string
+Histogram::valueString() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3) << "mean=" << mean()
+       << " p50=" << quantile(0.5) << " p99=" << quantile(0.99)
+       << " (n=" << n << ")";
+    return os.str();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins.begin(), bins.end(), 0);
+    n = 0;
+    sum = 0.0;
+}
+
+StatGroup::~StatGroup()
+{
+    for (StatBase *s : all)
+        delete s;
+}
+
+Counter &
+StatGroup::counter(const std::string &name, const std::string &desc)
+{
+    auto *c = new Counter(name, desc);
+    all.push_back(c);
+    return *c;
+}
+
+Mean &
+StatGroup::mean(const std::string &name, const std::string &desc)
+{
+    auto *m = new Mean(name, desc);
+    m->reset();
+    all.push_back(m);
+    return *m;
+}
+
+Histogram &
+StatGroup::histogram(const std::string &name, const std::string &desc,
+                     double bucket_width, std::size_t n_buckets)
+{
+    auto *h = new Histogram(name, desc, bucket_width, n_buckets);
+    all.push_back(h);
+    return *h;
+}
+
+StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (StatBase *s : all) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : all)
+        s->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const StatBase *s : all) {
+        os << _name << '.' << s->name() << " = " << s->valueString()
+           << "  # " << s->desc() << '\n';
+    }
+}
+
+} // namespace hwdp::sim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components expose named statistics grouped under a StatGroup. A
+ * Counter accumulates an integer total, a Mean tracks sum/count, and a
+ * Histogram buckets samples for latency distributions. Groups register
+ * their stats so a whole machine can be dumped uniformly.
+ */
+
+#ifndef HWDP_SIM_STATS_HH
+#define HWDP_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hwdp::sim {
+
+/** Common interface for dumpable statistics. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {
+    }
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Render the value portion of a dump line. */
+    virtual std::string valueString() const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A monotonically adjustable integral counter. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { ++val; return *this; }
+    Counter &operator+=(std::uint64_t n) { val += n; return *this; }
+
+    std::uint64_t value() const { return val; }
+    void set(std::uint64_t v) { val = v; }
+
+    std::string valueString() const override;
+    void reset() override { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Mean of samples with min/max tracking. */
+class Mean : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+        if (v < mn)
+            mn = v;
+        if (v > mx)
+            mx = v;
+    }
+
+    std::uint64_t count() const { return n; }
+    double total() const { return sum; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double minValue() const { return n ? mn : 0.0; }
+    double maxValue() const { return n ? mx : 0.0; }
+
+    std::string valueString() const override;
+
+    void
+    reset() override
+    {
+        sum = 0.0;
+        n = 0;
+        mn = std::numeric_limits<double>::max();
+        mx = std::numeric_limits<double>::lowest();
+    }
+
+  private:
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    double mn = std::numeric_limits<double>::max();
+    double mx = std::numeric_limits<double>::lowest();
+};
+
+/**
+ * Fixed-width linear histogram with overflow bucket; also tracks the
+ * exact mean so percentile reporting stays honest about resolution.
+ */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(std::string name, std::string desc, double bucket_width,
+              std::size_t n_buckets);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+
+    /** Approximate quantile (e.g. 0.99) by bucket interpolation. */
+    double quantile(double q) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return bins; }
+    double bucketWidth() const { return width; }
+
+    std::string valueString() const override;
+    void reset() override;
+
+  private:
+    double width;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t n = 0;
+    double sum = 0.0;
+};
+
+/** A named collection of statistics belonging to one component. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    Counter &counter(const std::string &name, const std::string &desc);
+    Mean &mean(const std::string &name, const std::string &desc);
+    Histogram &histogram(const std::string &name, const std::string &desc,
+                         double bucket_width, std::size_t n_buckets);
+
+    const std::string &name() const { return _name; }
+    const std::vector<StatBase *> &stats() const { return all; }
+
+    /** Find a stat by name; nullptr when absent. */
+    StatBase *find(const std::string &name) const;
+
+    void resetAll();
+    void dump(std::ostream &os) const;
+
+    ~StatGroup();
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+  private:
+    std::string _name;
+    std::vector<StatBase *> all;
+};
+
+} // namespace hwdp::sim
+
+#endif // HWDP_SIM_STATS_HH

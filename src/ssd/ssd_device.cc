@@ -1,0 +1,191 @@
+#include "ssd/ssd_device.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hwdp::ssd {
+
+SsdDevice::SsdDevice(std::string name, sim::EventQueue &eq,
+                     const SsdProfile &profile, sim::Rng rng)
+    : sim::SimObject(std::move(name), eq), prof(profile), rng(rng),
+      channelFreeAt(profile.channels, 0),
+      statReads(stats().counter("reads", "4KB read commands completed")),
+      statWrites(stats().counter("writes", "write commands completed")),
+      statDeviceTime(stats().histogram(
+          "device_time_us", "doorbell-to-CQE-write time (us)", 0.5, 400))
+{
+    if (prof.channels == 0)
+        fatal("ssd '", this->name(), "': profile needs >= 1 channel");
+}
+
+std::uint16_t
+SsdDevice::createQueuePair(std::uint16_t depth, nvme::Priority prio,
+                           bool interrupts)
+{
+    auto qid = static_cast<std::uint16_t>(queues.size() + 1);
+    QueueState qs;
+    // Ring placement in simulated physical memory is symbolic: distinct
+    // non-overlapping regions so CQ-head snoop addresses are unique.
+    PAddr sq_base = 0xfee0'0000'0000ULL + qid * 0x10000ULL;
+    PAddr cq_base = sq_base + 0x8000ULL;
+    qs.qp = std::make_unique<nvme::QueuePair>(qid, depth, sq_base, cq_base,
+                                              prio);
+    qs.interrupts = interrupts;
+    queues.push_back(std::move(qs));
+    return qid;
+}
+
+SsdDevice::QueueState &
+SsdDevice::state(std::uint16_t qid)
+{
+    if (qid == 0 || qid > queues.size())
+        panic("ssd '", name(), "': bad queue id ", qid);
+    return queues[qid - 1];
+}
+
+nvme::QueuePair &
+SsdDevice::queuePair(std::uint16_t qid)
+{
+    return *state(qid).qp;
+}
+
+const nvme::QueuePair &
+SsdDevice::queuePair(std::uint16_t qid) const
+{
+    if (qid == 0 || qid > queues.size())
+        panic("ssd '", name(), "': bad queue id ", qid);
+    return *queues[qid - 1].qp;
+}
+
+void
+SsdDevice::setCompletionListener(std::uint16_t qid, CompletionListener fn)
+{
+    state(qid).listener = std::move(fn);
+}
+
+void
+SsdDevice::ringSqDoorbell(std::uint16_t qid)
+{
+    state(qid).doorbellPending = true;
+    if (!fetchScheduled) {
+        fetchScheduled = true;
+        eq.scheduleLambdaIn(prof.cmdFetch, [this] { fetchCommands(); },
+                            name() + ".fetch");
+    }
+}
+
+void
+SsdDevice::ringCqDoorbell(std::uint16_t qid)
+{
+    // The host advanced its CQ head; the device needs no timing action,
+    // but validate the queue id to catch wiring bugs.
+    state(qid);
+}
+
+void
+SsdDevice::fetchCommands()
+{
+    fetchScheduled = false;
+
+    // Urgent-priority queues are drained first (NVMe arbitration;
+    // Section V notes SMU queues can use this to dodge queueing
+    // behind bulk OS traffic).
+    std::vector<std::size_t> order(queues.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         return static_cast<unsigned>(queues[a].qp->priority()) <
+                                static_cast<unsigned>(queues[b].qp->priority());
+                     });
+
+    for (std::size_t qi : order) {
+        QueueState &qs = queues[qi];
+        if (!qs.doorbellPending)
+            continue;
+        qs.doorbellPending = false;
+        while (!qs.qp->sqEmpty())
+            serviceCommand(qi, qs.qp->popSqe());
+    }
+}
+
+void
+SsdDevice::serviceCommand(std::size_t qidx, const nvme::SubmissionEntry &sqe)
+{
+    ++nInflight;
+    Tick issued = now() >= prof.cmdFetch ? now() - prof.cmdFetch : 0;
+
+    Tick media;
+    switch (sqe.opcode) {
+      case nvme::Opcode::read:
+        media = prof.readMedia;
+        break;
+      case nvme::Opcode::write:
+        media = prof.writeMedia;
+        break;
+      case nvme::Opcode::flush:
+        media = prof.cqeWrite; // effectively immediate in the model
+        break;
+      default:
+        panic("ssd '", name(), "': unknown opcode");
+    }
+
+    if (media > 0 && prof.mediaCv > 0.0) {
+        double jitter = rng.normal(1.0, prof.mediaCv);
+        jitter = std::max(jitter, 0.5);
+        media = static_cast<Tick>(static_cast<double>(media) * jitter);
+    }
+
+    unsigned ch = static_cast<unsigned>(sqe.slba % prof.channels);
+    Tick start = std::max(now(), channelFreeAt[ch]);
+    Tick media_done = start + media;
+    channelFreeAt[ch] = media_done;
+
+    Tick cqe_written = media_done + prof.xfer4k + prof.cqeWrite;
+    eq.scheduleLambda(cqe_written,
+                      [this, qidx, sqe, issued] {
+                          complete(qidx, sqe, issued);
+                      },
+                      name() + ".complete");
+}
+
+void
+SsdDevice::complete(std::size_t qidx, const nvme::SubmissionEntry &sqe,
+                    Tick issued)
+{
+    --nInflight;
+    QueueState &qs = queues[qidx];
+
+    nvme::CompletionEntry cqe;
+    cqe.cid = sqe.cid;
+    cqe.status = 0;
+    if (!qs.qp->pushCqe(cqe))
+        panic("ssd '", name(), "': CQ overflow on qid ", qs.qp->qid());
+
+    if (sqe.opcode == nvme::Opcode::read) {
+        ++nReads;
+        ++statReads;
+    } else if (sqe.opcode == nvme::Opcode::write) {
+        ++nWrites;
+        ++statWrites;
+    }
+    statDeviceTime.sample(toMicroseconds(now() - issued));
+
+    if (!qs.listener)
+        return;
+    if (qs.interrupts) {
+        // MSI-X delivery to the interrupt handler on some core.
+        auto listener = qs.listener;
+        auto qid = qs.qp->qid();
+        eq.scheduleLambdaIn(prof.interruptLatency,
+                            [listener, qid, cqe] { listener(qid, cqe); },
+                            name() + ".irq");
+    } else {
+        // The SMU completion unit snoops the CQ memory write itself:
+        // no interrupt, the listener sees it immediately.
+        qs.listener(qs.qp->qid(), cqe);
+    }
+}
+
+} // namespace hwdp::ssd

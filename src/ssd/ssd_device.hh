@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Event-driven NVMe SSD device model.
+ *
+ * The device owns a set of I/O queue pairs. Hosts push submission
+ * entries into a queue pair's SQ ring and ring the SQ doorbell; the
+ * device fetches commands (priority queues first), services them on a
+ * set of parallel internal channels, DMAs the data, writes a CQ entry
+ * and then either raises an interrupt (the kernel's queues) or lets
+ * the registered listener observe the CQ write directly (the SMU's
+ * snooping completion unit, Section III-C).
+ */
+
+#ifndef HWDP_SSD_SSD_DEVICE_HH
+#define HWDP_SSD_SSD_DEVICE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nvme/queue_pair.hh"
+#include "sim/rng.hh"
+#include "sim/sim_object.hh"
+#include "ssd/ssd_profile.hh"
+
+namespace hwdp::ssd {
+
+class SsdDevice : public sim::SimObject
+{
+  public:
+    /**
+     * Invoked when a completion becomes visible to the host.
+     * For interrupt-driven queues this fires interruptLatency after
+     * the CQ write; for snooped queues it fires at the CQ write itself.
+     */
+    using CompletionListener =
+        std::function<void(std::uint16_t qid,
+                           const nvme::CompletionEntry &cqe)>;
+
+    SsdDevice(std::string name, sim::EventQueue &eq,
+              const SsdProfile &profile, sim::Rng rng);
+
+    /**
+     * Create an I/O queue pair.
+     * @param depth      Ring depth.
+     * @param prio       Arbitration class; urgent queues are fetched
+     *                   first (the SMU queue uses this).
+     * @param interrupts True for the kernel's interrupt-driven queues;
+     *                   false for SMU queues whose completion unit
+     *                   snoops the CQ memory write.
+     * @return the queue id.
+     */
+    std::uint16_t createQueuePair(std::uint16_t depth, nvme::Priority prio,
+                                  bool interrupts);
+
+    nvme::QueuePair &queuePair(std::uint16_t qid);
+    const nvme::QueuePair &queuePair(std::uint16_t qid) const;
+
+    /** Register the host-side completion listener for a queue. */
+    void setCompletionListener(std::uint16_t qid, CompletionListener fn);
+
+    /**
+     * Host doorbell write: tells the device queue @p qid has new SQ
+     * entries. The PCIe register write itself is timed by the caller;
+     * this starts the device-side fetch.
+     */
+    void ringSqDoorbell(std::uint16_t qid);
+
+    /** Host doorbell write after consuming CQ entries (bookkeeping). */
+    void ringCqDoorbell(std::uint16_t qid);
+
+    const SsdProfile &profile() const { return prof; }
+
+    /** Commands currently being serviced or queued inside the device. */
+    std::uint64_t inflight() const { return nInflight; }
+
+    std::uint64_t readsCompleted() const { return nReads; }
+    std::uint64_t writesCompleted() const { return nWrites; }
+
+  private:
+    struct QueueState
+    {
+        std::unique_ptr<nvme::QueuePair> qp;
+        bool interrupts = true;
+        CompletionListener listener;
+        bool doorbellPending = false;
+    };
+
+    SsdProfile prof;
+    sim::Rng rng;
+    std::vector<QueueState> queues;
+    std::vector<Tick> channelFreeAt;
+    std::uint64_t nInflight = 0;
+    std::uint64_t nReads = 0;
+    std::uint64_t nWrites = 0;
+    bool fetchScheduled = false;
+
+    sim::Counter &statReads;
+    sim::Counter &statWrites;
+    sim::Histogram &statDeviceTime;
+
+    /** Fetch pending commands from all doorbelled queues. */
+    void fetchCommands();
+
+    /** Start servicing one command fetched from queue @p qidx. */
+    void serviceCommand(std::size_t qidx, const nvme::SubmissionEntry &sqe);
+
+    /** Finish a command: CQ write, then interrupt or snoop delivery. */
+    void complete(std::size_t qidx, const nvme::SubmissionEntry &sqe,
+                  Tick issued);
+
+    QueueState &state(std::uint16_t qid);
+};
+
+} // namespace hwdp::ssd
+
+#endif // HWDP_SSD_SSD_DEVICE_HH

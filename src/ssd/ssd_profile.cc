@@ -1,0 +1,115 @@
+#include "ssd/ssd_profile.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::ssd {
+
+SsdProfile
+zssdProfile()
+{
+    SsdProfile p;
+    p.name = "zssd";
+    p.cmdFetch = nanoseconds(500);
+    p.readMedia = nanoseconds(8900);
+    p.writeMedia = microseconds(16.0);
+    p.xfer4k = nanoseconds(1300);
+    p.cqeWrite = nanoseconds(200);
+    p.channels = 8;
+    p.mediaCv = 0.06;
+    return p; // unloaded 4 KB read = 10.9 us
+}
+
+SsdProfile
+optaneSsdProfile()
+{
+    SsdProfile p;
+    p.name = "optane_ssd";
+    p.cmdFetch = nanoseconds(500);
+    p.readMedia = nanoseconds(4500);
+    p.writeMedia = microseconds(5.0);
+    p.xfer4k = nanoseconds(1300);
+    p.cqeWrite = nanoseconds(200);
+    p.channels = 16;
+    p.mediaCv = 0.03;
+    return p; // unloaded 4 KB read = 6.5 us
+}
+
+SsdProfile
+optanePmmProfile()
+{
+    SsdProfile p;
+    p.name = "optane_pmm";
+    p.cmdFetch = nanoseconds(300);
+    p.readMedia = nanoseconds(1000);
+    p.writeMedia = nanoseconds(1400);
+    p.xfer4k = nanoseconds(700);
+    p.cqeWrite = nanoseconds(100);
+    p.channels = 24;
+    p.mediaCv = 0.02;
+    return p; // unloaded 4 KB read = 2.1 us
+}
+
+SsdProfile
+nvmeFlashProfile()
+{
+    SsdProfile p;
+    p.name = "nvme_flash";
+    p.cmdFetch = nanoseconds(500);
+    p.readMedia = microseconds(78.0);
+    p.writeMedia = microseconds(250.0);
+    p.xfer4k = nanoseconds(1300);
+    p.cqeWrite = nanoseconds(200);
+    p.channels = 8;
+    p.mediaCv = 0.15;
+    return p; // ~80 us read
+}
+
+SsdProfile
+sataSsdProfile()
+{
+    SsdProfile p;
+    p.name = "sata_ssd";
+    p.cmdFetch = microseconds(5.0); // AHCI protocol overhead
+    p.readMedia = microseconds(90.0);
+    p.writeMedia = microseconds(300.0);
+    p.xfer4k = microseconds(7.0); // 600 MB/s link
+    p.cqeWrite = microseconds(1.0);
+    p.channels = 4;
+    p.mediaCv = 0.2;
+    return p; // ~100 us read
+}
+
+SsdProfile
+hddProfile()
+{
+    SsdProfile p;
+    p.name = "hdd";
+    p.cmdFetch = microseconds(10.0);
+    p.readMedia = milliseconds(9.5); // seek + rotational latency
+    p.writeMedia = milliseconds(9.5);
+    p.xfer4k = microseconds(25.0);
+    p.cqeWrite = microseconds(1.0);
+    p.channels = 1;
+    p.mediaCv = 0.35;
+    return p; // ~10 ms access
+}
+
+SsdProfile
+profileByName(const std::string &name)
+{
+    if (name == "zssd")
+        return zssdProfile();
+    if (name == "optane_ssd")
+        return optaneSsdProfile();
+    if (name == "optane_pmm")
+        return optanePmmProfile();
+    if (name == "nvme_flash")
+        return nvmeFlashProfile();
+    if (name == "sata_ssd")
+        return sataSsdProfile();
+    if (name == "hdd")
+        return hddProfile();
+    fatal("unknown SSD profile '", name, "'");
+}
+
+} // namespace hwdp::ssd

@@ -1,0 +1,49 @@
+#include "system/machine_config.hh"
+
+#include <sstream>
+
+#include "ssd/ssd_profile.hh"
+
+namespace hwdp::system {
+
+const char *
+pagingModeName(PagingMode mode)
+{
+    switch (mode) {
+      case PagingMode::osdp: return "OSDP";
+      case PagingMode::hwdp: return "HWDP";
+      case PagingMode::swsmu: return "SW-only";
+    }
+    return "?";
+}
+
+std::string
+MachineConfig::describe() const
+{
+    auto prof = ssd::profileByName(ssdProfile);
+    std::ostringstream os;
+    os << "paging mode      : " << pagingModeName(mode) << '\n'
+       << "CPU              : " << (1e6 / static_cast<double>(cyclePeriod))
+       << " MHz, " << nPhysical << " physical / " << nLogical
+       << " logical cores (SMT)\n"
+       << "caches           : L1I " << cache.l1iBytes / 1024 << "K, L1D "
+       << cache.l1dBytes / 1024 << "K, L2 " << cache.l2Bytes / 1024
+       << "K, LLC " << cache.llcBytes / (1024 * 1024) << "M\n"
+       << "memory           : " << (memFrames * pageSize) / (1024 * 1024)
+       << " MB (" << memFrames << " frames)\n"
+       << "storage          : " << prof.name << ", unloaded 4KB read "
+       << toMicroseconds(prof.unloadedRead4k()) << " us, "
+       << prof.channels << " channels\n"
+       << "PMSHR            : " << smu.pmshrEntries << " entries\n"
+       << "free page queue  : " << smu.freeQueueCapacity
+       << " entries, prefetch buffer " << smu.prefetchDepth << '\n'
+       << "kpoold           : "
+       << (kpooldEnabled ? "enabled" : "disabled") << ", period "
+       << toMicroseconds(kpooldPeriod) / 1000.0 << " ms\n"
+       << "kpted            : period "
+       << toMicroseconds(kptedPeriod) / 1000.0 << " ms, "
+       << (kptedGuidedScan ? "guided" : "full") << " scan\n";
+    return os.str();
+}
+
+} // namespace hwdp::system

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Machine configuration: everything a System needs to build itself.
+ *
+ * Defaults model the evaluation machine (Table II): a 2.8 GHz Xeon
+ * E5-2640 v3 with 8 physical / 16 logical cores and a Samsung SZ985
+ * Z-SSD — with memory and dataset sizes scaled down by a constant
+ * factor (the experiments are ratio-driven; see DESIGN.md).
+ */
+
+#ifndef HWDP_SYSTEM_MACHINE_CONFIG_HH
+#define HWDP_SYSTEM_MACHINE_CONFIG_HH
+
+#include <string>
+
+#include "core/smu.hh"
+#include "cpu/thread_context.hh"
+#include "mem/cache_hierarchy.hh"
+#include "os/kernel.hh"
+
+namespace hwdp::system {
+
+/** How page misses on fast-mmap areas are handled. */
+enum class PagingMode {
+    osdp,  ///< Conventional OS demand paging (the baseline).
+    hwdp,  ///< The paper's hardware SMU.
+    swsmu, ///< Software-emulated SMU (Figure 17's SW-only).
+};
+
+const char *pagingModeName(PagingMode mode);
+
+struct MachineConfig
+{
+    PagingMode mode = PagingMode::osdp;
+
+    // ---- CPU ----------------------------------------------------------
+    unsigned nLogical = 16;
+    unsigned nPhysical = 8;
+    Tick cyclePeriod = 357; // ps, 2.8 GHz
+    cpu::CoreParams core{};
+
+    // ---- Memory ---------------------------------------------------------
+    /** Allocatable DRAM in 4 KB frames (default 512 MB scaled). */
+    std::uint64_t memFrames = 128 * 1024;
+    std::uint64_t reservedFrames = 512;
+    mem::CacheParams cache{};
+
+    // ---- Storage ---------------------------------------------------------
+    std::string ssdProfile = "zssd";
+
+    /**
+     * Block devices on socket 0 (the PTE's 3-bit device-id field
+     * supports up to 8 per SMU, Section III-B).
+     */
+    unsigned nDevices = 1;
+
+    // ---- Kernel ----------------------------------------------------------
+    os::KernelParams kernel{};
+
+    // ---- HWDP ------------------------------------------------------------
+    core::Smu::Params smu{};
+
+    /**
+     * Section V extension: convert hardware stalls longer than this
+     * into a timeout exception + context switch. 0 disables (the
+     * paper's base design).
+     */
+    Tick hwStallTimeout = 0;
+    bool kpooldEnabled = true;
+    Tick kpooldPeriod = milliseconds(4.0);
+    std::uint64_t kpooldBatch = 1024;
+    /** Paper: 1 s against 32 GB; scaled with the memory size. */
+    Tick kptedPeriod = milliseconds(25.0);
+    bool kptedGuidedScan = true;
+
+    // ---- Simulation ---------------------------------------------------------
+    std::uint64_t seed = 42;
+    bool pollutionEnabled = true;
+    bool quiet = true;
+
+    /**
+     * Last logical cores host the kernel threads by default; small
+     * machines share core 0 with the workload.
+     */
+    unsigned kptedCore() const { return nLogical - 1; }
+    unsigned kpooldCore() const
+    {
+        return nLogical >= 2 ? nLogical - 2 : 0;
+    }
+    unsigned reclaimCore() const
+    {
+        return nLogical >= 3 ? nLogical - 3 : 0;
+    }
+
+    /** Table II-style configuration dump. */
+    std::string describe() const;
+};
+
+} // namespace hwdp::system
+
+#endif // HWDP_SYSTEM_MACHINE_CONFIG_HH

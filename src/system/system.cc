@@ -1,0 +1,278 @@
+#include "system/system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "ssd/ssd_profile.hh"
+#include "workloads/fio.hh"
+
+namespace hwdp::system {
+
+System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
+{
+    setQuiet(cfg.quiet);
+
+    pm = std::make_unique<mem::PhysMem>(eq,
+                                        cfg.memFrames + cfg.reservedFrames,
+                                        cfg.reservedFrames);
+    hierarchy = std::make_unique<mem::CacheHierarchy>(cfg.nPhysical,
+                                                      cfg.cache);
+    bps.reserve(cfg.nPhysical);
+    for (unsigned i = 0; i < cfg.nPhysical; ++i)
+        bps.emplace_back();
+
+    os::KernelParams kp = cfg.kernel;
+    kp.nLogical = cfg.nLogical;
+    kp.nPhysical = cfg.nPhysical;
+    kp.cyclePeriod = cfg.cyclePeriod;
+    kp.reclaimCore = cfg.reclaimCore();
+    kern = std::make_unique<os::Kernel>(eq, kp, *pm, *hierarchy, bps,
+                                        rng.fork());
+    kern->kexec().setPollutionEnabled(cfg.pollutionEnabled);
+
+    // Block devices (the paper's machine has one; the PTE device-id
+    // field supports up to 8 per socket).
+    if (cfg.nDevices == 0 ||
+        cfg.nDevices > core::NvmeHostController::maxDevices)
+        fatal("system: nDevices must be 1..8");
+    auto prof = ssd::profileByName(cfg.ssdProfile);
+    for (unsigned d = 0; d < cfg.nDevices; ++d) {
+        ssds.push_back(std::make_unique<ssd::SsdDevice>(
+            "ssd" + std::to_string(d), eq, prof, rng.fork()));
+        kern->attachDevice(ssds.back().get(), os::BlockDeviceId{0, d});
+    }
+
+    // TLB shootdown: invalidate the translation on every core.
+    kern->setShootdownFn([this](os::AddressSpace &, VAddr va) {
+        for (auto &c : cores)
+            c->mmu().tlb().invalidate(va);
+    });
+
+    for (unsigned i = 0; i < cfg.nLogical; ++i) {
+        cores.push_back(std::make_unique<cpu::Core>(
+            i, eq, *hierarchy, *kern, cfg.cyclePeriod));
+        if (cfg.hwStallTimeout > 0)
+            cores.back()->mmu().setStallTimeout(cfg.hwStallTimeout);
+    }
+
+    if (cfg.mode != PagingMode::osdp) {
+        support = std::make_unique<core::HwdpOsSupport>(*kern);
+
+        std::vector<core::FreePageQueue *> fpq_set;
+        if (cfg.mode == PagingMode::hwdp) {
+            core::Smu::Params sp = cfg.smu;
+            sp.cyclePeriod = cfg.cyclePeriod;
+            sp.nvme.cyclePeriod = cfg.cyclePeriod;
+            smuUnit = std::make_unique<core::Smu>("smu0", eq, 0, sp,
+                                                  *kern);
+            for (unsigned d = 0; d < cfg.nDevices; ++d)
+                smuUnit->configureDevice(d, ssds[d].get());
+            for (auto &c : cores)
+                c->attachSmu(0, smuUnit.get());
+            support->attachSmu(smuUnit.get());
+            fpq_set = smuUnit->freePageQueues();
+        } else {
+            swFpq = std::make_unique<core::FreePageQueue>(
+                cfg.smu.freeQueueCapacity, cfg.smu.prefetchDepth);
+            swSmu = std::make_unique<core::SoftwareSmu>("swsmu", eq,
+                                                        *kern, *swFpq);
+            for (unsigned d = 0; d < cfg.nDevices; ++d)
+                swSmu->configureDevice(d, ssds[d].get());
+            swSmu->install();
+            fpq_set = {swFpq.get()};
+        }
+
+        kptedThread = std::make_unique<core::Kpted>(
+            *kern, *support, cfg.kptedCore(), cfg.kptedPeriod,
+            cfg.kptedGuidedScan);
+        kern->scheduler().addThread(kptedThread.get());
+        support->attachKpted(kptedThread.get());
+
+        kpooldThread = std::make_unique<core::Kpoold>(
+            *kern, std::move(fpq_set), cfg.kpooldCore(),
+            cfg.kpooldPeriod, cfg.kpooldBatch);
+        if (cfg.kpooldEnabled)
+            kern->scheduler().addThread(kpooldThread.get());
+        support->attachKpoold(kpooldThread.get());
+    }
+}
+
+System::~System() = default;
+
+core::FreePageQueue *
+System::freePageQueue()
+{
+    if (smuUnit)
+        return &smuUnit->freePageQueue();
+    return swFpq.get();
+}
+
+os::File *
+System::createFile(const std::string &name, std::uint64_t pages,
+                   unsigned device)
+{
+    if (device >= ssds.size())
+        fatal("system: file on unattached device ", device);
+    return kern->fs().createFile(name, pages,
+                                 os::BlockDeviceId{0, device});
+}
+
+System::MappedFile
+System::mapDataset(const std::string &name, std::uint64_t pages,
+                   os::AddressSpace *as, unsigned device)
+{
+    MappedFile mf;
+    mf.as = as ? as : kern->createAddressSpace();
+    mf.file = kern->fs().lookup(name);
+    if (!mf.file)
+        mf.file = createFile(name, pages, device);
+    bool fast = cfg.mode != PagingMode::osdp;
+    mf.vma = kern->mmapFileSync(*mf.as, *mf.file, fast);
+    if (fast && support)
+        support->registerFastVma(*mf.as, mf.vma);
+    return mf;
+}
+
+System::MappedFile
+System::mapAnon(std::uint64_t pages, os::AddressSpace *as)
+{
+    MappedFile mf;
+    mf.as = as ? as : kern->createAddressSpace();
+    bool fast = cfg.mode != PagingMode::osdp;
+    mf.vma = kern->mmapAnonSync(*mf.as, pages, fast);
+    if (fast && support)
+        support->registerFastVma(*mf.as, mf.vma);
+    return mf;
+}
+
+void
+System::preload(const MappedFile &mf)
+{
+    for (std::uint64_t i = 0; i < mf.vma->numPages(); ++i) {
+        VAddr va = mf.vma->start + i * pageSize;
+        if (os::pte::isPresent(mf.as->pageTable().readPte(va)))
+            continue;
+        Pfn pfn = pm->alloc();
+        if (pfn == mem::PhysMem::invalidPfn) {
+            warn("preload: out of memory after ", i, " of ",
+                 mf.vma->numPages(), " pages");
+            return;
+        }
+        kern->installPage(*mf.as, *mf.vma, va, pfn, true);
+    }
+}
+
+cpu::ThreadContext *
+System::addThread(workloads::Workload &wl, unsigned core_idx,
+                  os::AddressSpace &as)
+{
+    auto tc = std::make_unique<cpu::ThreadContext>(
+        std::string(wl.label()) + "#" + std::to_string(tcs.size()),
+        core_idx, *kern, cores.at(core_idx)->mmu(), *hierarchy,
+        bps.at(kern->scheduler().physCoreOf(core_idx)), as, wl, cfg.core,
+        rng.fork());
+    tc->setOnFinished([this] { ++threadsDone; });
+    kern->scheduler().addThread(tc.get());
+    tcs.push_back(std::move(tc));
+    return tcs.back().get();
+}
+
+void
+System::start()
+{
+    if (started)
+        panic("system started twice");
+    started = true;
+    if (kpooldThread)
+        kpooldThread->prime();
+    kern->scheduler().start();
+}
+
+bool
+System::runUntilThreadsDone(Tick max_ticks)
+{
+    if (!started)
+        start();
+    std::uint64_t want = tcs.size();
+    eq.runWhile([this, want] { return threadsDone < want; }, max_ticks);
+    if (threadsDone < want) {
+        warn("simulation hit the tick limit with ", want - threadsDone,
+             " thread(s) unfinished");
+        return false;
+    }
+    return true;
+}
+
+void
+System::runFor(Tick duration)
+{
+    if (!started)
+        start();
+    eq.run(eq.now() + duration);
+}
+
+void
+System::stopKthreads()
+{
+    if (kptedThread)
+        kptedThread->stop();
+    if (kpooldThread)
+        kpooldThread->stop();
+    kern->reclaimer().stop();
+}
+
+std::uint64_t
+System::totalAppOps() const
+{
+    std::uint64_t t = 0;
+    for (const auto &tc : tcs)
+        t += tc->appOps();
+    return t;
+}
+
+double
+System::throughputOpsPerSec() const
+{
+    Tick lo = maxTick, hi = 0;
+    for (const auto &tc : tcs) {
+        lo = std::min(lo, tc->startTick());
+        hi = std::max(hi, tc->done() ? tc->finishTick() : eq.now());
+    }
+    if (hi <= lo)
+        return 0.0;
+    return static_cast<double>(totalAppOps()) / toSeconds(hi - lo);
+}
+
+double
+System::aggregateUserIpc() const
+{
+    std::uint64_t instr = 0;
+    Cycles cycles = 0;
+    for (const auto &tc : tcs) {
+        instr += tc->userInstructions();
+        cycles += tc->userCycles();
+    }
+    return cycles ? static_cast<double>(instr) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
+std::uint64_t
+System::userBranchMispredicts() const
+{
+    std::uint64_t t = 0;
+    for (const auto &bp : bps)
+        t += bp.mispredicts(ExecMode::user);
+    return t;
+}
+
+std::uint64_t
+System::userBranchLookups() const
+{
+    std::uint64_t t = 0;
+    for (const auto &bp : bps)
+        t += bp.lookups(ExecMode::user);
+    return t;
+}
+
+} // namespace hwdp::system

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * System: assembles and drives one simulated machine.
+ *
+ * Owns the event queue, physical memory, caches, branch predictors,
+ * the kernel, the SSD, the HWDP machinery appropriate to the
+ * configured paging mode, the per-core MMUs and the workload threads.
+ * Benches build a System per configuration, map a dataset, add
+ * threads and run to completion.
+ */
+
+#ifndef HWDP_SYSTEM_SYSTEM_HH
+#define HWDP_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/fast_mmap.hh"
+#include "core/kpoold.hh"
+#include "core/kpted.hh"
+#include "core/smu.hh"
+#include "core/software_smu.hh"
+#include "cpu/core.hh"
+#include "cpu/thread_context.hh"
+#include "system/machine_config.hh"
+
+namespace hwdp::system {
+
+class System
+{
+  public:
+    explicit System(const MachineConfig &cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    // ---- Machine access ------------------------------------------------
+    const MachineConfig &config() const { return cfg; }
+    sim::EventQueue &eventQueue() { return eq; }
+    os::Kernel &kernel() { return *kern; }
+    mem::PhysMem &physMem() { return *pm; }
+    mem::CacheHierarchy &caches() { return *hierarchy; }
+    std::vector<mem::BranchPredictor> &branchPredictors() { return bps; }
+    ssd::SsdDevice &ssd() { return *ssds.front(); }
+    cpu::Core &core(unsigned i) { return *cores.at(i); }
+
+    core::Smu *smu() { return smuUnit.get(); }
+    core::SoftwareSmu *softwareSmu() { return swSmu.get(); }
+    core::Kpted *kpted() { return kptedThread.get(); }
+    core::Kpoold *kpoold() { return kpooldThread.get(); }
+    core::HwdpOsSupport *hwdpSupport() { return support.get(); }
+    core::FreePageQueue *freePageQueue();
+
+    /** Number of attached block devices. */
+    unsigned numSsds() const
+    {
+        return static_cast<unsigned>(ssds.size());
+    }
+    ssd::SsdDevice &ssdAt(unsigned d) { return *ssds.at(d); }
+
+    // ---- Boot-time setup (untimed) --------------------------------------
+    /** Create a file on block device @p device. */
+    os::File *createFile(const std::string &name, std::uint64_t pages,
+                         unsigned device = 0);
+
+    struct MappedFile
+    {
+        os::File *file = nullptr;
+        os::Vma *vma = nullptr;
+        os::AddressSpace *as = nullptr;
+    };
+
+    /**
+     * Create and map a dataset file. Fast-mmap is used when the mode
+     * is not OSDP; the VMA is registered with the HWDP control plane.
+     * @param as Reuse an address space (threads of one process);
+     *           nullptr creates one.
+     */
+    MappedFile mapDataset(const std::string &name, std::uint64_t pages,
+                          os::AddressSpace *as = nullptr,
+                          unsigned device = 0);
+
+    /**
+     * Anonymous mapping (heap-like). Under HWDP/SW-SMU the PTEs carry
+     * the zero-fill LBA: first touches are handled without the OS
+     * (the Section V extension).
+     */
+    MappedFile mapAnon(std::uint64_t pages,
+                       os::AddressSpace *as = nullptr);
+
+    /** MAP_POPULATE: install every page resident (the ideal config). */
+    void preload(const MappedFile &mf);
+
+    /** Add a workload thread pinned to @p core_idx. */
+    cpu::ThreadContext *addThread(workloads::Workload &wl,
+                                  unsigned core_idx,
+                                  os::AddressSpace &as);
+
+    const std::vector<std::unique_ptr<cpu::ThreadContext>> &
+    threads() const
+    {
+        return tcs;
+    }
+
+    // ---- Running ---------------------------------------------------------
+    /** Start the scheduler and prime the HWDP control plane. */
+    void start();
+
+    /**
+     * Run until every workload thread finished (or @p max_ticks).
+     * @return true when all threads completed.
+     */
+    bool runUntilThreadsDone(Tick max_ticks = seconds(30.0));
+
+    /** Run for a fixed simulated duration (open-ended workloads). */
+    void runFor(Tick duration);
+
+    /** Stop periodic kthreads so the event queue can drain. */
+    void stopKthreads();
+
+    Tick now() const { return eq.now(); }
+
+    // ---- Aggregate measurements ------------------------------------------
+    /** Total application ops completed across threads. */
+    std::uint64_t totalAppOps() const;
+
+    /** Ops per simulated second over the span of thread execution. */
+    double throughputOpsPerSec() const;
+
+    /** Aggregate user IPC across workload threads. */
+    double aggregateUserIpc() const;
+
+    /** Aggregate user-mode branch misprediction count. */
+    std::uint64_t userBranchMispredicts() const;
+    std::uint64_t userBranchLookups() const;
+
+  private:
+    MachineConfig cfg;
+    sim::EventQueue eq;
+    sim::Rng rng;
+
+    std::unique_ptr<mem::PhysMem> pm;
+    std::unique_ptr<mem::CacheHierarchy> hierarchy;
+    std::vector<mem::BranchPredictor> bps;
+    std::unique_ptr<os::Kernel> kern;
+    std::vector<std::unique_ptr<ssd::SsdDevice>> ssds;
+    std::vector<std::unique_ptr<cpu::Core>> cores;
+
+    std::unique_ptr<core::Smu> smuUnit;
+    std::unique_ptr<core::FreePageQueue> swFpq; // swsmu mode only
+    std::unique_ptr<core::SoftwareSmu> swSmu;
+    std::unique_ptr<core::HwdpOsSupport> support;
+    std::unique_ptr<core::Kpted> kptedThread;
+    std::unique_ptr<core::Kpoold> kpooldThread;
+
+    std::vector<std::unique_ptr<workloads::Workload>> ownedWorkloads;
+    std::vector<std::unique_ptr<cpu::ThreadContext>> tcs;
+    std::uint64_t threadsDone = 0;
+    bool started = false;
+
+  public:
+    /** Transfer ownership of a workload to the system (lifetime). */
+    template <typename W, typename... Args>
+    W *
+    makeWorkload(Args &&...args)
+    {
+        auto w = std::make_unique<W>(std::forward<Args>(args)...);
+        W *raw = w.get();
+        ownedWorkloads.push_back(std::move(w));
+        return raw;
+    }
+};
+
+} // namespace hwdp::system
+
+#endif // HWDP_SYSTEM_SYSTEM_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * FIO with the mmap engine: random 4 KB reads over a mapped file.
+ *
+ * The paper's microbenchmark (Figures 12, 16, 17 and the latency
+ * analyses): each application op is one 4 KB access to a uniformly
+ * random page of the mapped file, preceded by the small per-I/O
+ * bookkeeping loop FIO itself runs.
+ */
+
+#ifndef HWDP_WORKLOADS_FIO_HH
+#define HWDP_WORKLOADS_FIO_HH
+
+#include "os/vma.hh"
+#include "workloads/workload.hh"
+
+namespace hwdp::workloads {
+
+class FioWorkload : public Workload
+{
+  public:
+    /**
+     * @param region   The mmap'ed area to read.
+     * @param n_ops    Application ops (4 KB reads) to perform; 0 means
+     *                 run until the simulation stops the thread.
+     * @param loop_instructions Per-op user work (FIO's engine loop).
+     * @param sequential Read pages in order instead of randomly
+     *                 (exercises the SMU's sequential prefetch).
+     */
+    FioWorkload(os::Vma *region, std::uint64_t n_ops,
+                std::uint64_t loop_instructions = 300,
+                bool sequential = false);
+
+    Op next(sim::Rng &rng) override;
+    const char *label() const override { return "fio_randread"; }
+
+  private:
+    enum class Phase { loop, access, copy };
+
+    os::Vma *region;
+    std::uint64_t remaining;
+    bool unbounded;
+    ComputeSpec loopSpec;
+    ComputeSpec copySpec;
+    Phase phase = Phase::loop;
+    VAddr curPage = 0;
+    bool sequential;
+    std::uint64_t seqIndex = 0;
+};
+
+} // namespace hwdp::workloads
+
+#endif // HWDP_WORKLOADS_FIO_HH

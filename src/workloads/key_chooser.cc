@@ -1,0 +1,85 @@
+#include "workloads/key_chooser.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hwdp::workloads {
+
+std::uint64_t
+UniformChooser::next(sim::Rng &rng, std::uint64_t current_max)
+{
+    if (current_max == 0)
+        panic("uniform chooser: empty key space");
+    return rng.range(current_max);
+}
+
+double
+ZipfianChooser::zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+ZipfianChooser::ZipfianChooser(std::uint64_t n, double theta,
+                               bool scrambled)
+    : n(n), theta(theta), scrambled(scrambled)
+{
+    if (n == 0)
+        fatal("zipfian chooser: empty key space");
+    zetan = zeta(n, theta);
+    alpha = 1.0 / (1.0 - theta);
+    double zeta2 = zeta(2, theta);
+    eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+          (1.0 - zeta2 / zetan);
+}
+
+std::uint64_t
+ZipfianChooser::nextRank(sim::Rng &rng)
+{
+    double u = rng.uniform();
+    double uz = u * zetan;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta))
+        return 1;
+    auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n) *
+        std::pow(eta * u - eta + 1.0, alpha));
+    if (rank >= n)
+        rank = n - 1;
+    return rank;
+}
+
+std::uint64_t
+ZipfianChooser::next(sim::Rng &rng, std::uint64_t current_max)
+{
+    std::uint64_t rank = nextRank(rng);
+    if (!scrambled)
+        return rank % (current_max ? current_max : 1);
+    // FNV-1a scramble, as YCSB's ScrambledZipfianGenerator does.
+    std::uint64_t h = 14695981039346656037ULL;
+    h = (h ^ rank) * 1099511628211ULL;
+    h = (h ^ (rank >> 32)) * 1099511628211ULL;
+    return h % (current_max ? current_max : 1);
+}
+
+LatestChooser::LatestChooser(std::uint64_t initial_n, double theta)
+    : zipf(initial_n, theta, false)
+{
+}
+
+std::uint64_t
+LatestChooser::next(sim::Rng &rng, std::uint64_t current_max)
+{
+    if (current_max == 0)
+        panic("latest chooser: empty key space");
+    std::uint64_t rank = zipf.nextRank(rng);
+    if (rank >= current_max)
+        rank = current_max - 1;
+    return current_max - 1 - rank;
+}
+
+} // namespace hwdp::workloads

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Key distribution generators for the KV workloads.
+ *
+ * Implements the YCSB generators: uniform, scrambled zipfian
+ * (theta = 0.99, the YCSB default) and "latest" (zipfian over
+ * recency, used by YCSB-D). The zipfian generator follows the
+ * Gray et al. method YCSB uses, with the incremental zeta
+ * computation replaced by a one-time computation per key-space size
+ * (key spaces are fixed for a run here).
+ */
+
+#ifndef HWDP_WORKLOADS_KEY_CHOOSER_HH
+#define HWDP_WORKLOADS_KEY_CHOOSER_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/rng.hh"
+
+namespace hwdp::workloads {
+
+class KeyChooser
+{
+  public:
+    virtual ~KeyChooser() = default;
+
+    /**
+     * Draw a key in [0, currentMax). @p current_max lets "latest"
+     * track a growing key space (inserts).
+     */
+    virtual std::uint64_t next(sim::Rng &rng,
+                               std::uint64_t current_max) = 0;
+};
+
+class UniformChooser : public KeyChooser
+{
+  public:
+    std::uint64_t next(sim::Rng &rng, std::uint64_t current_max) override;
+};
+
+class ZipfianChooser : public KeyChooser
+{
+  public:
+    /**
+     * @param n     Key-space size the zeta constant is computed for.
+     * @param theta Skew (YCSB default 0.99).
+     * @param scrambled Hash the rank so popular keys spread over the
+     *                  key space (YCSB's ScrambledZipfian).
+     */
+    explicit ZipfianChooser(std::uint64_t n, double theta = 0.99,
+                            bool scrambled = true);
+
+    std::uint64_t next(sim::Rng &rng, std::uint64_t current_max) override;
+
+    /** Raw rank draw in [0, n) without scrambling. */
+    std::uint64_t nextRank(sim::Rng &rng);
+
+  private:
+    std::uint64_t n;
+    double theta;
+    bool scrambled;
+    double zetan;
+    double alpha;
+    double eta;
+
+    static double zeta(std::uint64_t n, double theta);
+};
+
+/** Zipf over recency: recent (high) keys are popular (YCSB-D). */
+class LatestChooser : public KeyChooser
+{
+  public:
+    explicit LatestChooser(std::uint64_t initial_n, double theta = 0.99);
+
+    std::uint64_t next(sim::Rng &rng, std::uint64_t current_max) override;
+
+  private:
+    ZipfianChooser zipf;
+};
+
+} // namespace hwdp::workloads
+
+#endif // HWDP_WORKLOADS_KEY_CHOOSER_HH

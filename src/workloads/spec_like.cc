@@ -1,0 +1,111 @@
+#include "workloads/spec_like.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::workloads {
+
+const std::vector<std::string> &
+SpecLikeWorkload::kernelNames()
+{
+    static const std::vector<std::string> names = {
+        "mcf_like",       // pointer chasing, LLC-miss bound
+        "lbm_like",       // streaming over a large grid
+        "perlbench_like", // branchy interpreter
+        "x264_like",      // dense compute, small working set
+        "deepsjeng_like", // search: branchy + medium working set
+        "leela_like",     // tree search, moderate everything
+    };
+    return names;
+}
+
+SpecLikeWorkload::SpecLikeWorkload(const std::string &kernel,
+                                   std::uint64_t n_bursts)
+    : name(kernel), remaining(n_bursts), unbounded(n_bursts == 0)
+{
+    spec.instructions = 2000;
+    spec.textBase = 0x4300'0000ULL;
+
+    if (kernel == "mcf_like") {
+        spec.memRefFrac = 0.2;
+        spec.branchFrac = 0.16;
+        spec.hotBytes = 32 * 1024;
+        spec.coldBytes = 64ULL * 1024 * 1024;
+        spec.coldFrac = 0.35; // pointer chasing: LLC/DRAM bound
+        spec.textBytes = 24 * 1024;
+        spec.branchBias = 0.86;
+        spec.staticBranches = 512;
+        spec.mlp = 1.8;
+    } else if (kernel == "lbm_like") {
+        spec.memRefFrac = 0.2;
+        spec.branchFrac = 0.05;
+        spec.hotBytes = 32 * 1024;
+        spec.coldBytes = 128ULL * 1024 * 1024;
+        spec.coldFrac = 0.3; // streaming grid sweeps
+        spec.textBytes = 12 * 1024;
+        spec.branchBias = 0.97;
+        spec.staticBranches = 32;
+        spec.mlp = 10.0;
+    } else if (kernel == "perlbench_like") {
+        spec.memRefFrac = 0.12;
+        spec.branchFrac = 0.23;
+        spec.hotBytes = 32 * 1024;
+        spec.coldBytes = 4 * 1024 * 1024;
+        spec.coldFrac = 0.06;
+        spec.textBytes = 160 * 1024;
+        spec.branchBias = 0.88;
+        spec.staticBranches = 4096;
+        spec.mlp = 3.0;
+    } else if (kernel == "x264_like") {
+        spec.memRefFrac = 0.1;
+        spec.branchFrac = 0.08;
+        spec.hotBytes = 24 * 1024;
+        spec.coldBytes = 256 * 1024;
+        spec.coldFrac = 0.02;
+        spec.textBytes = 64 * 1024;
+        spec.branchBias = 0.94;
+        spec.staticBranches = 256;
+        spec.mlp = 4.0;
+    } else if (kernel == "deepsjeng_like") {
+        spec.memRefFrac = 0.12;
+        spec.branchFrac = 0.2;
+        spec.hotBytes = 32 * 1024;
+        spec.coldBytes = 8ULL * 1024 * 1024;
+        spec.coldFrac = 0.1;
+        spec.textBytes = 96 * 1024;
+        spec.branchBias = 0.87;
+        spec.staticBranches = 2048;
+        spec.mlp = 3.0;
+    } else if (kernel == "leela_like") {
+        spec.memRefFrac = 0.12;
+        spec.branchFrac = 0.15;
+        spec.hotBytes = 32 * 1024;
+        spec.coldBytes = 2 * 1024 * 1024;
+        spec.coldFrac = 0.07;
+        spec.textBytes = 48 * 1024;
+        spec.branchBias = 0.9;
+        spec.staticBranches = 1024;
+        spec.mlp = 3.0;
+    } else {
+        fatal("spec-like: unknown kernel '", kernel, "'");
+    }
+
+    // Each kernel gets a disjoint data region so co-runners do not
+    // accidentally share cache lines.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : kernel)
+        h = (h ^ static_cast<std::uint64_t>(c)) * 1099511628211ULL;
+    spec.hotBase = 0x50'0000'0000ULL + ((h & 0xff) << 32);
+}
+
+Op
+SpecLikeWorkload::next(sim::Rng &)
+{
+    if (!unbounded) {
+        if (remaining == 0)
+            return Op::makeDone();
+        --remaining;
+    }
+    return Op::makeCompute(spec, true);
+}
+
+} // namespace hwdp::workloads

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Workload abstraction: a pull-based stream of operations.
+ *
+ * A workload yields Ops — compute bursts with a microarchitectural
+ * profile, memory accesses into mmap'ed regions, buffered file writes
+ * (WAL traffic), msync barriers, think time — and the ThreadContext
+ * executes them against the simulated machine. One Op may end an
+ * "application operation" (a FIO read, a YCSB request), which is the
+ * unit the throughput figures count.
+ */
+
+#ifndef HWDP_WORKLOADS_WORKLOAD_HH
+#define HWDP_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace hwdp::os {
+class File;
+struct Vma;
+} // namespace hwdp::os
+
+namespace hwdp::workloads {
+
+/** Microarchitectural profile of a compute burst. */
+struct ComputeSpec
+{
+    std::uint64_t instructions = 0;
+
+    /** Fraction of instructions that are data references. */
+    double memRefFrac = 0.1;
+
+    /** Fraction of instructions that are branches. */
+    double branchFrac = 0.15;
+
+    /**
+     * Two-level data working set: most references hit a small hot
+     * set (registers/L1-resident structures); coldFrac of them roam a
+     * larger cold region. This is what gives workloads realistic IPC
+     * and makes kernel cache pollution visible (evicted hot lines).
+     */
+    VAddr hotBase = 0x10'0000'0000ULL;
+    std::uint64_t hotBytes = 24 * 1024;
+    std::uint64_t coldBytes = 2 * 1024 * 1024;
+    double coldFrac = 0.08;
+
+    /** Instruction footprint. */
+    VAddr textBase = 0x4000'0000ULL;
+    std::uint64_t textBytes = 16 * 1024;
+
+    /**
+     * Cold instruction lines per burst (rarely-taken paths, library
+     * calls): streamed from a 1 MB cold-text region, they give the
+     * workload an intrinsic L1I miss floor.
+     */
+    std::uint32_t icacheColdLines = 12;
+
+    /**
+     * Memory-level parallelism: how many data misses overlap. 1 means
+     * fully dependent chains (KV index walks); streaming kernels
+     * overlap many misses.
+     */
+    double mlp = 1.0;
+
+    /**
+     * Branch predictability: fraction of pattern-following outcomes.
+     * Patterned outcomes are learnable by the gshare predictor until
+     * kernel entries scramble its history/tables; the remainder are
+     * noise no predictor can learn.
+     */
+    double branchBias = 0.9;
+
+    /** Number of distinct static branch sites. */
+    std::uint32_t staticBranches = 64;
+};
+
+struct Op
+{
+    enum class Kind { compute, mem, fileWrite, msync, idle, done };
+
+    Kind kind = Kind::done;
+
+    ComputeSpec compute{};          ///< kind == compute
+
+    VAddr addr = 0;                 ///< kind == mem
+    bool write = false;
+
+    os::File *file = nullptr;       ///< kind == fileWrite
+    std::uint64_t pageIndex = 0;
+    std::uint64_t bytes = 0;
+
+    os::Vma *vma = nullptr;         ///< kind == msync
+
+    Tick idleTicks = 0;             ///< kind == idle
+
+    /** True when completing this op finishes one application op. */
+    bool endsAppOp = false;
+
+    static Op
+    makeCompute(const ComputeSpec &spec, bool ends_op = false)
+    {
+        Op op;
+        op.kind = Kind::compute;
+        op.compute = spec;
+        op.endsAppOp = ends_op;
+        return op;
+    }
+
+    static Op
+    makeMem(VAddr addr, bool write, bool ends_op = false)
+    {
+        Op op;
+        op.kind = Kind::mem;
+        op.addr = addr;
+        op.write = write;
+        op.endsAppOp = ends_op;
+        return op;
+    }
+
+    static Op
+    makeFileWrite(os::File *file, std::uint64_t page_index,
+                  std::uint64_t bytes, bool ends_op = false)
+    {
+        Op op;
+        op.kind = Kind::fileWrite;
+        op.file = file;
+        op.pageIndex = page_index;
+        op.bytes = bytes;
+        op.endsAppOp = ends_op;
+        return op;
+    }
+
+    static Op
+    makeDone()
+    {
+        return Op{};
+    }
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next operation. Must return done forever after. */
+    virtual Op next(sim::Rng &rng) = 0;
+
+    virtual const char *label() const = 0;
+};
+
+} // namespace hwdp::workloads
+
+#endif // HWDP_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,107 @@
+#include "workloads/ycsb.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace hwdp::workloads {
+
+YcsbWorkload::YcsbWorkload(char type, KvStore &store, std::uint64_t n_ops,
+                           unsigned max_scan)
+    : kind(type), store(store), remaining(n_ops), maxScan(max_scan)
+{
+    if (type < 'A' || type > 'F')
+        fatal("ycsb: unknown workload type '", type, "'");
+    std::snprintf(name, sizeof(name), "ycsb_%c", type);
+
+    switch (type) {
+      case 'D':
+        chooser = std::make_unique<LatestChooser>(store.numKeys());
+        break;
+      default:
+        chooser = std::make_unique<ZipfianChooser>(store.numKeys());
+        break;
+    }
+}
+
+void
+YcsbWorkload::generateRequest(sim::Rng &rng)
+{
+    std::uint64_t key = chooser->next(rng, store.numKeys());
+    double p = rng.uniform();
+
+    switch (kind) {
+      case 'A':
+        if (p < 0.5)
+            store.emitRead(pending, key);
+        else
+            store.emitUpdate(pending, key);
+        break;
+      case 'B':
+        if (p < 0.95)
+            store.emitRead(pending, key);
+        else
+            store.emitUpdate(pending, key);
+        break;
+      case 'C':
+        store.emitRead(pending, key);
+        break;
+      case 'D':
+        if (p < 0.95)
+            store.emitRead(pending, key);
+        else
+            store.emitInsert(pending);
+        break;
+      case 'E':
+        if (p < 0.95) {
+            auto len = static_cast<unsigned>(1 + rng.range(maxScan));
+            store.emitScan(pending, key, len);
+        } else {
+            store.emitInsert(pending);
+        }
+        break;
+      case 'F':
+        if (p < 0.5)
+            store.emitRead(pending, key);
+        else
+            store.emitReadModifyWrite(pending, key);
+        break;
+      default:
+        panic("ycsb: bad type");
+    }
+}
+
+Op
+YcsbWorkload::next(sim::Rng &rng)
+{
+    if (pending.empty()) {
+        if (remaining == 0)
+            return Op::makeDone();
+        --remaining;
+        generateRequest(rng);
+    }
+    Op op = pending.front();
+    pending.pop_front();
+    return op;
+}
+
+DbBenchReadRandom::DbBenchReadRandom(KvStore &store, std::uint64_t n_ops)
+    : store(store), remaining(n_ops)
+{
+}
+
+Op
+DbBenchReadRandom::next(sim::Rng &rng)
+{
+    if (pending.empty()) {
+        if (remaining == 0)
+            return Op::makeDone();
+        --remaining;
+        store.emitRead(pending, chooser.next(rng, store.numKeys()));
+    }
+    Op op = pending.front();
+    pending.pop_front();
+    return op;
+}
+
+} // namespace hwdp::workloads

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * YCSB core workloads A-F driving the KV store.
+ *
+ * Mixes follow the YCSB core-workload definitions:
+ *   A: 50% read / 50% update, zipfian
+ *   B: 95% read /  5% update, zipfian
+ *   C: 100% read, zipfian (the paper's headline workload)
+ *   D: 95% read /  5% insert, latest
+ *   E: 95% scan /  5% insert, zipfian (scan length uniform 1..maxScan)
+ *   F: 50% read / 50% read-modify-write, zipfian
+ */
+
+#ifndef HWDP_WORKLOADS_YCSB_HH
+#define HWDP_WORKLOADS_YCSB_HH
+
+#include <deque>
+#include <memory>
+
+#include "workloads/key_chooser.hh"
+#include "workloads/kv_store.hh"
+#include "workloads/workload.hh"
+
+namespace hwdp::workloads {
+
+class YcsbWorkload : public Workload
+{
+  public:
+    /**
+     * @param type  'A'..'F'.
+     * @param n_ops Application operations to execute.
+     */
+    YcsbWorkload(char type, KvStore &store, std::uint64_t n_ops,
+                 unsigned max_scan = 8);
+
+    Op next(sim::Rng &rng) override;
+    const char *label() const override { return name; }
+
+    char type() const { return kind; }
+
+  private:
+    char kind;
+    char name[8];
+    KvStore &store;
+    std::uint64_t remaining;
+    unsigned maxScan;
+    std::unique_ptr<KeyChooser> chooser;
+    std::deque<Op> pending;
+
+    void generateRequest(sim::Rng &rng);
+};
+
+/** DBBench readrandom: uniform random point reads (Figure 13). */
+class DbBenchReadRandom : public Workload
+{
+  public:
+    DbBenchReadRandom(KvStore &store, std::uint64_t n_ops);
+
+    Op next(sim::Rng &rng) override;
+    const char *label() const override { return "dbbench_readrandom"; }
+
+  private:
+    KvStore &store;
+    std::uint64_t remaining;
+    UniformChooser chooser;
+    std::deque<Op> pending;
+};
+
+} // namespace hwdp::workloads
+
+#endif // HWDP_WORKLOADS_YCSB_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the McPAT-style area model (Section VI-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "metrics/area_model.hh"
+
+using namespace hwdp;
+using namespace hwdp::metrics;
+
+TEST(AreaModel, TotalMatchesPaper)
+{
+    AreaModel m;
+    EXPECT_NEAR(m.smuTotalMm2(), 0.014, 0.001);
+}
+
+TEST(AreaModel, DieFractionMatchesPaper)
+{
+    AreaModel m;
+    double frac = m.smuTotalMm2() / AreaModel::xeonDieMm2;
+    EXPECT_NEAR(frac * 100.0, 0.004, 0.0005);
+}
+
+TEST(AreaModel, ComponentSharesMatchPaper)
+{
+    AreaModel m;
+    auto parts = m.smuArea();
+    ASSERT_EQ(parts.size(), 4u);
+    double total = m.smuTotalMm2();
+    EXPECT_EQ(parts[0].name, "pmshr");
+    EXPECT_NEAR(parts[0].areaMm2 / total, 0.876, 0.02);
+    EXPECT_NEAR(parts[1].areaMm2 / total, 0.067, 0.01);
+    EXPECT_NEAR(parts[2].areaMm2 / total, 0.037, 0.01);
+    EXPECT_NEAR(parts[3].areaMm2 / total, 0.020, 0.01);
+}
+
+TEST(AreaModel, AreaScalesWithTechnologyNode)
+{
+    AreaModel at22(22.0), at45(45.0), at7(7.0);
+    EXPECT_GT(at45.smuTotalMm2(), at22.smuTotalMm2() * 3.0);
+    EXPECT_LT(at7.smuTotalMm2(), at22.smuTotalMm2() * 0.2);
+}
+
+TEST(AreaModel, MonotonicInPmshrEntries)
+{
+    AreaModel m;
+    double prev = 0.0;
+    for (unsigned n : {4u, 8u, 16u, 32u, 64u}) {
+        double a = m.smuTotalMm2(n);
+        EXPECT_GT(a, prev);
+        prev = a;
+    }
+}
+
+TEST(AreaModel, CamIsDenserThanSram)
+{
+    AreaModel m;
+    EXPECT_GT(m.camArea(32, 300, 58), m.sramArea(32, 300));
+}
+
+TEST(AreaModel, BadTechNodeRejected)
+{
+    EXPECT_THROW(AreaModel(0.0), FatalError);
+    EXPECT_THROW(AreaModel(-3.0), FatalError);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the set-associative tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace hwdp;
+using namespace hwdp::mem;
+
+TEST(CacheArray, GeometryValidation)
+{
+    EXPECT_THROW(CacheArray("x", 0, 8), FatalError);
+    EXPECT_THROW(CacheArray("x", 32768, 0), FatalError);
+    EXPECT_THROW(CacheArray("x", 32768, 8, 48), FatalError); // non-pow2
+    // 3 sets is not a power of two: 3 * 8 * 64 bytes.
+    EXPECT_THROW(CacheArray("x", 3 * 8 * 64, 8, 64), FatalError);
+}
+
+TEST(CacheArray, GeometryAccessors)
+{
+    CacheArray c("c", 32 * 1024, 8, 64);
+    EXPECT_EQ(c.sizeBytes(), 32u * 1024);
+    EXPECT_EQ(c.associativity(), 8u);
+    EXPECT_EQ(c.numSets(), 64u);
+    EXPECT_EQ(c.lineBytes(), 64u);
+}
+
+TEST(CacheArray, MissThenHit)
+{
+    CacheArray c("c", 4096, 4);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1004)); // same line
+    EXPECT_EQ(c.hitCount(), 2u);
+    EXPECT_EQ(c.missCount(), 1u);
+}
+
+TEST(CacheArray, LruEvictsOldest)
+{
+    // 2-way, line 64: set count = 4096 / (2*64) = 32 sets.
+    CacheArray c("c", 4096, 2);
+    std::uint64_t set_stride = 32 * 64; // same set every stride
+    // Fill one set with two lines.
+    c.access(0 * set_stride);
+    c.access(1 * set_stride);
+    // Touch the first again so the second becomes LRU.
+    c.access(0 * set_stride);
+    // Insert a third: must evict line 1.
+    c.access(2 * set_stride);
+    EXPECT_TRUE(c.probe(0 * set_stride));
+    EXPECT_FALSE(c.probe(1 * set_stride));
+    EXPECT_TRUE(c.probe(2 * set_stride));
+}
+
+TEST(CacheArray, ProbeDoesNotAllocateOrTouch)
+{
+    CacheArray c("c", 4096, 2);
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_EQ(c.occupancy(), 0u);
+    EXPECT_EQ(c.missCount(), 0u);
+}
+
+TEST(CacheArray, InvalidateRemovesLine)
+{
+    CacheArray c("c", 4096, 2);
+    c.access(0x80);
+    EXPECT_TRUE(c.invalidate(0x80));
+    EXPECT_FALSE(c.probe(0x80));
+    EXPECT_FALSE(c.invalidate(0x80)); // second time: not present
+}
+
+TEST(CacheArray, FlushDropsEverything)
+{
+    CacheArray c("c", 4096, 2);
+    for (int i = 0; i < 32; ++i)
+        c.access(i * 64);
+    EXPECT_GT(c.occupancy(), 0u);
+    c.flush();
+    EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(CacheArray, WorkingSetWithinCapacityAllHits)
+{
+    CacheArray c("c", 32 * 1024, 8);
+    // 16 KB working set in a 32 KB cache: second pass must fully hit.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t a = 0; a < 16 * 1024; a += 64)
+            c.access(a);
+    }
+    EXPECT_EQ(c.missCount(), 256u); // only the first pass
+    EXPECT_EQ(c.hitCount(), 256u);
+}
+
+TEST(CacheArray, CyclicOversizedSetThrashes)
+{
+    // Classic LRU pathology: cycling N+1 lines through an N-way set
+    // misses every time.
+    CacheArray c("c", 2 * 64, 2, 64); // one set, 2 ways
+    for (int pass = 0; pass < 4; ++pass) {
+        for (int l = 0; l < 3; ++l)
+            c.access(static_cast<std::uint64_t>(l) * 64);
+    }
+    EXPECT_EQ(c.hitCount(), 0u);
+}
+
+struct CacheGeom
+{
+    std::uint64_t size;
+    unsigned assoc;
+};
+
+class CacheArrayProperty : public ::testing::TestWithParam<CacheGeom>
+{
+};
+
+TEST_P(CacheArrayProperty, OccupancyNeverExceedsCapacity)
+{
+    auto [size, assoc] = GetParam();
+    CacheArray c("c", size, assoc);
+    sim::Rng rng(size ^ assoc);
+    std::uint64_t capacity = size / 64;
+    for (int i = 0; i < 20000; ++i)
+        c.access(rng.range(1 << 22) * 64);
+    EXPECT_LE(c.occupancy(), capacity);
+    EXPECT_EQ(c.hitCount() + c.missCount(), 20000u);
+}
+
+TEST_P(CacheArrayProperty, ResidentLineStaysUntilConflict)
+{
+    auto [size, assoc] = GetParam();
+    CacheArray c("c", size, assoc);
+    c.access(0);
+    // Touching other sets never evicts set 0's line.
+    unsigned sets = c.numSets();
+    for (unsigned s = 1; s < sets; ++s)
+        c.access(static_cast<std::uint64_t>(s) * 64);
+    EXPECT_TRUE(c.probe(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheArrayProperty,
+    ::testing::Values(CacheGeom{4096, 1}, CacheGeom{4096, 2},
+                      CacheGeom{32 * 1024, 8}, CacheGeom{256 * 1024, 8},
+                      CacheGeom{1024 * 1024, 16}));

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the three-level cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_hierarchy.hh"
+#include "sim/logging.hh"
+
+using namespace hwdp;
+using namespace hwdp::mem;
+
+namespace {
+
+CacheParams
+tinyParams()
+{
+    CacheParams p;
+    p.l1iBytes = 4096;
+    p.l1dBytes = 4096;
+    p.l2Bytes = 16 * 1024;
+    p.llcBytes = 64 * 1024;
+    p.llcAssoc = 16;
+    return p;
+}
+
+} // namespace
+
+TEST(CacheHierarchy, ColdMissPaysDramLatency)
+{
+    CacheHierarchy h(2, tinyParams());
+    auto r = h.access(0, 0x10000, false, ExecMode::user);
+    EXPECT_TRUE(r.l1Miss);
+    EXPECT_TRUE(r.l2Miss);
+    EXPECT_TRUE(r.llcMiss);
+    EXPECT_EQ(r.latency, tinyParams().dramLatency);
+}
+
+TEST(CacheHierarchy, SecondAccessHitsL1)
+{
+    CacheHierarchy h(2, tinyParams());
+    h.access(0, 0x10000, false, ExecMode::user);
+    auto r = h.access(0, 0x10000, false, ExecMode::user);
+    EXPECT_FALSE(r.l1Miss);
+    EXPECT_EQ(r.latency, tinyParams().l1Latency);
+}
+
+TEST(CacheHierarchy, PrivateCachesAreNotShared)
+{
+    CacheHierarchy h(2, tinyParams());
+    h.access(0, 0x10000, false, ExecMode::user);
+    // Other core misses its private L1/L2 but hits the shared LLC.
+    auto r = h.access(1, 0x10000, false, ExecMode::user);
+    EXPECT_TRUE(r.l1Miss);
+    EXPECT_TRUE(r.l2Miss);
+    EXPECT_FALSE(r.llcMiss);
+    EXPECT_EQ(r.latency, tinyParams().llcLatency);
+}
+
+TEST(CacheHierarchy, InstructionAndDataSplit)
+{
+    CacheHierarchy h(1, tinyParams());
+    h.access(0, 0x20000, true, ExecMode::user);
+    // Same line as data: misses the L1D (split caches) but hits L2.
+    auto r = h.access(0, 0x20000, false, ExecMode::user);
+    EXPECT_TRUE(r.l1Miss);
+    EXPECT_FALSE(r.l2Miss);
+}
+
+TEST(CacheHierarchy, ModeCountersAttributeCorrectly)
+{
+    CacheHierarchy h(1, tinyParams());
+    h.access(0, 0x1000, false, ExecMode::user);
+    h.access(0, 0x2000, false, ExecMode::kernel);
+    h.access(0, 0x3000, true, ExecMode::kernel);
+    auto &u = h.counters(ExecMode::user);
+    auto &k = h.counters(ExecMode::kernel);
+    EXPECT_EQ(u.l1dAccesses, 1u);
+    EXPECT_EQ(u.l1dMisses, 1u);
+    EXPECT_EQ(k.l1dAccesses, 1u);
+    EXPECT_EQ(k.l1iAccesses, 1u);
+    EXPECT_EQ(k.l1iMisses, 1u);
+}
+
+TEST(CacheHierarchy, KernelEvictsUserState)
+{
+    CacheHierarchy h(1, tinyParams());
+    // Fill the 4 KB L1D with user lines.
+    for (std::uint64_t a = 0; a < 4096; a += 64)
+        h.access(0, a, false, ExecMode::user);
+    // Kernel streams 4 KB of its own lines through the same L1D.
+    for (std::uint64_t a = 0x100000; a < 0x101000; a += 64)
+        h.access(0, a, false, ExecMode::kernel);
+    // User lines re-miss: pollution.
+    auto before = h.counters(ExecMode::user).l1dMisses;
+    for (std::uint64_t a = 0; a < 4096; a += 64)
+        h.access(0, a, false, ExecMode::user);
+    auto after = h.counters(ExecMode::user).l1dMisses;
+    EXPECT_GT(after - before, 32u);
+}
+
+TEST(CacheHierarchy, BadCoreIndexPanics)
+{
+    CacheHierarchy h(1, tinyParams());
+    EXPECT_THROW(h.access(3, 0x0, false, ExecMode::user), PanicError);
+}
+
+TEST(CacheHierarchy, ResetCountersZeroes)
+{
+    CacheHierarchy h(1, tinyParams());
+    h.access(0, 0x1000, false, ExecMode::user);
+    h.resetCounters();
+    EXPECT_EQ(h.counters(ExecMode::user).l1dAccesses, 0u);
+}
+
+TEST(CacheHierarchy, ZeroCoresRejected)
+{
+    EXPECT_THROW(CacheHierarchy(0, tinyParams()), FatalError);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Calibration guard tests: the quantitative anchors EXPERIMENTS.md
+ * reports are pinned here so a future change that silently drifts a
+ * headline number fails a test instead of a paper comparison.
+ *
+ * Bands are deliberately wider than the bench output (different
+ * machine sizes run faster here) but narrow enough to catch a broken
+ * calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "system/system.hh"
+#include "workloads/fio.hh"
+
+using namespace hwdp;
+
+namespace {
+
+system::MachineConfig
+calibConfig(system::PagingMode mode)
+{
+    system::MachineConfig cfg;
+    cfg.mode = mode;
+    cfg.memFrames = 16 * 1024;
+    cfg.smu.freeQueueCapacity = 1024;
+    cfg.kpooldPeriod = milliseconds(1.0);
+    return cfg;
+}
+
+double
+fioLatency(system::PagingMode mode, unsigned threads)
+{
+    system::System sys(calibConfig(mode));
+    auto mf = sys.mapDataset("f", 512 * 1024); // cold reads
+    double sum = 0;
+    for (unsigned t = 0; t < threads; ++t) {
+        auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma,
+                                                            3000);
+        sys.addThread(*wl, t, *mf.as);
+    }
+    EXPECT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    for (auto &tc : sys.threads())
+        sum += tc->faultedOpLatencyUs().mean();
+    return sum / threads;
+}
+
+} // namespace
+
+TEST(Calibration, SingleThreadFioReductionNearPaper)
+{
+    // Paper Figure 12: -37.0% at one thread. Accept 32..45%.
+    double osdp = fioLatency(system::PagingMode::osdp, 1);
+    double hwdp = fioLatency(system::PagingMode::hwdp, 1);
+    double reduction = 1.0 - hwdp / osdp;
+    EXPECT_GT(reduction, 0.32);
+    EXPECT_LT(reduction, 0.45);
+}
+
+TEST(Calibration, OsdpFaultNearTwentyMicroseconds)
+{
+    system::System sys(calibConfig(system::PagingMode::osdp));
+    auto mf = sys.mapDataset("f", 512 * 1024);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 3000);
+    sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    // Device 10.9 us + ~8.4 us kernel (Figure 3's 76.3%).
+    double mean = sys.kernel().faultLatencyUs().mean();
+    EXPECT_GT(mean, 17.5);
+    EXPECT_LT(mean, 21.5);
+}
+
+TEST(Calibration, HwdpMissWithinTwoHundredNsOfDevice)
+{
+    system::System sys(calibConfig(system::PagingMode::hwdp));
+    auto mf = sys.mapDataset("f", 512 * 1024);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 3000);
+    sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    // Figure 11(b): hardware adds ~120 ns over the 10.9 us device
+    // time; queueing noise allows a little more.
+    double mean = sys.smu()->missLatencyUs().mean();
+    EXPECT_GT(mean, 10.9);
+    EXPECT_LT(mean, 11.35);
+}
+
+TEST(Calibration, SwOnlyBetweenOsdpAndHwdpPerFig17)
+{
+    double osdp = fioLatency(system::PagingMode::osdp, 1);
+    double sw = fioLatency(system::PagingMode::swsmu, 1);
+    double hw = fioLatency(system::PagingMode::hwdp, 1);
+    // Figure 17's Z-SSD point: HWDP/SW-only ~ 0.85.
+    EXPECT_LT(hw, sw);
+    EXPECT_LT(sw, osdp);
+    double ratio = hw / sw;
+    EXPECT_GT(ratio, 0.78);
+    EXPECT_LT(ratio, 0.93);
+}
+
+TEST(Calibration, HwdpLatencyAdvantageGrowsOnFasterDevices)
+{
+    // Figure 17's trend across devices, as latency ratios.
+    double prev_ratio = 1.0;
+    for (const char *prof : {"zssd", "optane_ssd", "optane_pmm"}) {
+        auto mk = [&](system::PagingMode m) {
+            auto cfg = calibConfig(m);
+            cfg.ssdProfile = prof;
+            system::System sys(cfg);
+            auto mf = sys.mapDataset("f", 512 * 1024);
+            auto *wl =
+                sys.makeWorkload<workloads::FioWorkload>(mf.vma, 2000);
+            sys.addThread(*wl, 0, *mf.as);
+            EXPECT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+            return sys.threads()[0]->faultedOpLatencyUs().mean();
+        };
+        double ratio =
+            mk(system::PagingMode::hwdp) / mk(system::PagingMode::osdp);
+        EXPECT_LT(ratio, prev_ratio)
+            << prof << ": the advantage must grow as devices speed up";
+        prev_ratio = ratio;
+    }
+}
+
+TEST(Calibration, DeterministicAcrossRuns)
+{
+    // The whole machine is seeded: identical configs give identical
+    // results, which is what makes EXPERIMENTS.md reproducible.
+    auto run = [] {
+        system::System sys(calibConfig(system::PagingMode::hwdp));
+        auto mf = sys.mapDataset("f", 64 * 1024);
+        auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma,
+                                                            1000);
+        sys.addThread(*wl, 0, *mf.as);
+        EXPECT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+        return std::make_pair(sys.now(),
+                              sys.threads()[0]->userCycles());
+    };
+    auto a = run();
+    auto b = run();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}

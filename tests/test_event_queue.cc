@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace hwdp;
+using namespace hwdp::sim;
+
+namespace {
+
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(std::vector<int> &log, int id)
+        : Event("rec" + std::to_string(id)), log(log), id(id)
+    {
+    }
+    void process() override { log.push_back(id); }
+
+  private:
+    std::vector<int> &log;
+    int id;
+};
+
+} // namespace
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ProcessesInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&b, 200);
+    eq.schedule(&a, 100);
+    eq.schedule(&c, 300);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&a, 50);
+    eq.schedule(&b, 50);
+    eq.schedule(&c, 50);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduledFlagTracksLifecycle)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    EXPECT_FALSE(a.scheduled());
+    eq.schedule(&a, 10);
+    EXPECT_TRUE(a.scheduled());
+    EXPECT_EQ(a.when(), 10u);
+    eq.run();
+    EXPECT_FALSE(a.scheduled());
+}
+
+TEST(EventQueue, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    eq.schedule(&a, 10);
+    EXPECT_THROW(eq.schedule(&a, 20), PanicError);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 100);
+    eq.run();
+    EXPECT_THROW(eq.schedule(&b, 50), PanicError);
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, DescheduleIdlePanics)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    EXPECT_THROW(eq.deschedule(&a), PanicError);
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, LambdaEventsSelfDestruct)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleLambda(10, [&] { ++fired; });
+    eq.scheduleLambdaIn(20, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunHonoursLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleLambda(10, [&] { ++fired; });
+    eq.scheduleLambda(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunWhileStopsOnCondition)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (Tick t = 10; t <= 100; t += 10)
+        eq.scheduleLambda(t, [&] { ++fired; });
+    eq.runWhile([&] { return fired < 3; });
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    std::function<void()> chain = [&] {
+        ticks.push_back(eq.now());
+        if (ticks.size() < 5)
+            eq.scheduleLambdaIn(7, chain);
+    };
+    eq.scheduleLambda(1, chain);
+    eq.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{1, 8, 15, 22, 29}));
+}
+
+TEST(EventQueue, ProcessedCountAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleLambda(i + 1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.processedCount(), 10u);
+}
+
+TEST(EventQueue, ZeroDelayFiresAtCurrentTick)
+{
+    EventQueue eq;
+    eq.scheduleLambda(5, [] {});
+    eq.run();
+    Tick before = eq.now();
+    bool fired = false;
+    eq.scheduleLambdaIn(0, [&] { fired = true; });
+    eq.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(eq.now(), before);
+}

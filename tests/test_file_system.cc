@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the extent-based file system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "os/file_system.hh"
+#include "sim/logging.hh"
+
+using namespace hwdp;
+using namespace hwdp::os;
+
+namespace {
+
+FileSystem
+makeFs()
+{
+    return FileSystem(sim::Rng(42));
+}
+
+} // namespace
+
+TEST(FileSystem, CreateAndLookup)
+{
+    auto fs = makeFs();
+    File *f = fs.createFile("data", 100, BlockDeviceId{0, 0});
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->numPages(), 100u);
+    EXPECT_EQ(fs.lookup("data"), f);
+    EXPECT_EQ(fs.byId(f->id()), f);
+    EXPECT_EQ(fs.lookup("nope"), nullptr);
+    EXPECT_EQ(fs.byId(99), nullptr);
+}
+
+TEST(FileSystem, DuplicateNameRejected)
+{
+    auto fs = makeFs();
+    fs.createFile("a", 10, BlockDeviceId{0, 0});
+    EXPECT_THROW(fs.createFile("a", 10, BlockDeviceId{0, 0}),
+                 FatalError);
+}
+
+TEST(FileSystem, EmptyFileRejected)
+{
+    auto fs = makeFs();
+    EXPECT_THROW(fs.createFile("e", 0, BlockDeviceId{0, 0}), FatalError);
+}
+
+TEST(FileSystem, LbasAreUniqueAcrossFiles)
+{
+    auto fs = makeFs();
+    File *a = fs.createFile("a", 5000, BlockDeviceId{0, 0});
+    File *b = fs.createFile("b", 5000, BlockDeviceId{0, 0});
+    std::set<Lba> seen;
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        EXPECT_TRUE(seen.insert(a->lbaOf(i)).second);
+        EXPECT_TRUE(seen.insert(b->lbaOf(i)).second);
+    }
+}
+
+TEST(FileSystem, ExtentsAreMostlyContiguous)
+{
+    auto fs = makeFs();
+    File *f = fs.createFile("big", 10000, BlockDeviceId{0, 0});
+    std::uint64_t contiguous = 0;
+    for (std::uint64_t i = 1; i < 10000; ++i)
+        contiguous += f->lbaOf(i) == f->lbaOf(i - 1) + 1;
+    // Extents average 512 pages: the overwhelming majority of
+    // neighbours are physically adjacent.
+    EXPECT_GT(contiguous, 9900u);
+}
+
+TEST(FileSystem, LbaBeyondEofPanics)
+{
+    auto fs = makeFs();
+    File *f = fs.createFile("f", 4, BlockDeviceId{0, 0});
+    EXPECT_THROW(f->lbaOf(4), PanicError);
+}
+
+TEST(FileSystem, RemapChangesLbaAndNotifies)
+{
+    auto fs = makeFs();
+    File *f = fs.createFile("f", 16, BlockDeviceId{1, 2});
+    f->markLbaAugmented();
+
+    File *seen_file = nullptr;
+    std::uint64_t seen_idx = 0;
+    Lba seen_lba = 0;
+    fs.setRemapListener([&](File &file, std::uint64_t idx, Lba lba) {
+        seen_file = &file;
+        seen_idx = idx;
+        seen_lba = lba;
+    });
+
+    Lba before = f->lbaOf(7);
+    fs.remapPage(*f, 7);
+    EXPECT_NE(f->lbaOf(7), before);
+    EXPECT_EQ(seen_file, f);
+    EXPECT_EQ(seen_idx, 7u);
+    EXPECT_EQ(seen_lba, f->lbaOf(7));
+}
+
+TEST(FileSystem, DeviceIdIsPreserved)
+{
+    auto fs = makeFs();
+    File *f = fs.createFile("f", 4, BlockDeviceId{3, 5});
+    EXPECT_EQ(f->device().sid, 3u);
+    EXPECT_EQ(f->device().dev, 5u);
+}
+
+TEST(FileSystem, MarkLbaAugmentedSticks)
+{
+    auto fs = makeFs();
+    File *f = fs.createFile("f", 4, BlockDeviceId{0, 0});
+    EXPECT_FALSE(f->lbaAugmentedMapping());
+    f->markLbaAugmented();
+    EXPECT_TRUE(f->lbaAugmentedMapping());
+}

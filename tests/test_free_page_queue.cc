@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the SMU free page queue and its prefetch buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/free_page_queue.hh"
+#include "sim/logging.hh"
+
+using namespace hwdp;
+using namespace hwdp::core;
+
+TEST(FreePageQueue, PushPopFifo)
+{
+    FreePageQueue q(8, 2);
+    for (Pfn p = 10; p < 14; ++p)
+        EXPECT_TRUE(q.push(p));
+    for (Pfn p = 10; p < 14; ++p) {
+        auto r = q.pop(90);
+        ASSERT_TRUE(r.ok);
+        EXPECT_EQ(r.pfn, p);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(FreePageQueue, CapacityEnforced)
+{
+    FreePageQueue q(2, 2);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_FALSE(q.push(3));
+    EXPECT_EQ(q.freeSlots(), 0u);
+}
+
+TEST(FreePageQueue, EmptyPopFails)
+{
+    FreePageQueue q(4, 2);
+    auto r = q.pop(90);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(q.emptyPops(), 1u);
+}
+
+TEST(FreePageQueue, PopWithoutPrefetchExposesMemoryLatency)
+{
+    FreePageQueue q(4, 2);
+    q.push(1);
+    auto r = q.pop(90);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.latency, 90u);
+    EXPECT_EQ(q.bufferHits(), 0u);
+}
+
+TEST(FreePageQueue, PrefetchedPopIsFree)
+{
+    FreePageQueue q(8, 4);
+    for (Pfn p = 1; p <= 6; ++p)
+        q.push(p);
+    q.refillPrefetch();
+    EXPECT_EQ(q.buffered(), 4u);
+    auto r = q.pop(90);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.pfn, 1u);
+    EXPECT_EQ(r.latency, 0u);
+    EXPECT_EQ(q.bufferHits(), 1u);
+}
+
+TEST(FreePageQueue, PrefetchPreservesFifoOrder)
+{
+    FreePageQueue q(16, 4);
+    for (Pfn p = 1; p <= 8; ++p)
+        q.push(p);
+    q.refillPrefetch();
+    // Two from the buffer, then refill, then interleave with ring.
+    EXPECT_EQ(q.pop(90).pfn, 1u);
+    EXPECT_EQ(q.pop(90).pfn, 2u);
+    q.refillPrefetch();
+    for (Pfn expect = 3; expect <= 8; ++expect)
+        EXPECT_EQ(q.pop(90).pfn, expect);
+}
+
+TEST(FreePageQueue, DisablePrefetchSpillsBuffer)
+{
+    FreePageQueue q(8, 4);
+    for (Pfn p = 1; p <= 4; ++p)
+        q.push(p);
+    q.refillPrefetch();
+    EXPECT_EQ(q.buffered(), 4u);
+    q.setPrefetchEnabled(false);
+    EXPECT_EQ(q.buffered(), 0u);
+    // Order preserved after the spill; pops pay memory latency.
+    for (Pfn expect = 1; expect <= 4; ++expect) {
+        auto r = q.pop(90);
+        EXPECT_EQ(r.pfn, expect);
+        EXPECT_EQ(r.latency, 90u);
+    }
+    q.refillPrefetch(); // no-op while disabled
+    EXPECT_EQ(q.buffered(), 0u);
+}
+
+TEST(FreePageQueue, SizeCountsRingAndBuffer)
+{
+    FreePageQueue q(8, 2);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    q.refillPrefetch();
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.buffered(), 2u);
+}
+
+TEST(FreePageQueue, ZeroCapacityRejected)
+{
+    EXPECT_THROW(FreePageQueue(0, 2), FatalError);
+}

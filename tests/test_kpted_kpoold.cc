@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the HWDP control-plane kernel threads: kpted (metadata
+ * sync) and kpoold (free page queue refill).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "system/system.hh"
+#include "workloads/fio.hh"
+
+using namespace hwdp;
+
+namespace {
+
+system::MachineConfig
+tinyConfig()
+{
+    system::MachineConfig cfg;
+    cfg.mode = system::PagingMode::hwdp;
+    cfg.nLogical = 4;
+    cfg.nPhysical = 2;
+    cfg.memFrames = 2048;
+    cfg.smu.freeQueueCapacity = 256;
+    cfg.kpooldBatch = 128;
+    cfg.kptedPeriod = milliseconds(1.0);
+    cfg.kpooldPeriod = milliseconds(1.0);
+    return cfg;
+}
+
+} // namespace
+
+TEST(Kpoold, PrimeFillsTheQueue)
+{
+    system::System sys(tinyConfig());
+    EXPECT_TRUE(sys.freePageQueue()->empty());
+    sys.start();
+    EXPECT_EQ(sys.freePageQueue()->size(), 256u);
+    // Donated frames are flagged so reclaim never touches them.
+    auto r = sys.freePageQueue()->pop(0);
+    EXPECT_TRUE(sys.kernel().page(r.pfn).inSmuQueue);
+    EXPECT_TRUE(sys.kernel().page(r.pfn).inUse);
+}
+
+TEST(Kpoold, PeriodicRefillReplenishes)
+{
+    system::System sys(tinyConfig());
+    sys.start();
+    auto *fpq = sys.freePageQueue();
+    // Drain half the queue.
+    for (int i = 0; i < 128; ++i) {
+        auto r = fpq->pop(0);
+        sys.kernel().page(r.pfn).inSmuQueue = false;
+        sys.kernel().freePage(sys.kernel().page(r.pfn));
+    }
+    EXPECT_EQ(fpq->size(), 128u);
+    sys.runFor(milliseconds(5.0));
+    EXPECT_EQ(fpq->size(), 256u);
+    EXPECT_GT(sys.kpoold()->batchesRun(), 0u);
+}
+
+TEST(Kpoold, RefillOverlappedDonatesImmediately)
+{
+    system::System sys(tinyConfig());
+    sys.start();
+    auto *fpq = sys.freePageQueue();
+    while (!fpq->empty()) {
+        auto r = fpq->pop(0);
+        sys.kernel().page(r.pfn).inSmuQueue = false;
+        sys.kernel().freePage(sys.kernel().page(r.pfn));
+    }
+    sys.kpoold()->refillOverlapped(0);
+    EXPECT_EQ(fpq->size(), 128u); // one batch, state change immediate
+    EXPECT_EQ(sys.kpoold()->overlappedRefills(), 1u);
+}
+
+TEST(Kpoold, AccountsDonatedPages)
+{
+    system::System sys(tinyConfig());
+    sys.start();
+    EXPECT_GE(sys.kpoold()->pagesDonated(), 256u);
+}
+
+TEST(Kpted, PeriodicSyncClearsLbaBits)
+{
+    system::System sys(tinyConfig());
+    auto mf = sys.mapDataset("f", 4096);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 300);
+    sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(5.0)));
+    // Let kpted run a couple more periods.
+    sys.runFor(milliseconds(3.0));
+
+    std::uint64_t unsynced = 0, resident = 0;
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        os::pte::Entry e =
+            mf.as->pageTable().readPte(mf.vma->start + i * pageSize);
+        if (os::pte::isPresent(e)) {
+            ++resident;
+            unsynced += os::pte::needsMetadataSync(e) ? 1 : 0;
+        }
+    }
+    EXPECT_GT(resident, 200u);
+    EXPECT_EQ(unsynced, 0u);
+    EXPECT_GE(sys.kpted()->pagesSynced(), resident);
+
+    // Synced pages are visible to the page cache and the LRU.
+    std::uint64_t cached = 0;
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        cached += sys.kernel().pageCache().contains(*mf.file, i);
+    EXPECT_EQ(cached, resident);
+}
+
+TEST(Kpted, SyncRangeServesMunmapBarrier)
+{
+    system::System sys(tinyConfig());
+    auto mf = sys.mapDataset("f", 256);
+    sys.start();
+
+    // Install two pages the hardware way.
+    for (int i = 0; i < 2; ++i) {
+        Pfn pfn = sys.physMem().alloc();
+        sys.kernel().installHardwareHandled(
+            *mf.as, *mf.vma, mf.vma->start + i * pageSize, pfn);
+    }
+    bool done = false;
+    sys.kpted()->syncRange(*mf.as, mf.vma->start, mf.vma->end, 0,
+                           [&] { done = true; });
+    sys.eventQueue().run(sys.now() + milliseconds(10.0));
+    EXPECT_TRUE(done);
+    for (int i = 0; i < 2; ++i) {
+        os::pte::Entry e =
+            mf.as->pageTable().readPte(mf.vma->start + i * pageSize);
+        EXPECT_FALSE(os::pte::needsMetadataSync(e));
+    }
+}
+
+TEST(Kpted, ChargesKptedCategory)
+{
+    system::System sys(tinyConfig());
+    auto mf = sys.mapDataset("f", 4096);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 200);
+    sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(5.0)));
+    sys.runFor(milliseconds(3.0));
+    EXPECT_GT(sys.kernel().kexec().instructions(os::KernelCostCat::kpted),
+              0u);
+    EXPECT_GT(sys.kernel().kexec().instructions(
+                  os::KernelCostCat::kpoold),
+              0u);
+}
+
+TEST(KThread, StopPreventsFurtherBatches)
+{
+    system::System sys(tinyConfig());
+    sys.start();
+    sys.runFor(milliseconds(2.0));
+    auto batches = sys.kpoold()->batchesRun();
+    sys.kpoold()->stop();
+    sys.runFor(milliseconds(5.0));
+    EXPECT_LE(sys.kpoold()->batchesRun(), batches + 1);
+}

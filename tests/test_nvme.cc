@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the NVMe queue-pair ring model (including the phase-tag
+ * protocol the SMU's snooping completion unit depends on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "nvme/queue_pair.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace hwdp;
+using namespace hwdp::nvme;
+
+TEST(NvmeQueuePair, WireSizesMatchSpec)
+{
+    EXPECT_EQ(SubmissionEntry::wireBytes, 64u);
+    EXPECT_EQ(CompletionEntry::wireBytes, 16u);
+}
+
+TEST(NvmeQueuePair, SqFifoOrder)
+{
+    QueuePair qp(1, 8, 0x1000, 0x2000);
+    for (std::uint16_t i = 0; i < 5; ++i) {
+        SubmissionEntry e;
+        e.cid = i;
+        ASSERT_TRUE(qp.pushSqe(e));
+    }
+    for (std::uint16_t i = 0; i < 5; ++i)
+        EXPECT_EQ(qp.popSqe().cid, i);
+    EXPECT_TRUE(qp.sqEmpty());
+}
+
+TEST(NvmeQueuePair, SqFullRejectsPush)
+{
+    QueuePair qp(1, 2, 0, 0);
+    SubmissionEntry e;
+    EXPECT_TRUE(qp.pushSqe(e));
+    EXPECT_TRUE(qp.pushSqe(e));
+    EXPECT_TRUE(qp.sqFull());
+    EXPECT_FALSE(qp.pushSqe(e));
+}
+
+TEST(NvmeQueuePair, PopEmptySqPanics)
+{
+    QueuePair qp(1, 2, 0, 0);
+    EXPECT_THROW(qp.popSqe(), PanicError);
+}
+
+TEST(NvmeQueuePair, CqPhaseTagSignalsWork)
+{
+    QueuePair qp(1, 4, 0, 0);
+    EXPECT_FALSE(qp.cqHasWork());
+    CompletionEntry c;
+    c.cid = 7;
+    ASSERT_TRUE(qp.pushCqe(c));
+    EXPECT_TRUE(qp.cqHasWork());
+    EXPECT_EQ(qp.popCqe().cid, 7u);
+    EXPECT_FALSE(qp.cqHasWork());
+}
+
+TEST(NvmeQueuePair, CqPhaseSurvivesWrap)
+{
+    QueuePair qp(1, 4, 0, 0);
+    // Push/pop through multiple wraps; the phase protocol must keep
+    // cqHasWork() accurate the whole way.
+    std::uint16_t next = 0;
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 3; ++i) {
+            CompletionEntry c;
+            c.cid = next++;
+            ASSERT_TRUE(qp.pushCqe(c));
+        }
+        for (int i = 0; i < 3; ++i) {
+            ASSERT_TRUE(qp.cqHasWork());
+            qp.popCqe();
+        }
+        ASSERT_FALSE(qp.cqHasWork());
+    }
+}
+
+TEST(NvmeQueuePair, CqeCarriesSqHeadAndQid)
+{
+    QueuePair qp(9, 4, 0, 0);
+    SubmissionEntry s;
+    qp.pushSqe(s);
+    qp.popSqe();
+    CompletionEntry c;
+    qp.pushCqe(c);
+    auto out = qp.popCqe();
+    EXPECT_EQ(out.sqid, 9u);
+    EXPECT_EQ(out.sqHead, 1u);
+}
+
+TEST(NvmeQueuePair, CqHeadAddrAdvancesAndWraps)
+{
+    QueuePair qp(1, 2, 0x1000, 0x2000);
+    EXPECT_EQ(qp.cqHeadAddr(), 0x2000u);
+    CompletionEntry c;
+    qp.pushCqe(c);
+    qp.popCqe();
+    EXPECT_EQ(qp.cqHeadAddr(), 0x2000u + CompletionEntry::wireBytes);
+    qp.pushCqe(c);
+    qp.popCqe();
+    EXPECT_EQ(qp.cqHeadAddr(), 0x2000u); // wrapped
+}
+
+TEST(NvmeQueuePair, ZeroDepthRejected)
+{
+    EXPECT_THROW(QueuePair(1, 0, 0, 0), FatalError);
+}
+
+TEST(NvmeQueuePair, RandomizedAgainstReferenceModel)
+{
+    QueuePair qp(1, 16, 0, 0);
+    sim::Rng rng(99);
+    std::deque<std::uint16_t> ref_sq, ref_cq;
+    std::uint16_t next = 0;
+    for (int i = 0; i < 20000; ++i) {
+        switch (rng.range(4)) {
+          case 0: {
+            SubmissionEntry e;
+            e.cid = next;
+            bool ok = qp.pushSqe(e);
+            ASSERT_EQ(ok, ref_sq.size() < 16);
+            if (ok) {
+                ref_sq.push_back(next);
+                ++next;
+            }
+            break;
+          }
+          case 1:
+            ASSERT_EQ(!qp.sqEmpty(), !ref_sq.empty());
+            if (!ref_sq.empty()) {
+                ASSERT_EQ(qp.popSqe().cid, ref_sq.front());
+                ref_sq.pop_front();
+            }
+            break;
+          case 2: {
+            CompletionEntry c;
+            c.cid = next;
+            bool ok = qp.pushCqe(c);
+            ASSERT_EQ(ok, ref_cq.size() < 16);
+            if (ok) {
+                ref_cq.push_back(next);
+                ++next;
+            }
+            break;
+          }
+          case 3:
+            ASSERT_EQ(qp.cqHasWork(), !ref_cq.empty());
+            if (!ref_cq.empty()) {
+                ASSERT_EQ(qp.popCqe().cid, ref_cq.front());
+                ref_cq.pop_front();
+            }
+            break;
+        }
+    }
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the page cache index.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/file_system.hh"
+#include "os/page_cache.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace hwdp;
+using namespace hwdp::os;
+
+namespace {
+
+struct Fixture : ::testing::Test
+{
+    FileSystem fs{sim::Rng(1)};
+    File *a = fs.createFile("a", 1000, BlockDeviceId{0, 0});
+    File *b = fs.createFile("b", 1000, BlockDeviceId{0, 0});
+    PageCache pc;
+};
+
+} // namespace
+
+using PageCacheTest = Fixture;
+
+TEST_F(PageCacheTest, LookupMissReturnsSentinel)
+{
+    EXPECT_EQ(pc.lookup(*a, 3), PageCache::noFrame);
+    EXPECT_FALSE(pc.contains(*a, 3));
+}
+
+TEST_F(PageCacheTest, InsertThenLookup)
+{
+    pc.insert(*a, 3, 42);
+    EXPECT_EQ(pc.lookup(*a, 3), 42u);
+    EXPECT_TRUE(pc.contains(*a, 3));
+    EXPECT_EQ(pc.size(), 1u);
+}
+
+TEST_F(PageCacheTest, FilesDoNotCollide)
+{
+    pc.insert(*a, 3, 42);
+    pc.insert(*b, 3, 43);
+    EXPECT_EQ(pc.lookup(*a, 3), 42u);
+    EXPECT_EQ(pc.lookup(*b, 3), 43u);
+}
+
+TEST_F(PageCacheTest, RemoveWorks)
+{
+    pc.insert(*a, 3, 42);
+    pc.remove(*a, 3);
+    EXPECT_EQ(pc.lookup(*a, 3), PageCache::noFrame);
+    EXPECT_EQ(pc.size(), 0u);
+}
+
+TEST_F(PageCacheTest, DuplicateInsertPanics)
+{
+    pc.insert(*a, 3, 42);
+    EXPECT_THROW(pc.insert(*a, 3, 43), PanicError);
+}
+
+TEST_F(PageCacheTest, RemovingAbsentPanics)
+{
+    EXPECT_THROW(pc.remove(*a, 3), PanicError);
+}
+
+TEST_F(PageCacheTest, HitCountersTrackLookups)
+{
+    pc.insert(*a, 1, 10);
+    pc.lookup(*a, 1);
+    pc.lookup(*a, 2);
+    EXPECT_EQ(pc.lookups(), 2u);
+    EXPECT_EQ(pc.hits(), 1u);
+}
+
+TEST_F(PageCacheTest, ManyEntriesStayConsistent)
+{
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        pc.insert(*a, i, i + 5000);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        ASSERT_EQ(pc.lookup(*a, i), i + 5000);
+    EXPECT_EQ(pc.size(), 1000u);
+}

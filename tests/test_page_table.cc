@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the four-level page table, including the kpted scan
+ * machinery (guided vs exhaustive).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "os/page_table.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace hwdp;
+using namespace hwdp::os;
+
+TEST(PageTable, ReadOfUnmappedIsZero)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.readPte(0x7f00'0000'0000ULL), 0u);
+}
+
+TEST(PageTable, WriteThenRead)
+{
+    PageTable pt;
+    VAddr va = 0x7f00'1234'5000ULL;
+    pt.writePte(va, pte::makePresent(0x42, pte::writableBit));
+    EXPECT_EQ(pte::pfnOf(pt.readPte(va)), 0x42u);
+    // Neighbouring page unaffected.
+    EXPECT_EQ(pt.readPte(va + pageSize), 0u);
+}
+
+TEST(PageTable, WalkRefsWithoutAllocateReturnsInvalid)
+{
+    PageTable pt;
+    WalkRefs refs = pt.walkRefs(0x7f00'0000'0000ULL, false);
+    EXPECT_FALSE(refs.pte.valid());
+}
+
+TEST(PageTable, WalkRefsAllocatesTree)
+{
+    PageTable pt;
+    VAddr va = 0x7f00'0000'0000ULL;
+    WalkRefs refs = pt.walkRefs(va, true);
+    ASSERT_TRUE(refs.pud.valid());
+    ASSERT_TRUE(refs.pmd.valid());
+    ASSERT_TRUE(refs.pte.valid());
+    refs.pte.write(pte::makePresent(7, 0));
+    EXPECT_EQ(pte::pfnOf(pt.readPte(va)), 7u);
+}
+
+TEST(PageTable, EntryAddressesAreUniquePerEntry)
+{
+    PageTable pt;
+    std::set<PAddr> addrs;
+    for (int i = 0; i < 1024; ++i) {
+        VAddr va = 0x7f00'0000'0000ULL + static_cast<VAddr>(i) * pageSize;
+        WalkRefs refs = pt.walkRefs(va, true);
+        EXPECT_TRUE(addrs.insert(refs.pte.addr).second);
+    }
+    // PMD entry addresses: one per 2 MB region, also unique.
+    std::set<PAddr> pmds;
+    for (int i = 0; i < 8; ++i) {
+        VAddr va = 0x7f00'0000'0000ULL +
+                   static_cast<VAddr>(i) * (2ULL << 20);
+        pmds.insert(pt.walkRefs(va, true).pmd.addr);
+    }
+    EXPECT_EQ(pmds.size(), 8u);
+}
+
+TEST(PageTable, MarkUpperLbaSetsBothLevels)
+{
+    PageTable pt;
+    VAddr va = 0x7f00'0000'0000ULL;
+    pt.walkRefs(va, true);
+    pt.markUpperLba(va);
+    WalkRefs refs = pt.walkRefs(va, false);
+    EXPECT_TRUE(pte::hasLbaBit(refs.pmd.value()));
+    EXPECT_TRUE(pte::hasLbaBit(refs.pud.value()));
+}
+
+TEST(PageTable, MarkUpperLbaOnUnpopulatedPanics)
+{
+    PageTable pt;
+    EXPECT_THROW(pt.markUpperLba(0x7f00'0000'0000ULL), PanicError);
+}
+
+namespace {
+
+/** Make a hardware-handled PTE (present + LBA) and mark uppers. */
+void
+installHw(PageTable &pt, VAddr va, Pfn pfn)
+{
+    WalkRefs refs = pt.walkRefs(va, true);
+    refs.pte.write(pte::makePresent(pfn, pte::writableBit, true));
+    pt.markUpperLba(va);
+}
+
+} // namespace
+
+TEST(PageTable, GuidedScanFindsHardwareHandledPtes)
+{
+    PageTable pt;
+    VAddr base = 0x7f00'0000'0000ULL;
+    std::set<VAddr> installed;
+    sim::Rng rng(3);
+    for (int i = 0; i < 64; ++i) {
+        VAddr va = base + rng.range(1 << 16) * pageSize;
+        if (installed.count(va))
+            continue;
+        installHw(pt, va, i + 1);
+        installed.insert(va);
+    }
+
+    std::set<VAddr> found;
+    std::uint64_t visited = 0;
+    std::uint64_t synced = pt.scanUnsynced(
+        base, base + (1ULL << 16) * pageSize,
+        [&](VAddr va, EntryRef ref) {
+            found.insert(va);
+            ref.write(pte::clearLbaBit(ref.value()));
+        },
+        &visited);
+    EXPECT_EQ(synced, installed.size());
+    EXPECT_EQ(found, installed);
+    EXPECT_GT(visited, 0u);
+}
+
+TEST(PageTable, GuidedAndFullScansAgree)
+{
+    PageTable a, b;
+    VAddr base = 0x7f00'0000'0000ULL;
+    sim::Rng rng(5);
+    for (int i = 0; i < 128; ++i) {
+        VAddr va = base + rng.range(1 << 18) * pageSize;
+        installHw(a, va, 1);
+        installHw(b, va, 1);
+    }
+    std::set<VAddr> fa, fb;
+    a.scanUnsynced(base, base + (1ULL << 18) * pageSize,
+                   [&](VAddr va, EntryRef ref) {
+                       fa.insert(va);
+                       ref.write(pte::clearLbaBit(ref.value()));
+                   });
+    b.scanUnsyncedFull(base, base + (1ULL << 18) * pageSize,
+                       [&](VAddr va, EntryRef ref) {
+                           fb.insert(va);
+                           ref.write(pte::clearLbaBit(ref.value()));
+                       });
+    EXPECT_EQ(fa, fb);
+}
+
+TEST(PageTable, GuidedScanSkipsCleanSubtrees)
+{
+    PageTable pt;
+    VAddr base = 0x7f00'0000'0000ULL;
+    // Populate 64 Ki PTEs as plain LBA-augmented (non-present): they
+    // need no sync, and without upper-level marks the guided scan
+    // must skip their tables wholesale.
+    for (std::uint64_t i = 0; i < (1 << 16); ++i)
+        pt.writePte(base + i * pageSize,
+                    pte::makeLbaAugmented(0, 0, i, 0));
+    // One hardware-handled PTE at the end.
+    installHw(pt, base + ((1 << 16) - 1) * pageSize, 1);
+
+    std::uint64_t guided_visited = 0, full_visited = 0;
+    std::uint64_t g = pt.scanUnsynced(base, base + (1ULL << 16) *
+                                                pageSize,
+                                      [](VAddr, EntryRef ref) {
+                                          ref.write(pte::clearLbaBit(
+                                              ref.value()));
+                                      },
+                                      &guided_visited);
+    EXPECT_EQ(g, 1u);
+
+    // Re-install and compare with the exhaustive scan.
+    installHw(pt, base + ((1 << 16) - 1) * pageSize, 1);
+    std::uint64_t f = pt.scanUnsyncedFull(
+        base, base + (1ULL << 16) * pageSize,
+        [](VAddr, EntryRef ref) {
+            ref.write(pte::clearLbaBit(ref.value()));
+        },
+        &full_visited);
+    EXPECT_EQ(f, 1u);
+    EXPECT_LT(guided_visited * 10, full_visited);
+}
+
+TEST(PageTable, ScanClearsUpperBitsBeforeDescending)
+{
+    PageTable pt;
+    VAddr va = 0x7f00'0000'0000ULL;
+    installHw(pt, va, 1);
+    pt.scanUnsynced(va, va + pageSize, [](VAddr, EntryRef ref) {
+        ref.write(pte::clearLbaBit(ref.value()));
+    });
+    WalkRefs refs = pt.walkRefs(va, false);
+    EXPECT_FALSE(pte::hasLbaBit(refs.pmd.value()));
+    EXPECT_FALSE(pte::hasLbaBit(refs.pud.value()));
+    // Second scan finds nothing and skips cheaply.
+    std::uint64_t visited = 0;
+    EXPECT_EQ(pt.scanUnsynced(va, va + pageSize,
+                              [](VAddr, EntryRef) {}, &visited),
+              0u);
+}
+
+TEST(PageTable, RescanFindsPagesInstalledAfterFirstScan)
+{
+    // The scan-condition guarantee (IV-C): hardware re-marks upper
+    // levels when it installs during/after a scan pass.
+    PageTable pt;
+    VAddr base = 0x7f00'0000'0000ULL;
+    installHw(pt, base, 1);
+    pt.scanUnsynced(base, base + (1 << 12) * pageSize,
+                    [](VAddr, EntryRef ref) {
+                        ref.write(pte::clearLbaBit(ref.value()));
+                    });
+    installHw(pt, base + 5 * pageSize, 2);
+    std::set<VAddr> found;
+    pt.scanUnsynced(base, base + (1 << 12) * pageSize,
+                    [&](VAddr va, EntryRef ref) {
+                        found.insert(va);
+                        ref.write(pte::clearLbaBit(ref.value()));
+                    });
+    EXPECT_EQ(found.size(), 1u);
+    EXPECT_TRUE(found.count(base + 5 * pageSize));
+}
+
+TEST(PageTable, ForEachPteVisitsPopulatedRange)
+{
+    PageTable pt;
+    VAddr base = 0x7f00'0000'0000ULL;
+    for (int i = 0; i < 10; ++i)
+        pt.writePte(base + i * pageSize, pte::makePresent(i + 1, 0));
+    int count = 0;
+    pt.forEachPte(base, base + 10 * pageSize,
+                  [&](VAddr, EntryRef) { ++count; });
+    EXPECT_EQ(count, 10);
+}
+
+TEST(PageTable, TablePagesAccounting)
+{
+    PageTable pt;
+    std::uint64_t start = pt.tablePages();
+    pt.writePte(0x7f00'0000'0000ULL, 1);
+    // PGD exists already; PUD + PMD + PT allocated: +3.
+    EXPECT_EQ(pt.tablePages(), start + 3);
+    pt.writePte(0x7f00'0000'1000ULL, 1); // same leaf table
+    EXPECT_EQ(pt.tablePages(), start + 3);
+    pt.writePte(0x7f00'0020'0000ULL, 1); // next 2MB: +1 leaf table
+    EXPECT_EQ(pt.tablePages(), start + 4);
+}

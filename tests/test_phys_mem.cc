@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the physical frame pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/phys_mem.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace hwdp;
+using namespace hwdp::mem;
+
+TEST(PhysMem, AllocUniqueFrames)
+{
+    sim::EventQueue eq;
+    PhysMem pm(eq, 64);
+    std::set<Pfn> seen;
+    for (int i = 0; i < 64; ++i) {
+        Pfn p = pm.alloc();
+        ASSERT_NE(p, PhysMem::invalidPfn);
+        EXPECT_TRUE(seen.insert(p).second) << "duplicate frame " << p;
+    }
+    EXPECT_EQ(pm.alloc(), PhysMem::invalidPfn);
+}
+
+TEST(PhysMem, FreeMakesFrameReusable)
+{
+    sim::EventQueue eq;
+    PhysMem pm(eq, 2);
+    Pfn a = pm.alloc();
+    Pfn b = pm.alloc();
+    EXPECT_EQ(pm.alloc(), PhysMem::invalidPfn);
+    pm.free(a);
+    Pfn c = pm.alloc();
+    EXPECT_EQ(c, a);
+    (void)b;
+}
+
+TEST(PhysMem, DoubleFreePanics)
+{
+    sim::EventQueue eq;
+    PhysMem pm(eq, 4);
+    Pfn a = pm.alloc();
+    pm.free(a);
+    EXPECT_THROW(pm.free(a), PanicError);
+}
+
+TEST(PhysMem, FreeingUnallocatedPanics)
+{
+    sim::EventQueue eq;
+    PhysMem pm(eq, 4);
+    EXPECT_THROW(pm.free(2), PanicError);
+    EXPECT_THROW(pm.free(100), PanicError);
+}
+
+TEST(PhysMem, ReservedFramesNeverHandedOut)
+{
+    sim::EventQueue eq;
+    PhysMem pm(eq, 16, 4);
+    for (int i = 0; i < 12; ++i)
+        EXPECT_NE(pm.alloc(), PhysMem::invalidPfn);
+    EXPECT_EQ(pm.alloc(), PhysMem::invalidPfn);
+    EXPECT_EQ(pm.reservedCount(), 4u);
+}
+
+TEST(PhysMem, ReservedMustLeaveSomeFrames)
+{
+    sim::EventQueue eq;
+    EXPECT_THROW(PhysMem(eq, 4, 4), FatalError);
+}
+
+TEST(PhysMem, AccountingInvariantUnderRandomOps)
+{
+    sim::EventQueue eq;
+    PhysMem pm(eq, 128, 8);
+    sim::Rng rng(77);
+    std::vector<Pfn> held;
+    for (int i = 0; i < 5000; ++i) {
+        if (held.empty() || rng.chance(0.55)) {
+            Pfn p = pm.alloc();
+            if (p != PhysMem::invalidPfn)
+                held.push_back(p);
+        } else {
+            auto idx = rng.range(held.size());
+            pm.free(held[idx]);
+            held[idx] = held.back();
+            held.pop_back();
+        }
+        ASSERT_EQ(pm.allocatedFrames(), held.size());
+        ASSERT_EQ(pm.allocatedFrames() + pm.freeFrames() +
+                      pm.reservedCount(),
+                  pm.totalFrames());
+    }
+}
+
+TEST(PhysMem, IsAllocatedTracksState)
+{
+    sim::EventQueue eq;
+    PhysMem pm(eq, 8);
+    Pfn p = pm.alloc();
+    EXPECT_TRUE(pm.isAllocated(p));
+    pm.free(p);
+    EXPECT_FALSE(pm.isAllocated(p));
+    EXPECT_FALSE(pm.isAllocated(9999));
+}
+
+TEST(PhysMem, CapacityBytes)
+{
+    sim::EventQueue eq;
+    PhysMem pm(eq, 100, 10);
+    EXPECT_EQ(pm.capacityBytes(), 90u * 4096);
+}

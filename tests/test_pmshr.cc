@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the PMSHR coalescing CAM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pmshr.hh"
+#include "sim/logging.hh"
+
+using namespace hwdp;
+using namespace hwdp::core;
+
+TEST(Pmshr, StartsEmpty)
+{
+    Pmshr p(32);
+    EXPECT_EQ(p.capacity(), 32u);
+    EXPECT_EQ(p.occupancy(), 0u);
+    EXPECT_FALSE(p.full());
+    EXPECT_EQ(p.lookup(0x1000), -1);
+}
+
+TEST(Pmshr, AllocateThenLookup)
+{
+    Pmshr p(4);
+    int idx = p.allocate(0x1000);
+    ASSERT_GE(idx, 0);
+    EXPECT_EQ(p.lookup(0x1000), idx);
+    EXPECT_EQ(p.occupancy(), 1u);
+}
+
+TEST(Pmshr, FullReturnsMinusOne)
+{
+    Pmshr p(2);
+    EXPECT_GE(p.allocate(0x1000), 0);
+    EXPECT_GE(p.allocate(0x2000), 0);
+    EXPECT_TRUE(p.full());
+    EXPECT_EQ(p.allocate(0x3000), -1);
+}
+
+TEST(Pmshr, InvalidateFreesSlot)
+{
+    Pmshr p(2);
+    int a = p.allocate(0x1000);
+    p.allocate(0x2000);
+    p.invalidate(a);
+    EXPECT_EQ(p.lookup(0x1000), -1);
+    EXPECT_EQ(p.occupancy(), 1u);
+    EXPECT_GE(p.allocate(0x3000), 0);
+}
+
+TEST(Pmshr, DuplicateAllocatePanics)
+{
+    Pmshr p(4);
+    p.allocate(0x1000);
+    EXPECT_THROW(p.allocate(0x1000), PanicError);
+}
+
+TEST(Pmshr, BadEntryIndexPanics)
+{
+    Pmshr p(4);
+    EXPECT_THROW(p.entry(0), PanicError);  // not valid
+    EXPECT_THROW(p.entry(-1), PanicError);
+    EXPECT_THROW(p.entry(9), PanicError);
+}
+
+TEST(Pmshr, WaitersSurviveUntilInvalidate)
+{
+    Pmshr p(4);
+    int idx = p.allocate(0x1000);
+    int calls = 0;
+    p.entry(idx).waiters.push_back([&](bool) { ++calls; });
+    p.entry(idx).waiters.push_back([&](bool) { ++calls; });
+    EXPECT_EQ(p.entry(idx).waiters.size(), 2u);
+    for (auto &w : p.entry(idx).waiters)
+        w(true);
+    EXPECT_EQ(calls, 2);
+    p.invalidate(idx);
+    EXPECT_EQ(p.occupancy(), 0u);
+}
+
+TEST(Pmshr, ZeroEntriesRejected)
+{
+    EXPECT_THROW(Pmshr(0), FatalError);
+}
+
+TEST(Pmshr, EntryBitsMatchPaperArea)
+{
+    // Three 64-bit addresses + 64-bit PFN + 41-bit LBA + 3-bit device
+    // id = 300 bits (Section VI-D).
+    EXPECT_EQ(Pmshr::entryBits, 300u);
+}
+
+class PmshrCapacity : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PmshrCapacity, FillDrainCycle)
+{
+    unsigned n = GetParam();
+    Pmshr p(n);
+    std::vector<int> idxs;
+    for (unsigned i = 0; i < n; ++i) {
+        int idx = p.allocate(0x1000 + i * 8);
+        ASSERT_GE(idx, 0);
+        idxs.push_back(idx);
+    }
+    EXPECT_TRUE(p.full());
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_EQ(p.lookup(0x1000 + i * 8), idxs[i]);
+    for (int idx : idxs)
+        p.invalidate(idx);
+    EXPECT_EQ(p.occupancy(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PmshrCapacity,
+                         ::testing::Values(1, 2, 8, 32, 64, 128));

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the LRU lists and page replacement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "system/system.hh"
+#include "workloads/fio.hh"
+
+using namespace hwdp;
+using namespace hwdp::os;
+
+namespace {
+
+Page
+mkPage(Pfn pfn)
+{
+    Page p;
+    p.pfn = pfn;
+    p.inUse = true;
+    return p;
+}
+
+system::MachineConfig
+tinyConfig(system::PagingMode mode)
+{
+    system::MachineConfig cfg;
+    cfg.mode = mode;
+    cfg.nLogical = 4;
+    cfg.nPhysical = 2;
+    cfg.memFrames = 2048;
+    cfg.smu.freeQueueCapacity = 128;
+    cfg.kpooldBatch = 128;
+    return cfg;
+}
+
+} // namespace
+
+TEST(LruLists, InsertAndPopFifoFromInactive)
+{
+    LruLists lru;
+    Page a = mkPage(1), b = mkPage(2), c = mkPage(3);
+    lru.insertInactive(a);
+    lru.insertInactive(b);
+    lru.insertInactive(c);
+    EXPECT_EQ(lru.inactiveCount(), 3u);
+    // Eviction candidates come from the tail: oldest first.
+    EXPECT_EQ(lru.popCandidate(), 1u);
+    EXPECT_EQ(lru.popCandidate(), 2u);
+    EXPECT_EQ(lru.popCandidate(), 3u);
+    EXPECT_EQ(lru.popCandidate(), LruLists::invalidPfn);
+}
+
+TEST(LruLists, ActiveListRefillsInactive)
+{
+    LruLists lru;
+    Page a = mkPage(1);
+    lru.insertActive(a);
+    EXPECT_EQ(lru.activeCount(), 1u);
+    // popCandidate demotes from active when inactive is empty.
+    EXPECT_EQ(lru.popCandidate(), 1u);
+}
+
+TEST(LruLists, RemoveFromMiddle)
+{
+    LruLists lru;
+    Page a = mkPage(1), b = mkPage(2), c = mkPage(3);
+    lru.insertInactive(a);
+    lru.insertInactive(b);
+    lru.insertInactive(c);
+    lru.remove(b);
+    EXPECT_FALSE(b.lruLinked);
+    EXPECT_EQ(lru.popCandidate(), 1u);
+    EXPECT_EQ(lru.popCandidate(), 3u);
+}
+
+TEST(LruLists, DoubleInsertPanics)
+{
+    LruLists lru;
+    Page a = mkPage(1);
+    lru.insertInactive(a);
+    EXPECT_THROW(lru.insertInactive(a), PanicError);
+}
+
+TEST(LruLists, RemoveUnlinkedPanics)
+{
+    LruLists lru;
+    Page a = mkPage(1);
+    EXPECT_THROW(lru.remove(a), PanicError);
+}
+
+TEST(LruLists, SecondChancePromotesToActive)
+{
+    LruLists lru;
+    Page a = mkPage(1);
+    lru.insertInactive(a);
+    Pfn p = lru.popCandidate();
+    a.lruLinked = false;
+    a.referenced = true;
+    lru.secondChance(a);
+    EXPECT_FALSE(a.referenced);
+    EXPECT_TRUE(a.active);
+    EXPECT_EQ(lru.activeCount(), 1u);
+    (void)p;
+}
+
+TEST(Reclaim, SteadyStateEvictionKeepsMachineRunning)
+{
+    // Dataset 4x memory: completion requires continuous replacement.
+    system::System sys(tinyConfig(system::PagingMode::osdp));
+    auto mf = sys.mapDataset("f", 8192);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 4000);
+    sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(20.0)));
+    EXPECT_GT(sys.kernel().reclaimer().pagesEvicted(), 1000u);
+    // Memory never over-committed.
+    auto &pm = sys.physMem();
+    EXPECT_EQ(pm.allocatedFrames() + pm.freeFrames() + pm.reservedCount(),
+              pm.totalFrames());
+}
+
+TEST(Reclaim, HwdpEvictionRearmsLbaPtes)
+{
+    system::System sys(tinyConfig(system::PagingMode::hwdp));
+    auto mf = sys.mapDataset("f", 8192);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 4000);
+    sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(20.0)));
+    // Evictions wrote LBA-augmented PTEs (the rmap counter).
+    EXPECT_GT(sys.kernel().rmap().evictionsToLba(), 1000u);
+    EXPECT_EQ(sys.kernel().rmap().evictionsPlain(), 0u);
+}
+
+TEST(Reclaim, DirtyPagesAreWrittenBackBeforeReuse)
+{
+    system::System sys(tinyConfig(system::PagingMode::osdp));
+    auto &k = sys.kernel();
+    auto mf = sys.mapDataset("f", 8192);
+
+    // Touch pages with writes so evicted pages are dirty.
+    struct WriteLoad : workloads::Workload
+    {
+        os::Vma *vma;
+        std::uint64_t n = 0;
+        explicit WriteLoad(os::Vma *vma) : vma(vma) {}
+        workloads::Op
+        next(sim::Rng &rng) override
+        {
+            if (n++ >= 3000)
+                return workloads::Op::makeDone();
+            VAddr a = vma->start + rng.range(vma->numPages()) * pageSize;
+            return workloads::Op::makeMem(a, true, true);
+        }
+        const char *label() const override { return "writeload"; }
+    };
+    auto *wl = sys.makeWorkload<WriteLoad>(mf.vma);
+    sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    EXPECT_GT(k.reclaimer().pagesWrittenBack(), 100u);
+    EXPECT_GT(sys.ssd().writesCompleted(), 100u);
+}
+
+TEST(Reclaim, ReferencedPagesGetSecondChance)
+{
+    system::System sys(tinyConfig(system::PagingMode::osdp));
+    auto mf = sys.mapDataset("f", 8192);
+
+    // A load with a strong hot set: hot pages must survive eviction.
+    struct SkewLoad : workloads::Workload
+    {
+        os::Vma *vma;
+        std::uint64_t n = 0;
+        explicit SkewLoad(os::Vma *vma) : vma(vma) {}
+        workloads::Op
+        next(sim::Rng &rng) override
+        {
+            if (n++ >= 6000)
+                return workloads::Op::makeDone();
+            // 60% of accesses to 16 hot pages, rest uniform.
+            std::uint64_t page = rng.chance(0.6)
+                                     ? rng.range(16)
+                                     : rng.range(vma->numPages());
+            return workloads::Op::makeMem(vma->start + page * pageSize,
+                                          false, true);
+        }
+        const char *label() const override { return "skew"; }
+    };
+    auto *wl = sys.makeWorkload<SkewLoad>(mf.vma);
+    auto *tc = sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+
+    // The hot pages should be resident at the end despite heavy churn.
+    int resident = 0;
+    for (int i = 0; i < 16; ++i) {
+        if (os::pte::isPresent(
+                mf.as->pageTable().readPte(mf.vma->start + i * pageSize)))
+            ++resident;
+    }
+    EXPECT_GE(resident, 12);
+    (void)tc;
+}
+
+TEST(Reclaim, WatermarksComeFromConfig)
+{
+    system::System sys(tinyConfig(system::PagingMode::osdp));
+    auto &r = sys.kernel().reclaimer();
+    EXPECT_GT(r.highWatermark(), r.lowWatermark());
+}

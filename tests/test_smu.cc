@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the SMU: end-to-end hardware miss handling, coalescing,
+ * bounce conditions and the barrier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "system/system.hh"
+
+using namespace hwdp;
+using namespace hwdp::core;
+
+namespace {
+
+struct Harness
+{
+    system::System sys;
+    os::AddressSpace *as;
+    os::Vma *vma;
+    os::File *file;
+
+    explicit Harness(unsigned pmshr_entries = 32,
+                     std::uint64_t queue_cap = 64)
+        : sys([&] {
+              system::MachineConfig cfg;
+              cfg.mode = system::PagingMode::hwdp;
+              cfg.nLogical = 4;
+              cfg.nPhysical = 2;
+              cfg.memFrames = 1024;
+              cfg.smu.pmshrEntries = pmshr_entries;
+              cfg.smu.freeQueueCapacity = queue_cap;
+              return cfg;
+          }())
+    {
+        auto mf = sys.mapDataset("f", 256);
+        as = mf.as;
+        vma = mf.vma;
+        file = mf.file;
+        sys.start(); // primes the free page queue
+    }
+
+    /** Issue a raw page-miss request for page @p idx on core 0. */
+    void
+    requestMiss(std::uint64_t idx, std::function<void(bool)> done)
+    {
+        VAddr va = vma->start + idx * pageSize;
+        auto refs = as->pageTable().walkRefs(va, false);
+        os::pte::Entry e = refs.pte.value();
+        ASSERT_TRUE(os::pte::isLbaAugmented(e));
+
+        cpu::PageMissRequest req;
+        req.refs = refs;
+        req.sid = os::pte::socketIdOf(e);
+        req.dev = os::pte::deviceIdOf(e);
+        req.lba = os::pte::lbaOf(e);
+        req.as = as;
+        req.vaddr = va;
+        req.core = 0;
+        req.done = std::move(done);
+        sys.smu()->handleMiss(std::move(req));
+    }
+};
+
+} // namespace
+
+TEST(Smu, SingleMissUpdatesPageTableInPlace)
+{
+    Harness h;
+    bool ok = false;
+    h.requestMiss(3, [&](bool success) { ok = success; });
+    h.sys.eventQueue().run(seconds(0.01));
+
+    EXPECT_TRUE(ok);
+    VAddr va = h.vma->start + 3 * pageSize;
+    os::pte::Entry e = h.as->pageTable().readPte(va);
+    // Present, LBA bit kept for kpted (Table I row 3).
+    EXPECT_TRUE(os::pte::needsMetadataSync(e));
+    // Upper levels marked for the guided scan.
+    auto refs = h.as->pageTable().walkRefs(va, false);
+    EXPECT_TRUE(os::pte::hasLbaBit(refs.pmd.value()));
+    EXPECT_TRUE(os::pte::hasLbaBit(refs.pud.value()));
+    EXPECT_EQ(h.sys.smu()->handled(), 1u);
+}
+
+TEST(Smu, MissLatencyIsNearDeviceTime)
+{
+    Harness h;
+    Tick start = h.sys.now();
+    Tick end = 0;
+    h.requestMiss(3, [&](bool) { end = h.sys.now(); });
+    h.sys.eventQueue().run(seconds(0.01));
+    double us = toMicroseconds(end - start);
+    // Z-SSD device time 10.9 us + ~120 ns of hardware (Figure 11b).
+    EXPECT_GT(us, 10.0);
+    EXPECT_LT(us, 12.5);
+}
+
+TEST(Smu, DuplicateMissesCoalesce)
+{
+    Harness h;
+    int completions = 0;
+    h.requestMiss(5, [&](bool s) { completions += s; });
+    h.requestMiss(5, [&](bool s) { completions += s; });
+    h.requestMiss(5, [&](bool s) { completions += s; });
+    h.sys.eventQueue().run(seconds(0.01));
+
+    EXPECT_EQ(completions, 3);
+    EXPECT_EQ(h.sys.smu()->coalesced(), 2u);
+    // Exactly ONE device read: no page aliases possible.
+    EXPECT_EQ(h.sys.smu()->hostController().readsIssued(), 1u);
+    EXPECT_EQ(h.sys.smu()->handled(), 1u);
+}
+
+TEST(Smu, DistinctPagesDoNotCoalesce)
+{
+    Harness h;
+    int completions = 0;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        h.requestMiss(i, [&](bool s) { completions += s; });
+    h.sys.eventQueue().run(seconds(0.01));
+    EXPECT_EQ(completions, 8);
+    EXPECT_EQ(h.sys.smu()->coalesced(), 0u);
+    EXPECT_EQ(h.sys.smu()->hostController().readsIssued(), 8u);
+}
+
+TEST(Smu, PmshrFullBouncesToOs)
+{
+    Harness h(2); // two PMSHR entries only
+    int ok = 0, bounced = 0;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        h.requestMiss(i, [&](bool s) { s ? ++ok : ++bounced; });
+    }
+    h.sys.eventQueue().run(seconds(0.01));
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(bounced, 1);
+    EXPECT_EQ(h.sys.smu()->rejectedPmshrFull(), 1u);
+}
+
+TEST(Smu, EmptyFreePageQueueBounces)
+{
+    Harness h;
+    // Drain the queue completely.
+    auto &fpq = h.sys.smu()->freePageQueue();
+    while (!fpq.empty()) {
+        auto r = fpq.pop(0);
+        h.sys.kernel().page(r.pfn).inSmuQueue = false;
+        h.sys.kernel().freePage(h.sys.kernel().page(r.pfn));
+    }
+    bool result = true;
+    h.requestMiss(1, [&](bool s) { result = s; });
+    h.sys.eventQueue().run(seconds(0.001));
+    EXPECT_FALSE(result);
+    EXPECT_EQ(h.sys.smu()->rejectedQueueEmpty(), 1u);
+    // The PMSHR entry was released.
+    EXPECT_EQ(h.sys.smu()->pmshr().occupancy(), 0u);
+}
+
+TEST(Smu, QueueEmptyCallbackFires)
+{
+    Harness h;
+    auto &fpq = h.sys.smu()->freePageQueue();
+    while (!fpq.empty()) {
+        auto r = fpq.pop(0);
+        h.sys.kernel().page(r.pfn).inSmuQueue = false;
+        h.sys.kernel().freePage(h.sys.kernel().page(r.pfn));
+    }
+    bool kicked = false;
+    h.sys.smu()->setQueueEmptyCallback([&] { kicked = true; });
+    h.requestMiss(1, [](bool) {});
+    h.sys.eventQueue().run(seconds(0.001));
+    EXPECT_TRUE(kicked);
+}
+
+TEST(Smu, BarrierWaitsForOutstandingMisses)
+{
+    Harness h;
+    bool miss_done = false, barrier_done = false;
+    h.requestMiss(2, [&](bool) { miss_done = true; });
+    // Give the request time to allocate its PMSHR entry.
+    h.sys.eventQueue().run(h.sys.now() + microseconds(1.0));
+    h.sys.smu()->barrier([&] {
+        barrier_done = true;
+        EXPECT_TRUE(miss_done); // ordering: barrier after completion
+    });
+    EXPECT_FALSE(barrier_done);
+    h.sys.eventQueue().run(seconds(0.01));
+    EXPECT_TRUE(barrier_done);
+}
+
+TEST(Smu, BarrierFiresImmediatelyWhenIdle)
+{
+    Harness h;
+    bool done = false;
+    h.sys.smu()->barrier([&] { done = true; });
+    EXPECT_TRUE(done);
+}
+
+TEST(Smu, ConsumedFrameLeavesSmuQueueState)
+{
+    Harness h;
+    Pfn installed = mem::PhysMem::invalidPfn;
+    h.requestMiss(7, [&](bool) {
+        os::pte::Entry e = h.as->pageTable().readPte(h.vma->start +
+                                                     7 * pageSize);
+        installed = os::pte::pfnOf(e);
+    });
+    h.sys.eventQueue().run(seconds(0.01));
+    ASSERT_NE(installed, mem::PhysMem::invalidPfn);
+    EXPECT_FALSE(h.sys.kernel().page(installed).inSmuQueue);
+    EXPECT_TRUE(h.sys.kernel().page(installed).inUse);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the software-emulated SMU (the real-machine prototype).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "system/system.hh"
+#include "workloads/fio.hh"
+
+using namespace hwdp;
+
+namespace {
+
+system::MachineConfig
+tinyConfig()
+{
+    system::MachineConfig cfg;
+    cfg.mode = system::PagingMode::swsmu;
+    cfg.nLogical = 4;
+    cfg.nPhysical = 2;
+    cfg.memFrames = 2048;
+    cfg.smu.freeQueueCapacity = 128;
+    return cfg;
+}
+
+struct OneRead : workloads::Workload
+{
+    os::Vma *vma;
+    VAddr addr;
+    bool issued = false;
+    OneRead(os::Vma *v, VAddr a) : vma(v), addr(a) {}
+    workloads::Op
+    next(sim::Rng &) override
+    {
+        if (issued)
+            return workloads::Op::makeDone();
+        issued = true;
+        return workloads::Op::makeMem(addr, false, true);
+    }
+    const char *label() const override { return "oneread"; }
+};
+
+} // namespace
+
+TEST(SoftwareSmu, HandlesLbaFaultWithoutBlockLayer)
+{
+    system::System sys(tinyConfig());
+    auto mf = sys.mapDataset("f", 64);
+    auto *wl = sys.makeWorkload<OneRead>(mf.vma, mf.vma->start);
+    auto *tc = sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(1.0)));
+
+    EXPECT_EQ(sys.softwareSmu()->handled(), 1u);
+    // The fault trapped (it is a software scheme)...
+    EXPECT_EQ(sys.core(0).mmu().osFaults(), 1u);
+    // ...but never went through the kernel block layer.
+    EXPECT_EQ(sys.kernel().blockLayer().readsSubmitted(), 0u);
+    EXPECT_EQ(sys.kernel().majorFaults(), 0u);
+    (void)tc;
+}
+
+TEST(SoftwareSmu, InstallsHardwareStylePte)
+{
+    system::System sys(tinyConfig());
+    auto mf = sys.mapDataset("f", 64);
+    auto *wl = sys.makeWorkload<OneRead>(mf.vma, mf.vma->start);
+    sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(1.0)));
+
+    os::pte::Entry e = mf.as->pageTable().readPte(mf.vma->start);
+    EXPECT_TRUE(os::pte::needsMetadataSync(e));
+    // OS metadata deferred to kpted, exactly like the hardware.
+    Pfn pfn = os::pte::pfnOf(e);
+    EXPECT_FALSE(sys.kernel().page(pfn).inPageCache);
+}
+
+TEST(SoftwareSmu, MissLatencyBetweenHardwareAndOsdp)
+{
+    system::System sys(tinyConfig());
+    auto mf = sys.mapDataset("f", 64);
+    auto *wl = sys.makeWorkload<OneRead>(mf.vma, mf.vma->start);
+    auto *tc = sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(1.0)));
+
+    double us = sys.softwareSmu()->missLatencyUs().mean();
+    // Device 10.9 us + ~1-2 us of software; far below OSDP's ~19.5.
+    EXPECT_GT(us, 11.0);
+    EXPECT_LT(us, 15.0);
+    (void)tc;
+}
+
+TEST(SoftwareSmu, ConcurrentFaultersCoalesce)
+{
+    system::System sys(tinyConfig());
+    auto mf = sys.mapDataset("f", 64);
+    // Two threads on different cores fault the same page.
+    auto *w0 = sys.makeWorkload<OneRead>(mf.vma, mf.vma->start);
+    auto *w1 = sys.makeWorkload<OneRead>(mf.vma, mf.vma->start + 128);
+    sys.addThread(*w0, 0, *mf.as);
+    sys.addThread(*w1, 1, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(1.0)));
+
+    // One I/O, both threads resumed.
+    EXPECT_EQ(sys.softwareSmu()->handled(), 1u);
+    EXPECT_EQ(sys.ssd().readsCompleted(), 1u);
+    EXPECT_EQ(sys.totalAppOps(), 2u);
+}
+
+TEST(SoftwareSmu, NonLbaFaultsTakeTheNormalPath)
+{
+    system::System sys(tinyConfig());
+    auto mf = sys.mapDataset("f", 64);
+    // Strip the LBA augmentation from one PTE.
+    mf.as->pageTable().writePte(mf.vma->start, 0);
+
+    auto *wl = sys.makeWorkload<OneRead>(mf.vma, mf.vma->start);
+    sys.addThread(*wl, 0, *mf.as);
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(1.0)));
+    EXPECT_EQ(sys.softwareSmu()->handled(), 0u);
+    EXPECT_EQ(sys.kernel().majorFaults(), 1u);
+}
+
+TEST(SoftwareSmu, EmptyQueueFallsThroughToNormalPath)
+{
+    auto cfg = tinyConfig();
+    cfg.kpooldEnabled = false;
+    system::System sys(cfg);
+    auto mf = sys.mapDataset("f", 64);
+    auto *wl = sys.makeWorkload<OneRead>(mf.vma, mf.vma->start);
+    sys.addThread(*wl, 0, *mf.as);
+
+    sys.kernel().scheduler().start();
+    sys.eventQueue().runWhile([&] { return sys.totalAppOps() < 1; },
+                              seconds(1.0));
+    EXPECT_EQ(sys.softwareSmu()->handled(), 0u);
+    EXPECT_EQ(sys.kernel().majorFaults(), 1u);
+}

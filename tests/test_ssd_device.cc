@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the NVMe SSD device model: timing, channel contention,
+ * interrupt vs snooped completion delivery, and priority arbitration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "ssd/ssd_device.hh"
+#include "ssd/ssd_profile.hh"
+
+using namespace hwdp;
+using namespace hwdp::ssd;
+
+namespace {
+
+/** Deterministic profile: no jitter, easy arithmetic. */
+SsdProfile
+flatProfile()
+{
+    SsdProfile p;
+    p.name = "flat";
+    p.cmdFetch = 100;
+    p.readMedia = 1000;
+    p.writeMedia = 5000;
+    p.xfer4k = 50;
+    p.cqeWrite = 10;
+    p.channels = 2;
+    p.mediaCv = 0.0;
+    p.interruptLatency = 30;
+    return p;
+}
+
+struct Harness
+{
+    sim::EventQueue eq;
+    SsdDevice dev{"ssd", eq, flatProfile(), sim::Rng(1)};
+    std::vector<std::pair<std::uint16_t, Tick>> completions;
+
+    std::uint16_t
+    makeQueue(nvme::Priority prio, bool irq)
+    {
+        std::uint16_t qid = dev.createQueuePair(64, prio, irq);
+        dev.setCompletionListener(
+            qid, [this](std::uint16_t q, const nvme::CompletionEntry &c) {
+                completions.emplace_back(c.cid, eq.now());
+                if (dev.queuePair(q).cqHasWork())
+                    dev.queuePair(q).popCqe();
+                (void)q;
+            });
+        return qid;
+    }
+
+    void
+    submit(std::uint16_t qid, std::uint16_t cid, Lba lba,
+           nvme::Opcode op = nvme::Opcode::read)
+    {
+        nvme::SubmissionEntry e;
+        e.opcode = op;
+        e.cid = cid;
+        e.slba = lba;
+        ASSERT_TRUE(dev.queuePair(qid).pushSqe(e));
+        dev.ringSqDoorbell(qid);
+    }
+};
+
+} // namespace
+
+TEST(SsdDevice, SnoopedReadCompletesAtDeviceTime)
+{
+    Harness h;
+    auto qid = h.makeQueue(nvme::Priority::urgent, false);
+    h.submit(qid, 1, 0);
+    h.eq.run();
+    ASSERT_EQ(h.completions.size(), 1u);
+    // fetch 100 + media 1000 + xfer 50 + cqe 10 = 1160, snooped at
+    // the CQ write itself.
+    EXPECT_EQ(h.completions[0].second, 1160u);
+    EXPECT_EQ(h.dev.readsCompleted(), 1u);
+}
+
+TEST(SsdDevice, InterruptAddsDeliveryLatency)
+{
+    Harness h;
+    auto qid = h.makeQueue(nvme::Priority::medium, true);
+    h.submit(qid, 1, 0);
+    h.eq.run();
+    ASSERT_EQ(h.completions.size(), 1u);
+    EXPECT_EQ(h.completions[0].second, 1160u + 30u);
+}
+
+TEST(SsdDevice, WritesAreSlower)
+{
+    Harness h;
+    auto qid = h.makeQueue(nvme::Priority::medium, false);
+    h.submit(qid, 1, 0, nvme::Opcode::write);
+    h.eq.run();
+    EXPECT_EQ(h.completions[0].second, 100u + 5000u + 50u + 10u);
+    EXPECT_EQ(h.dev.writesCompleted(), 1u);
+}
+
+TEST(SsdDevice, SameChannelSerializes)
+{
+    Harness h;
+    auto qid = h.makeQueue(nvme::Priority::medium, false);
+    // LBAs 0 and 2 both map to channel 0 (lba % 2 channels).
+    h.submit(qid, 1, 0);
+    h.submit(qid, 2, 2);
+    h.eq.run();
+    ASSERT_EQ(h.completions.size(), 2u);
+    EXPECT_EQ(h.completions[0].second, 1160u);
+    EXPECT_EQ(h.completions[1].second, 1160u + 1000u); // queued media
+}
+
+TEST(SsdDevice, DifferentChannelsOverlap)
+{
+    Harness h;
+    auto qid = h.makeQueue(nvme::Priority::medium, false);
+    h.submit(qid, 1, 0); // channel 0
+    h.submit(qid, 2, 1); // channel 1
+    h.eq.run();
+    ASSERT_EQ(h.completions.size(), 2u);
+    EXPECT_EQ(h.completions[0].second, 1160u);
+    EXPECT_EQ(h.completions[1].second, 1160u);
+}
+
+TEST(SsdDevice, WriteDelaysReadOnSameChannel)
+{
+    // The read/write contention behind the YCSB-A result: a write
+    // occupying the channel inflates the read's latency.
+    Harness h;
+    auto qid = h.makeQueue(nvme::Priority::medium, false);
+    h.submit(qid, 1, 0, nvme::Opcode::write);
+    h.submit(qid, 2, 2, nvme::Opcode::read);
+    h.eq.run();
+    EXPECT_EQ(h.completions[1].second, 100u + 5000u + 1000u + 50u + 10u);
+}
+
+TEST(SsdDevice, UrgentQueueFetchedFirst)
+{
+    Harness h;
+    auto slow = h.makeQueue(nvme::Priority::medium, false);
+    auto fast = h.makeQueue(nvme::Priority::urgent, false);
+    // Both target channel 0; the urgent command must win the channel
+    // even though the medium queue was doorbelled in the same window.
+    h.submit(slow, 1, 0);
+    h.submit(fast, 2, 2);
+    h.eq.run();
+    ASSERT_EQ(h.completions.size(), 2u);
+    EXPECT_EQ(h.completions[0].first, 2u); // urgent finished first
+}
+
+TEST(SsdDevice, InflightTracksOutstanding)
+{
+    Harness h;
+    auto qid = h.makeQueue(nvme::Priority::medium, false);
+    h.submit(qid, 1, 0);
+    h.eq.run(200); // past fetch, before completion
+    EXPECT_EQ(h.dev.inflight(), 1u);
+    h.eq.run();
+    EXPECT_EQ(h.dev.inflight(), 0u);
+}
+
+TEST(SsdDevice, BadQueueIdPanics)
+{
+    Harness h;
+    EXPECT_THROW(h.dev.queuePair(0), PanicError);
+    EXPECT_THROW(h.dev.queuePair(5), PanicError);
+    EXPECT_THROW(h.dev.ringSqDoorbell(3), PanicError);
+}
+
+TEST(SsdDevice, ProfilesHaveDocumentedDeviceTimes)
+{
+    // The calibration the latency figures rest on (Figure 17).
+    EXPECT_NEAR(toMicroseconds(zssdProfile().unloadedRead4k()), 10.9,
+                0.01);
+    EXPECT_NEAR(toMicroseconds(optaneSsdProfile().unloadedRead4k()), 6.5,
+                0.01);
+    EXPECT_NEAR(toMicroseconds(optanePmmProfile().unloadedRead4k()), 2.1,
+                0.01);
+    EXPECT_THROW(profileByName("floppy"), FatalError);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace hwdp;
+using namespace hwdp::sim;
+
+TEST(Stats, CounterBasics)
+{
+    StatGroup g("g");
+    Counter &c = g.counter("c", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, MeanTracksMinMax)
+{
+    StatGroup g("g");
+    Mean &m = g.mean("m", "a mean");
+    m.sample(10.0);
+    m.sample(20.0);
+    m.sample(-6.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 8.0);
+    EXPECT_DOUBLE_EQ(m.minValue(), -6.0);
+    EXPECT_DOUBLE_EQ(m.maxValue(), 20.0);
+    EXPECT_EQ(m.count(), 3u);
+}
+
+TEST(Stats, EmptyMeanIsZero)
+{
+    StatGroup g("g");
+    Mean &m = g.mean("m", "d");
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(m.minValue(), 0.0);
+}
+
+TEST(Stats, HistogramMeanIsExact)
+{
+    StatGroup g("g");
+    Histogram &h = g.histogram("h", "d", 1.0, 100);
+    for (int i = 1; i <= 9; ++i)
+        h.sample(i);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_EQ(h.count(), 9u);
+}
+
+TEST(Stats, HistogramQuantiles)
+{
+    StatGroup g("g");
+    Histogram &h = g.histogram("h", "d", 1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    // Median should land near 50, p99 near 99.
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.5, 1.0);
+}
+
+TEST(Stats, HistogramOverflowBucket)
+{
+    StatGroup g("g");
+    Histogram &h = g.histogram("h", "d", 1.0, 10);
+    h.sample(1e9); // lands in the overflow bucket, not UB
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GE(h.quantile(0.5), 10.0);
+}
+
+TEST(Stats, HistogramDegenerateGeometryPanics)
+{
+    StatGroup g("g");
+    EXPECT_THROW(g.histogram("h", "d", 0.0, 10), PanicError);
+    EXPECT_THROW(g.histogram("h2", "d", 1.0, 0), PanicError);
+}
+
+TEST(Stats, GroupFindAndDump)
+{
+    StatGroup g("grp");
+    g.counter("a", "first");
+    g.mean("b", "second");
+    EXPECT_NE(g.find("a"), nullptr);
+    EXPECT_NE(g.find("b"), nullptr);
+    EXPECT_EQ(g.find("zzz"), nullptr);
+
+    std::ostringstream os;
+    g.dump(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("grp.a"), std::string::npos);
+    EXPECT_NE(s.find("first"), std::string::npos);
+}
+
+TEST(Stats, GroupResetAll)
+{
+    StatGroup g("g");
+    Counter &c = g.counter("c", "d");
+    Mean &m = g.mean("m", "d");
+    c += 5;
+    m.sample(1.0);
+    g.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(Stats, HistogramReset)
+{
+    StatGroup g("g");
+    Histogram &h = g.histogram("h", "d", 1.0, 10);
+    h.sample(3.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}

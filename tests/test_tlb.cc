@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the two-level TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/tlb.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace hwdp;
+using namespace hwdp::cpu;
+
+TEST(Tlb, MissOnEmpty)
+{
+    Tlb tlb;
+    auto r = tlb.lookup(0x1000);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, InsertThenL1Hit)
+{
+    Tlb tlb;
+    tlb.insert(0x1000, 55);
+    auto r = tlb.lookup(0x1234); // same page
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.pfn, 55u);
+}
+
+TEST(Tlb, L2BacksUpL1Evictions)
+{
+    Tlb tlb(4, 64, 4); // tiny L1
+    for (VAddr v = 0; v < 16; ++v)
+        tlb.insert(v << pageShift, v + 100);
+    // Entry 0 fell out of the 4-entry L1 but must hit in the L2 and
+    // be promoted.
+    auto r = tlb.lookup(0);
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_EQ(r.pfn, 100u);
+    auto r2 = tlb.lookup(0);
+    EXPECT_TRUE(r2.l1Hit);
+}
+
+TEST(Tlb, InvalidateRemovesBothLevels)
+{
+    Tlb tlb;
+    tlb.insert(0x5000, 9);
+    tlb.invalidate(0x5000);
+    EXPECT_FALSE(tlb.lookup(0x5000).hit);
+}
+
+TEST(Tlb, FlushClearsEverything)
+{
+    Tlb tlb;
+    for (VAddr v = 0; v < 32; ++v)
+        tlb.insert(v << pageShift, v);
+    tlb.flush();
+    for (VAddr v = 0; v < 32; ++v)
+        EXPECT_FALSE(tlb.lookup(v << pageShift).hit);
+}
+
+TEST(Tlb, L1LruKeepsRecentlyUsed)
+{
+    Tlb tlb(2, 64, 4);
+    tlb.insert(0x1000, 1);
+    tlb.insert(0x2000, 2);
+    tlb.lookup(0x1000);     // make 0x1000 MRU
+    tlb.insert(0x3000, 3);  // evicts 0x2000 from L1
+    EXPECT_TRUE(tlb.lookup(0x1000).l1Hit);
+    EXPECT_FALSE(tlb.lookup(0x2000).l1Hit); // L2 hit at best
+}
+
+TEST(Tlb, UpdateExistingTranslation)
+{
+    Tlb tlb;
+    tlb.insert(0x1000, 1);
+    tlb.insert(0x1000, 2);
+    EXPECT_EQ(tlb.lookup(0x1000).pfn, 2u);
+}
+
+TEST(Tlb, StatsCountMisses)
+{
+    Tlb tlb;
+    tlb.lookup(0x1000);
+    tlb.insert(0x1000, 1);
+    tlb.lookup(0x1000);
+    EXPECT_EQ(tlb.lookups(), 2u);
+    EXPECT_EQ(tlb.misses(), 1u);
+    EXPECT_EQ(tlb.l1Misses(), 1u);
+}
+
+TEST(Tlb, BadGeometryRejected)
+{
+    EXPECT_THROW(Tlb(0, 64, 4), FatalError);
+    EXPECT_THROW(Tlb(4, 0, 4), FatalError);
+    EXPECT_THROW(Tlb(4, 63, 4), FatalError); // not divisible by assoc
+}
+
+TEST(Tlb, CapacityBoundProperty)
+{
+    Tlb tlb(8, 32, 4);
+    sim::Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        tlb.insert(rng.range(1 << 20) << pageShift, i);
+    // No crash and lookups stay sane.
+    int hits = 0;
+    for (int i = 0; i < 1000; ++i)
+        hits += tlb.lookup(rng.range(1 << 20) << pageShift).hit;
+    EXPECT_LT(hits, 1000);
+}

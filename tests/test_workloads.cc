@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the workload generators: key choosers, FIO, the KV store
+ * recipes, the YCSB mixes and the SPEC-like kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/logging.hh"
+#include "os/file_system.hh"
+#include "os/vma.hh"
+#include "workloads/fio.hh"
+#include "workloads/key_chooser.hh"
+#include "workloads/kv_store.hh"
+#include "workloads/spec_like.hh"
+#include "workloads/ycsb.hh"
+
+using namespace hwdp;
+using namespace hwdp::workloads;
+
+namespace {
+
+struct KvFixture : ::testing::Test
+{
+    os::FileSystem fs{sim::Rng(4)};
+    os::File *data = fs.createFile("data", 4096, os::BlockDeviceId{0, 0});
+    os::File *wal = fs.createFile("wal", 1024, os::BlockDeviceId{0, 0});
+    os::AddressSpace as{0};
+    os::Vma *vma = as.addVma(data, 0, 4096, true, os::pte::writableBit);
+    KvStore store{vma, wal, 4096};
+    sim::Rng rng{11};
+};
+
+} // namespace
+
+TEST(KeyChooser, UniformCoversRange)
+{
+    UniformChooser u;
+    sim::Rng rng(1);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        auto k = u.next(rng, 16);
+        ASSERT_LT(k, 16u);
+        seen.insert(k);
+    }
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(KeyChooser, ZipfianIsSkewed)
+{
+    ZipfianChooser z(1000, 0.99, false); // unscrambled: rank order
+    sim::Rng rng(2);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[z.next(rng, 1000)];
+    // Rank 0 dominates and the top 10 ranks take a large share.
+    int top = counts[0];
+    int top10 = 0;
+    for (int r = 0; r < 10; ++r)
+        top10 += counts[r];
+    EXPECT_GT(top, 2000);
+    EXPECT_GT(top10, 15000);
+}
+
+TEST(KeyChooser, ScrambledZipfianSpreadsHotKeys)
+{
+    ZipfianChooser z(1 << 16, 0.99, true);
+    sim::Rng rng(3);
+    // The most popular keys should not cluster in one region.
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[z.next(rng, 1 << 16)];
+    std::uint64_t hottest = 0;
+    int max = 0;
+    for (auto &[k, c] : counts) {
+        if (c > max) {
+            max = c;
+            hottest = k;
+        }
+    }
+    // Scrambling makes it overwhelmingly unlikely the hottest key is
+    // rank 0 itself.
+    EXPECT_GT(max, 1000);
+    (void)hottest;
+}
+
+TEST(KeyChooser, LatestFavoursRecentKeys)
+{
+    LatestChooser l(10000);
+    sim::Rng rng(4);
+    std::uint64_t high = 0, total = 0;
+    for (int i = 0; i < 20000; ++i) {
+        auto k = l.next(rng, 10000);
+        ASSERT_LT(k, 10000u);
+        high += k >= 9000; // the most recent 10%
+        ++total;
+    }
+    EXPECT_GT(static_cast<double>(high) / static_cast<double>(total),
+              0.5);
+}
+
+TEST(KeyChooser, EmptyKeySpacePanics)
+{
+    UniformChooser u;
+    sim::Rng rng(1);
+    EXPECT_THROW(u.next(rng, 0), PanicError);
+    EXPECT_THROW(ZipfianChooser(0), FatalError);
+}
+
+TEST(Fio, EmitsLoopAccessCopyCycle)
+{
+    os::FileSystem fs{sim::Rng(5)};
+    auto *f = fs.createFile("f", 64, os::BlockDeviceId{0, 0});
+    os::AddressSpace as{0};
+    auto *vma = as.addVma(f, 0, 64, true, 0);
+    FioWorkload fio(vma, 2);
+    sim::Rng rng(6);
+
+    auto a = fio.next(rng);
+    EXPECT_EQ(a.kind, Op::Kind::compute);
+    auto b = fio.next(rng);
+    EXPECT_EQ(b.kind, Op::Kind::mem);
+    EXPECT_GE(b.addr, vma->start);
+    EXPECT_LT(b.addr, vma->end);
+    auto c = fio.next(rng);
+    EXPECT_EQ(c.kind, Op::Kind::compute);
+    EXPECT_TRUE(c.endsAppOp);
+    // The copy streams the just-read page.
+    EXPECT_EQ(c.compute.hotBase, b.addr & ~pageOffsetMask);
+
+    // Second op then done.
+    fio.next(rng);
+    fio.next(rng);
+    fio.next(rng);
+    EXPECT_EQ(fio.next(rng).kind, Op::Kind::done);
+}
+
+TEST_F(KvFixture, ReadRecipeTouchesRecordPage)
+{
+    std::deque<Op> ops;
+    store.emitRead(ops, 17);
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[0].kind, Op::Kind::compute);
+    EXPECT_EQ(ops[1].kind, Op::Kind::mem);
+    EXPECT_EQ(ops[1].addr, vma->start + 17 * pageSize);
+    EXPECT_TRUE(ops[2].endsAppOp);
+}
+
+TEST_F(KvFixture, UpdateRecipeWritesWal)
+{
+    std::deque<Op> ops;
+    store.emitUpdate(ops, 3);
+    int writes = 0;
+    for (auto &op : ops)
+        writes += op.kind == Op::Kind::fileWrite;
+    EXPECT_EQ(writes, 2); // WAL append + amortised compaction
+    EXPECT_TRUE(ops.back().endsAppOp);
+}
+
+TEST_F(KvFixture, ScanReadsSequentialRecords)
+{
+    std::deque<Op> ops;
+    store.emitScan(ops, 10, 4);
+    std::vector<VAddr> addrs;
+    for (auto &op : ops) {
+        if (op.kind == Op::Kind::mem)
+            addrs.push_back(op.addr);
+    }
+    ASSERT_EQ(addrs.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(addrs[i], vma->start + (10 + i) * pageSize);
+}
+
+TEST_F(KvFixture, InsertGrowsKeySpaceUpToCapacity)
+{
+    KvStore small(vma, wal, 10);
+    EXPECT_EQ(small.numKeys(), 10u);
+    small.insertKey();
+    EXPECT_EQ(small.numKeys(), 11u);
+}
+
+TEST_F(KvFixture, OutOfRangeKeyPanics)
+{
+    EXPECT_THROW(store.recordAddr(4096), PanicError);
+}
+
+TEST_F(KvFixture, YcsbMixRatios)
+{
+    struct Case
+    {
+        char type;
+        double min_writes, max_writes;
+    };
+    for (auto [type, lo, hi] :
+         {Case{'A', 0.4, 0.6}, Case{'B', 0.02, 0.09},
+          Case{'C', -0.01, 0.001}, Case{'F', 0.4, 0.6}}) {
+        YcsbWorkload wl(type, store, 4000);
+        sim::Rng r(1234);
+        std::uint64_t ops = 0, wal_writes = 0;
+        while (true) {
+            Op op = wl.next(r);
+            if (op.kind == Op::Kind::done)
+                break;
+            ops += op.endsAppOp;
+            wal_writes += op.kind == Op::Kind::fileWrite &&
+                          op.endsAppOp == false;
+        }
+        EXPECT_EQ(ops, 4000u) << type;
+        // Each write-class request produces >= 1 non-final fileWrite.
+        double frac = static_cast<double>(wal_writes) / 4000.0;
+        EXPECT_GE(frac, lo) << type;
+        EXPECT_LE(frac, hi * 2.0) << type; // updates cut 2 writes
+    }
+}
+
+TEST_F(KvFixture, YcsbEEmitsScans)
+{
+    YcsbWorkload wl('E', store, 500);
+    sim::Rng r(7);
+    std::uint64_t mems = 0, ops = 0;
+    while (true) {
+        Op op = wl.next(r);
+        if (op.kind == Op::Kind::done)
+            break;
+        mems += op.kind == Op::Kind::mem;
+        ops += op.endsAppOp;
+    }
+    EXPECT_EQ(ops, 500u);
+    // Scans average (1+8)/2 pages: far more mem ops than requests.
+    EXPECT_GT(mems, 1200u);
+}
+
+TEST_F(KvFixture, YcsbUnknownTypeRejected)
+{
+    EXPECT_THROW(YcsbWorkload('Z', store, 10), FatalError);
+}
+
+TEST_F(KvFixture, DbBenchIsUniformPointReads)
+{
+    DbBenchReadRandom wl(store, 1000);
+    sim::Rng r(8);
+    std::uint64_t ops = 0, writes = 0;
+    while (true) {
+        Op op = wl.next(r);
+        if (op.kind == Op::Kind::done)
+            break;
+        ops += op.endsAppOp;
+        writes += op.kind == Op::Kind::fileWrite;
+    }
+    EXPECT_EQ(ops, 1000u);
+    EXPECT_EQ(writes, 0u);
+}
+
+TEST(SpecLike, AllKernelsConstructAndEmit)
+{
+    sim::Rng rng(9);
+    for (const auto &name : SpecLikeWorkload::kernelNames()) {
+        SpecLikeWorkload wl(name, 3);
+        EXPECT_EQ(wl.next(rng).kind, Op::Kind::compute) << name;
+        wl.next(rng);
+        wl.next(rng);
+        EXPECT_EQ(wl.next(rng).kind, Op::Kind::done) << name;
+    }
+}
+
+TEST(SpecLike, UnknownKernelRejected)
+{
+    EXPECT_THROW(SpecLikeWorkload("gcc_like", 1), FatalError);
+}
+
+TEST(SpecLike, KernelsHaveDistinctDataRegions)
+{
+    sim::Rng rng(10);
+    std::set<VAddr> bases;
+    for (const auto &name : SpecLikeWorkload::kernelNames()) {
+        SpecLikeWorkload wl(name, 1);
+        bases.insert(wl.next(rng).compute.hotBase);
+    }
+    EXPECT_EQ(bases.size(), SpecLikeWorkload::kernelNames().size());
+}
