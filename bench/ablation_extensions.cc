@@ -47,22 +47,26 @@ main()
                     "reserved zero-fill LBA, SMU bypasses I/O "
                     "(Section V)");
     {
-        Table t({"scheme", "mean first-touch latency us",
-                 "handled by"});
-        for (auto mode :
-             {system::PagingMode::osdp, system::PagingMode::hwdp}) {
-            auto cfg = bench::paperConfig(mode);
+        const system::PagingMode modes[] = {system::PagingMode::osdp,
+                                            system::PagingMode::hwdp};
+        bench::SweepRunner runner;
+        auto lats = runner.map<double>(2, [&](std::size_t i) {
+            auto cfg = bench::paperConfig(modes[i]);
             system::System sys(cfg);
             auto anon = sys.mapAnon(8192);
             auto *wl = sys.makeWorkload<TouchPages>(anon.vma, 8192);
             auto *tc = sys.addThread(*wl, 0, *anon.as);
             sys.runUntilThreadsDone(seconds(30.0));
-            double lat = tc->faultedOpLatencyUs().mean();
-            t.addRow({system::pagingModeName(mode), Table::num(lat, 2),
-                      mode == system::PagingMode::hwdp
+            return tc->faultedOpLatencyUs().mean();
+        });
+        Table t({"scheme", "mean first-touch latency us",
+                 "handled by"});
+        for (std::size_t i = 0; i < 2; ++i)
+            t.addRow({system::pagingModeName(modes[i]),
+                      Table::num(lats[i], 2),
+                      modes[i] == system::PagingMode::hwdp
                           ? "SMU zero-fill engine"
                           : "OS minor-fault path"});
-        }
         t.print();
     }
 
@@ -70,11 +74,16 @@ main()
                     "next-page fill on demand misses; PMSHR coalescing "
                     "absorbs the race");
     {
-        Table t({"prefetch", "faulting ops", "mean access us",
-                 "prefetches issued"});
-        for (bool pf : {false, true}) {
+        struct PfResult
+        {
+            std::uint64_t faultedOps = 0;
+            double meanAccessUs = 0;
+            std::uint64_t prefetches = 0;
+        };
+        bench::SweepRunner runner;
+        auto results = runner.map<PfResult>(2, [](std::size_t i) {
             auto cfg = bench::paperConfig(system::PagingMode::hwdp);
-            cfg.smu.sequentialPrefetch = pf;
+            cfg.smu.sequentialPrefetch = i == 1;
             cfg.kpooldPeriod = microseconds(500.0);
             system::System sys(cfg);
             auto mf = sys.mapDataset("f", 64 * 1024);
@@ -82,11 +91,17 @@ main()
                 mf.vma, 8000, 300, /*sequential=*/true);
             auto *tc = sys.addThread(*wl, 0, *mf.as);
             sys.runUntilThreadsDone(seconds(60.0));
-            t.addRow({pf ? "on" : "off",
-                      std::to_string(tc->faultedOps()),
-                      Table::num(tc->memLatencyUs().mean(), 2),
-                      std::to_string(sys.smu()->prefetches())});
-        }
+            return PfResult{tc->faultedOps(),
+                            tc->memLatencyUs().mean(),
+                            sys.smu()->prefetches()};
+        });
+        Table t({"prefetch", "faulting ops", "mean access us",
+                 "prefetches issued"});
+        for (std::size_t i = 0; i < 2; ++i)
+            t.addRow({i ? "on" : "off",
+                      std::to_string(results[i].faultedOps),
+                      Table::num(results[i].meanAccessUs, 2),
+                      std::to_string(results[i].prefetches)});
         t.print();
     }
 
@@ -94,34 +109,39 @@ main()
                     "bound the pipeline stall; co-located work regains "
                     "the core");
     {
+        const char *profiles[] = {"zssd", "hdd"};
+        struct ToResult
+        {
+            std::uint64_t stallTimeouts = 0;
+            double corunnerMInstr = 0;
+        };
+        bench::SweepRunner runner;
+        auto results = runner.map<ToResult>(4, [&](std::size_t i) {
+            auto cfg = bench::paperConfig(system::PagingMode::hwdp);
+            cfg.ssdProfile = profiles[i / 2];
+            cfg.hwStallTimeout = i % 2 ? microseconds(50.0) : 0;
+            system::System sys(cfg);
+            auto mf = sys.mapDataset("f", 16 * bench::defaultMemFrames);
+            auto *io =
+                sys.makeWorkload<workloads::FioWorkload>(mf.vma, 0);
+            sys.addThread(*io, 0, *mf.as);
+            auto *spin = sys.makeWorkload<workloads::SpecLikeWorkload>(
+                "x264_like", 0);
+            auto *spin_as = sys.kernel().createAddressSpace();
+            auto *spin_tc = sys.addThread(*spin, 0, *spin_as);
+
+            sys.runFor(milliseconds(20.0));
+            return ToResult{sys.core(0).mmu().stallTimeouts(),
+                            static_cast<double>(
+                                spin_tc->userInstructions()) /
+                                1e6};
+        });
         Table t({"device", "timeout", "stall timeouts",
                  "co-runner user instr (M)"});
-        for (const char *prof : {"zssd", "hdd"}) {
-            for (bool to : {false, true}) {
-                auto cfg = bench::paperConfig(system::PagingMode::hwdp);
-                cfg.ssdProfile = prof;
-                cfg.hwStallTimeout = to ? microseconds(50.0) : 0;
-                system::System sys(cfg);
-                auto mf =
-                    sys.mapDataset("f", 16 * bench::defaultMemFrames);
-                auto *io = sys.makeWorkload<workloads::FioWorkload>(
-                    mf.vma, 0);
-                sys.addThread(*io, 0, *mf.as);
-                auto *spin = sys.makeWorkload<
-                    workloads::SpecLikeWorkload>("x264_like", 0);
-                auto *spin_as = sys.kernel().createAddressSpace();
-                auto *spin_tc = sys.addThread(*spin, 0, *spin_as);
-
-                sys.runFor(milliseconds(20.0));
-                t.addRow({prof, to ? "50 us" : "off",
-                          std::to_string(
-                              sys.core(0).mmu().stallTimeouts()),
-                          Table::num(static_cast<double>(
-                                         spin_tc->userInstructions()) /
-                                         1e6,
-                                     2)});
-            }
-        }
+        for (std::size_t i = 0; i < 4; ++i)
+            t.addRow({profiles[i / 2], i % 2 ? "50 us" : "off",
+                      std::to_string(results[i].stallTimeouts),
+                      Table::num(results[i].corunnerMInstr, 2)});
         t.print();
         std::printf("\nexpected: on the HDD the timeout converts "
                     "multi-millisecond stalls into context switches, "

@@ -43,8 +43,14 @@ main()
                     "reads on their own device dodge the writer's "
                     "channel occupancy");
     {
-        Table t({"layout", "read latency us", "writes completed"});
-        for (unsigned devices : {1u, 2u}) {
+        struct DevResult
+        {
+            double readLatencyUs = 0;
+            std::uint64_t writesCompleted = 0;
+        };
+        bench::SweepRunner runner;
+        auto results = runner.map<DevResult>(2, [](std::size_t i) {
+            unsigned devices = static_cast<unsigned>(i) + 1;
             auto cfg = bench::paperConfig(system::PagingMode::hwdp);
             cfg.nDevices = devices;
             system::System sys(cfg);
@@ -58,11 +64,14 @@ main()
                 data.vma, 3000);
             auto *tc = sys.addThread(*rd, 1, *data.as);
             sys.runUntilThreadsDone(seconds(60.0));
-            t.addRow({devices == 1 ? "shared device"
-                                   : "reads on second device",
-                      Table::num(tc->faultedOpLatencyUs().mean()),
-                      std::to_string(sys.ssdAt(0).writesCompleted())});
-        }
+            return DevResult{tc->faultedOpLatencyUs().mean(),
+                             sys.ssdAt(0).writesCompleted()};
+        });
+        Table t({"layout", "read latency us", "writes completed"});
+        for (std::size_t i = 0; i < results.size(); ++i)
+            t.addRow({i == 0 ? "shared device" : "reads on second device",
+                      Table::num(results[i].readLatencyUs),
+                      std::to_string(results[i].writesCompleted)});
         t.print();
     }
 
@@ -75,34 +84,49 @@ main()
             bool perCore;
             std::uint64_t capacity;
         };
+        const std::vector<Cfg> grid = {
+            {"global", false, 1024},
+            {"per-core, same total", true, 1024},
+            {"per-core, sized per core", true, 16 * 1024}};
+        struct QueueResult
+        {
+            std::uint64_t stormBounces = 0;
+            std::uint64_t victimBounces = 0;
+            double victimLatencyUs = 0;
+        };
+        bench::SweepRunner runner;
+        auto results =
+            runner.map<QueueResult>(grid.size(), [&](std::size_t i) {
+                const Cfg &qc = grid[i];
+                auto cfg = bench::paperConfig(system::PagingMode::hwdp);
+                cfg.smu.perCoreFreeQueues = qc.perCore;
+                cfg.smu.nFreeQueues = 16;
+                cfg.smu.freeQueueCapacity = qc.capacity;
+                cfg.kpooldPeriod = milliseconds(8.0); // slow: storms bite
+                system::System sys(cfg);
+                auto mf =
+                    sys.mapDataset("f", 16 * bench::defaultMemFrames);
+
+                // Core 0: fault storm. Core 1: modest reader (victim).
+                auto *storm = sys.makeWorkload<workloads::FioWorkload>(
+                    mf.vma, 12000);
+                sys.addThread(*storm, 0, *mf.as);
+                auto *victim = sys.makeWorkload<workloads::FioWorkload>(
+                    mf.vma, 1500);
+                auto *vtc = sys.addThread(*victim, 1, *mf.as);
+                sys.runUntilThreadsDone(seconds(60.0));
+
+                return QueueResult{sys.core(0).mmu().smuRejections(),
+                                   sys.core(1).mmu().smuRejections(),
+                                   vtc->faultedOpLatencyUs().mean()};
+            });
         Table t({"queues", "total entries", "storm-core OS bounces",
                  "victim-core OS bounces", "victim latency us"});
-        for (const Cfg &qc : std::initializer_list<Cfg>{
-                 {"global", false, 1024},
-                 {"per-core, same total", true, 1024},
-                 {"per-core, sized per core", true, 16 * 1024}}) {
-            auto cfg = bench::paperConfig(system::PagingMode::hwdp);
-            cfg.smu.perCoreFreeQueues = qc.perCore;
-            cfg.smu.nFreeQueues = 16;
-            cfg.smu.freeQueueCapacity = qc.capacity;
-            cfg.kpooldPeriod = milliseconds(8.0); // slow: storms bite
-            system::System sys(cfg);
-            auto mf = sys.mapDataset("f", 16 * bench::defaultMemFrames);
-
-            // Core 0: fault storm. Core 1: a modest reader (victim).
-            auto *storm = sys.makeWorkload<workloads::FioWorkload>(
-                mf.vma, 12000);
-            sys.addThread(*storm, 0, *mf.as);
-            auto *victim = sys.makeWorkload<workloads::FioWorkload>(
-                mf.vma, 1500);
-            auto *vtc = sys.addThread(*victim, 1, *mf.as);
-            sys.runUntilThreadsDone(seconds(60.0));
-
-            t.addRow({qc.label, std::to_string(qc.capacity),
-                      std::to_string(sys.core(0).mmu().smuRejections()),
-                      std::to_string(sys.core(1).mmu().smuRejections()),
-                      Table::num(vtc->faultedOpLatencyUs().mean())});
-        }
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            t.addRow({grid[i].label, std::to_string(grid[i].capacity),
+                      std::to_string(results[i].stormBounces),
+                      std::to_string(results[i].victimBounces),
+                      Table::num(results[i].victimLatencyUs)});
         t.print();
         std::printf("\nfinding: at equal total size, per-core queues "
                     "FRAGMENT the pool (the storm core exhausts its "

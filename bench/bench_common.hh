@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "bench/sweep_runner.hh"
 #include "metrics/report.hh"
 #include "system/system.hh"
 #include "workloads/fio.hh"
@@ -178,6 +180,52 @@ runKv(system::MachineConfig cfg, char type, unsigned threads,
     r.osFaults = sys.kernel().majorFaults();
     r.elapsed = sys.now() - t0;
     return r;
+}
+
+// ---- Parallel sweeps ---------------------------------------------------
+//
+// The sweep-shaped benches (Figs. 13/14/16/17, the ablations) evaluate
+// many independent machines; each job below is one bench point. The
+// helpers fan the points out over a SweepRunner thread pool — results
+// come back in job order and are byte-identical to a sequential run.
+
+struct FioJob
+{
+    system::MachineConfig cfg;
+    unsigned threads = 1;
+    std::uint64_t opsPerThread = 0;
+    std::uint64_t datasetPages = 32 * defaultMemFrames;
+};
+
+inline std::vector<FioRun>
+sweepFio(const std::vector<FioJob> &jobs, unsigned parallelism = 0)
+{
+    SweepRunner runner(parallelism);
+    return runner.map<FioRun>(jobs.size(), [&](std::size_t i) {
+        const FioJob &j = jobs[i];
+        return runFio(j.cfg, j.threads, j.opsPerThread, j.datasetPages);
+    });
+}
+
+struct KvJob
+{
+    system::MachineConfig cfg;
+    char type = 'C'; ///< 'U' = DBBench readrandom, 'A'..'F' = YCSB.
+    unsigned threads = 1;
+    std::uint64_t opsPerThread = 0;
+    std::uint64_t datasetPages = defaultDatasetPages;
+    bool warm = true;
+};
+
+inline std::vector<KvRun>
+sweepKv(const std::vector<KvJob> &jobs, unsigned parallelism = 0)
+{
+    SweepRunner runner(parallelism);
+    return runner.map<KvRun>(jobs.size(), [&](std::size_t i) {
+        const KvJob &j = jobs[i];
+        return runKv(j.cfg, j.type, j.threads, j.opsPerThread,
+                     j.datasetPages, j.warm);
+    });
 }
 
 } // namespace hwdp::bench

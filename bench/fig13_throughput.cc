@@ -7,10 +7,15 @@
  * the skewed, write-mixed YCSB workloads gain 5.3-27.3% with the
  * read-only YCSB-C at the top; gains shrink somewhat as the thread
  * count (and SSD write contention) grows.
+ *
+ * All 64 bench points are independent machines, so they are evaluated
+ * through the parallel sweep harness (HWDP_BENCH_JOBS controls the
+ * worker count) and assembled into the table afterwards.
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.hh"
 
@@ -29,36 +34,54 @@ main()
         char code;      // 'I' = FIO, 'U' = DBBench, 'A'..'F' = YCSB
         const char *name;
     };
-    const W workloads[] = {
+    const std::vector<W> workloads = {
         {'I', "fio"},     {'U', "dbbench"}, {'A', "ycsb_a"},
         {'B', "ycsb_b"},  {'C', "ycsb_c"},  {'D', "ycsb_d"},
         {'E', "ycsb_e"},  {'F', "ycsb_f"},
     };
+    const std::vector<unsigned> threadCounts = {1, 2, 4, 8};
+    const system::PagingMode modes[] = {system::PagingMode::osdp,
+                                        system::PagingMode::hwdp};
+
+    // One FIO job per (thread count, mode); one KV job per
+    // (workload, thread count, mode). Job order defines result order.
+    std::vector<bench::FioJob> fioJobs;
+    std::vector<bench::KvJob> kvJobs;
+    for (const W &w : workloads) {
+        for (unsigned threads : threadCounts) {
+            std::uint64_t ops = w.code == 'E' ? 2500 : 5000;
+            for (auto mode : modes) {
+                if (w.code == 'I') {
+                    fioJobs.push_back({bench::paperConfig(mode), threads,
+                                       ops,
+                                       8 * bench::defaultMemFrames});
+                } else {
+                    bench::KvJob j;
+                    j.cfg = bench::paperConfig(mode);
+                    j.type = w.code;
+                    j.threads = threads;
+                    j.opsPerThread = ops;
+                    kvJobs.push_back(j);
+                }
+            }
+        }
+    }
+
+    auto fioRuns = bench::sweepFio(fioJobs);
+    auto kvRuns = bench::sweepKv(kvJobs);
 
     Table t({"workload", "1 thr", "2 thr", "4 thr", "8 thr"});
+    std::size_t fi = 0, ki = 0;
     for (const W &w : workloads) {
         std::vector<std::string> row{w.name};
-        for (unsigned threads : {1u, 2u, 4u, 8u}) {
-            std::uint64_t ops = w.code == 'E' ? 2500 : 5000;
+        for (std::size_t ti = 0; ti < threadCounts.size(); ++ti) {
             double osdp, hwdp;
             if (w.code == 'I') {
-                osdp = bench::runFio(
-                           bench::paperConfig(system::PagingMode::osdp),
-                           threads, ops, 8 * bench::defaultMemFrames)
-                           .opsPerSec;
-                hwdp = bench::runFio(
-                           bench::paperConfig(system::PagingMode::hwdp),
-                           threads, ops, 8 * bench::defaultMemFrames)
-                           .opsPerSec;
+                osdp = fioRuns[fi++].opsPerSec;
+                hwdp = fioRuns[fi++].opsPerSec;
             } else {
-                osdp = bench::runKv(
-                           bench::paperConfig(system::PagingMode::osdp),
-                           w.code, threads, ops)
-                           .opsPerSec;
-                hwdp = bench::runKv(
-                           bench::paperConfig(system::PagingMode::hwdp),
-                           w.code, threads, ops)
-                           .opsPerSec;
+                osdp = kvRuns[ki++].opsPerSec;
+                hwdp = kvRuns[ki++].opsPerSec;
             }
             row.push_back("+" + Table::pct(hwdp / osdp - 1.0));
         }

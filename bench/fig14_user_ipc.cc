@@ -82,8 +82,15 @@ main()
                     "paper: +27.3% throughput, +7.0% user IPC, fewer "
                     "user-level miss events");
 
-    Run osdp = runC(system::PagingMode::osdp);
-    Run hwdp = runC(system::PagingMode::hwdp);
+    // The two configurations are independent machines: run them
+    // through the sweep harness (parallel when the host allows).
+    bench::SweepRunner runner;
+    auto runs = runner.map<Run>(2, [](std::size_t i) {
+        return runC(i ? system::PagingMode::hwdp
+                      : system::PagingMode::osdp);
+    });
+    const Run &osdp = runs[0];
+    const Run &hwdp = runs[1];
 
     Table t({"metric", "OSDP", "HWDP", "HWDP / OSDP", "paper"});
     t.addRow({"throughput (ops/s)", Table::num(osdp.opsPerSec, 0),

@@ -67,9 +67,19 @@ main()
 
     Table t({"co-runner", "FIO ops gain", "FIO+kernel instr ratio",
              "SPEC IPC gain"});
-    for (const auto &k : workloads::SpecLikeWorkload::kernelNames()) {
-        Run osdp = runPair(system::PagingMode::osdp, k);
-        Run hwdp = runPair(system::PagingMode::hwdp, k);
+    // One bench point per (co-runner kernel, paging mode); all are
+    // independent machines, so sweep them in parallel.
+    const auto &kernels = workloads::SpecLikeWorkload::kernelNames();
+    bench::SweepRunner runner;
+    auto runs = runner.map<Run>(kernels.size() * 2, [&](std::size_t i) {
+        return runPair(i % 2 ? system::PagingMode::hwdp
+                             : system::PagingMode::osdp,
+                       kernels[i / 2]);
+    });
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+        const std::string &k = kernels[ki];
+        const Run &osdp = runs[ki * 2];
+        const Run &hwdp = runs[ki * 2 + 1];
         double instr_ratio =
             (hwdp.fioUserInstr + hwdp.kernelInstr) /
             (osdp.fioUserInstr + osdp.kernelInstr);

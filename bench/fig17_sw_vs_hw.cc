@@ -47,16 +47,22 @@ main()
         const char *profile;
         const char *paper;
     };
-    for (const P &p : std::initializer_list<P>{
-             {"zssd", "0.86 (-14%)"},
-             {"optane_ssd", "~0.75"},
-             {"optane_pmm", "0.56 (-44%)"}}) {
+    const std::vector<P> points = {{"zssd", "0.86 (-14%)"},
+                                   {"optane_ssd", "~0.75"},
+                                   {"optane_pmm", "0.56 (-44%)"}};
+    // Sweep the (device, SMU implementation) grid in parallel.
+    bench::SweepRunner runner;
+    auto lats = runner.map<double>(points.size() * 2, [&](std::size_t i) {
+        return measureMissLatency(i % 2 ? system::PagingMode::hwdp
+                                        : system::PagingMode::swsmu,
+                                  points[i / 2].profile);
+    });
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+        const P &p = points[pi];
         double dev =
             toMicroseconds(ssd::profileByName(p.profile).unloadedRead4k());
-        double sw =
-            measureMissLatency(system::PagingMode::swsmu, p.profile);
-        double hw =
-            measureMissLatency(system::PagingMode::hwdp, p.profile);
+        double sw = lats[pi * 2];
+        double hw = lats[pi * 2 + 1];
         t.addRow({p.profile, Table::num(dev, 1), Table::num(sw),
                   Table::num(hw), Table::num(hw / sw), p.paper});
     }

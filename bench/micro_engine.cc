@@ -33,20 +33,138 @@ BM_EventQueueScheduleStep(benchmark::State &state)
         eq.schedule(&ev, ++t);
         eq.step();
     }
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EventQueueScheduleStep);
 
-void
-BM_EventQueueFanout(benchmark::State &state)
+/**
+ * The seed's one-shot continuation path, kept as the "before" baseline
+ * for the pooled API: a heap-allocated wrapper event holding a
+ * std::function and a std::string name, deleted after firing. Every
+ * scheduleLambda call site used to pay exactly this.
+ */
+class HeapLambdaEvent : public sim::Event
 {
-    for (auto _ : state) {
-        sim::EventQueue eq;
-        for (int i = 0; i < 1024; ++i)
-            eq.scheduleLambda(static_cast<Tick>(i + 1), [] {});
-        eq.run();
+  public:
+    HeapLambdaEvent(std::function<void()> fn, std::string name)
+        : Event(std::move(name)), fn(std::move(fn))
+    {
     }
+    void process() override { fn(); }
+
+  private:
+    std::function<void()> fn;
+};
+
+void
+BM_EventQueueOneShotHeapLambda(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    Tick t = 0;
+    for (auto _ : state) {
+        auto *ev = new HeapLambdaEvent([] {}, "lambda");
+        eq.schedule(ev, ++t);
+        eq.step();
+        delete ev;
+    }
+    state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_EventQueueFanout);
+BENCHMARK(BM_EventQueueOneShotHeapLambda);
+
+void
+BM_EventQueueOneShotPooled(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    Tick t = 0;
+    for (auto _ : state) {
+        eq.post(++t, [] {});
+        eq.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueOneShotPooled);
+
+void
+BM_EventQueueFanoutHeapLambda(benchmark::State &state)
+{
+    // A System owns one queue for its whole run, so the queue lives
+    // across rounds; each round schedules and fires a 1024-event
+    // burst the way the seed's scheduleLambda call sites did.
+    sim::EventQueue eq;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        Tick base = eq.now();
+        std::vector<HeapLambdaEvent *> evs;
+        evs.reserve(1024);
+        for (int i = 0; i < 1024; ++i) {
+            evs.push_back(new HeapLambdaEvent([] {}, "lambda"));
+            eq.schedule(evs.back(), base + static_cast<Tick>(i + 1));
+        }
+        eq.run();
+        for (auto *ev : evs)
+            delete ev;
+        events += 1024;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueFanoutHeapLambda);
+
+void
+BM_EventQueueFanoutPooled(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        Tick base = eq.now();
+        for (int i = 0; i < 1024; ++i)
+            eq.post(base + static_cast<Tick>(i + 1), [] {});
+        eq.run();
+        events += 1024;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueFanoutPooled);
+
+void
+BM_EventQueueSteadyStatePooled(benchmark::State &state)
+{
+    // Steady-state engine traffic: a reused queue with a rolling
+    // window of pending one-shots, the shape the subsystem models
+    // generate. No allocation on this path (see poolStats).
+    sim::EventQueue eq;
+    for (int i = 0; i < 64; ++i)
+        eq.postIn(static_cast<Tick>(i + 1) * 100, [] {});
+    for (auto _ : state) {
+        eq.postIn(6400, [] {});
+        eq.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+    eq.run();
+}
+BENCHMARK(BM_EventQueueSteadyStatePooled);
+
+void
+BM_EventQueueMixedHorizon(benchmark::State &state)
+{
+    // Dense near-horizon traffic (ring) with sparse far timers
+    // (heap), the fig-bench event mix: validates that the two-tier
+    // split keeps the hot path fast with long-period timers pending.
+    sim::EventQueue eq;
+    int timers = 0;
+    std::function<void()> rearm = [&] {
+        ++timers;
+        eq.postIn(milliseconds(4.0), rearm, "kpoold.period");
+    };
+    eq.postIn(milliseconds(4.0), rearm, "kpoold.period");
+    eq.postIn(milliseconds(16.0), [] {}, "kpted.period");
+    for (auto _ : state) {
+        eq.postIn(nanoseconds(2.0), [] {}, "cache.fill");
+        eq.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+    benchmark::DoNotOptimize(timers);
+}
+BENCHMARK(BM_EventQueueMixedHorizon);
 
 void
 BM_PmshrLookup(benchmark::State &state)

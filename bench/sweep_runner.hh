@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Parallel sweep harness for the figure/table benches.
+ *
+ * Every bench point builds its own system::System, and a System owns
+ * its EventQueue, RNG and every component outright — independent
+ * configurations share no mutable state. SweepRunner exploits that:
+ * it fans a list of independent bench points out over a host thread
+ * pool and returns results in input order, so a parallel sweep is
+ * byte-identical to the sequential one (per-run RNG seeds live in the
+ * MachineConfig, not in any global).
+ *
+ * Parallelism defaults to the host's hardware concurrency and can be
+ * pinned with the HWDP_BENCH_JOBS environment variable (e.g. for
+ * reproducible timing or constrained CI boxes).
+ */
+
+#ifndef HWDP_BENCH_SWEEP_RUNNER_HH
+#define HWDP_BENCH_SWEEP_RUNNER_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hwdp::bench {
+
+/** Sweep parallelism: HWDP_BENCH_JOBS, else hardware concurrency. */
+inline unsigned
+sweepJobs()
+{
+    if (const char *env = std::getenv("HWDP_BENCH_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc ? hc : 1;
+}
+
+class SweepRunner
+{
+  public:
+    /** @param jobs worker count; 0 resolves via sweepJobs(). */
+    explicit SweepRunner(unsigned jobs = 0)
+        : nJobs(jobs ? jobs : sweepJobs())
+    {
+    }
+
+    unsigned jobs() const { return nJobs; }
+
+    /**
+     * Evaluate fn(0) .. fn(n-1) and return the results indexed by
+     * input position regardless of completion order. fn must not
+     * touch shared mutable state (build a fresh System per call).
+     * The first exception thrown by any point is rethrown here after
+     * all workers drain.
+     */
+    template <typename R, typename Fn>
+    std::vector<R>
+    map(std::size_t n, Fn &&fn) const
+    {
+        std::vector<R> results(n);
+        if (n == 0)
+            return results;
+        unsigned workers =
+            static_cast<unsigned>(std::min<std::size_t>(nJobs, n));
+        if (workers <= 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                results[i] = fn(i);
+            return results;
+        }
+
+        std::atomic<std::size_t> next{0};
+        std::exception_ptr error;
+        std::mutex errorLock;
+        auto worker = [&] {
+            while (true) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    results[i] = fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> g(errorLock);
+                    if (!error)
+                        error = std::current_exception();
+                }
+            }
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            threads.emplace_back(worker);
+        for (auto &t : threads)
+            t.join();
+        if (error)
+            std::rethrow_exception(error);
+        return results;
+    }
+
+  private:
+    unsigned nJobs;
+};
+
+} // namespace hwdp::bench
+
+#endif // HWDP_BENCH_SWEEP_RUNNER_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sweep harness scaling check: run the same multi-configuration bench
+ * sweep sequentially (1 job) and in parallel (HWDP_BENCH_JOBS /
+ * hardware concurrency), verify the results are byte-identical, and
+ * report the wall-clock speedup.
+ *
+ * This is the determinism gate for every converted figure bench: a
+ * System seeds its own RNG from MachineConfig::seed and owns all of
+ * its components, so thread interleaving must not be observable in
+ * any reported number.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace hwdp;
+
+namespace {
+
+/** One bench point's full observable output, as a POD for memcmp. */
+struct PointResult
+{
+    std::uint64_t appOps;
+    std::uint64_t faultedOps;
+    std::uint64_t userInstructions;
+    std::uint64_t finalTick;
+    double meanFaultLatencyUs;
+};
+
+PointResult
+runPoint(std::size_t i)
+{
+    // Eight distinct machines: paging mode x dataset pressure x seed.
+    auto cfg = bench::paperConfig(i % 2 ? system::PagingMode::hwdp
+                                        : system::PagingMode::osdp);
+    cfg.seed = 42 + static_cast<std::uint64_t>(i);
+    system::System sys(cfg);
+    auto mf = sys.mapDataset(
+        "f", (4 + 4 * (i / 2)) * bench::defaultMemFrames);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 1500);
+    auto *tc = sys.addThread(*wl, 0, *mf.as);
+    sys.runUntilThreadsDone(seconds(30.0));
+    PointResult r;
+    std::memset(&r, 0, sizeof(r)); // padding too, so memcmp is exact
+    r.appOps = tc->appOps();
+    r.faultedOps = tc->faultedOps();
+    r.userInstructions = tc->userInstructions();
+    r.finalTick = sys.now();
+    r.meanFaultLatencyUs = tc->faultedOpLatencyUs().mean();
+    return r;
+}
+
+double
+sweep(unsigned jobs, std::vector<PointResult> &out, std::size_t n)
+{
+    bench::SweepRunner runner(jobs);
+    auto t0 = std::chrono::steady_clock::now();
+    out = runner.map<PointResult>(n, runPoint);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::size_t points = 8;
+    unsigned jobs = bench::sweepJobs();
+    metrics::banner("Sweep harness: sequential vs parallel",
+                    "same configs, same seeds — outputs must be "
+                    "byte-identical");
+
+    std::vector<PointResult> seq, par;
+    double seqSec = sweep(1, seq, points);
+    double parSec = sweep(jobs, par, points);
+
+    bool identical =
+        seq.size() == par.size() &&
+        std::memcmp(seq.data(), par.data(),
+                    seq.size() * sizeof(PointResult)) == 0;
+
+    metrics::Table t({"run", "jobs", "wall s", "speedup"});
+    t.addRow({"sequential", "1", metrics::Table::num(seqSec, 3), "1.00x"});
+    t.addRow({"parallel", std::to_string(jobs),
+              metrics::Table::num(parSec, 3),
+              metrics::Table::num(seqSec / parSec) + "x"});
+    t.print();
+
+    std::printf("\nbyte-identical results: %s\n",
+                identical ? "yes" : "NO — DETERMINISM VIOLATION");
+    std::printf("{\"bench\": \"sweep_scaling\", \"points\": %zu, "
+                "\"jobs\": %u, \"seq_s\": %.3f, \"par_s\": %.3f, "
+                "\"speedup\": %.2f, \"identical\": %s}\n",
+                points, jobs, seqSec, parSec, seqSec / parSec,
+                identical ? "true" : "false");
+    return identical ? 0 : 1;
+}

@@ -10,6 +10,9 @@ namespace hwdp::core {
 
 HwdpOsSupport::HwdpOsSupport(os::Kernel &kernel) : k(kernel)
 {
+    // The unmap hook must exist even before any accelerator component
+    // attaches: the registry lives here, not in the SMU or kpted.
+    installHooks();
 }
 
 void
@@ -77,6 +80,8 @@ HwdpOsSupport::installHooks()
             s->barrier(std::move(done));
         };
     }
+    // munmap destroys the Vma; the registry must not keep scanning it.
+    hooks.vmaUnmapped = [this](os::Vma *vma) { unregisterFastVma(vma); };
     k.setHwdpHooks(std::move(hooks));
 }
 

@@ -52,7 +52,7 @@ Kpoold::batch(std::function<void()> done)
     unsigned phys = sched.physCoreOf(core());
     Tick dur = sched.kernelExec().runBatch(
         phys, os::phases::kpooldPerPage, pushed);
-    eq.scheduleLambdaIn(dur, std::move(done), "kpoold.batch");
+    eq.postIn(dur, std::move(done), "kpoold.batch");
 }
 
 void

@@ -41,7 +41,7 @@ Kpted::batch(std::function<void()> done)
         phys, os::phases::kptedScanEntry, visited);
     dur += sched.kernelExec().runBatch(phys, os::phases::kptedPerPage,
                                        synced);
-    eq.scheduleLambdaIn(dur, std::move(done), "kpted.batch");
+    eq.postIn(dur, std::move(done), "kpted.batch");
 }
 
 void
@@ -54,7 +54,7 @@ Kpted::syncRange(os::AddressSpace &as, VAddr lo, VAddr hi,
         phys, os::phases::kptedScanEntry, visited);
     dur += sched.kernelExec().runBatch(phys, os::phases::kptedPerPage,
                                        synced);
-    eq.scheduleLambdaIn(dur, std::move(done), "kpted.syncRange");
+    eq.postIn(dur, std::move(done), "kpted.syncRange");
 }
 
 } // namespace hwdp::core

@@ -70,14 +70,14 @@ NvmeHostController::issueRead(unsigned dev_id, Lba lba, PAddr dma_addr,
     // the 64-byte command and writes it at SQ base + SQ tail, then
     // rings the SQ doorbell (Figure 11(b): 77.16 ns + 1.60 ns).
     Tick delay = tm.cmdWrite + tm.doorbell;
-    eq.scheduleLambdaIn(delay,
+    eq.postIn(delay,
                         [this, dev_id, issued = std::move(issued)] {
                             descs[dev_id].dev->ringSqDoorbell(
                                 descs[dev_id].qid);
                             if (issued)
                                 issued();
                         },
-                        name() + ".doorbell");
+                        "nvme.doorbell");
 }
 
 void
@@ -95,12 +95,12 @@ NvmeHostController::onCqWrite(unsigned dev_id,
 
     Tick delay = tm.completionCycles * tm.cyclePeriod;
     std::uint16_t tag = cqe.cid;
-    eq.scheduleLambdaIn(delay,
+    eq.postIn(delay,
                         [this, tag] {
                             if (onComplete)
                                 onComplete(tag);
                         },
-                        name() + ".complete");
+                        "nvme.complete");
 }
 
 } // namespace hwdp::core

@@ -74,11 +74,11 @@ Smu::handleMiss(cpu::PageMissRequest req)
     Tick delay =
         (prm.requestRegWrites + prm.camLookup) * prm.cyclePeriod;
     Tick started = now();
-    eq.scheduleLambdaIn(delay,
+    eq.postIn(delay,
                         [this, req = std::move(req), started]() mutable {
                             lookupStep(std::move(req), started);
                         },
-                        name() + ".lookup");
+                        "smu.lookup");
 }
 
 void
@@ -133,16 +133,16 @@ Smu::lookupStep(cpu::PageMissRequest req, Tick started)
     unsigned req_core = e.req.core;
     if (lba == os::pte::zeroFillLba) {
         ++statZeroFill;
-        eq.scheduleLambdaIn(delay + prm.zeroFillLatency,
+        eq.postIn(delay + prm.zeroFillLatency,
                             [this, tag, req_core] {
                                 freePageQueue(req_core).refillPrefetch();
                                 onIoComplete(tag);
                             },
-                            name() + ".zerofill");
+                            "smu.zerofill");
         return;
     }
 
-    eq.scheduleLambdaIn(
+    eq.postIn(
         delay,
         [this, dev, lba, dma, tag, req_core] {
             nvme.issueRead(dev, lba, dma, tag, [this, req_core] {
@@ -151,7 +151,7 @@ Smu::lookupStep(cpu::PageMissRequest req, Tick started)
                 freePageQueue(req_core).refillPrefetch();
             });
         },
-        name() + ".issue");
+        "smu.issue");
 
     // Only demand misses trigger a prefetch — a prefetch spawning
     // further prefetches would run away through the whole mapping.
@@ -204,7 +204,7 @@ Smu::onIoComplete(std::uint16_t tag)
     Tick update_lat = updater.update(e.req, e.pfn);
     Tick delay = update_lat + prm.notifyCycles * prm.cyclePeriod;
 
-    eq.scheduleLambdaIn(
+    eq.postIn(
         delay,
         [this, tag] {
             Pmshr::Entry &entry = pmshrUnit.entry(tag);
@@ -224,7 +224,7 @@ Smu::onIoComplete(std::uint16_t tag)
                 w(true);
             checkBarrier();
         },
-        name() + ".broadcast");
+        "smu.broadcast");
 }
 
 void

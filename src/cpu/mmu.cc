@@ -70,7 +70,7 @@ Mmu::doAccess(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
         Tick lat = tr.l1Hit ? 0 : 4 * period; // L2 STLB latency
         lat += dataAccess(vaddr, tr.pfn, is_write);
         info.latency = (now() + lat) - start;
-        eq.scheduleLambdaIn(lat,
+        eq.postIn(lat,
                             [info, done = std::move(done)] { done(info); },
                             "mmu.hit");
         return;
@@ -85,7 +85,7 @@ Mmu::doAccess(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
         tlbUnit.insert(vaddr, pfn);
         Tick lat = wl + dataAccess(vaddr, pfn, is_write);
         info.latency = (now() + lat) - start;
-        eq.scheduleLambdaIn(lat,
+        eq.postIn(lat,
                             [info, done = std::move(done)] { done(info); },
                             "mmu.walked");
         return;
@@ -155,14 +155,14 @@ Mmu::doAccess(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
                     resume();
                 }
             };
-            eq.scheduleLambdaIn(wl,
+            eq.postIn(wl,
                                 [smu, req = std::move(req)]() mutable {
                                     smu->handleMiss(std::move(req));
                                 },
                                 "mmu.smureq");
 
             if (stallTimeout > 0) {
-                eq.scheduleLambdaIn(
+                eq.postIn(
                     wl + stallTimeout,
                     [this, &t, state] {
                         if (state->completed || state->switched)
@@ -187,7 +187,7 @@ Mmu::doAccess(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
     // 3. Conventional exception.
     ++statOsFault;
     info.faulted = true;
-    eq.scheduleLambdaIn(
+    eq.postIn(
         wl,
         [this, &t, &as, vaddr, is_write, start, info, attempts,
          done = std::move(done)]() mutable {

@@ -93,7 +93,7 @@ ThreadContext::nextOp()
         return;
 
       case workloads::Op::Kind::idle:
-        kernel.eventQueue().scheduleLambdaIn(
+        kernel.eventQueue().postIn(
             op.idleTicks, [this, op] { completeOp(op); }, "tc.idle");
         return;
 
@@ -201,7 +201,7 @@ ThreadContext::execCompute(const workloads::ComputeSpec &spec,
     uCycles += duration / prm.cyclePeriod; // wall cycles in user mode
     cCycles += duration / prm.cyclePeriod;
 
-    kernel.eventQueue().scheduleLambdaIn(duration, std::move(done),
+    kernel.eventQueue().postIn(duration, std::move(done),
                                          "tc.compute");
 }
 

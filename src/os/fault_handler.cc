@@ -154,7 +154,7 @@ FaultHandler::allocateFrame(CtxPtr c)
                 allocateFrame(c);
             } else {
                 // Wait for in-flight writeback, then retry.
-                k.eventQueue().scheduleLambdaIn(
+                k.eventQueue().postIn(
                     microseconds(50.0), [this, c] { allocateFrame(c); },
                     "fault.allocRetry");
             }

@@ -152,7 +152,7 @@ Kernel::mmapFile(Thread &t, AddressSpace &as, File &file, bool fast_mmap,
                                     populated);
     }
 
-    eq.scheduleLambdaIn(dur, [done = std::move(done), vma] { done(vma); },
+    eq.postIn(dur, [done = std::move(done), vma] { done(vma); },
                         "kernel.mmap");
 }
 
@@ -237,8 +237,10 @@ Kernel::munmapVma(Thread &t, AddressSpace &as, Vma *vma,
             });
         dur += kernelExec->runBatch(phys, phases::mmapSetupPerPage,
                                     touched);
+        if (hwdpHooks.vmaUnmapped)
+            hwdpHooks.vmaUnmapped(vma);
         as.removeVma(vma);
-        eq.scheduleLambdaIn(dur, done, "kernel.munmap");
+        eq.postIn(dur, done, "kernel.munmap");
     };
 
     // Races between SMU page-miss handling and PTE unmapping are
@@ -305,7 +307,7 @@ Kernel::msyncVma(Thread &t, Vma *vma, std::function<void()> done)
                             });
             });
 
-        eq.scheduleLambdaIn(dur,
+        eq.postIn(dur,
                             [finished, maybe_done]() mutable {
                                 *finished = true;
                                 maybe_done();
@@ -342,7 +344,7 @@ Kernel::writeFile(Thread &t, File &file, std::uint64_t page_index,
                     BlockLayer::IoClass::writeback, [] {});
     }
 
-    eq.scheduleLambdaIn(dur, std::move(done), "kernel.write");
+    eq.postIn(dur, std::move(done), "kernel.write");
 }
 
 void

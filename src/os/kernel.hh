@@ -199,6 +199,9 @@ class Kernel : public sim::SimObject
                            std::function<void()>)> syncMetadata;
         /** Wait for outstanding SMU page misses (SMU barrier). */
         std::function<void(std::function<void()>)> smuBarrier;
+        /** A VMA is about to be destroyed; drop any references to it
+         *  (the fast-mmap registry kpted scans, in particular). */
+        std::function<void(Vma *)> vmaUnmapped;
     };
     void setHwdpHooks(HwdpHooks hooks) { hwdpHooks = std::move(hooks); }
 

@@ -19,7 +19,7 @@ KThread::armTimer()
     if (stopped || timerArmed)
         return;
     timerArmed = true;
-    eq.scheduleLambdaIn(per,
+    eq.postIn(per,
                         [this] {
                             timerArmed = false;
                             if (stopped)
@@ -27,7 +27,7 @@ KThread::armTimer()
                             due = true;
                             sched.wake(this);
                         },
-                        name() + ".timer");
+                        "kthread.timer");
 }
 
 void

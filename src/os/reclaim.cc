@@ -189,7 +189,7 @@ Reclaimer::batch(std::function<void()> done)
     Tick dur = kernel.kexec().runBatch(
         kernel.scheduler().physCoreOf(core()), phases::reclaimScanPage,
         scanned);
-    eq.scheduleLambdaIn(dur, std::move(done), "kreclaimd.batch");
+    eq.postIn(dur, std::move(done), "kreclaimd.batch");
 }
 
 void
@@ -201,7 +201,7 @@ Reclaimer::directReclaim(unsigned core, std::uint64_t want,
     shrink(core, want, &scanned);
     Tick dur = kernel.kexec().runBatch(kernel.scheduler().physCoreOf(core),
                                        phases::reclaimScanPage, scanned);
-    kernel.eventQueue().scheduleLambdaIn(dur, std::move(done),
+    kernel.eventQueue().postIn(dur, std::move(done),
                                          "direct_reclaim");
 }
 

@@ -81,7 +81,7 @@ Scheduler::block(Thread *t)
     ++statSwitches;
     unsigned core = t->core();
     Tick dur = kexec.run(physCoreOf(core), phases::contextSwitch);
-    eq.scheduleLambdaIn(dur, [this, core] { dispatch(core); },
+    eq.postIn(dur, [this, core] { dispatch(core); },
                         "sched.switchout");
 }
 
@@ -174,7 +174,7 @@ Scheduler::runPhaseSeq(unsigned core,
     // sibling just like user instructions do (Figure 16's OSDP side).
     dur = static_cast<Tick>(static_cast<double>(dur) /
                             widthShare(core));
-    eq.scheduleLambdaIn(dur,
+    eq.postIn(dur,
                         [this, core, phases = std::move(phases), idx,
                          done = std::move(done)]() mutable {
                             runPhaseSeq(core, std::move(phases), idx + 1,
@@ -230,7 +230,7 @@ Scheduler::dispatch(unsigned core)
     // Switch-in: scheduling the thread onto the CPU.
     ++statSwitches;
     Tick dur = kexec.run(physCoreOf(core), phases::contextSwitch);
-    eq.scheduleLambdaIn(dur,
+    eq.postIn(dur,
                         [this, t, core] {
                             // The thread may have been torn down only
                             // via finish(); it is still current here.

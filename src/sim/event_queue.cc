@@ -1,50 +1,157 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <tuple>
+
 #include "sim/logging.hh"
 
 namespace hwdp::sim {
 
-Event::Event(std::string name) : _name(std::move(name))
-{
-}
-
 Event::~Event()
 {
-    // Destroying a scheduled event would leave a dangling pointer in
-    // the queue's heap; the queue tolerates it only because entries
-    // carry a sequence number, but it is still a bug in the component.
-    // We cannot throw from a destructor, so this is best-effort.
+#ifndef NDEBUG
+    if (_scheduled) {
+        // A scheduled event's queue entry points here; destruction
+        // would leave that pointer dangling. We cannot throw from a
+        // destructor, so fail fast and loudly in debug builds.
+        std::fprintf(stderr,
+                     "panic: event '%s' destroyed while scheduled "
+                     "(tick %llu)\n",
+                     _name, static_cast<unsigned long long>(_when));
+        std::abort();
+    }
+#endif
 }
 
-EventQueue::EventQueue() = default;
+EventQueue::EventQueue()
+    : ring(numBuckets), ringBitmap(numBuckets / 64, 0)
+{
+}
 
 EventQueue::~EventQueue()
 {
-    // Drain and delete any self-owned lambda wrappers still pending.
-    while (!heap.empty()) {
-        Entry e = heap.top();
-        heap.pop();
-        if (e.ev->_scheduled && e.ev->_seq == e.seq) {
-            e.ev->_scheduled = false;
-            if (e.ev->_selfOwned)
-                delete e.ev;
-        }
+    // Mark every still-live event idle so that embedded events owned
+    // by components destroyed after the queue do not trip the
+    // destroyed-while-scheduled check; release pending pooled
+    // callables so their captures are destroyed exactly once.
+    auto finish = [&](const Entry &e) {
+        if (tombstones.count(e.seq))
+            return; // dead entry: the event may be gone, never touch it
+        e.ev->_scheduled = false;
+        e.ev->_inRing = false;
+        if (e.ev->_pooled)
+            static_cast<PooledEvent *>(e.ev)->destroyCallable();
+    };
+    for (const Bucket &bucket : ring)
+        for (std::size_t i = bucket.head; i < bucket.entries.size(); ++i)
+            finish(bucket.entries[i]);
+    while (!farHeap.empty()) {
+        finish(farHeap.top());
+        farHeap.pop();
     }
+    // ~PooledEvent destroys any callable we missed; the pool vector
+    // frees the nodes themselves.
+}
+
+PooledEvent *
+EventQueue::growPool()
+{
+    ++pstats.created;
+    pool.push_back(std::make_unique<PooledEvent>());
+    pool.back()->_pooled = true;
+    return pool.back().get();
 }
 
 void
-EventQueue::schedule(Event *ev, Tick when)
+EventQueue::scheduleFar(Event *ev, Tick when)
+{
+    farHeap.push(Entry{when, ev->_seq, ev});
+    ev->_inRing = false;
+}
+
+void
+EventQueue::schedulePanic(const Event *ev, Tick when) const
 {
     if (ev->_scheduled)
         panic("event '", ev->name(), "' scheduled twice");
-    if (when < curTick)
-        panic("event '", ev->name(), "' scheduled in the past (", when,
-              " < ", curTick, ")");
-    ev->_scheduled = true;
-    ev->_when = when;
-    ev->_seq = nextSeq++;
-    heap.push(Entry{when, ev->_seq, ev});
-    ++liveCount;
+    panic("event '", ev->name(), "' scheduled in the past (", when,
+          " < ", curTick, ")");
+}
+
+void
+EventQueue::tidyBucket(Bucket &bucket)
+{
+    if (bucket.sorted == bucket.entries.size())
+        return;
+    std::sort(bucket.entries.begin() +
+                  static_cast<std::ptrdiff_t>(bucket.sorted),
+              bucket.entries.end());
+    std::inplace_merge(bucket.entries.begin() +
+                           static_cast<std::ptrdiff_t>(bucket.head),
+                       bucket.entries.begin() +
+                           static_cast<std::ptrdiff_t>(bucket.sorted),
+                       bucket.entries.end());
+    bucket.sorted = bucket.entries.size();
+}
+
+EventQueue::Entry &
+EventQueue::bucketFront(unsigned b)
+{
+    Bucket &bucket = ring[b];
+    tidyBucket(bucket);
+    return bucket.entries[bucket.head];
+}
+
+void
+EventQueue::resetBucket(unsigned b)
+{
+    Bucket &bucket = ring[b];
+    bucket.entries.clear(); // keeps capacity for the next burst
+    bucket.head = 0;
+    bucket.sorted = 0;
+    ringBitmap[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
+    // This may have been the earliest occupied bucket; rescan lazily.
+    soonestSlot = invalidSlot;
+}
+
+void
+EventQueue::popBucketFront(unsigned b)
+{
+    Bucket &bucket = ring[b];
+    if (++bucket.head == bucket.entries.size())
+        resetBucket(b);
+    --ringCount;
+}
+
+void
+EventQueue::unlink(Event *ev)
+{
+    ev->_scheduled = false;
+    if (ev->_inRing) {
+        unsigned b = (ev->_when >> bucketShift) & bucketMask;
+        Bucket &bucket = ring[b];
+        std::size_t i = bucket.head;
+        for (; i < bucket.entries.size(); ++i)
+            if (bucket.entries[i].seq == ev->_seq)
+                break;
+        if (i == bucket.entries.size())
+            panic("event '", ev->name(), "' missing from ring bucket");
+        bucket.entries.erase(bucket.entries.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        if (i < bucket.sorted)
+            --bucket.sorted;
+        if (bucket.empty())
+            resetBucket(b);
+        --ringCount;
+        ev->_inRing = false;
+    } else {
+        // Far-heap entries are dropped lazily by sequence number; the
+        // event pointer is never dereferenced again, so the caller is
+        // free to destroy the event immediately after descheduling.
+        tombstones.insert(ev->_seq);
+    }
 }
 
 void
@@ -52,77 +159,149 @@ EventQueue::deschedule(Event *ev)
 {
     if (!ev->_scheduled)
         panic("descheduling idle event '", ev->name(), "'");
-    // Lazy removal: mark the event idle; its heap entry is skipped when
-    // it reaches the top because the sequence number no longer matches.
-    ev->_scheduled = false;
-    ev->_seq = ~std::uint64_t(0);
-    --liveCount;
+    unlink(ev);
+    // A cancelled one-shot will never fire: drop its callable and
+    // recycle the node now.
+    if (ev->_pooled)
+        releasePooled(static_cast<PooledEvent *>(ev));
 }
 
 void
 EventQueue::reschedule(Event *ev, Tick when)
 {
+    // deschedule-if-scheduled + schedule: an idle event is accepted.
+    // A pooled event keeps its callable — it must not bounce through
+    // the free list on its way to the new tick.
     if (ev->_scheduled)
-        deschedule(ev);
-    schedule(ev, when);
-}
-
-void
-EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
-                           std::string name)
-{
-    auto *ev = new LambdaEvent(std::move(fn), std::move(name));
-    ev->_selfOwned = true;
+        unlink(ev);
     schedule(ev, when);
 }
 
 void
 EventQueue::skipDead()
 {
-    while (!heap.empty()) {
-        const Entry &e = heap.top();
-        if (e.ev->_scheduled && e.ev->_seq == e.seq)
+    while (!farHeap.empty() && !tombstones.empty()) {
+        auto it = tombstones.find(farHeap.top().seq);
+        if (it == tombstones.end())
             return;
-        heap.pop();
+        tombstones.erase(it);
+        farHeap.pop();
     }
+}
+
+unsigned
+EventQueue::findOccupied(unsigned from, unsigned to) const
+{
+    // Scan the occupancy bitmap for the first set bit in [from, to).
+    unsigned w = from >> 6;
+    std::uint64_t word = ringBitmap[w] & (~std::uint64_t(0) << (from & 63));
+    while (true) {
+        if (word) {
+            unsigned b = (w << 6) +
+                         static_cast<unsigned>(__builtin_ctzll(word));
+            return b < to ? b : numBuckets;
+        }
+        ++w;
+        if ((w << 6) >= to)
+            return numBuckets;
+        word = ringBitmap[w];
+    }
+}
+
+bool
+EventQueue::ringPeek(unsigned &bucket_out) const
+{
+    if (ringCount == 0)
+        return false;
+    if (soonestSlot != invalidSlot) {
+        bucket_out = static_cast<unsigned>(soonestSlot) & bucketMask;
+        return true;
+    }
+    // Buckets wrap: indices >= the current bucket belong to this
+    // revolution, indices below it to the next, so scanning
+    // [cur, numBuckets) then [0, cur) visits windows in time order.
+    std::uint64_t cur_slot = curTick >> bucketShift;
+    unsigned cur = static_cast<unsigned>(cur_slot) & bucketMask;
+    unsigned b = findOccupied(cur, numBuckets);
+    if (b == numBuckets) {
+        b = findOccupied(0, cur);
+        if (b == numBuckets)
+            return false; // unreachable while ringCount > 0
+        soonestSlot = cur_slot + (numBuckets - cur) + b;
+    } else {
+        soonestSlot = cur_slot + (b - cur);
+    }
+    bucket_out = b;
+    return true;
+}
+
+EventQueue::StepOutcome
+EventQueue::tryStep(Tick limit)
+{
+    unsigned rb = 0;
+    bool has_ring = ringPeek(rb);
+    if (!tombstones.empty())
+        skipDead();
+    bool has_far = !farHeap.empty();
+    if (!has_ring && !has_far)
+        return StepOutcome::drained;
+
+    bool use_ring = has_ring;
+    if (has_ring && has_far)
+        use_ring = bucketFront(rb) < farHeap.top();
+
+    Tick when = use_ring ? bucketFront(rb).when : farHeap.top().when;
+    if (when >= limit) {
+        curTick = limit;
+        return StepOutcome::atLimit;
+    }
+
+    Entry e;
+    if (use_ring) {
+        e = bucketFront(rb);
+        popBucketFront(rb);
+        e.ev->_inRing = false;
+    } else {
+        e = farHeap.top();
+        farHeap.pop();
+    }
+#ifndef NDEBUG
+    // Simulated time is monotonic; firing into the past means the
+    // two-tier bookkeeping lost track of an earlier pending event.
+    if (e.when < curTick)
+        panic("event '", e.ev->name(), "' fired at tick ", e.when,
+              " with simulated time already at ", curTick);
+#endif
+    curTick = e.when;
+
+    Event *ev = e.ev;
+    ev->_scheduled = false;
+    ++nProcessed;
+    bool pooled = ev->_pooled;
+    // Devirtualized dispatch for the pooled fast path: one indirect
+    // call instead of a vtable hop into the same function pointer.
+    if (pooled)
+        static_cast<PooledEvent *>(ev)->invokeFn(
+            static_cast<PooledEvent *>(ev));
+    else
+        ev->process();
+    // The event may have (re)scheduled itself inside process(); only
+    // recycle a pooled event once it is really done.
+    if (pooled && !ev->_scheduled)
+        releasePooled(static_cast<PooledEvent *>(ev));
+    return StepOutcome::fired;
 }
 
 bool
 EventQueue::step()
 {
-    skipDead();
-    if (heap.empty())
-        return false;
-
-    Entry e = heap.top();
-    heap.pop();
-    --liveCount;
-
-    curTick = e.when;
-    Event *ev = e.ev;
-    ev->_scheduled = false;
-    ++nProcessed;
-    bool self_owned = ev->_selfOwned;
-    ev->process();
-    // A lambda event may have rescheduled itself inside process(); only
-    // delete it when it is done.
-    if (self_owned && !ev->_scheduled)
-        delete ev;
-    return true;
+    return tryStep(maxTick) == StepOutcome::fired;
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (true) {
-        skipDead();
-        if (heap.empty())
-            break;
-        if (heap.top().when >= limit) {
-            curTick = limit;
-            break;
-        }
-        step();
+    while (tryStep(limit) == StepOutcome::fired) {
     }
     return curTick;
 }
@@ -130,15 +309,7 @@ EventQueue::run(Tick limit)
 Tick
 EventQueue::runWhile(const std::function<bool()> &cond, Tick limit)
 {
-    while (cond()) {
-        skipDead();
-        if (heap.empty())
-            break;
-        if (heap.top().when >= limit) {
-            curTick = limit;
-            break;
-        }
-        step();
+    while (cond() && tryStep(limit) == StepOutcome::fired) {
     }
     return curTick;
 }

@@ -1,21 +1,42 @@
 /**
  * @file
- * Discrete-event simulation core: Event and EventQueue.
+ * Discrete-event simulation core: Event, EventQueue and the pooled
+ * one-shot event fast path.
  *
  * Events are scheduled at absolute ticks and processed in tick order;
  * events at the same tick run in scheduling (FIFO) order, which keeps
  * component interactions deterministic. Events are externally owned:
  * the queue never deletes them, so components can embed events as
- * members (the gem5 pattern).
+ * members (the gem5 pattern). The exception is the pooled one-shot
+ * path (post()/postIn()): those events belong to the queue's free-list
+ * pool and are recycled after firing.
+ *
+ * The scheduler is two-tier. A bucketed near-horizon ring absorbs the
+ * dense short-delay events that dominate the simulation (cache/DRAM
+ * accesses, kernel-phase completions, SMU pipeline steps); each bucket
+ * is a sorted-drain vector: in-order appends (the overwhelmingly
+ * common case — components schedule forward in time) cost a push_back,
+ * out-of-order appends accumulate in an unsorted appendix that is
+ * sorted and merged once when the bucket starts draining. Far-future
+ * timers (kpted/kpoold periods, multi-millisecond device latencies)
+ * spill to a conventional binary heap and are merged at pop time by
+ * (tick, seq) comparison, which preserves exact FIFO order across the
+ * ring/heap boundary.
  */
 
 #ifndef HWDP_SIM_EVENT_QUEUE_HH
 #define HWDP_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <new>
 #include <queue>
 #include <string>
+#include <type_traits>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -23,15 +44,37 @@
 namespace hwdp::sim {
 
 class EventQueue;
+class PooledEvent;
 
 /**
  * An occurrence scheduled on an EventQueue. Subclasses implement
  * process(). An event may be scheduled on at most one queue at a time.
+ *
+ * Names: the common constructor takes a string literal (or other
+ * pointer with static storage duration) and stores only the pointer —
+ * the fast path never allocates. The std::string overload exists for
+ * dynamically named events (tests, debugging) and owns its copy.
  */
 class Event
 {
   public:
-    explicit Event(std::string name = "event");
+    explicit Event(const char *static_name = "event")
+        : _name(static_name)
+    {
+    }
+
+    /** Dynamically named event: owns a copy of @p name (slow path). */
+    explicit Event(std::string name)
+        : _ownedName(std::make_unique<std::string>(std::move(name)))
+    {
+        _name = _ownedName->c_str();
+    }
+
+    /**
+     * Destroying a still-scheduled event would leave a dangling
+     * pointer in the queue; debug builds abort loudly instead of
+     * corrupting memory later. Deschedule before destruction.
+     */
     virtual ~Event();
 
     Event(const Event &) = delete;
@@ -46,46 +89,112 @@ class Event
     /** The tick this event will fire at; valid only when scheduled. */
     Tick when() const { return _when; }
 
-    const std::string &name() const { return _name; }
+    const char *name() const { return _name; }
 
   private:
     friend class EventQueue;
 
-    std::string _name;
+    const char *_name;
+    /** Only set for dynamically named events; _name points into it. */
+    std::unique_ptr<std::string> _ownedName;
     bool _scheduled = false;
-    /** Set by EventQueue::scheduleLambda: delete after firing. */
-    bool _selfOwned = false;
+    /** Owned by an EventQueue's free-list pool (post()/postIn()). */
+    bool _pooled = false;
+    /** Lives in the near-horizon ring (else the far heap). */
+    bool _inRing = false;
     Tick _when = 0;
     std::uint64_t _seq = 0;
 };
 
 /**
- * An Event that forwards process() to a captured callable. Useful for
- * one-off continuations in component state machines.
+ * A reusable one-shot event carrying a type-erased callable in an
+ * inline small-buffer (captures larger than inlineCapacity fall back
+ * to a heap allocation, counted in PoolStats::heapFallbacks). Only
+ * EventQueue creates these; they recycle through the queue's free
+ * list, so the steady-state one-shot path performs no allocation.
  */
-class LambdaEvent : public Event
+class PooledEvent final : public Event
 {
   public:
-    LambdaEvent(std::function<void()> fn, std::string name = "lambda")
-        : Event(std::move(name)), fn(std::move(fn))
-    {
-    }
+    /** Sized to hold every capture in the tree (see PoolStats). */
+    static constexpr std::size_t inlineCapacity = 192;
 
-    void process() override { fn(); }
+    PooledEvent() : Event("pooled.idle") {}
+    ~PooledEvent() override { destroyCallable(); }
+
+    void process() override { invokeFn(this); }
 
   private:
-    std::function<void()> fn;
+    friend class EventQueue;
+
+    /** Install a callable; returns false on heap fallback. */
+    template <typename F>
+    bool
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= inlineCapacity &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            new (storage) Fn(std::forward<F>(fn));
+            invokeFn = [](PooledEvent *self) {
+                (*std::launder(reinterpret_cast<Fn *>(self->storage)))();
+            };
+            // Most captures are a couple of pointers: nothing to
+            // destroy, so the recycle path skips the indirect call.
+            // destroyFn is already null here: construction and
+            // destroyCallable() both leave it null, and emplace()
+            // only runs on fresh or recycled nodes.
+            if constexpr (!std::is_trivially_destructible_v<Fn>) {
+                destroyFn = [](PooledEvent *self) {
+                    std::launder(reinterpret_cast<Fn *>(self->storage))
+                        ->~Fn();
+                };
+            }
+            return true;
+        } else {
+            heapFn = new Fn(std::forward<F>(fn));
+            invokeFn = [](PooledEvent *self) {
+                (*static_cast<Fn *>(self->heapFn))();
+            };
+            destroyFn = [](PooledEvent *self) {
+                delete static_cast<Fn *>(self->heapFn);
+                self->heapFn = nullptr;
+            };
+            return false;
+        }
+    }
+
+    void
+    destroyCallable()
+    {
+        if (destroyFn) {
+            destroyFn(this);
+            destroyFn = nullptr;
+        }
+        invokeFn = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char storage[inlineCapacity];
+    void *heapFn = nullptr;
+    void (*invokeFn)(PooledEvent *) = nullptr;
+    void (*destroyFn)(PooledEvent *) = nullptr;
+    PooledEvent *nextFree = nullptr;
 };
 
 /**
  * A tick-ordered queue of events with deterministic same-tick FIFO
- * ordering. One queue drives one simulated machine.
+ * ordering. One queue drives one simulated machine; queues share no
+ * state, so independent machines may run on concurrent host threads
+ * (bench::SweepRunner relies on this).
  */
 class EventQueue
 {
   public:
     EventQueue();
     ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return curTick; }
@@ -94,37 +203,67 @@ class EventQueue
      * Schedule @p ev at absolute tick @p when.
      * @pre !ev->scheduled() && when >= now()
      */
-    void schedule(Event *ev, Tick when);
+    inline void schedule(Event *ev, Tick when);
 
     /** Schedule @p ev @p delta ticks from now. */
     void scheduleIn(Event *ev, Tick delta) { schedule(ev, now() + delta); }
 
-    /** Remove a scheduled event from the queue without processing it. */
+    /**
+     * Remove a scheduled event from the queue without processing it.
+     * @pre ev->scheduled() — descheduling an idle event is a bug.
+     */
     void deschedule(Event *ev);
 
-    /** Move a scheduled event to a new (future) tick. */
+    /**
+     * Move an event to a new (future) tick. Explicit semantics:
+     * deschedule-if-scheduled, then schedule — an unscheduled event is
+     * accepted and simply scheduled, so periodic events may reschedule
+     * themselves from inside process() without checking scheduled().
+     */
     void reschedule(Event *ev, Tick when);
 
     /**
-     * Schedule a one-shot callable; the wrapper event deletes itself
-     * after firing (or when the queue is destroyed).
+     * One-shot continuation at absolute tick @p when: the callable is
+     * moved into a pooled event recycled after firing. @p name must be
+     * a string literal (it is stored by pointer, never copied). The
+     * returned handle stays valid until the event fires or is
+     * descheduled; use it with reschedule()/deschedule() only.
      */
-    void scheduleLambda(Tick when, std::function<void()> fn,
-                        std::string name = "lambda");
-
-    /** Convenience: one-shot callable @p delta ticks from now. */
-    void
-    scheduleLambdaIn(Tick delta, std::function<void()> fn,
-                     std::string name = "lambda")
+    template <typename F>
+    Event *
+    post(Tick when, F &&fn, const char *name = "lambda")
     {
-        scheduleLambda(now() + delta, std::move(fn), std::move(name));
+        PooledEvent *ev = acquirePooled();
+        if (!ev->emplace(std::forward<F>(fn)))
+            ++pstats.heapFallbacks;
+        ev->_name = name;
+        try {
+            schedule(ev, when);
+        } catch (...) {
+            releasePooled(ev);
+            throw;
+        }
+        return ev;
+    }
+
+    /** One-shot continuation @p delta ticks from now. */
+    template <typename F>
+    Event *
+    postIn(Tick delta, F &&fn, const char *name = "lambda")
+    {
+        return post(now() + delta, std::forward<F>(fn), name);
     }
 
     /** True when no events remain. */
-    bool empty() const { return liveCount == 0; }
+    bool empty() const { return size() == 0; }
 
-    /** Number of events awaiting processing. */
-    std::size_t size() const { return liveCount; }
+    /** Number of events awaiting processing (tombstoned far-heap
+     *  entries are already cancelled and do not count). */
+    std::size_t
+    size() const
+    {
+        return ringCount + farHeap.size() - tombstones.size();
+    }
 
     /** Process a single event; returns false if the queue was empty. */
     bool step();
@@ -141,6 +280,30 @@ class EventQueue
     /** Total number of events processed since construction. */
     std::uint64_t processedCount() const { return nProcessed; }
 
+    /** Allocation behaviour of the pooled one-shot path. */
+    struct PoolStats
+    {
+        /** Pool nodes ever heap-allocated (bounded by the maximum
+         *  number of simultaneously pending one-shots). */
+        std::uint64_t created = 0;
+        /** post() calls served; acquired - created = reuses. */
+        std::uint64_t acquired = 0;
+        /** Events returned to the free list after firing/cancel. */
+        std::uint64_t released = 0;
+        /** Captures too large for the inline buffer (heap path). */
+        std::uint64_t heapFallbacks = 0;
+    };
+
+    const PoolStats &poolStats() const { return pstats; }
+
+    // Two-tier scheduler geometry. Bucket width 2^10 ticks ~ 1 ns;
+    // 8192 buckets give a ~8.4 us near horizon, wide enough for every
+    // microarchitectural and kernel-phase delay in the tree while
+    // kpted/kpoold periods and device latencies go to the far heap.
+    static constexpr unsigned bucketShift = 10;
+    static constexpr unsigned numBuckets = 8192;
+    static constexpr unsigned bucketMask = numBuckets - 1;
+
   private:
     struct Entry
     {
@@ -149,25 +312,179 @@ class EventQueue
         Event *ev;
 
         bool
-        operator>(const Entry &o) const
+        operator<(const Entry &o) const
         {
             if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
+                return when < o.when;
+            return seq < o.seq;
         }
+
+        bool operator>(const Entry &o) const { return o < *this; }
     };
 
-    /** Heap of entries; descheduled entries are skipped lazily. */
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    /**
+     * One ring bucket: entries[head, sorted) is ascending by
+     * (when, seq) and drains from head; [sorted, end) is an unsorted
+     * appendix folded in lazily (tidy()) when the bucket is next
+     * inspected. Popping everything resets the vector but keeps its
+     * capacity, so steady-state bursts reuse the allocation.
+     */
+    struct Bucket
+    {
+        std::vector<Entry> entries;
+        std::size_t head = 0;
+        std::size_t sorted = 0;
+
+        bool empty() const { return head == entries.size(); }
+    };
+
+    /** Near-horizon ring: sorted-drain buckets ordered by (when, seq). */
+    std::vector<Bucket> ring;
+    /** One occupancy bit per bucket; scanning 64 buckets per load. */
+    std::vector<std::uint64_t> ringBitmap;
+    std::size_t ringCount = 0;
+
+    static constexpr std::uint64_t invalidSlot = ~std::uint64_t(0);
+    /**
+     * Absolute slot (when >> bucketShift) of the ring's earliest
+     * occupied bucket, or invalidSlot when unknown. Inserts lower it
+     * while it is valid (an unknown minimum must stay unknown — other
+     * occupied buckets may be earlier than any new insert); draining
+     * a bucket invalidates it and the next ringPeek rescans. While
+     * valid, ringPeek is a mask instead of a bitmap scan.
+     */
+    mutable std::uint64_t soonestSlot = invalidSlot;
+
+    /** Far-future events, min-heap by (when, seq). */
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        farHeap;
+
+    /**
+     * Sequence numbers of descheduled far-heap entries. Dead entries
+     * are dropped by seq lookup alone — the Event pointer is never
+     * dereferenced, so an event may be descheduled and destroyed
+     * without leaving a dangling read in the queue. Ring entries are
+     * removed eagerly and never need a tombstone.
+     */
+    std::unordered_set<std::uint64_t> tombstones;
 
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t nProcessed = 0;
-    std::size_t liveCount = 0;
 
-    /** Pop dead (descheduled / rescheduled) heap entries. */
+    // Pooled one-shot free list; pool owns the nodes.
+    std::vector<std::unique_ptr<PooledEvent>> pool;
+    PooledEvent *freeList = nullptr;
+    PoolStats pstats;
+
+    inline PooledEvent *acquirePooled();
+    inline void releasePooled(PooledEvent *ev);
+
+    /** Slow path of acquirePooled(): allocate a new pool node. */
+    PooledEvent *growPool();
+
+    /** Slow path of schedule(): far-heap insertion. */
+    void scheduleFar(Event *ev, Tick when);
+
+    /** Diagnose and report a schedule() precondition violation. */
+    void schedulePanic(const Event *ev, Tick when) const;
+
+    /** Drop dead (tombstoned) far-heap entries from the top. */
     void skipDead();
+
+    /** Locate the ring's earliest bucket; false when the ring is empty. */
+    bool ringPeek(unsigned &bucket_out) const;
+
+    /** First occupied bucket index in [from, to), or numBuckets. */
+    unsigned findOccupied(unsigned from, unsigned to) const;
+
+    /** Fold a bucket's unsorted appendix into its sorted run. */
+    void tidyBucket(Bucket &bucket);
+
+    /** The bucket's earliest entry (tidies first). */
+    Entry &bucketFront(unsigned b);
+
+    /** Drop the front entry of a tidied bucket @p b. */
+    void popBucketFront(unsigned b);
+
+    /** Clear a drained bucket and its occupancy bit. */
+    void resetBucket(unsigned b);
+
+    /** Detach a scheduled event from ring/heap bookkeeping. */
+    void unlink(Event *ev);
+
+    enum class StepOutcome { fired, drained, atLimit };
+    StepOutcome tryStep(Tick limit);
 };
+
+// The schedule and pool hot paths are defined inline so that post()
+// and scheduleIn() call sites compile down to straight-line code: the
+// one-shot fast path (acquire + emplace + ring insert) performs no
+// out-of-line calls at all.
+
+inline void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    if (ev->_scheduled || when < curTick) [[unlikely]]
+        schedulePanic(ev, when);
+    ev->_scheduled = true;
+    ev->_when = when;
+    ev->_seq = nextSeq++;
+    // All ring-resident events satisfy slot(when) < slot(now) + B at
+    // insertion, and time only moves forward, so each bucket holds
+    // entries of exactly one horizon window and bucket scan order is
+    // time order.
+    std::uint64_t slot = when >> bucketShift;
+    if (slot < (curTick >> bucketShift) + numBuckets) [[likely]] {
+        unsigned b = static_cast<unsigned>(slot) & bucketMask;
+        Bucket &bucket = ring[b];
+        bucket.entries.push_back(Entry{when, ev->_seq, ev});
+        // In-order append (the common case: components schedule
+        // forward in time and seq grows monotonically) extends the
+        // sorted run; anything else lands in the appendix for
+        // tidyBucket() to fold in at drain time.
+        std::size_t sz = bucket.entries.size();
+        if (bucket.sorted + 1 == sz &&
+            (bucket.sorted == bucket.head ||
+             bucket.entries[sz - 2] < bucket.entries[sz - 1]))
+            bucket.sorted = sz;
+        ringBitmap[b >> 6] |= std::uint64_t(1) << (b & 63);
+        ev->_inRing = true;
+        ++ringCount;
+        // Keep the cached minimum. An empty ring makes the new slot
+        // the minimum by construction; otherwise only lower a VALID
+        // cache — the sentinel means "unknown", and an unknown
+        // minimum cannot be lowered, other occupied buckets may be
+        // earlier still.
+        if (ringCount == 1)
+            soonestSlot = slot;
+        else if (soonestSlot != invalidSlot && slot < soonestSlot)
+            soonestSlot = slot;
+    } else {
+        scheduleFar(ev, when);
+    }
+}
+
+inline PooledEvent *
+EventQueue::acquirePooled()
+{
+    ++pstats.acquired;
+    if (freeList) [[likely]] {
+        PooledEvent *ev = freeList;
+        freeList = ev->nextFree;
+        return ev;
+    }
+    return growPool();
+}
+
+inline void
+EventQueue::releasePooled(PooledEvent *ev)
+{
+    ev->destroyCallable();
+    ev->nextFree = freeList;
+    freeList = ev;
+    ++pstats.released;
+}
 
 } // namespace hwdp::sim
 

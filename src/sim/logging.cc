@@ -1,11 +1,12 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace hwdp {
 
 namespace {
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
 } // namespace
 
 void

@@ -70,8 +70,8 @@ SsdDevice::ringSqDoorbell(std::uint16_t qid)
     state(qid).doorbellPending = true;
     if (!fetchScheduled) {
         fetchScheduled = true;
-        eq.scheduleLambdaIn(prof.cmdFetch, [this] { fetchCommands(); },
-                            name() + ".fetch");
+        eq.postIn(prof.cmdFetch, [this] { fetchCommands(); },
+                            "ssd.fetch");
     }
 }
 
@@ -143,11 +143,11 @@ SsdDevice::serviceCommand(std::size_t qidx, const nvme::SubmissionEntry &sqe)
     channelFreeAt[ch] = media_done;
 
     Tick cqe_written = media_done + prof.xfer4k + prof.cqeWrite;
-    eq.scheduleLambda(cqe_written,
+    eq.post(cqe_written,
                       [this, qidx, sqe, issued] {
                           complete(qidx, sqe, issued);
                       },
-                      name() + ".complete");
+                      "ssd.complete");
 }
 
 void
@@ -178,9 +178,9 @@ SsdDevice::complete(std::size_t qidx, const nvme::SubmissionEntry &sqe,
         // MSI-X delivery to the interrupt handler on some core.
         auto listener = qs.listener;
         auto qid = qs.qp->qid();
-        eq.scheduleLambdaIn(prof.interruptLatency,
+        eq.postIn(prof.interruptLatency,
                             [listener, qid, cqe] { listener(qid, cqe); },
-                            name() + ".irq");
+                            "ssd.irq");
     } else {
         // The SMU completion unit snoops the CQ memory write itself:
         // no interrupt, the listener sees it immediately.

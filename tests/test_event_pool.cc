@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the pooled one-shot event fast path: free-list
+ * reuse, the no-steady-state-allocation guarantee, self-reschedule
+ * from inside process(), cancellation, destruction with pending
+ * pooled events, and the large-capture heap fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <memory>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace hwdp;
+using namespace hwdp::sim;
+
+TEST(EventPool, SequentialOneShotsReuseASingleNode)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+        eq.postIn(1, [&] { ++fired; });
+        eq.run();
+    }
+    EXPECT_EQ(fired, 1000);
+    const auto &ps = eq.poolStats();
+    EXPECT_EQ(ps.acquired, 1000u);
+    EXPECT_EQ(ps.released, 1000u);
+    // Only one one-shot is ever outstanding: the pool allocates one
+    // node on the first post and never again — the steady-state
+    // one-shot path performs no heap allocation.
+    EXPECT_EQ(ps.created, 1u);
+    EXPECT_EQ(ps.heapFallbacks, 0u);
+}
+
+TEST(EventPool, PoolGrowsToPeakOutstandingThenStopsGrowing)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int round = 0; round < 10; ++round) {
+        for (Tick t = 1; t <= 64; ++t)
+            eq.postIn(t, [&] { ++fired; });
+        eq.run();
+    }
+    EXPECT_EQ(fired, 640);
+    const auto &ps = eq.poolStats();
+    EXPECT_EQ(ps.acquired, 640u);
+    // 64 simultaneously pending in round one; later rounds reuse.
+    EXPECT_EQ(ps.created, 64u);
+}
+
+TEST(EventPool, CallableCapturesAreDestroyedExactlyOnce)
+{
+    struct Probe
+    {
+        int *alive;
+        explicit Probe(int *a) : alive(a) { ++*alive; }
+        Probe(const Probe &o) : alive(o.alive) { ++*alive; }
+        Probe(Probe &&o) noexcept : alive(o.alive) { ++*alive; }
+        ~Probe() { --*alive; }
+    };
+    int alive = 0;
+    {
+        EventQueue eq;
+        Probe p(&alive);
+        eq.post(10, [p] { (void)p.alive; });
+        EXPECT_GE(alive, 2); // original + capture copy
+        eq.run();
+        EXPECT_EQ(alive, 1); // capture destroyed on recycle
+    }
+    EXPECT_EQ(alive, 0);
+}
+
+TEST(EventPool, QueueDestructionReleasesPendingCallables)
+{
+    // Pending one-shots at queue destruction: their captures must be
+    // destroyed exactly once and nothing may leak (ASan-verified).
+    auto shared = std::make_shared<int>(7);
+    EXPECT_EQ(shared.use_count(), 1);
+    {
+        EventQueue eq;
+        eq.post(100, [shared] { (void)*shared; });
+        eq.post(seconds(10.0), [shared] { (void)*shared; }); // far heap
+        EXPECT_EQ(shared.use_count(), 3);
+    }
+    EXPECT_EQ(shared.use_count(), 1);
+}
+
+TEST(EventPool, SelfRescheduleInsideProcessKeepsCallable)
+{
+    EventQueue eq;
+    int count = 0;
+    Event *handle = nullptr;
+    handle = eq.post(10, [&] {
+        if (++count < 5)
+            eq.reschedule(handle, eq.now() + 10);
+    });
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 50u);
+    const auto &ps = eq.poolStats();
+    EXPECT_EQ(ps.acquired, 1u);
+    EXPECT_EQ(ps.created, 1u);
+    EXPECT_EQ(ps.released, 1u); // recycled only after the final firing
+}
+
+TEST(EventPool, DescheduleCancelsAndRecyclesOneShot)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event *h = eq.post(50, [&] { ++fired; });
+    EXPECT_TRUE(h->scheduled());
+    eq.deschedule(h);
+    eq.post(60, [&] { fired += 10; });
+    eq.run();
+    EXPECT_EQ(fired, 10);
+    const auto &ps = eq.poolStats();
+    EXPECT_EQ(ps.acquired, 2u);
+    EXPECT_EQ(ps.created, 1u); // the cancelled node was reused
+}
+
+TEST(EventPool, LargeCapturesFallBackToHeapAndStillWork)
+{
+    EventQueue eq;
+    std::array<char, PooledEvent::inlineCapacity + 64> big{};
+    big[0] = 42;
+    char seen = 0;
+    eq.post(10, [big, &seen] { seen = big[0]; });
+    EXPECT_EQ(eq.poolStats().heapFallbacks, 1u);
+    eq.run();
+    EXPECT_EQ(seen, 42);
+    // A fallback callable pending at destruction must not leak either.
+    eq.post(eq.now() + 5, [big, &seen] { seen = big[0]; });
+    EXPECT_EQ(eq.poolStats().heapFallbacks, 2u);
+}
+
+TEST(EventPool, PostIntoThePastPanicsWithoutLeaking)
+{
+    EventQueue eq;
+    eq.post(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.post(50, [] {}), PanicError);
+    // The node acquired for the failed post was recycled.
+    EXPECT_EQ(eq.poolStats().acquired, 2u);
+    EXPECT_EQ(eq.poolStats().released, 2u);
+}
+
+TEST(EventPool, PostedNameIsInternedNotCopied)
+{
+    EventQueue eq;
+    Event *h = eq.post(10, [] {}, "mmu.walked");
+    EXPECT_STREQ(h->name(), "mmu.walked");
+    eq.run();
+}
+
+#ifndef NDEBUG
+TEST(EventPoolDeathTest, DestroyingScheduledEventAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            EventQueue eq;
+            struct Noop : Event
+            {
+                void process() override {}
+            };
+            auto ev = std::make_unique<Noop>();
+            eq.schedule(ev.get(), 10);
+            ev.reset(); // destroyed while scheduled: must abort
+        },
+        "destroyed while scheduled");
+}
+#endif

@@ -115,6 +115,11 @@ TEST(Behavior, MunmapWaitsForOutstandingMissesAndSyncs)
         if (pg.inUse)
             EXPECT_EQ(pg.as, nullptr) << "pfn " << p;
     }
+
+    // The fast-mmap registry must have dropped the destroyed VMA, or
+    // kpted's next periodic scan would read freed memory.
+    ASSERT_NE(sys.hwdpSupport(), nullptr);
+    EXPECT_TRUE(sys.hwdpSupport()->fastVmas().empty());
 }
 
 TEST(Behavior, MsyncWritesBackDirtyPages)

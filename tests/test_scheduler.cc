@@ -114,7 +114,7 @@ TEST(Scheduler, BlockAndWakeResumesThread)
                     }});
     h.sched.addThread(&t);
     h.sched.start();
-    h.eq.scheduleLambda(microseconds(50.0), [&] {
+    h.eq.post(microseconds(50.0), [&] {
         EXPECT_EQ(phase, 1);
         EXPECT_EQ(t.state(), Thread::State::blocked);
         h.sched.wake(&t);

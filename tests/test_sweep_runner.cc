@@ -1,0 +1,139 @@
+/**
+ * @file
+ * SweepRunner: parallel figure sweeps must be indistinguishable from
+ * sequential ones — same results, same order — and failures in any
+ * bench point must surface, not vanish into a worker thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/sweep_runner.hh"
+#include "sim/rng.hh"
+#include "system/machine_config.hh"
+#include "system/system.hh"
+#include "workloads/fio.hh"
+
+using namespace hwdp;
+
+namespace {
+
+TEST(SweepRunner, ResultsComeBackInInputOrder)
+{
+    bench::SweepRunner runner(4);
+    auto out = runner.map<std::size_t>(64, [](std::size_t i) {
+        // Stagger completion so late indices finish first if the
+        // runner ever reported in completion order.
+        volatile std::uint64_t sink = 0;
+        for (std::uint64_t k = 0; k < (64 - i) * 1000; ++k)
+            sink = sink + k;
+        return i * 3;
+    });
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * 3);
+}
+
+TEST(SweepRunner, ParallelMatchesSequentialForRngWork)
+{
+    // Each point runs its own seeded RNG stream, the way every bench
+    // point owns its System's Rng. Parallel output must be
+    // byte-identical to the single-worker run.
+    auto point = [](std::size_t i) {
+        sim::Rng rng(42 + static_cast<std::uint64_t>(i));
+        std::uint64_t acc = 0;
+        for (int k = 0; k < 10000; ++k)
+            acc = acc * 31 + rng.range(1 << 20);
+        return acc;
+    };
+    bench::SweepRunner sequential(1);
+    bench::SweepRunner parallel(4);
+    auto a = sequential.map<std::uint64_t>(8, point);
+    auto b = parallel.map<std::uint64_t>(8, point);
+    EXPECT_EQ(a, b);
+}
+
+TEST(SweepRunner, ParallelSystemsMatchSequentialByteForByte)
+{
+    // The real contract: whole simulated machines, run concurrently,
+    // produce exactly the stats a sequential sweep produces.
+    auto point = [](std::size_t i) -> std::uint64_t {
+        system::MachineConfig cfg;
+        cfg.mode = i % 2 ? system::PagingMode::hwdp
+                         : system::PagingMode::osdp;
+        cfg.seed = 42 + static_cast<std::uint64_t>(i);
+        cfg.quiet = true;
+        system::System sys(cfg);
+        auto mf = sys.mapDataset("f", 4096);
+        auto *wl =
+            sys.makeWorkload<workloads::FioWorkload>(mf.vma, 400);
+        auto *tc = sys.addThread(*wl, 0, *mf.as);
+        sys.runUntilThreadsDone(seconds(10.0));
+        // Fold every interesting counter into one word; any
+        // nondeterminism shows up as a mismatch.
+        return tc->userInstructions() * 1315423911u +
+               tc->faultedOps() * 2654435761u + sys.now();
+    };
+    bench::SweepRunner sequential(1);
+    bench::SweepRunner parallel(4);
+    auto a = sequential.map<std::uint64_t>(4, point);
+    auto b = parallel.map<std::uint64_t>(4, point);
+    EXPECT_EQ(a, b);
+}
+
+TEST(SweepRunner, FirstExceptionPropagates)
+{
+    bench::SweepRunner runner(4);
+    EXPECT_THROW(runner.map<int>(16,
+                                 [](std::size_t i) -> int {
+                                     if (i == 7)
+                                         throw std::runtime_error(
+                                             "point 7 exploded");
+                                     return static_cast<int>(i);
+                                 }),
+                 std::runtime_error);
+}
+
+TEST(SweepRunner, AllIndicesRunExactlyOnce)
+{
+    std::atomic<std::uint64_t> calls{0};
+    std::vector<std::atomic<int>> hits(100);
+    bench::SweepRunner runner(8);
+    runner.map<int>(100, [&](std::size_t i) {
+        calls.fetch_add(1);
+        hits[i].fetch_add(1);
+        return 0;
+    });
+    EXPECT_EQ(calls.load(), 100u);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepRunner, JobsHonorsExplicitCountAndEnvOverride)
+{
+    EXPECT_EQ(bench::SweepRunner(3).jobs(), 3u);
+    ::setenv("HWDP_BENCH_JOBS", "2", 1);
+    EXPECT_EQ(bench::sweepJobs(), 2u);
+    EXPECT_EQ(bench::SweepRunner().jobs(), 2u);
+    ::setenv("HWDP_BENCH_JOBS", "not-a-number", 1);
+    EXPECT_GE(bench::sweepJobs(), 1u);
+    ::unsetenv("HWDP_BENCH_JOBS");
+    EXPECT_GE(bench::sweepJobs(), 1u);
+}
+
+TEST(SweepRunner, ZeroAndSinglePointSweepsWork)
+{
+    bench::SweepRunner runner(4);
+    auto none = runner.map<int>(0, [](std::size_t) { return 1; });
+    EXPECT_TRUE(none.empty());
+    auto one = runner.map<int>(1, [](std::size_t) { return 99; });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 99);
+}
+
+} // namespace
