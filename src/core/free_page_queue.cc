@@ -26,6 +26,10 @@ FreePageQueue::pop(Tick mem_round_trip)
 {
     ++nPops;
     PopResult r;
+    if (dryHook && dryHook()) {
+        ++nEmptyPops;
+        return r;
+    }
     if (!buffer.empty()) {
         r.ok = true;
         r.pfn = buffer.front();
@@ -54,6 +58,15 @@ FreePageQueue::refillPrefetch()
         buffer.push_back(ring.front());
         ring.pop_front();
     }
+}
+
+void
+FreePageQueue::forEachPfn(const std::function<void(Pfn)> &fn) const
+{
+    for (Pfn pfn : buffer)
+        fn(pfn);
+    for (Pfn pfn : ring)
+        fn(pfn);
 }
 
 void

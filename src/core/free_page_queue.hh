@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "sim/types.hh"
@@ -74,12 +75,23 @@ class FreePageQueue
     std::uint64_t bufferHits() const { return nBufferHits; }
     std::uint64_t emptyPops() const { return nEmptyPops; }
 
+    /**
+     * Fault injection: when the hook returns true a pop behaves as if
+     * the queue were dry, regardless of its contents (the bounce path
+     * the OS must survive, Section IV-D).
+     */
+    void setDryHook(std::function<bool()> fn) { dryHook = std::move(fn); }
+
+    /** Visit every queued PFN (ring + prefetch buffer). */
+    void forEachPfn(const std::function<void(Pfn)> &fn) const;
+
   private:
     std::uint64_t cap;
     unsigned depth;
     bool prefetchOn = true;
     std::deque<Pfn> ring;      // host-memory ring contents
     std::deque<Pfn> buffer;    // SMU-internal prefetch buffer
+    std::function<bool()> dryHook;
 
     std::uint64_t nPops = 0;
     std::uint64_t nBufferHits = 0;

@@ -11,7 +11,9 @@ NvmeHostController::NvmeHostController(std::string name,
       statIssued(stats().counter("reads_issued",
                                  "NVMe read commands issued")),
       statCompleted(stats().counter("completions_snooped",
-                                    "CQ writes snooped and handled"))
+                                    "CQ writes snooped and handled")),
+      statErrors(stats().counter("error_completions",
+                                 "snooped CQEs with error status"))
 {
 }
 
@@ -92,13 +94,16 @@ NvmeHostController::onCqWrite(unsigned dev_id,
         d.dev->queuePair(d.qid).popCqe();
     d.dev->ringCqDoorbell(d.qid);
     ++statCompleted;
+    if (cqe.status != 0)
+        ++statErrors;
 
     Tick delay = tm.completionCycles * tm.cyclePeriod;
     std::uint16_t tag = cqe.cid;
+    std::uint16_t status = cqe.status;
     eq.postIn(delay,
-                        [this, tag] {
+                        [this, tag, status] {
                             if (onComplete)
-                                onComplete(tag);
+                                onComplete(tag, status);
                         },
                         "nvme.complete");
 }

@@ -56,6 +56,12 @@ class NvmeHostController : public sim::SimObject
 
     bool deviceConfigured(unsigned dev_id) const;
 
+    /** Queue id of the isolated SMU queue on device @p dev_id. */
+    std::uint16_t queueIdOf(unsigned dev_id) const
+    {
+        return descs[dev_id].qid;
+    }
+
     /**
      * Issue a 4 KB read of @p lba on @p dev_id into @p dma_addr,
      * tagged with @p tag (the PMSHR index). @p issued fires once the
@@ -66,8 +72,13 @@ class NvmeHostController : public sim::SimObject
     void issueRead(unsigned dev_id, Lba lba, PAddr dma_addr,
                    std::uint16_t tag, std::function<void()> issued);
 
-    /** Completion delivery to the page miss handler. */
-    void setCompletionCallback(std::function<void(std::uint16_t tag)> fn)
+    /**
+     * Completion delivery to the page miss handler. @p status is the
+     * NVMe completion status (0 = success); the handler owns the
+     * retry/bounce policy for errors.
+     */
+    void setCompletionCallback(
+        std::function<void(std::uint16_t tag, std::uint16_t status)> fn)
     {
         onComplete = std::move(fn);
     }
@@ -75,6 +86,7 @@ class NvmeHostController : public sim::SimObject
     const Timing &timing() const { return tm; }
 
     std::uint64_t readsIssued() const { return statIssued.value(); }
+    std::uint64_t errorsSnooped() const { return statErrors.value(); }
 
   private:
     struct Descriptor
@@ -86,10 +98,11 @@ class NvmeHostController : public sim::SimObject
 
     Timing tm;
     std::array<Descriptor, maxDevices> descs;
-    std::function<void(std::uint16_t)> onComplete;
+    std::function<void(std::uint16_t, std::uint16_t)> onComplete;
 
     sim::Counter &statIssued;
     sim::Counter &statCompleted;
+    sim::Counter &statErrors;
 
     void onCqWrite(unsigned dev_id, const nvme::CompletionEntry &cqe);
 };

@@ -25,11 +25,14 @@ Pmshr::allocate(PAddr pte_addr)
 {
     if (lookup(pte_addr) >= 0)
         panic("pmshr: duplicate allocate for PTE ", pte_addr);
+    if (fullHook && fullHook())
+        return -1;
     for (std::size_t i = 0; i < entries.size(); ++i) {
         if (!entries[i].valid) {
             entries[i].valid = true;
             entries[i].pteAddr = pte_addr;
             entries[i].pfn = 0;
+            entries[i].retried = false;
             entries[i].waiters.clear();
             ++used;
             return static_cast<int>(i);

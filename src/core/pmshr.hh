@@ -32,6 +32,8 @@ class Pmshr
         cpu::PageMissRequest req;
         Pfn pfn = 0;
         Tick started = 0;
+        /** An NVMe error completion was already retried once. */
+        bool retried = false;
         /** Coalesced waiters (pending page-table walks). */
         std::vector<std::function<void(bool)>> waiters;
     };
@@ -46,6 +48,16 @@ class Pmshr
 
     Entry &entry(int idx);
     const Entry &entry(int idx) const;
+
+    /** Whether slot @p idx currently holds a valid entry (entry()
+     *  panics on invalid slots; the invariant checker probes first). */
+    bool
+    validAt(int idx) const
+    {
+        return idx >= 0 &&
+               static_cast<std::size_t>(idx) < entries.size() &&
+               entries[static_cast<std::size_t>(idx)].valid;
+    }
 
     /** Release an entry after broadcast. */
     void invalidate(int idx);
@@ -63,7 +75,17 @@ class Pmshr
     std::uint64_t coalescedCount() const { return nCoalesced; }
     void noteCoalesced() { ++nCoalesced; }
 
+    /**
+     * Fault injection: when the hook returns true, allocate() behaves
+     * as if the CAM were full (forces the bounce-to-OS path).
+     */
+    void setFullHook(std::function<bool()> fn)
+    {
+        fullHook = std::move(fn);
+    }
+
   private:
+    std::function<bool()> fullHook;
     std::vector<Entry> entries;
     unsigned used = 0;
     std::uint64_t nCoalesced = 0;

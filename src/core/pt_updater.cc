@@ -22,8 +22,10 @@ PageTableUpdater::update(const cpu::PageMissRequest &req, Pfn pfn)
     req.refs.pte.write(makePresent(pfn, protectionOf(old), true));
 
     // Mark the two upper levels for kpted's guided scan.
-    req.refs.pmd.write(setLbaBit(req.refs.pmd.value()));
-    req.refs.pud.write(setLbaBit(req.refs.pud.value()));
+    if (!skipUpperMark) {
+        req.refs.pmd.write(setLbaBit(req.refs.pmd.value()));
+        req.refs.pud.write(setLbaBit(req.refs.pud.value()));
+    }
 
     ++nUpdates;
     return updateCycles * period;

@@ -40,10 +40,20 @@ class PageTableUpdater
 
     std::uint64_t updates() const { return nUpdates; }
 
+    /**
+     * TEST ONLY: skip marking the upper-level (PMD/PUD) LBA bits.
+     * Breaks the contract kpted's guided scan depends on; exists so
+     * the differential harness can prove it detects exactly this
+     * class of bug (a seeded-defect negative test). Never set outside
+     * tests.
+     */
+    void setSkipUpperMarkForTest(bool skip) { skipUpperMark = skip; }
+
   private:
     Cycles updateCycles;
     Tick period;
     std::uint64_t nUpdates = 0;
+    bool skipUpperMark = false;
 };
 
 } // namespace hwdp::core

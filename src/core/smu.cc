@@ -24,6 +24,11 @@ Smu::Smu(std::string name, sim::EventQueue &eq, unsigned sid,
           "rejected_queue_empty", "bounces: free page queue empty")),
       statRejectFull(stats().counter("rejected_pmshr_full",
                                      "bounces: PMSHR full")),
+      statIoRetry(stats().counter(
+          "io_retries", "NVMe error completions retried once")),
+      statRejectIoError(stats().counter(
+          "rejected_io_error",
+          "bounces: NVMe error persisted after retry")),
       statLatency(stats().histogram(
           "miss_latency_us", "hardware miss handling latency (us)", 0.5,
           400))
@@ -39,7 +44,9 @@ Smu::Smu(std::string name, sim::EventQueue &eq, unsigned sid,
     }
 
     nvme.setCompletionCallback(
-        [this](std::uint16_t tag) { onIoComplete(tag); });
+        [this](std::uint16_t tag, std::uint16_t status) {
+            onIoComplete(tag, status);
+        });
 }
 
 FreePageQueue &
@@ -136,7 +143,7 @@ Smu::lookupStep(cpu::PageMissRequest req, Tick started)
         eq.postIn(delay + prm.zeroFillLatency,
                             [this, tag, req_core] {
                                 freePageQueue(req_core).refillPrefetch();
-                                onIoComplete(tag);
+                                onIoComplete(tag, 0);
                             },
                             "smu.zerofill");
         return;
@@ -196,11 +203,38 @@ Smu::maybePrefetchNext(const cpu::PageMissRequest &req)
 }
 
 void
-Smu::onIoComplete(std::uint16_t tag)
+Smu::onIoComplete(std::uint16_t tag, std::uint16_t status)
 {
+    Pmshr::Entry &e = pmshrUnit.entry(tag);
+
+    if (status != 0) {
+        if (!e.retried) {
+            // Media errors are frequently transient: retry once on
+            // the same isolated queue. The PMSHR entry stays live so
+            // duplicate misses keep coalescing onto it meanwhile.
+            e.retried = true;
+            ++statIoRetry;
+            PAddr dma = static_cast<PAddr>(e.pfn) << pageShift;
+            nvme.issueRead(e.req.dev, e.req.lba, dma, tag, nullptr);
+            return;
+        }
+        // Persistent error: bounce to the OS exactly like the queue
+        // rejects (Section IV-D) — software owns the recovery policy.
+        // The frame goes back to the free page queue untouched.
+        ++statRejectIoError;
+        freePageQueue(e.req.core).push(e.pfn);
+        auto done = std::move(e.req.done);
+        auto waiters = std::move(e.waiters);
+        pmshrUnit.invalidate(tag);
+        done(false);
+        for (auto &w : waiters)
+            w(false);
+        checkBarrier();
+        return;
+    }
+
     // (6) I/O complete: (7) update PTE/PMD/PUD in place, then (8)
     // broadcast completion and invalidate the entry.
-    Pmshr::Entry &e = pmshrUnit.entry(tag);
     Tick update_lat = updater.update(e.req, e.pfn);
     Tick delay = update_lat + prm.notifyCycles * prm.cyclePeriod;
 

@@ -106,6 +106,7 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
 
     Pmshr &pmshr() { return pmshrUnit; }
     NvmeHostController &hostController() { return nvme; }
+    PageTableUpdater &ptUpdater() { return updater; }
     const Params &params() const { return prm; }
     unsigned sid() const { return socketId; }
 
@@ -133,6 +134,11 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
     {
         return statRejectFull.value();
     }
+    std::uint64_t ioRetries() const { return statIoRetry.value(); }
+    std::uint64_t rejectedIoError() const
+    {
+        return statRejectIoError.value();
+    }
     sim::Histogram &missLatencyUs() { return statLatency; }
 
   private:
@@ -152,10 +158,12 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
     sim::Counter &statCoalesced;
     sim::Counter &statRejectEmpty;
     sim::Counter &statRejectFull;
+    sim::Counter &statIoRetry;
+    sim::Counter &statRejectIoError;
     sim::Histogram &statLatency;
 
     void lookupStep(cpu::PageMissRequest req, Tick started);
-    void onIoComplete(std::uint16_t tag);
+    void onIoComplete(std::uint16_t tag, std::uint16_t status);
     void checkBarrier();
 
     /** Issue a next-page prefetch fill for the page after @p req. */

@@ -14,6 +14,11 @@ SoftwareSmu::SoftwareSmu(std::string name, sim::EventQueue &eq,
                                     "duplicate misses coalesced")),
       statQueueEmpty(stats().counter(
           "queue_empty", "bounces to the normal path: queue empty")),
+      statIoRetry(stats().counter(
+          "io_retries", "NVMe error completions retried once")),
+      statRejectIoError(stats().counter(
+          "rejected_io_error",
+          "bounces: NVMe error persisted after retry")),
       statLatency(stats().histogram(
           "miss_latency_us", "SW-emulated miss latency (us)", 0.5, 400))
 {
@@ -39,7 +44,7 @@ SoftwareSmu::configureDevice(unsigned dev_id, ssd::SsdDevice *dev,
             if (slot.dev->queuePair(q).cqHasWork())
                 slot.dev->queuePair(q).popCqe();
             slot.dev->ringCqDoorbell(q);
-            onInterrupt(cqe.cid);
+            onInterrupt(cqe.cid, cqe.status);
         });
     devices[dev_id] = DeviceSlot{true, dev, qid};
 }
@@ -108,6 +113,8 @@ SoftwareSmu::intercept(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
     inf.vaddr = vaddr;
     inf.pfn = pop.pfn;
     inf.started = now();
+    inf.devId = dev_id;
+    inf.lba = lba;
     inf.resume = std::move(resume);
     inflight.emplace(cid, std::move(inf));
     byPage[pageKey(as, vaddr)] = cid;
@@ -116,29 +123,83 @@ SoftwareSmu::intercept(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
     sched.runPhases(
         core, {&os::phases::swSmuSubmit},
         [this, core, cid, dev_id, lba, pfn = pop.pfn] {
-            DeviceSlot &slot = devices[dev_id];
-            nvme::SubmissionEntry sqe;
-            sqe.opcode = nvme::Opcode::read;
-            sqe.cid = cid;
-            sqe.slba = lba;
-            sqe.prp1 = static_cast<PAddr>(pfn) << pageShift;
-            if (!slot.dev->queuePair(slot.qid).pushSqe(sqe))
-                panic("software smu: SQ full");
-            slot.dev->ringSqDoorbell(slot.qid);
-            // monitor/mwait: the thread keeps the core but consumes no
-            // execution resources until the interrupt touches the
-            // monitored line.
-            kernel.scheduler().setHwStalled(core, true);
+            submitRead(dev_id, cid, lba, pfn, core);
         });
     return true;
 }
 
 void
-SoftwareSmu::onInterrupt(std::uint16_t cid)
+SoftwareSmu::submitRead(unsigned dev_id, std::uint16_t cid, Lba lba,
+                        Pfn pfn, unsigned core)
+{
+    DeviceSlot &slot = devices[dev_id];
+    nvme::SubmissionEntry sqe;
+    sqe.opcode = nvme::Opcode::read;
+    sqe.cid = cid;
+    sqe.slba = lba;
+    sqe.prp1 = static_cast<PAddr>(pfn) << pageShift;
+    if (!slot.dev->queuePair(slot.qid).pushSqe(sqe))
+        panic("software smu: SQ full");
+    slot.dev->ringSqDoorbell(slot.qid);
+    // monitor/mwait: the thread keeps the core but consumes no
+    // execution resources until the interrupt touches the
+    // monitored line.
+    kernel.scheduler().setHwStalled(core, true);
+}
+
+void
+SoftwareSmu::onInterrupt(std::uint16_t cid, std::uint16_t status)
 {
     auto it = inflight.find(cid);
     if (it == inflight.end())
         panic("software smu: completion for unknown cid ", cid);
+
+    if (status != 0) {
+        if (!it->second.retried) {
+            // Retry once, mirroring the hardware policy: wake from
+            // mwait, rebuild and resubmit the command, mwait again.
+            it->second.retried = true;
+            ++statIoRetry;
+            unsigned core = it->second.t->core();
+            unsigned dev_id = it->second.devId;
+            Lba lba = it->second.lba;
+            Pfn pfn = it->second.pfn;
+            kernel.scheduler().setHwStalled(core, false);
+            kernel.scheduler().runPhases(
+                core,
+                {&os::phases::swSmuWake, &os::phases::swSmuSubmit},
+                [this, cid, dev_id, lba, pfn, core] {
+                    submitRead(dev_id, cid, lba, pfn, core);
+                });
+            return;
+        }
+
+        // Persistent error: return the frame and send the faulter and
+        // every coalesced waiter down the normal OS fault path, like
+        // the hardware bounce (the block layer owns retries there).
+        ++statRejectIoError;
+        Inflight inf = std::move(it->second);
+        inflight.erase(it);
+        byPage.erase(pageKey(*inf.as, inf.vaddr));
+        fpq.push(inf.pfn);
+
+        unsigned core = inf.t->core();
+        kernel.scheduler().setHwStalled(core, false);
+        kernel.scheduler().runPhases(
+            core, {&os::phases::swSmuWake},
+            [this, inf = std::move(inf)]() mutable {
+                kernel.handlePageFault(*inf.t, *inf.as, inf.vaddr,
+                                       false, true,
+                                       std::move(inf.resume));
+                for (auto &[wt, wresume] : inf.waiters) {
+                    kernel.scheduler().setHwStalled(wt->core(), false);
+                    kernel.handlePageFault(*wt, *inf.as, inf.vaddr,
+                                           false, true,
+                                           std::move(wresume));
+                }
+            });
+        return;
+    }
 
     // The emulation resumes on the faulting core: wake from mwait,
     // run the emulated completion (CQ protocol + PTE update), then

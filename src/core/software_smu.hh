@@ -41,6 +41,15 @@ class SoftwareSmu : public sim::SimObject
 
     std::uint64_t handled() const { return statHandled.value(); }
     std::uint64_t coalesced() const { return statCoalesced.value(); }
+    std::uint64_t queueEmptyBounces() const
+    {
+        return statQueueEmpty.value();
+    }
+    std::uint64_t ioRetries() const { return statIoRetry.value(); }
+    std::uint64_t rejectedIoError() const
+    {
+        return statRejectIoError.value();
+    }
     sim::Histogram &missLatencyUs() { return statLatency; }
 
   private:
@@ -58,6 +67,9 @@ class SoftwareSmu : public sim::SimObject
         VAddr vaddr;
         Pfn pfn;
         Tick started;
+        unsigned devId = 0;
+        Lba lba = 0;
+        bool retried = false;
         std::function<void()> resume;
         /** Coalesced faulters: (thread, resume). */
         std::vector<std::pair<os::Thread *, std::function<void()>>>
@@ -74,11 +86,17 @@ class SoftwareSmu : public sim::SimObject
     sim::Counter &statHandled;
     sim::Counter &statCoalesced;
     sim::Counter &statQueueEmpty;
+    sim::Counter &statIoRetry;
+    sim::Counter &statRejectIoError;
     sim::Histogram &statLatency;
 
     bool intercept(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
                    os::pte::Entry e, std::function<void()> resume);
-    void onInterrupt(std::uint16_t cid);
+    void onInterrupt(std::uint16_t cid, std::uint16_t status);
+
+    /** Build + submit the read command, then mwait on @p core. */
+    void submitRead(unsigned dev_id, std::uint16_t cid, Lba lba,
+                    Pfn pfn, unsigned core);
 
     static std::uint64_t pageKey(const os::AddressSpace &as, VAddr va);
 };

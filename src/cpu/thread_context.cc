@@ -37,6 +37,22 @@ ThreadContext::run()
     nextOp();
 }
 
+bool
+ThreadContext::handleOom()
+{
+    // The faulting access never completes; the thread terminates the
+    // way an OOM-killed process does. The fault path runs entirely in
+    // this thread's context, so it is still current on its core and
+    // finish() is legal here.
+    wasOomKilled = true;
+    isDone = true;
+    finished = kernel.now();
+    kernel.scheduler().finish(this);
+    if (onFinished)
+        onFinished();
+    return true;
+}
+
 void
 ThreadContext::nextOp()
 {

@@ -43,6 +43,9 @@ class ThreadContext : public os::Thread
 
     void run() override;
 
+    /** OOM-killer victim: terminate gracefully instead of panicking. */
+    bool handleOom() override;
+
     /** Invoked once the workload yields its done op. */
     void setOnFinished(std::function<void()> fn)
     {
@@ -75,6 +78,7 @@ class ThreadContext : public os::Thread
     Tick startTick() const { return started; }
     Tick finishTick() const { return finished; }
     bool done() const { return isDone; }
+    bool oomKilled() const { return wasOomKilled; }
 
     /** Per-access latency distribution. */
     sim::Histogram &memLatencyUs() { return memLat; }
@@ -111,6 +115,7 @@ class ThreadContext : public os::Thread
     Tick started = 0;
     Tick finished = 0;
     bool isDone = false;
+    bool wasOomKilled = false;
     bool startedFlag = false;
     std::uint64_t fetchSeq = 0;
 

@@ -10,7 +10,9 @@ BlockLayer::BlockLayer(sim::EventQueue &eq, Scheduler &sched,
       statReads(stats().counter("reads", "read bios submitted")),
       statWrites(stats().counter("writes", "write bios submitted")),
       statCompletions(stats().counter("completions",
-                                      "bio completions processed"))
+                                      "bio completions processed")),
+      statRetries(stats().counter(
+          "io_retries", "bios resubmitted after an error completion"))
 {
 }
 
@@ -61,7 +63,8 @@ BlockLayer::submit(unsigned core, unsigned dev_idx, Lba lba, bool write,
               " (queue depth ", qDepth, ")");
 
     pending.emplace(key(dev_idx, qid, sqe.cid),
-                    Pending{core, klass, std::move(on_complete)});
+                    Pending{core, klass, lba, write,
+                            std::move(on_complete)});
     if (write)
         ++statWrites;
     else
@@ -86,6 +89,21 @@ BlockLayer::onDeviceCompletion(unsigned dev_idx, std::uint16_t qid,
     if (ds.dev->queuePair(qid).cqHasWork())
         ds.dev->queuePair(qid).popCqe();
     ds.dev->ringCqDoorbell(qid);
+
+    if (cqe.status != 0) {
+        // The kernel retries failed bios until they succeed (with an
+        // injector in play errors are transient by construction; a
+        // real kernel would give up and SIGBUS after a bounded count).
+        ++statRetries;
+        unsigned core = p.core;
+        sched.queueKernelWork(
+            core, {&phases::irqDeliver, &phases::ioComplete},
+            [this, core, dev_idx, p = std::move(p)]() mutable {
+                submit(core, dev_idx, p.lba, p.write, p.klass,
+                       std::move(p.onComplete));
+            });
+        return;
+    }
 
     std::vector<const KernelPhase *> completion_phases;
     switch (p.klass) {

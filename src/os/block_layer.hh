@@ -62,6 +62,7 @@ class BlockLayer : public sim::SimObject
     std::uint64_t inflight() const { return pending.size(); }
     std::uint64_t readsSubmitted() const { return statReads.value(); }
     std::uint64_t writesSubmitted() const { return statWrites.value(); }
+    std::uint64_t ioRetries() const { return statRetries.value(); }
 
   private:
     struct DeviceState
@@ -74,6 +75,8 @@ class BlockLayer : public sim::SimObject
     {
         unsigned core;
         IoClass klass;
+        Lba lba;
+        bool write;
         std::function<void()> onComplete;
     };
 
@@ -88,6 +91,7 @@ class BlockLayer : public sim::SimObject
     sim::Counter &statReads;
     sim::Counter &statWrites;
     sim::Counter &statCompletions;
+    sim::Counter &statRetries;
 
     void onDeviceCompletion(unsigned dev_idx, std::uint16_t qid,
                             const nvme::CompletionEntry &cqe);

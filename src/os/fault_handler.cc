@@ -94,8 +94,15 @@ FaultHandler::anonFault(CtxPtr c)
     // — a minor fault with the page-allocation cost, no I/O.
     c->pfn = k.physMem().alloc();
     if (c->pfn == mem::PhysMem::invalidPfn) {
-        if (++c->allocRetries > 200)
+        if (++c->allocRetries > 200) {
+            // Anonymous pages are unevictable in this model (no swap),
+            // so a big enough anon footprint genuinely exhausts memory.
+            // A user thread is OOM-killed; only when nobody can die is
+            // this a simulator bug.
+            if (oomKill(c, false))
+                return;
             panic("anon fault: memory exhausted and unreclaimable");
+        }
         k.reclaimer().directReclaim(
             c->t->core(), LruLists::demoteBatch,
             [this, c] { anonFault(c); });
@@ -145,9 +152,12 @@ FaultHandler::allocateFrame(CtxPtr c)
     // Direct reclaim: synchronous shrink on the faulting core, then
     // retry. Dirty pages free asynchronously via writeback, so a few
     // retries may be needed under write-heavy load.
-    if (++c->allocRetries > 200)
+    if (++c->allocRetries > 200) {
+        if (oomKill(c, true))
+            return;
         panic("direct reclaim cannot free memory: all pages dirty or "
               "pinned (frames=", k.physMem().totalFrames(), ")");
+    }
     k.reclaimer().directReclaim(
         c->t->core(), LruLists::demoteBatch, [this, c] {
             if (k.physMem().freeFrames() > 0) {
@@ -211,6 +221,33 @@ FaultHandler::ioFinished(CtxPtr c)
             }
             finish(c, false);
         });
+}
+
+bool
+FaultHandler::oomKill(CtxPtr c, bool major)
+{
+    if (!c->t->handleOom())
+        return false;
+    ++k.statOomKills;
+
+    if (major && c->vma && c->vma->file) {
+        // This ctx owns the in-flight entry for its page (it got past
+        // majorFault's dedup). Wake the pile-up so each waiter retries
+        // the fault on its own — and faces the OOM killer itself if
+        // memory is still gone.
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(c->vma->file->id()) << 40) |
+            c->vma->fileIndexOf(c->vaddr);
+        auto it = inflight.find(key);
+        if (it != inflight.end()) {
+            for (const CtxPtr &w : it->second)
+                k.scheduler().wake(w->t);
+            inflight.erase(it);
+        }
+    }
+    // The faulting access never completes: the resume is dropped with
+    // the thread already torn down by handleOom().
+    return true;
 }
 
 void

@@ -65,6 +65,14 @@ class FaultHandler
     void finish(CtxPtr c, bool minor);
 
     /**
+     * Allocation retries are exhausted: offer the thread an OOM kill.
+     * Returns true when the thread absorbed it (the fault is dropped);
+     * false means the caller must panic — a thread that cannot die
+     * here (a kthread) with no memory left is bookkeeping corruption.
+     */
+    bool oomKill(CtxPtr c, bool major);
+
+    /**
      * Major faults in flight, keyed by (file id, page index). Later
      * faulters on the same page wait for the first one's I/O instead
      * of issuing a duplicate read (the lock_page serialisation in a

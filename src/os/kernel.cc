@@ -21,6 +21,8 @@ Kernel::Kernel(sim::EventQueue &eq, const KernelParams &params,
                                       "munmap() invocations")),
       statWalWrites(stats().counter("wal_write_ios",
                                     "asynchronous write I/Os cut")),
+      statOomKills(stats().counter(
+          "oom_kills", "threads killed on unreclaimable memory")),
       statFaultLatency(stats().histogram(
           "fault_latency_us", "OS-handled fault latency (us)", 0.5, 400))
 {

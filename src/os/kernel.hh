@@ -89,6 +89,12 @@ class Kernel : public sim::SimObject
     // ---- Address spaces --------------------------------------------------
     AddressSpace *createAddressSpace();
 
+    /** All live address spaces (the verification harness walks them). */
+    const std::vector<std::unique_ptr<AddressSpace>> &addressSpaces() const
+    {
+        return spaces;
+    }
+
     // ---- Syscalls (timed; @p done fires when the call returns) ----------
     /**
      * mmap() a whole file. With @p fast_mmap the paper's new flag is
@@ -215,6 +221,7 @@ class Kernel : public sim::SimObject
     {
         return statSmuFallback.value();
     }
+    std::uint64_t oomKills() const { return statOomKills.value(); }
     sim::Histogram &faultLatencyUs() { return statFaultLatency; }
 
   private:
@@ -261,6 +268,7 @@ class Kernel : public sim::SimObject
     sim::Counter &statMmapCalls;
     sim::Counter &statMunmapCalls;
     sim::Counter &statWalWrites;
+    sim::Counter &statOomKills;
     sim::Histogram &statFaultLatency;
 };
 

@@ -67,6 +67,15 @@ class Thread
 
     bool hasResumeAction() const { return resumeAction != nullptr; }
 
+    /**
+     * The kernel could not allocate memory for this thread's fault
+     * even after exhaustive reclaim. Return true to absorb the kill
+     * (the thread terminates gracefully, OOM-killer style); false
+     * means the thread cannot die here and the kernel panics —
+     * kthreads and anonymous test threads keep that behaviour.
+     */
+    virtual bool handleOom() { return false; }
+
   protected:
     bool kthread = false;
 

@@ -12,6 +12,8 @@ SsdDevice::SsdDevice(std::string name, sim::EventQueue &eq,
       channelFreeAt(profile.channels, 0),
       statReads(stats().counter("reads", "4KB read commands completed")),
       statWrites(stats().counter("writes", "write commands completed")),
+      statErrors(stats().counter("error_completions",
+                                 "commands completed with error status")),
       statDeviceTime(stats().histogram(
           "device_time_us", "doorbell-to-CQE-write time (us)", 0.5, 400))
 {
@@ -64,13 +66,25 @@ SsdDevice::setCompletionListener(std::uint16_t qid, CompletionListener fn)
     state(qid).listener = std::move(fn);
 }
 
+std::uint64_t
+SsdDevice::queueInflight(std::uint16_t qid) const
+{
+    if (qid == 0 || qid > queues.size())
+        panic("ssd '", name(), "': bad queue id ", qid);
+    return queues[qid - 1].inflight;
+}
+
 void
 SsdDevice::ringSqDoorbell(std::uint16_t qid)
 {
     state(qid).doorbellPending = true;
+    // An injected "dropped" doorbell defers the device-side fetch; the
+    // write is never truly lost (forward progress is preserved), the
+    // device just notices it late.
+    Tick drop = injector ? injector->doorbellDropDelay(qid) : 0;
     if (!fetchScheduled) {
         fetchScheduled = true;
-        eq.postIn(prof.cmdFetch, [this] { fetchCommands(); },
+        eq.postIn(prof.cmdFetch + drop, [this] { fetchCommands(); },
                             "ssd.fetch");
     }
 }
@@ -114,7 +128,12 @@ void
 SsdDevice::serviceCommand(std::size_t qidx, const nvme::SubmissionEntry &sqe)
 {
     ++nInflight;
+    ++queues[qidx].inflight;
     Tick issued = now() >= prof.cmdFetch ? now() - prof.cmdFetch : 0;
+
+    IoFaultDecision fault;
+    if (injector)
+        fault = injector->onCommand(sqe, queues[qidx].qp->qid());
 
     Tick media;
     switch (sqe.opcode) {
@@ -138,32 +157,42 @@ SsdDevice::serviceCommand(std::size_t qidx, const nvme::SubmissionEntry &sqe)
     }
 
     unsigned ch = static_cast<unsigned>(sqe.slba % prof.channels);
+    if (fault.channelStall > 0) {
+        channelFreeAt[ch] =
+            std::max(now(), channelFreeAt[ch]) + fault.channelStall;
+    }
     Tick start = std::max(now(), channelFreeAt[ch]);
     Tick media_done = start + media;
     channelFreeAt[ch] = media_done;
 
-    Tick cqe_written = media_done + prof.xfer4k + prof.cqeWrite;
+    Tick cqe_written =
+        media_done + prof.xfer4k + prof.cqeWrite + fault.extraLatency;
+    auto status = fault.status;
     eq.post(cqe_written,
-                      [this, qidx, sqe, issued] {
-                          complete(qidx, sqe, issued);
+                      [this, qidx, sqe, issued, status] {
+                          complete(qidx, sqe, issued, status);
                       },
                       "ssd.complete");
 }
 
 void
 SsdDevice::complete(std::size_t qidx, const nvme::SubmissionEntry &sqe,
-                    Tick issued)
+                    Tick issued, std::uint16_t status)
 {
     --nInflight;
     QueueState &qs = queues[qidx];
+    --qs.inflight;
 
     nvme::CompletionEntry cqe;
     cqe.cid = sqe.cid;
-    cqe.status = 0;
+    cqe.status = status;
     if (!qs.qp->pushCqe(cqe))
         panic("ssd '", name(), "': CQ overflow on qid ", qs.qp->qid());
 
-    if (sqe.opcode == nvme::Opcode::read) {
+    if (status != 0) {
+        ++nErrors;
+        ++statErrors;
+    } else if (sqe.opcode == nvme::Opcode::read) {
         ++nReads;
         ++statReads;
     } else if (sqe.opcode == nvme::Opcode::write) {

@@ -25,6 +25,39 @@
 
 namespace hwdp::ssd {
 
+/** Per-command fault decision returned by an IoFaultInjector. */
+struct IoFaultDecision
+{
+    /** NVMe status for the completion entry; 0 = success. */
+    std::uint16_t status = 0;
+    /** Extra ticks added between media done and the CQ write. */
+    Tick extraLatency = 0;
+    /** Ticks the command's channel is stalled before servicing. */
+    Tick channelStall = 0;
+};
+
+/**
+ * Fault-injection hook the device consults while servicing commands.
+ * Declared here (not in src/testing) so the device model carries no
+ * dependency on the test library; testing::FaultPlan implements it.
+ */
+class IoFaultInjector
+{
+  public:
+    virtual ~IoFaultInjector() = default;
+
+    /** Decide the fate of one fetched command. */
+    virtual IoFaultDecision onCommand(const nvme::SubmissionEntry &sqe,
+                                      std::uint16_t qid) = 0;
+
+    /**
+     * Delay added to the device's command fetch for a doorbell write
+     * on @p qid; 0 = deliver normally. Models a dropped/deferred
+     * doorbell while preserving forward progress.
+     */
+    virtual Tick doorbellDropDelay(std::uint16_t qid) = 0;
+};
+
 class SsdDevice : public sim::SimObject
 {
   public:
@@ -74,8 +107,15 @@ class SsdDevice : public sim::SimObject
     /** Commands currently being serviced or queued inside the device. */
     std::uint64_t inflight() const { return nInflight; }
 
+    /** In-device commands fetched from queue @p qid specifically. */
+    std::uint64_t queueInflight(std::uint16_t qid) const;
+
     std::uint64_t readsCompleted() const { return nReads; }
     std::uint64_t writesCompleted() const { return nWrites; }
+    std::uint64_t errorsCompleted() const { return nErrors; }
+
+    /** Attach (or clear, with nullptr) the fault injector. */
+    void setFaultInjector(IoFaultInjector *inj) { injector = inj; }
 
   private:
     struct QueueState
@@ -84,6 +124,7 @@ class SsdDevice : public sim::SimObject
         bool interrupts = true;
         CompletionListener listener;
         bool doorbellPending = false;
+        std::uint64_t inflight = 0;
     };
 
     SsdProfile prof;
@@ -93,10 +134,13 @@ class SsdDevice : public sim::SimObject
     std::uint64_t nInflight = 0;
     std::uint64_t nReads = 0;
     std::uint64_t nWrites = 0;
+    std::uint64_t nErrors = 0;
     bool fetchScheduled = false;
+    IoFaultInjector *injector = nullptr;
 
     sim::Counter &statReads;
     sim::Counter &statWrites;
+    sim::Counter &statErrors;
     sim::Histogram &statDeviceTime;
 
     /** Fetch pending commands from all doorbelled queues. */
@@ -107,7 +151,7 @@ class SsdDevice : public sim::SimObject
 
     /** Finish a command: CQ write, then interrupt or snoop delivery. */
     void complete(std::size_t qidx, const nvme::SubmissionEntry &sqe,
-                  Tick issued);
+                  Tick issued, std::uint16_t status);
 
     QueueState &state(std::uint16_t qid);
 };

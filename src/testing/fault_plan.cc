@@ -1,0 +1,151 @@
+#include "testing/fault_plan.hh"
+
+#include "system/system.hh"
+
+namespace hwdp::testing {
+
+const char *
+faultSiteName(FaultSite s)
+{
+    switch (s) {
+      case FaultSite::ssdReadError:
+        return "ssd_read_error";
+      case FaultSite::ssdLatencySpike:
+        return "ssd_latency_spike";
+      case FaultSite::ssdChannelStall:
+        return "ssd_channel_stall";
+      case FaultSite::ssdDroppedDoorbell:
+        return "ssd_dropped_doorbell";
+      case FaultSite::fpqDry:
+        return "fpq_dry";
+      case FaultSite::pmshrFull:
+        return "pmshr_full";
+    }
+    return "unknown";
+}
+
+FaultPlan::FaultPlan(std::string name, sim::EventQueue &eq,
+                     std::uint64_t seed)
+    : sim::SimObject(std::move(name), eq)
+{
+    // Each site forks its own stream off the seed in a fixed order, so
+    // site i's decision sequence is a pure function of (seed, i).
+    sim::Rng base(seed);
+    for (unsigned i = 0; i < numFaultSites; ++i) {
+        states[i].rng = base.fork();
+        states[i].injected = &stats().counter(
+            std::string(faultSiteName(static_cast<FaultSite>(i))) +
+                "_injections",
+            "faults injected at this site");
+    }
+}
+
+void
+FaultPlan::armAll()
+{
+    for (auto &st : states)
+        st.armed = true;
+}
+
+void
+FaultPlan::disarmAll()
+{
+    for (auto &st : states)
+        st.armed = false;
+}
+
+void
+FaultPlan::armAllAtRate(double rate)
+{
+    for (auto &st : states) {
+        st.cfg.rate = rate;
+        st.armed = true;
+    }
+}
+
+void
+FaultPlan::attach(system::System &sys)
+{
+    for (unsigned d = 0; d < sys.numSsds(); ++d)
+        attachSsd(sys.ssdAt(d));
+    if (sys.smu()) {
+        for (core::FreePageQueue *q : sys.smu()->freePageQueues())
+            attachFpq(*q);
+        attachPmshr(sys.smu()->pmshr());
+    } else if (sys.freePageQueue()) {
+        attachFpq(*sys.freePageQueue());
+    }
+}
+
+void
+FaultPlan::attachSsd(ssd::SsdDevice &dev)
+{
+    dev.setFaultInjector(this);
+}
+
+void
+FaultPlan::attachFpq(core::FreePageQueue &q)
+{
+    q.setDryHook([this] { return decide(FaultSite::fpqDry); });
+}
+
+void
+FaultPlan::attachPmshr(core::Pmshr &p)
+{
+    p.setFullHook([this] { return decide(FaultSite::pmshrFull); });
+}
+
+bool
+FaultPlan::decide(FaultSite s)
+{
+    SiteState &st = states[idx(s)];
+    // The stream advances on every query, armed or not: arming a site
+    // must not shift the decision sequence of any other query.
+    std::uint64_t seq = st.nQueries++;
+    bool roll = st.rng.chance(st.cfg.rate);
+    if (!st.armed || st.cfg.rate <= 0.0)
+        return false;
+    if (st.injected->value() >= st.cfg.maxInjections)
+        return false;
+    if (!roll)
+        return false;
+    ++*st.injected;
+    injectionLog.push_back(LogEntry{s, now(), seq});
+    return true;
+}
+
+ssd::IoFaultDecision
+FaultPlan::onCommand(const nvme::SubmissionEntry &sqe, std::uint16_t)
+{
+    ssd::IoFaultDecision d;
+    if (sqe.opcode == nvme::Opcode::read &&
+        decide(FaultSite::ssdReadError))
+        d.status = states[idx(FaultSite::ssdReadError)].cfg.errorStatus;
+    if (decide(FaultSite::ssdLatencySpike))
+        d.extraLatency =
+            states[idx(FaultSite::ssdLatencySpike)].cfg.latencySpike;
+    if (decide(FaultSite::ssdChannelStall))
+        d.channelStall =
+            states[idx(FaultSite::ssdChannelStall)].cfg.channelStall;
+    return d;
+}
+
+Tick
+FaultPlan::doorbellDropDelay(std::uint16_t)
+{
+    if (decide(FaultSite::ssdDroppedDoorbell))
+        return states[idx(FaultSite::ssdDroppedDoorbell)]
+            .cfg.doorbellDelay;
+    return 0;
+}
+
+std::uint64_t
+FaultPlan::totalInjections() const
+{
+    std::uint64_t n = 0;
+    for (const auto &st : states)
+        n += st.injected->value();
+    return n;
+}
+
+} // namespace hwdp::testing

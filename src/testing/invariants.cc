@@ -1,0 +1,168 @@
+#include "testing/invariants.hh"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mem/phys_mem.hh"
+#include "os/file_system.hh"
+#include "os/kernel.hh"
+#include "os/pte.hh"
+#include "system/system.hh"
+
+namespace hwdp::testing {
+
+namespace {
+
+std::string
+hex(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+} // namespace
+
+std::vector<std::string>
+checkInvariants(system::System &sys)
+{
+    using namespace os::pte;
+
+    std::vector<std::string> v;
+    os::Kernel &kern = sys.kernel();
+    mem::PhysMem &pm = sys.physMem();
+
+    // ---- 1. Page-table sanity -------------------------------------------
+    std::unordered_map<Pfn, std::string> mapped;
+    for (const auto &as : kern.addressSpaces()) {
+        for (const auto &vma : as->vmas()) {
+            for (std::uint64_t i = 0; i < vma->numPages(); ++i) {
+                VAddr va = vma->start + (i << pageShift);
+                Entry e = as->pageTable().readPte(va);
+                std::string where = "as " + std::to_string(as->id()) +
+                                    " va " + hex(va);
+                if (isPresent(e)) {
+                    Pfn pfn = pfnOf(e);
+                    if (pfn >= kern.numFrames()) {
+                        v.push_back(where + ": PTE pfn " +
+                                    std::to_string(pfn) +
+                                    " beyond frame count");
+                        continue;
+                    }
+                    if (!pm.isAllocated(pfn))
+                        v.push_back(where + ": mapped frame " +
+                                    std::to_string(pfn) +
+                                    " not allocated");
+                    if (!kern.page(pfn).inUse)
+                        v.push_back(where + ": mapped frame " +
+                                    std::to_string(pfn) +
+                                    " not marked inUse");
+                    auto [it, fresh] = mapped.emplace(pfn, where);
+                    if (!fresh)
+                        v.push_back("frame " + std::to_string(pfn) +
+                                    " mapped twice: " + it->second +
+                                    " and " + where);
+                } else if (hasLbaBit(e)) {
+                    if (vma->file) {
+                        Lba want =
+                            vma->file->lbaOf(vma->fileIndexOf(va));
+                        if (lbaOf(e) != want)
+                            v.push_back(
+                                where + ": LBA-augmented PTE lba " +
+                                std::to_string(lbaOf(e)) +
+                                " != file lba " + std::to_string(want));
+                        if (deviceIdOf(e) != vma->file->device().dev)
+                            v.push_back(
+                                where + ": PTE device id " +
+                                std::to_string(deviceIdOf(e)) +
+                                " != file device " +
+                                std::to_string(vma->file->device().dev));
+                    } else if (lbaOf(e) != zeroFillLba) {
+                        v.push_back(where +
+                                    ": anonymous PTE carries lba " +
+                                    std::to_string(lbaOf(e)) +
+                                    " instead of the zero-fill LBA");
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- 2. Free-page-queue frames --------------------------------------
+    auto checkFpq = [&](const core::FreePageQueue &q, unsigned idx) {
+        q.forEachPfn([&](Pfn pfn) {
+            std::string where =
+                "free page queue " + std::to_string(idx) + " frame " +
+                std::to_string(pfn);
+            auto it = mapped.find(pfn);
+            if (it != mapped.end())
+                v.push_back(where + ": also mapped at " + it->second);
+            if (pfn >= kern.numFrames()) {
+                v.push_back(where + ": beyond frame count");
+                return;
+            }
+            if (!pm.isAllocated(pfn))
+                v.push_back(where + ": not allocated");
+            if (!kern.page(pfn).inSmuQueue)
+                v.push_back(where + ": not flagged inSmuQueue");
+        });
+    };
+    if (core::Smu *smu = sys.smu()) {
+        unsigned qi = 0;
+        for (core::FreePageQueue *q : smu->freePageQueues())
+            checkFpq(*q, qi++);
+    } else if (core::FreePageQueue *q = sys.freePageQueue()) {
+        checkFpq(*q, 0);
+    }
+
+    // ---- 3. PMSHR <-> in-flight NVMe commands ---------------------------
+    if (core::Smu *smu = sys.smu()) {
+        const core::Pmshr &p = smu->pmshr();
+        std::unordered_set<PAddr> pteAddrs;
+        unsigned valid = 0;
+        for (unsigned i = 0; i < p.capacity(); ++i) {
+            if (!p.validAt(static_cast<int>(i)))
+                continue;
+            const auto &en = p.entry(static_cast<int>(i));
+            ++valid;
+            if (!pteAddrs.insert(en.pteAddr).second)
+                v.push_back("pmshr: duplicate pte address " +
+                            hex(en.pteAddr));
+        }
+        if (valid != p.occupancy())
+            v.push_back("pmshr: occupancy " +
+                        std::to_string(p.occupancy()) + " != " +
+                        std::to_string(valid) + " valid entries");
+        for (unsigned d = 0; d < sys.numSsds(); ++d) {
+            if (!smu->hostController().deviceConfigured(d))
+                continue;
+            std::uint16_t qid = smu->hostController().queueIdOf(d);
+            ssd::SsdDevice &dev = sys.ssdAt(d);
+            std::uint64_t cmds = dev.queuePair(qid).sqOccupancy() +
+                                 dev.queueInflight(qid);
+            if (cmds > p.occupancy())
+                v.push_back("smu queue on device " + std::to_string(d) +
+                            ": " + std::to_string(cmds) +
+                            " commands in flight but only " +
+                            std::to_string(p.occupancy()) +
+                            " pmshr entries");
+        }
+    }
+
+    // ---- 4. Frame flag composition --------------------------------------
+    for (Pfn pfn = 0; pfn < kern.numFrames(); ++pfn) {
+        const os::Page &pg = kern.page(pfn);
+        std::string where = "frame " + std::to_string(pfn);
+        if (pg.inPageCache && !pg.file)
+            v.push_back(where + ": inPageCache without a file");
+        if (pg.lruLinked && !pg.inUse)
+            v.push_back(where + ": on an LRU list but not inUse");
+        if (pg.inSmuQueue && pg.lruLinked)
+            v.push_back(where + ": inSmuQueue and on an LRU list");
+    }
+
+    return v;
+}
+
+} // namespace hwdp::testing

@@ -1,0 +1,250 @@
+#include "testing/machine_differ.hh"
+
+#include <sstream>
+
+#include "os/fault_handler.hh"
+#include "os/file_system.hh"
+#include "os/kernel.hh"
+#include "os/page_table.hh"
+#include "os/pte.hh"
+#include "system/system.hh"
+
+namespace hwdp::testing {
+
+bool
+PageState::operator==(const PageState &o) const
+{
+    return resident == o.resident && fileBacked == o.fileBacked &&
+           fileId == o.fileId && fileIndex == o.fileIndex &&
+           dirty == o.dirty && synced == o.synced && rmapOk == o.rmapOk &&
+           lruLinked == o.lruLinked && inPageCache == o.inPageCache;
+}
+
+void
+quiesce(system::System &sys)
+{
+    sys.stopKthreads();
+    sys.eventQueue().run();
+
+    // Untimed kpted-equivalent pass. Deliberately the *guided* scan: a
+    // faulty component that forgets to mark the PMD/PUD LBA bits will
+    // leave its pages unsynced here, and the differ flags them.
+    os::Kernel &kern = sys.kernel();
+    for (const auto &as : kern.addressSpaces()) {
+        for (const auto &vma : as->vmas()) {
+            as->pageTable().scanUnsynced(
+                vma->start, vma->end,
+                [&](VAddr va, os::EntryRef ref) {
+                    kern.syncHardwareHandledPte(*as, va, ref);
+                });
+        }
+    }
+    // Syncing may enqueue writeback or shootdown events; drain again.
+    sys.eventQueue().run();
+}
+
+namespace {
+
+inline void
+fold(std::uint64_t &h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ULL;
+    }
+}
+
+std::uint64_t
+packFlags(const PageState &ps)
+{
+    return (std::uint64_t(ps.resident) << 0) |
+           (std::uint64_t(ps.fileBacked) << 1) |
+           (std::uint64_t(ps.dirty) << 2) |
+           (std::uint64_t(ps.synced) << 3) |
+           (std::uint64_t(ps.rmapOk) << 4) |
+           (std::uint64_t(ps.lruLinked) << 5) |
+           (std::uint64_t(ps.inPageCache) << 6);
+}
+
+std::string
+describe(const PageState &ps)
+{
+    std::ostringstream os;
+    if (!ps.resident) {
+        os << "non-resident";
+    } else {
+        os << "resident";
+        os << (ps.synced ? " synced" : " UNSYNCED");
+        if (ps.dirty)
+            os << " dirty";
+        os << (ps.rmapOk ? " rmap-ok" : " rmap-BROKEN");
+        if (ps.lruLinked)
+            os << " lru";
+        if (ps.inPageCache)
+            os << " pagecache";
+    }
+    if (ps.fileBacked)
+        os << " file=" << ps.fileId << ":" << ps.fileIndex;
+    else
+        os << " anon:" << ps.fileIndex;
+    return os.str();
+}
+
+} // namespace
+
+MachineState
+snapshot(system::System &sys, const std::string &label)
+{
+    using namespace os::pte;
+
+    MachineState ms;
+    ms.label = label;
+    ms.stateHash = 14695981039346656037ULL;
+
+    os::Kernel &kern = sys.kernel();
+    for (const auto &as : kern.addressSpaces()) {
+        AsState ast;
+        ast.asid = as->id();
+        for (const auto &vma : as->vmas()) {
+            VmaState vs;
+            vs.start = vma->start;
+            vs.end = vma->end;
+            vs.anon = vma->file == nullptr;
+            vs.pages.reserve(vma->numPages());
+            for (std::uint64_t i = 0; i < vma->numPages(); ++i) {
+                VAddr va = vma->start + (i << pageShift);
+                Entry e = as->pageTable().readPte(va);
+
+                PageState ps;
+                ps.fileBacked = vma->file != nullptr;
+                ps.fileId = vma->file ? vma->file->id() : 0;
+                ps.fileIndex =
+                    vma->file ? vma->fileIndexOf(va) : i;
+                if (isPresent(e)) {
+                    ps.resident = true;
+                    ps.synced = !hasLbaBit(e);
+                    const os::Page &pg = kern.page(pfnOf(e));
+                    ps.dirty = pg.dirty || isDirty(e);
+                    ps.rmapOk =
+                        pg.as == as.get() && pg.vaddr == va;
+                    ps.lruLinked = pg.lruLinked;
+                    ps.inPageCache = pg.inPageCache;
+                }
+                fold(ms.stateHash, ast.asid);
+                fold(ms.stateHash, ps.fileIndex);
+                fold(ms.stateHash, ps.fileId);
+                fold(ms.stateHash, packFlags(ps));
+                vs.pages.push_back(ps);
+            }
+            ast.vmas.push_back(std::move(vs));
+        }
+        ms.spaces.push_back(std::move(ast));
+    }
+
+    ms.totalAppOps = sys.totalAppOps();
+    ms.oomKills = kern.oomKills();
+    ms.faultsServiced = kern.majorFaults() + kern.minorFaults();
+    if (sys.smu())
+        ms.faultsServiced += sys.smu()->handled();
+    if (sys.softwareSmu())
+        ms.faultsServiced += sys.softwareSmu()->handled();
+    return ms;
+}
+
+DiffResult
+diff(const MachineState &a, const MachineState &b, const DiffOptions &opt)
+{
+    DiffResult r;
+    std::ostringstream os;
+
+    auto divergence = [&](const std::string &line) {
+        ++r.divergences;
+        if (r.divergences <= opt.maxReports)
+            os << "  " << line << "\n";
+    };
+
+    os << "diff " << a.label << " vs " << b.label << ":\n";
+
+    if (a.spaces.size() != b.spaces.size()) {
+        divergence("address space count: " +
+                   std::to_string(a.spaces.size()) + " vs " +
+                   std::to_string(b.spaces.size()));
+    } else {
+        for (std::size_t s = 0; s < a.spaces.size(); ++s) {
+            const AsState &as_a = a.spaces[s];
+            const AsState &as_b = b.spaces[s];
+            if (as_a.vmas.size() != as_b.vmas.size()) {
+                divergence("as " + std::to_string(as_a.asid) +
+                           ": vma count " +
+                           std::to_string(as_a.vmas.size()) + " vs " +
+                           std::to_string(as_b.vmas.size()));
+                continue;
+            }
+            for (std::size_t v = 0; v < as_a.vmas.size(); ++v) {
+                const VmaState &vm_a = as_a.vmas[v];
+                const VmaState &vm_b = as_b.vmas[v];
+                if (vm_a.pages.size() != vm_b.pages.size()) {
+                    divergence("as " + std::to_string(as_a.asid) +
+                               " vma " + std::to_string(v) +
+                               ": page count " +
+                               std::to_string(vm_a.pages.size()) +
+                               " vs " +
+                               std::to_string(vm_b.pages.size()));
+                    continue;
+                }
+                for (std::size_t p = 0; p < vm_a.pages.size(); ++p) {
+                    if (vm_a.pages[p] == vm_b.pages[p])
+                        continue;
+                    std::ostringstream line;
+                    line << "as " << as_a.asid << " vma " << v
+                         << " page " << p << " (va 0x" << std::hex
+                         << (vm_a.start + (p << pageShift))
+                         << std::dec << "): "
+                         << describe(vm_a.pages[p]) << "  |  "
+                         << describe(vm_b.pages[p]);
+                    divergence(line.str());
+                }
+            }
+        }
+    }
+
+    if (a.totalAppOps != b.totalAppOps)
+        divergence("total app ops: " + std::to_string(a.totalAppOps) +
+                   " vs " + std::to_string(b.totalAppOps));
+    if (a.oomKills != b.oomKills)
+        divergence("oom kills: " + std::to_string(a.oomKills) + " vs " +
+                   std::to_string(b.oomKills));
+    if (opt.compareFaultTotals && a.faultsServiced != b.faultsServiced)
+        divergence("faults serviced: " +
+                   std::to_string(a.faultsServiced) + " vs " +
+                   std::to_string(b.faultsServiced));
+
+    if (r.divergences > opt.maxReports)
+        os << "  ... " << (r.divergences - opt.maxReports)
+           << " further divergences suppressed\n";
+
+    r.equivalent = r.divergences == 0;
+    r.report = r.equivalent ? std::string() : os.str();
+    return r;
+}
+
+void
+dumpMachineStats(system::System &sys, std::ostream &os)
+{
+    os::Kernel &kern = sys.kernel();
+    kern.stats().dump(os);
+    kern.scheduler().stats().dump(os);
+    kern.blockLayer().stats().dump(os);
+    for (unsigned d = 0; d < sys.numSsds(); ++d)
+        sys.ssdAt(d).stats().dump(os);
+    if (core::Smu *smu = sys.smu()) {
+        smu->stats().dump(os);
+        smu->hostController().stats().dump(os);
+    }
+    if (core::SoftwareSmu *sw = sys.softwareSmu())
+        sw->stats().dump(os);
+    for (unsigned c = 0; c < sys.config().nLogical; ++c)
+        sys.core(c).mmu().stats().dump(os);
+}
+
+} // namespace hwdp::testing

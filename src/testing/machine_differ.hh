@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Differential verification of paging-mode equivalence.
+ *
+ * The paper's robustness claim (Sections IV-D, VI-A) is that a
+ * hardware-handled miss is semantically identical to an OS-handled
+ * one. The MachineDiffer checks that claim end-to-end: run the same
+ * workload with the same seed on two System configurations (hardware
+ * SMU, software-emulated SMU, plain OSDP), quiesce both, snapshot the
+ * logical memory-management state of each and compare.
+ *
+ * The snapshot is deliberately *logical*: per (address space, VMA,
+ * page) it records residency, backing identity (file id + file index,
+ * or anonymous offset), dirtiness, metadata-sync status and the
+ * rmap/LRU/page-cache bookkeeping — never raw PFNs (frame allocation
+ * order legitimately differs across modes) and never raw ticks. A
+ * provenance hash folds the per-page state so whole-machine equality
+ * is one comparison; on mismatch diff() renders a readable
+ * first-divergence report naming the page and both sides' states.
+ */
+
+#ifndef HWDP_TESTING_MACHINE_DIFFER_HH
+#define HWDP_TESTING_MACHINE_DIFFER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hwdp::system {
+class System;
+}
+
+namespace hwdp::testing {
+
+/** Logical state of one page slot of a VMA. */
+struct PageState
+{
+    bool resident = false;
+
+    /** Backing identity (mode-independent). */
+    bool fileBacked = false;
+    std::uint32_t fileId = 0;
+    std::uint64_t fileIndex = 0; ///< For anon: page index in the VMA.
+
+    bool dirty = false;
+
+    /** Resident with OS metadata synchronised (LBA bit clear). */
+    bool synced = false;
+
+    /** Bookkeeping of the backing frame (resident pages only). */
+    bool rmapOk = false;
+    bool lruLinked = false;
+    bool inPageCache = false;
+
+    bool operator==(const PageState &o) const;
+    bool operator!=(const PageState &o) const { return !(*this == o); }
+};
+
+struct VmaState
+{
+    VAddr start = 0;
+    VAddr end = 0;
+    bool anon = false;
+    std::vector<PageState> pages;
+};
+
+struct AsState
+{
+    std::uint32_t asid = 0;
+    std::vector<VmaState> vmas;
+};
+
+struct MachineState
+{
+    std::string label;
+    std::vector<AsState> spaces;
+    std::uint64_t totalAppOps = 0;
+    std::uint64_t oomKills = 0;
+
+    /** Misses resolved by any path (SMU + SW-SMU + OS major/minor). */
+    std::uint64_t faultsServiced = 0;
+
+    /** FNV-1a fold of every per-page logical state. */
+    std::uint64_t stateHash = 0;
+};
+
+struct DiffOptions
+{
+    /**
+     * Also require equal faultsServiced. Exact across modes only for
+     * single-threaded, pressure-free runs (coalescing and reclaim
+     * timing legitimately perturb the count otherwise).
+     */
+    bool compareFaultTotals = false;
+
+    /** Divergences rendered into the report before truncation. */
+    unsigned maxReports = 8;
+};
+
+struct DiffResult
+{
+    bool equivalent = true;
+    unsigned divergences = 0;
+    std::string report;
+};
+
+/**
+ * Bring @p sys to a comparable end state: stop the periodic kthreads,
+ * drain the event queue, then perform an untimed kpted-equivalent
+ * metadata synchronisation of every hardware-handled PTE using the
+ * *guided* upper-level-LBA scan — so a component that fails to mark
+ * the upper levels leaves unsynced pages behind for the differ to
+ * catch.
+ */
+void quiesce(system::System &sys);
+
+/** Capture the logical memory-management state of @p sys. */
+MachineState snapshot(system::System &sys, const std::string &label);
+
+/** Compare two snapshots; readable first-divergence report on loss. */
+DiffResult diff(const MachineState &a, const MachineState &b,
+                const DiffOptions &opt = {});
+
+/**
+ * Dump every component StatGroup of @p sys in a fixed order. Given
+ * one seed and one fault plan, two runs of the same configuration
+ * must produce byte-identical output (the reproducibility gate).
+ */
+void dumpMachineStats(system::System &sys, std::ostream &os);
+
+} // namespace hwdp::testing
+
+#endif // HWDP_TESTING_MACHINE_DIFFER_HH

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Error-path tests: the SMU bounce paths (PMSHR full, free page queue
+ * dry), the retry-once-then-bounce policy on NVMe error completions in
+ * both the hardware and software SMU, the block layer's retry loop,
+ * and graceful OOM handling instead of a simulator panic. In every
+ * case the faulting access must ultimately complete.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/scheduler.hh"
+#include "sim/logging.hh"
+#include "system/system.hh"
+#include "testing/fault_plan.hh"
+#include "testing/invariants.hh"
+#include "workloads/fio.hh"
+
+using namespace hwdp;
+namespace ht = hwdp::testing;
+
+namespace {
+
+system::MachineConfig
+smallConfig(system::PagingMode mode)
+{
+    system::MachineConfig cfg;
+    cfg.mode = mode;
+    cfg.nLogical = 4;
+    cfg.nPhysical = 2;
+    cfg.memFrames = 8 * 1024;
+    cfg.smu.freeQueueCapacity = 512;
+    cfg.kpooldPeriod = milliseconds(1.0);
+    cfg.kptedPeriod = milliseconds(4.0);
+    return cfg;
+}
+
+/** Touch @p n pages of a VMA in order (write faults). */
+struct TouchAll : workloads::Workload
+{
+    os::Vma *vma;
+    std::uint64_t i = 0;
+    std::uint64_t n;
+    TouchAll(os::Vma *v, std::uint64_t pages) : vma(v), n(pages) {}
+    workloads::Op
+    next(sim::Rng &) override
+    {
+        if (i >= n)
+            return workloads::Op::makeDone();
+        VAddr a = vma->start + (i++ << pageShift);
+        return workloads::Op::makeMem(a, true, true);
+    }
+    const char *label() const override { return "touch"; }
+};
+
+} // namespace
+
+TEST(BouncePaths, PmshrFullBouncesToOsAndCompletes)
+{
+    system::System sys(smallConfig(system::PagingMode::hwdp));
+    ht::FaultPlan plan("plan", sys.eventQueue(), 41);
+    auto mf = sys.mapDataset("f", 16 * 1024);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 1500);
+    sys.addThread(*wl, 0, *mf.as);
+    plan.attach(sys);
+    plan.site(ht::FaultSite::pmshrFull).rate = 1.0;
+    plan.site(ht::FaultSite::pmshrFull).maxInjections = 8;
+    plan.arm(ht::FaultSite::pmshrFull);
+
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    EXPECT_EQ(sys.smu()->rejectedPmshrFull(), 8u);
+    EXPECT_GE(sys.kernel().smuFallbackFaults(), 8u);
+    EXPECT_EQ(sys.totalAppOps(), 1500u);
+    auto inv = ht::checkInvariants(sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+}
+
+TEST(BouncePaths, FreePageQueueDryBouncesAndRefills)
+{
+    system::System sys(smallConfig(system::PagingMode::hwdp));
+    ht::FaultPlan plan("plan", sys.eventQueue(), 43);
+    auto mf = sys.mapDataset("f", 16 * 1024);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 1500);
+    sys.addThread(*wl, 0, *mf.as);
+    plan.attach(sys);
+    plan.site(ht::FaultSite::fpqDry).rate = 1.0;
+    plan.site(ht::FaultSite::fpqDry).maxInjections = 8;
+    plan.arm(ht::FaultSite::fpqDry);
+
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    EXPECT_GE(sys.smu()->rejectedQueueEmpty(), 8u);
+    EXPECT_GE(sys.kernel().smuFallbackFaults(), 8u);
+    // The OS bounce path triggered the overlapped refill: the queue
+    // recovered and the SMU kept handling misses afterwards.
+    EXPECT_FALSE(sys.smu()->freePageQueue().empty());
+    EXPECT_GT(sys.smu()->handled(), 0u);
+    EXPECT_EQ(sys.totalAppOps(), 1500u);
+}
+
+TEST(BouncePaths, SmuRetriesSingleNvmeErrorWithoutBounce)
+{
+    system::System sys(smallConfig(system::PagingMode::hwdp));
+    ht::FaultPlan plan("plan", sys.eventQueue(), 47);
+    auto mf = sys.mapDataset("f", 16 * 1024);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 1000);
+    sys.addThread(*wl, 0, *mf.as);
+    plan.attach(sys);
+    plan.site(ht::FaultSite::ssdReadError).rate = 1.0;
+    plan.site(ht::FaultSite::ssdReadError).maxInjections = 1;
+    plan.arm(ht::FaultSite::ssdReadError);
+
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    // One error, one retry, retry succeeded: no bounce.
+    EXPECT_EQ(sys.smu()->ioRetries(), 1u);
+    EXPECT_EQ(sys.smu()->rejectedIoError(), 0u);
+    EXPECT_EQ(sys.ssd().errorsCompleted(), 1u);
+    EXPECT_EQ(sys.totalAppOps(), 1000u);
+}
+
+TEST(BouncePaths, SmuBouncesAfterRepeatedNvmeErrors)
+{
+    system::System sys(smallConfig(system::PagingMode::hwdp));
+    ht::FaultPlan plan("plan", sys.eventQueue(), 53);
+    auto mf = sys.mapDataset("f", 16 * 1024);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 1000);
+    sys.addThread(*wl, 0, *mf.as);
+    plan.attach(sys);
+    plan.site(ht::FaultSite::ssdReadError).rate = 1.0;
+    plan.site(ht::FaultSite::ssdReadError).maxInjections = 2;
+    plan.arm(ht::FaultSite::ssdReadError);
+
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    // First command errored twice: one retry, then the bounce to the
+    // OS path, which re-read the page successfully.
+    EXPECT_EQ(sys.smu()->ioRetries(), 1u);
+    EXPECT_EQ(sys.smu()->rejectedIoError(), 1u);
+    EXPECT_GE(sys.kernel().smuFallbackFaults(), 1u);
+    EXPECT_EQ(sys.totalAppOps(), 1000u);
+    auto inv = ht::checkInvariants(sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+}
+
+TEST(BouncePaths, SoftwareSmuRetriesThenBouncesOnNvmeErrors)
+{
+    {
+        system::System sys(smallConfig(system::PagingMode::swsmu));
+        ht::FaultPlan plan("plan", sys.eventQueue(), 59);
+        auto mf = sys.mapDataset("f", 16 * 1024);
+        auto *wl =
+            sys.makeWorkload<workloads::FioWorkload>(mf.vma, 1000);
+        sys.addThread(*wl, 0, *mf.as);
+        plan.attach(sys);
+        plan.site(ht::FaultSite::ssdReadError).rate = 1.0;
+        plan.site(ht::FaultSite::ssdReadError).maxInjections = 1;
+        plan.arm(ht::FaultSite::ssdReadError);
+
+        ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+        EXPECT_EQ(sys.softwareSmu()->ioRetries(), 1u);
+        EXPECT_EQ(sys.softwareSmu()->rejectedIoError(), 0u);
+        EXPECT_EQ(sys.totalAppOps(), 1000u);
+    }
+    {
+        system::System sys(smallConfig(system::PagingMode::swsmu));
+        ht::FaultPlan plan("plan", sys.eventQueue(), 61);
+        auto mf = sys.mapDataset("f", 16 * 1024);
+        auto *wl =
+            sys.makeWorkload<workloads::FioWorkload>(mf.vma, 1000);
+        sys.addThread(*wl, 0, *mf.as);
+        plan.attach(sys);
+        plan.site(ht::FaultSite::ssdReadError).rate = 1.0;
+        plan.site(ht::FaultSite::ssdReadError).maxInjections = 2;
+        plan.arm(ht::FaultSite::ssdReadError);
+
+        ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+        EXPECT_EQ(sys.softwareSmu()->ioRetries(), 1u);
+        EXPECT_EQ(sys.softwareSmu()->rejectedIoError(), 1u);
+        EXPECT_EQ(sys.totalAppOps(), 1000u);
+    }
+}
+
+TEST(BouncePaths, SoftwareSmuQueueDryFallsBackToOs)
+{
+    system::System sys(smallConfig(system::PagingMode::swsmu));
+    ht::FaultPlan plan("plan", sys.eventQueue(), 67);
+    auto mf = sys.mapDataset("f", 16 * 1024);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 1200);
+    sys.addThread(*wl, 0, *mf.as);
+    plan.attach(sys);
+    plan.site(ht::FaultSite::fpqDry).rate = 1.0;
+    plan.site(ht::FaultSite::fpqDry).maxInjections = 8;
+    plan.arm(ht::FaultSite::fpqDry);
+
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    EXPECT_GE(sys.softwareSmu()->queueEmptyBounces(), 8u);
+    EXPECT_EQ(sys.totalAppOps(), 1200u);
+}
+
+TEST(BouncePaths, BlockLayerRetriesFailedReadsUnderOsdp)
+{
+    system::System sys(smallConfig(system::PagingMode::osdp));
+    ht::FaultPlan plan("plan", sys.eventQueue(), 71);
+    auto mf = sys.mapDataset("f", 16 * 1024);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 1000);
+    sys.addThread(*wl, 0, *mf.as);
+    plan.attach(sys);
+    plan.site(ht::FaultSite::ssdReadError).rate = 1.0;
+    plan.site(ht::FaultSite::ssdReadError).maxInjections = 3;
+    plan.arm(ht::FaultSite::ssdReadError);
+
+    ASSERT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    EXPECT_EQ(sys.kernel().blockLayer().ioRetries(), 3u);
+    EXPECT_EQ(sys.ssd().errorsCompleted(), 3u);
+    EXPECT_EQ(sys.totalAppOps(), 1000u);
+}
+
+TEST(BouncePaths, AnonExhaustionOomKillsThreadInsteadOfPanicking)
+{
+    auto cfg = smallConfig(system::PagingMode::osdp);
+    cfg.memFrames = 1024;
+    system::System sys(cfg);
+    // Anonymous pages are unevictable (no swap): touching more of
+    // them than DRAM holds genuinely exhausts memory.
+    auto mf = sys.mapAnon(2048);
+    auto *wl = sys.makeWorkload<TouchAll>(mf.vma, 2048);
+    auto *tc = sys.addThread(*wl, 0, *mf.as);
+
+    bool done = false;
+    EXPECT_NO_THROW(done = sys.runUntilThreadsDone(seconds(30.0)));
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(tc->oomKilled());
+    EXPECT_EQ(sys.kernel().oomKills(), 1u);
+    // The thread died short of its full workload.
+    EXPECT_LT(sys.totalAppOps(), 2048u);
+}

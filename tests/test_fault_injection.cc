@@ -1,0 +1,195 @@
+/**
+ * @file
+ * FaultPlan behaviour: every injection site fires under a fixed seed,
+ * the injection schedule is a pure function of the seed (replayable),
+ * different seeds produce different schedules, and a fault-injected
+ * machine still satisfies every consistency invariant — checked both
+ * mid-run and at completion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/system.hh"
+#include "testing/fault_plan.hh"
+#include "testing/invariants.hh"
+#include "testing/machine_differ.hh"
+#include "workloads/fio.hh"
+
+using namespace hwdp;
+namespace ht = hwdp::testing;
+
+namespace {
+
+system::MachineConfig
+smallConfig(system::PagingMode mode)
+{
+    system::MachineConfig cfg;
+    cfg.mode = mode;
+    cfg.nLogical = 4;
+    cfg.nPhysical = 2;
+    cfg.memFrames = 8 * 1024;
+    cfg.smu.freeQueueCapacity = 512;
+    cfg.kpooldPeriod = milliseconds(1.0);
+    cfg.kptedPeriod = milliseconds(4.0);
+    return cfg;
+}
+
+struct FioRun
+{
+    std::unique_ptr<system::System> sys;
+    std::unique_ptr<ht::FaultPlan> plan;
+    cpu::ThreadContext *tc = nullptr;
+};
+
+FioRun
+makeFioRun(system::PagingMode mode, std::uint64_t plan_seed,
+           std::uint64_t ops = 2500, double rate = 0.02)
+{
+    FioRun r;
+    r.sys = std::make_unique<system::System>(smallConfig(mode));
+    r.plan = std::make_unique<ht::FaultPlan>(
+        "plan", r.sys->eventQueue(), plan_seed);
+    auto mf = r.sys->mapDataset("f", 16 * 1024);
+    auto *wl =
+        r.sys->makeWorkload<workloads::FioWorkload>(mf.vma, ops);
+    r.tc = r.sys->addThread(*wl, 0, *mf.as);
+    r.plan->attach(*r.sys);
+    if (rate > 0.0)
+        r.plan->armAllAtRate(rate);
+    return r;
+}
+
+} // namespace
+
+TEST(FaultInjection, EverySiteFiresUnderFixedSeed)
+{
+    FioRun r = makeFioRun(system::PagingMode::hwdp, 7);
+    ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
+
+    for (unsigned i = 0; i < ht::numFaultSites; ++i) {
+        auto s = static_cast<ht::FaultSite>(i);
+        EXPECT_GT(r.plan->queries(s), 0u) << ht::faultSiteName(s);
+        EXPECT_GT(r.plan->injections(s), 0u)
+            << ht::faultSiteName(s);
+    }
+    EXPECT_EQ(r.plan->totalInjections(), r.plan->log().size());
+
+    // The machine absorbed every fault: all ops completed.
+    EXPECT_EQ(r.sys->totalAppOps(), 2500u);
+}
+
+TEST(FaultInjection, SameSeedReplaysIdenticalSchedule)
+{
+    FioRun a = makeFioRun(system::PagingMode::hwdp, 11);
+    FioRun b = makeFioRun(system::PagingMode::hwdp, 11);
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(30.0)));
+    ASSERT_TRUE(b.sys->runUntilThreadsDone(seconds(30.0)));
+
+    const auto &la = a.plan->log();
+    const auto &lb = b.plan->log();
+    ASSERT_EQ(la.size(), lb.size());
+    ASSERT_GT(la.size(), 0u);
+    for (std::size_t i = 0; i < la.size(); ++i) {
+        EXPECT_EQ(la[i].site, lb[i].site) << "entry " << i;
+        EXPECT_EQ(la[i].tick, lb[i].tick) << "entry " << i;
+        EXPECT_EQ(la[i].querySeq, lb[i].querySeq) << "entry " << i;
+    }
+}
+
+TEST(FaultInjection, SameSeedByteIdenticalStatsDump)
+{
+    FioRun a = makeFioRun(system::PagingMode::hwdp, 13);
+    FioRun b = makeFioRun(system::PagingMode::hwdp, 13);
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(30.0)));
+    ASSERT_TRUE(b.sys->runUntilThreadsDone(seconds(30.0)));
+    ht::quiesce(*a.sys);
+    ht::quiesce(*b.sys);
+
+    std::ostringstream da, db;
+    ht::dumpMachineStats(*a.sys, da);
+    ht::dumpMachineStats(*b.sys, db);
+    ASSERT_FALSE(da.str().empty());
+    EXPECT_EQ(da.str(), db.str());
+}
+
+TEST(FaultInjection, DifferentSeedsDivergeInjectionPoints)
+{
+    FioRun a = makeFioRun(system::PagingMode::hwdp, 17);
+    FioRun b = makeFioRun(system::PagingMode::hwdp, 18);
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(30.0)));
+    ASSERT_TRUE(b.sys->runUntilThreadsDone(seconds(30.0)));
+
+    const auto &la = a.plan->log();
+    const auto &lb = b.plan->log();
+    ASSERT_GT(la.size(), 0u);
+    ASSERT_GT(lb.size(), 0u);
+    bool same = la.size() == lb.size();
+    if (same) {
+        for (std::size_t i = 0; i < la.size(); ++i) {
+            if (la[i].site != lb[i].site ||
+                la[i].querySeq != lb[i].querySeq) {
+                same = false;
+                break;
+            }
+        }
+    }
+    EXPECT_FALSE(same);
+}
+
+TEST(FaultInjection, DisarmedPlanInjectsNothingButCountsQueries)
+{
+    FioRun r = makeFioRun(system::PagingMode::hwdp, 19, 800, 0.0);
+    ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
+    EXPECT_EQ(r.plan->totalInjections(), 0u);
+    EXPECT_GT(r.plan->queries(ht::FaultSite::ssdReadError), 0u);
+    EXPECT_GT(r.plan->queries(ht::FaultSite::fpqDry), 0u);
+    EXPECT_GT(r.plan->queries(ht::FaultSite::pmshrFull), 0u);
+}
+
+TEST(FaultInjection, MaxInjectionsCapsTheSite)
+{
+    FioRun r = makeFioRun(system::PagingMode::hwdp, 23, 2000, 0.0);
+    r.plan->site(ht::FaultSite::pmshrFull).rate = 1.0;
+    r.plan->site(ht::FaultSite::pmshrFull).maxInjections = 5;
+    r.plan->arm(ht::FaultSite::pmshrFull);
+    ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
+    EXPECT_EQ(r.plan->injections(ht::FaultSite::pmshrFull), 5u);
+    EXPECT_EQ(r.sys->totalAppOps(), 2000u);
+}
+
+TEST(FaultInjection, InvariantsHoldMidRunAndAtCompletionUnderFaults)
+{
+    FioRun r = makeFioRun(system::PagingMode::hwdp, 29);
+    r.sys->eventQueue().runWhile(
+        [&] { return r.sys->totalAppOps() < 1000; }, seconds(30.0));
+    auto mid = ht::checkInvariants(*r.sys);
+    EXPECT_TRUE(mid.empty()) << mid.front();
+
+    ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
+    ht::quiesce(*r.sys);
+    auto end = ht::checkInvariants(*r.sys);
+    EXPECT_TRUE(end.empty()) << end.front();
+}
+
+TEST(FaultInjection, SwSmuAndOsdpModesAttachTheirSites)
+{
+    // swsmu: SSD sites plus the (single) free page queue.
+    FioRun sw = makeFioRun(system::PagingMode::swsmu, 31, 1200);
+    ASSERT_TRUE(sw.sys->runUntilThreadsDone(seconds(30.0)));
+    EXPECT_GT(sw.plan->injections(ht::FaultSite::ssdReadError),
+              0u);
+    EXPECT_GT(sw.plan->queries(ht::FaultSite::fpqDry), 0u);
+    EXPECT_EQ(sw.plan->queries(ht::FaultSite::pmshrFull), 0u);
+    EXPECT_EQ(sw.sys->totalAppOps(), 1200u);
+
+    // osdp: only the SSD-facing sites exist.
+    FioRun os = makeFioRun(system::PagingMode::osdp, 37, 1200);
+    ASSERT_TRUE(os.sys->runUntilThreadsDone(seconds(30.0)));
+    EXPECT_GT(os.plan->injections(ht::FaultSite::ssdReadError),
+              0u);
+    EXPECT_EQ(os.plan->queries(ht::FaultSite::fpqDry), 0u);
+    EXPECT_EQ(os.plan->queries(ht::FaultSite::pmshrFull), 0u);
+    EXPECT_EQ(os.sys->totalAppOps(), 1200u);
+}
