@@ -60,6 +60,8 @@ struct FioRun
     double userIpc = 0;
     std::uint64_t hwHandled = 0;
     std::uint64_t osFaults = 0;
+    std::uint64_t pwcHits = 0;
+    std::uint64_t pwcMisses = 0;
 };
 
 /**
@@ -94,6 +96,8 @@ runFio(system::MachineConfig cfg, unsigned threads,
     r.opsPerSec = sys.throughputOpsPerSec();
     r.userIpc = sys.aggregateUserIpc();
     r.osFaults = sys.kernel().majorFaults();
+    r.pwcHits = sys.totalPwcHits();
+    r.pwcMisses = sys.totalPwcMisses();
     return r;
 }
 

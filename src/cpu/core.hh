@@ -23,7 +23,7 @@ class Core
   public:
     Core(unsigned logical_id, sim::EventQueue &eq,
          mem::CacheHierarchy &caches, os::Kernel &kernel,
-         Tick cycle_period);
+         Tick cycle_period, unsigned pwc_entries = 16);
 
     unsigned logicalId() const { return lid; }
     unsigned physicalId() const { return pid; }

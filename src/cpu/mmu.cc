@@ -6,11 +6,12 @@ namespace hwdp::cpu {
 
 Mmu::Mmu(std::string name, sim::EventQueue &eq, unsigned logical_core,
          mem::CacheHierarchy &caches, os::Kernel &kernel,
-         Tick cycle_period)
+         Tick cycle_period, unsigned pwc_entries)
     : sim::SimObject(std::move(name), eq), core(logical_core),
       physCore(kernel.scheduler().physCoreOf(logical_core)),
       caches(caches), kernel(kernel), period(cycle_period),
-      walkUnit(caches, physCore, cycle_period), smus(8, nullptr),
+      walkUnit(caches, physCore, cycle_period, pwc_entries),
+      smus(8, nullptr),
       statAccesses(stats().counter("accesses", "memory accesses")),
       statHwMiss(stats().counter("hw_misses",
                                  "page misses sent to an SMU")),
@@ -47,49 +48,103 @@ Mmu::dataAccess(VAddr vaddr, Pfn pfn, bool is_write)
     return lat * period;
 }
 
-void
-Mmu::access(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
-            bool is_write, std::function<void(AccessInfo)> done)
+Mmu::Pending *
+Mmu::acquirePending()
 {
-    ++statAccesses;
-    doAccess(t, as, vaddr, is_write, now(), AccessInfo{}, 0,
-             std::move(done));
+    if (pendingFree) {
+        Pending *p = pendingFree;
+        pendingFree = p->nextFree;
+        return p;
+    }
+    pendingPool.push_back(std::make_unique<Pending>());
+    return pendingPool.back().get();
 }
 
 void
-Mmu::doAccess(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
-              bool is_write, Tick start, AccessInfo info,
-              unsigned attempts, std::function<void(AccessInfo)> done)
+Mmu::releasePending(Pending *p)
 {
-    if (attempts > 8)
-        panic("mmu: access at ", vaddr, " not making progress");
+    // Bump the generation so a still-scheduled stall-timeout event
+    // for this node recognises the access as gone.
+    ++p->gen;
+    p->sink = nullptr;
+    p->nextFree = pendingFree;
+    pendingFree = p;
+}
+
+bool
+Mmu::access(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+            bool is_write, Tick defer, AccessSink &sink, AccessInfo &out)
+{
+    ++statAccesses;
 
     // 1. TLB.
     Tlb::Result tr = tlbUnit.lookup(vaddr);
     if (tr.hit) {
-        Tick lat = tr.l1Hit ? 0 : 4 * period; // L2 STLB latency
-        lat += dataAccess(vaddr, tr.pfn, is_write);
-        info.latency = (now() + lat) - start;
-        eq.postIn(lat,
-                            [info, done = std::move(done)] { done(info); },
-                            "mmu.hit");
-        return;
+        out = AccessInfo{};
+        out.latency = (tr.l1Hit ? Tick(0) : 4 * period) + // L2 STLB
+                      dataAccess(vaddr, tr.pfn, is_write);
+        return true;
     }
 
     // 2. Page-table walk.
-    Walker::Outcome out = walkUnit.walk(as, vaddr);
-    Tick wl = out.latency;
-
-    if (out.kind == Walker::Classification::present) {
-        Pfn pfn = os::pte::pfnOf(out.entry);
+    Walker::Outcome wo = walkUnit.walk(as, vaddr);
+    if (wo.kind == Walker::Classification::present) {
+        Pfn pfn = os::pte::pfnOf(wo.entry);
         tlbUnit.insert(vaddr, pfn);
-        Tick lat = wl + dataAccess(vaddr, pfn, is_write);
-        info.latency = (now() + lat) - start;
-        eq.postIn(lat,
-                            [info, done = std::move(done)] { done(info); },
-                            "mmu.walked");
-        return;
+        out = AccessInfo{};
+        out.latency = wo.latency + dataAccess(vaddr, pfn, is_write);
+        return true;
     }
+
+    // 3. Page miss: park the access and engage the slow path.
+    Pending *p = acquirePending();
+    p->t = &t;
+    p->as = &as;
+    p->vaddr = vaddr;
+    p->write = is_write;
+    p->start = now() + defer;
+    p->info = AccessInfo{};
+    p->attempts = 0;
+    p->sink = &sink;
+    startMiss(p, wo, defer);
+    return false;
+}
+
+void
+Mmu::access(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+            bool is_write, std::function<void(AccessInfo)> done)
+{
+    // Adapter for callback-style callers: a self-deleting sink that
+    // delivers the synchronous-completion case through an event, so
+    // the callback always runs after the access latency has elapsed
+    // (the pre-fast-path contract).
+    struct FnSink final : AccessSink
+    {
+        std::function<void(AccessInfo)> fn;
+
+        void
+        accessDone(const AccessInfo &info) override
+        {
+            auto f = std::move(fn);
+            delete this;
+            f(info);
+        }
+    };
+    auto *s = new FnSink;
+    s->fn = std::move(done);
+
+    AccessInfo out;
+    if (access(t, as, vaddr, is_write, 0, *s, out)) {
+        eq.postIn(out.latency,
+                  [s, out] { s->accessDone(out); },
+                  "mmu.hit");
+    }
+}
+
+void
+Mmu::startMiss(Pending *p, const Walker::Outcome &out, Tick defer)
+{
+    Tick wl = out.latency;
 
     if (out.kind == Walker::Classification::hwMiss) {
         unsigned sid = os::pte::socketIdOf(out.entry);
@@ -97,86 +152,34 @@ Mmu::doAccess(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
                                                       : nullptr;
         if (smu) {
             ++statHwMiss;
-            info.faulted = true;
+            p->info.faulted = true;
             // Pipeline stall: the thread keeps the core but consumes
             // no issue slots (SMT sibling benefits, Figure 16).
             kernel.scheduler().setHwStalled(core, true);
+            p->completed = false;
+            p->switched = false;
 
             PageMissRequest req;
             req.refs = out.refs;
             req.sid = sid;
             req.dev = os::pte::deviceIdOf(out.entry);
             req.lba = os::pte::lbaOf(out.entry);
-            req.as = &as;
-            req.vaddr = vaddr & ~pageOffsetMask;
+            req.as = p->as;
+            req.vaddr = p->vaddr & ~pageOffsetMask;
             req.core = core;
-            // Shared stall state for the long-latency timeout remedy.
-            struct StallState
-            {
-                bool completed = false;
-                bool switched = false;
-            };
-            auto state = std::make_shared<StallState>();
-
-            req.done = [this, &t, &as, vaddr, is_write, start, info,
-                        attempts, state,
-                        done = std::move(done)](bool success) mutable {
-                state->completed = true;
-                kernel.scheduler().setHwStalled(core, false);
-
-                auto resume = [this, &t, &as, vaddr, is_write, start,
-                               info, attempts, success,
-                               done = std::move(done)]() mutable {
-                    if (success) {
-                        info.hwHandled = true;
-                        doAccess(t, as, vaddr, is_write, start, info,
-                                 attempts + 1, std::move(done));
-                    } else {
-                        // SMU bounce: raise the exception after all
-                        // (Section III-C, free page queue empty).
-                        ++statSmuReject;
-                        kernel.handlePageFault(
-                            t, as, vaddr, is_write, true,
-                            [this, &t, &as, vaddr, is_write, start,
-                             info, attempts,
-                             done = std::move(done)]() mutable {
-                                doAccess(t, as, vaddr, is_write, start,
-                                         info, attempts + 1,
-                                         std::move(done));
-                            });
-                    }
-                };
-                if (state->switched) {
-                    // The thread timed out and was descheduled: wake
-                    // it and continue in its context.
-                    t.setResumeAction(std::move(resume));
-                    kernel.scheduler().wake(&t);
-                } else {
-                    resume();
-                }
-            };
-            eq.postIn(wl,
-                                [smu, req = std::move(req)]() mutable {
-                                    smu->handleMiss(std::move(req));
-                                },
-                                "mmu.smureq");
+            req.done = [this, p](bool success) { missDone(p, success); };
+            eq.postIn(defer + wl,
+                      [smu, req = std::move(req)]() mutable {
+                          smu->handleMiss(std::move(req));
+                      },
+                      "mmu.smureq");
 
             if (stallTimeout > 0) {
-                eq.postIn(
-                    wl + stallTimeout,
-                    [this, &t, state] {
-                        if (state->completed || state->switched)
-                            return;
-                        // Timeout exception: stop wasting the core and
-                        // switch out; block() charges the switch.
-                        state->switched = true;
-                        ++statTimeout;
-                        kernel.scheduler().setHwStalled(core, false);
-                        kernel.scheduler().kernelExec().run(
-                            physCore, os::phases::exceptionEntry);
-                        kernel.scheduler().block(&t);
-                    },
-                    "mmu.stallTimeout");
+                eq.postIn(defer + wl + stallTimeout,
+                          [this, p, gen = p->gen, att = p->attempts] {
+                              stallTimeoutFired(p, gen, att);
+                          },
+                          "mmu.stallTimeout");
             }
             return;
         }
@@ -184,22 +187,103 @@ Mmu::doAccess(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
         // the OS (it can always service a file-backed fault).
     }
 
-    // 3. Conventional exception.
+    // Conventional exception.
     ++statOsFault;
-    info.faulted = true;
-    eq.postIn(
-        wl,
-        [this, &t, &as, vaddr, is_write, start, info, attempts,
-         done = std::move(done)]() mutable {
-            kernel.handlePageFault(
-                t, as, vaddr, is_write, false,
-                [this, &t, &as, vaddr, is_write, start, info, attempts,
-                 done = std::move(done)]() mutable {
-                    doAccess(t, as, vaddr, is_write, start, info,
-                             attempts + 1, std::move(done));
-                });
-        },
-        "mmu.exception");
+    p->info.faulted = true;
+    eq.postIn(defer + wl,
+              [this, p] {
+                  kernel.handlePageFault(*p->t, *p->as, p->vaddr,
+                                         p->write, false,
+                                         [this, p] { retry(p); });
+              },
+              "mmu.exception");
+}
+
+void
+Mmu::retry(Pending *p)
+{
+    if (++p->attempts > 8)
+        panic("mmu: access at ", p->vaddr, " not making progress");
+
+    Tlb::Result tr = tlbUnit.lookup(p->vaddr);
+    if (tr.hit) {
+        Tick lat = (tr.l1Hit ? Tick(0) : 4 * period) +
+                   dataAccess(p->vaddr, tr.pfn, p->write);
+        complete(p, lat, "mmu.hit");
+        return;
+    }
+
+    Walker::Outcome wo = walkUnit.walk(*p->as, p->vaddr);
+    if (wo.kind == Walker::Classification::present) {
+        Pfn pfn = os::pte::pfnOf(wo.entry);
+        tlbUnit.insert(p->vaddr, pfn);
+        complete(p, wo.latency + dataAccess(p->vaddr, pfn, p->write),
+                 "mmu.walked");
+        return;
+    }
+    startMiss(p, wo, 0);
+}
+
+void
+Mmu::complete(Pending *p, Tick lat, const char *ev_name)
+{
+    p->info.latency = (now() + lat) - p->start;
+    AccessSink *sink = p->sink;
+    AccessInfo info = p->info;
+    releasePending(p);
+    eq.postIn(lat, [sink, info] { sink->accessDone(info); }, ev_name);
+}
+
+void
+Mmu::missDone(Pending *p, bool success)
+{
+    p->completed = true;
+    kernel.scheduler().setHwStalled(core, false);
+
+    if (p->switched) {
+        // The thread timed out and was descheduled: wake it and
+        // continue in its context.
+        p->lastSuccess = success;
+        p->t->setResumeAction([this, p] { resumeMiss(p, p->lastSuccess); });
+        kernel.scheduler().wake(p->t);
+    } else {
+        resumeMiss(p, success);
+    }
+}
+
+void
+Mmu::resumeMiss(Pending *p, bool success)
+{
+    if (success) {
+        p->info.hwHandled = true;
+        retry(p);
+    } else {
+        // SMU bounce: raise the exception after all (Section III-C,
+        // free page queue empty).
+        ++statSmuReject;
+        kernel.handlePageFault(*p->t, *p->as, p->vaddr, p->write, true,
+                               [this, p] { retry(p); });
+    }
+}
+
+void
+Mmu::stallTimeoutFired(Pending *p, std::uint32_t gen, unsigned att)
+{
+    // The node may have been recycled for another access, or this
+    // access may have been bounced into a later SMU engagement; both
+    // make this timeout stale.
+    if (p->gen != gen || p->attempts != att)
+        return;
+    if (p->completed || p->switched)
+        return;
+    // Timeout exception: stop wasting the core and switch out;
+    // block() charges the switch.
+    p->switched = true;
+    ++statTimeout;
+    kernel.scheduler().setHwStalled(core, false);
+    kernel.scheduler().kernelExec().run(physCore,
+                                        os::phases::exceptionEntry);
+    kernel.scheduler().block(p->t);
 }
 
 } // namespace hwdp::cpu

@@ -9,12 +9,25 @@
  * Section III). While the SMU works, the core's pipeline is stalled:
  * the thread keeps the logical core but consumes no issue slots,
  * which the scheduler's width-share model exposes to the SMT sibling.
+ *
+ * Access protocol (the zero-event fast path): access() attempts to
+ * complete the access synchronously. A TLB hit or a walk that finds a
+ * present PTE returns true with the access latency in the out
+ * parameter — no event is posted and nothing is allocated; the caller
+ * accrues the latency into its logical clock. Only a real page miss
+ * engages the slow path: the access parks in a pooled PendingAccess
+ * node (recycled through a free list) and the completion is delivered
+ * through the AccessSink interface. Every slow-path continuation
+ * captures exactly [this, pending] — two pointers, inside the
+ * std::function small-object buffer — so retries no longer copy
+ * allocation-heavy closure chains.
  */
 
 #ifndef HWDP_CPU_MMU_HH
 #define HWDP_CPU_MMU_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cpu/tlb.hh"
@@ -58,12 +71,26 @@ struct AccessInfo
     Tick latency = 0;         ///< Total access latency.
 };
 
+/**
+ * Receiver of slow-path access completions. ThreadContext implements
+ * this; the callback carries no owning state, so completing an access
+ * allocates nothing.
+ */
+class AccessSink
+{
+  public:
+    virtual void accessDone(const AccessInfo &info) = 0;
+
+  protected:
+    ~AccessSink() = default;
+};
+
 class Mmu : public sim::SimObject
 {
   public:
     Mmu(std::string name, sim::EventQueue &eq, unsigned logical_core,
         mem::CacheHierarchy &caches, os::Kernel &kernel,
-        Tick cycle_period);
+        Tick cycle_period, unsigned pwc_entries = 16);
 
     /**
      * Register the SMU responsible for socket @p sid (PTEs carry the
@@ -82,8 +109,24 @@ class Mmu : public sim::SimObject
     std::uint64_t stallTimeouts() const { return statTimeout.value(); }
 
     /**
-     * Perform a user memory access on behalf of thread @p t.
-     * @p done fires when the data is available.
+     * Perform a user memory access on behalf of thread @p t, issued
+     * @p defer ticks into the caller's inline batch (logical issue
+     * time = now() + defer).
+     *
+     * @return true when the access completed synchronously (TLB hit
+     * or present PTE); @p out holds the access latency and the caller
+     * accrues it. false when a page miss engaged the slow path: the
+     * completion arrives later through @p sink (always from a posted
+     * event, at real simulated time).
+     */
+    bool access(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+                bool is_write, Tick defer, AccessSink &sink,
+                AccessInfo &out);
+
+    /**
+     * Callback-style access (tests and non-batching callers): the
+     * completion is always delivered through a posted event after the
+     * access latency has elapsed.
      */
     void access(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
                 bool is_write, std::function<void(AccessInfo)> done);
@@ -96,6 +139,29 @@ class Mmu : public sim::SimObject
     std::uint64_t smuRejections() const { return statSmuReject.value(); }
 
   private:
+    /**
+     * One parked slow-path access. Nodes are pool-owned and recycled
+     * through a free list; the generation counter lets the stall
+     * timeout detect that its access already completed and the node
+     * was reused.
+     */
+    struct Pending
+    {
+        os::Thread *t = nullptr;
+        os::AddressSpace *as = nullptr;
+        VAddr vaddr = 0;
+        bool write = false;
+        bool lastSuccess = false; ///< SMU verdict for a woken thread.
+        bool completed = false;   ///< SMU replied (this engagement).
+        bool switched = false;    ///< Stall timeout fired (ditto).
+        unsigned attempts = 0;
+        std::uint32_t gen = 0;
+        Tick start = 0;           ///< Logical issue time.
+        AccessInfo info;
+        AccessSink *sink = nullptr;
+        Pending *nextFree = nullptr;
+    };
+
     unsigned core;
     unsigned physCore;
     mem::CacheHierarchy &caches;
@@ -106,15 +172,31 @@ class Mmu : public sim::SimObject
     Walker walkUnit;
     std::vector<PageMissHandlerIface *> smus; // by socket id
 
+    std::vector<std::unique_ptr<Pending>> pendingPool;
+    Pending *pendingFree = nullptr;
+
     sim::Counter &statAccesses;
     sim::Counter &statHwMiss;
     sim::Counter &statOsFault;
     sim::Counter &statSmuReject;
     sim::Counter &statTimeout;
 
-    void doAccess(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
-                  bool is_write, Tick start, AccessInfo info,
-                  unsigned attempts, std::function<void(AccessInfo)> done);
+    Pending *acquirePending();
+    void releasePending(Pending *p);
+
+    /** Route a walk miss outcome (SMU request or OS exception). */
+    void startMiss(Pending *p, const Walker::Outcome &out, Tick defer);
+
+    /** Re-translate after miss handling; completes or re-misses. */
+    void retry(Pending *p);
+
+    /** Deliver the completion @p lat ticks from now and recycle @p p. */
+    void complete(Pending *p, Tick lat, const char *ev_name);
+
+    /** PageMissRequest::done target. */
+    void missDone(Pending *p, bool success);
+    void resumeMiss(Pending *p, bool success);
+    void stallTimeoutFired(Pending *p, std::uint32_t gen, unsigned att);
 
     /** Data access through the hierarchy once translated. */
     Tick dataAccess(VAddr vaddr, Pfn pfn, bool is_write);

@@ -21,6 +21,8 @@ ThreadContext::ThreadContext(std::string name, unsigned core,
                    "app-op latency when a page miss occurred (us)", 0.5,
                    400)
 {
+    if (prm.memQuantum == 0)
+        fatal("thread '", this->name(), "': memQuantum must be >= 1");
 }
 
 void
@@ -34,7 +36,7 @@ ThreadContext::run()
         takeResumeAction()();
         return;
     }
-    nextOp();
+    opLoop();
 }
 
 bool
@@ -54,92 +56,175 @@ ThreadContext::handleOom()
 }
 
 void
-ThreadContext::nextOp()
+ThreadContext::opLoop()
 {
     if (isDone)
         return;
 
-    // Operation boundary: let pending interrupt work run (it borrows
-    // this context, no full context switch).
-    if (kernel.scheduler().kernelWorkPending(core())) {
-        setResumeAction([this] { nextOp(); });
-        kernel.scheduler().preemptForKernelWork(this);
-        return;
+    sim::EventQueue &eq = kernel.eventQueue();
+    const Tick t0 = kernel.now();
+
+    // Batch horizon: the next pending event anywhere in the machine.
+    // As long as the logical clock t0 + accrued stays below it, no
+    // other actor can run, so completing ops synchronously is
+    // indistinguishable from event-per-op execution. The thread posts
+    // no events inside a batch, so the horizon cannot move under us.
+    const Tick horizon = eq.nextEventTick();
+    Tick accrued = 0;
+    unsigned batched = 0;
+
+    for (;;) {
+        // Cut the batch: the next op would cross the horizon or the
+        // quantum is spent. One pooled continuation carries the whole
+        // batch's accrued time.
+        if (accrued > 0 &&
+            (t0 + accrued >= horizon || batched >= prm.memQuantum)) {
+            eq.postIn(accrued, [this] { opLoop(); }, "tc.batch");
+            return;
+        }
+
+        // Operation boundary: let pending interrupt work run (it
+        // borrows this context, no full context switch). The pending
+        // set only changes when events fire, and none fire inside a
+        // batch, so checking at the batch head is exact.
+        if (accrued == 0 && kernel.scheduler().kernelWorkPending(core())) {
+            setResumeAction([this] { opLoop(); });
+            kernel.scheduler().preemptForKernelWork(this);
+            return;
+        }
+
+        if (!hasCurOp) {
+            curOp = workload.next(rng);
+            hasCurOp = true;
+        }
+        const workloads::Op &op = curOp;
+
+        // Ops that involve the kernel or the scheduler run at real
+        // simulated time: flush the accrued batch first and execute
+        // the stashed op at the continuation (so preemption and
+        // bookkeeping happen at its actual start time, as before).
+        bool inline_op = op.kind == workloads::Op::Kind::compute ||
+                         op.kind == workloads::Op::Kind::mem ||
+                         op.kind == workloads::Op::Kind::idle;
+        if (!inline_op && accrued > 0) {
+            eq.postIn(accrued, [this] { opLoop(); }, "tc.batch");
+            return;
+        }
+
+        if (!appOpOpen && op.kind != workloads::Op::Kind::done) {
+            appOpOpen = true;
+            appOpFaulted = false;
+            appOpStart = t0 + accrued;
+        }
+
+        switch (op.kind) {
+          case workloads::Op::Kind::compute: {
+            accrued += computeBurst(op.compute);
+            ++batched;
+            hasCurOp = false;
+            if (op.endsAppOp)
+                finishOp(t0 + accrued);
+            continue;
+          }
+
+          case workloads::Op::Kind::mem: {
+            ++nMemOps;
+            memOpStart = t0 + accrued;
+            memOpEndsApp = op.endsAppOp;
+            hasCurOp = false;
+            AccessInfo info;
+            if (mmuRef.access(*this, as, op.addr, op.write, accrued,
+                              *this, info)) {
+                // Hit: complete inline.
+                memLat.sample(toMicroseconds(info.latency));
+                uCycles += info.latency / prm.cyclePeriod;
+                mCycles += info.latency / prm.cyclePeriod;
+                accrued += info.latency;
+                ++batched;
+                if (memOpEndsApp)
+                    finishOp(t0 + accrued);
+                continue;
+            }
+            // Page miss: the access is parked in the MMU (issued at
+            // logical time t0 + accrued) and the completion arrives
+            // through accessDone(), which restarts the loop.
+            return;
+          }
+
+          case workloads::Op::Kind::idle:
+            // Think time is pure logical-clock advance; other actors
+            // still run first if their events fall inside it (the
+            // horizon cut above).
+            accrued += op.idleTicks;
+            ++batched;
+            hasCurOp = false;
+            if (op.endsAppOp)
+                finishOp(t0 + accrued);
+            continue;
+
+          case workloads::Op::Kind::fileWrite:
+            hasCurOp = false;
+            kernel.writeFile(*this, *op.file, op.pageIndex, op.bytes,
+                             [this, ends = op.endsAppOp] {
+                                 if (ends)
+                                     finishOp(kernel.now());
+                                 opLoop();
+                             });
+            return;
+
+          case workloads::Op::Kind::msync:
+            hasCurOp = false;
+            kernel.msyncVma(*this, op.vma,
+                            [this, ends = op.endsAppOp] {
+                                if (ends)
+                                    finishOp(kernel.now());
+                                opLoop();
+                            });
+            return;
+
+          case workloads::Op::Kind::done:
+            hasCurOp = false;
+            isDone = true;
+            finished = kernel.now();
+            kernel.scheduler().finish(this);
+            if (onFinished)
+                onFinished();
+            return;
+        }
+        panic("thread '", name(), "': unhandled op kind");
     }
-
-    workloads::Op op = workload.next(rng);
-    if (!appOpOpen && op.kind != workloads::Op::Kind::done) {
-        appOpOpen = true;
-        appOpFaulted = false;
-        appOpStart = kernel.now();
-    }
-    switch (op.kind) {
-      case workloads::Op::Kind::compute:
-        execCompute(op.compute, [this, op] { completeOp(op); });
-        return;
-
-      case workloads::Op::Kind::mem: {
-        Tick start = kernel.now();
-        ++nMemOps;
-        mmuRef.access(*this, as, op.addr, op.write,
-                      [this, op, start](AccessInfo info) {
-                          memLat.sample(toMicroseconds(info.latency));
-                          if (info.faulted) {
-                              appOpFaulted = true;
-                              ++nFaulted;
-                              faultStall += kernel.now() - start;
-                              if (info.hwHandled)
-                                  ++nHwHandled;
-                          } else {
-                              uCycles += info.latency / prm.cyclePeriod;
-                              mCycles += info.latency / prm.cyclePeriod;
-                          }
-                          completeOp(op);
-                      });
-        return;
-      }
-
-      case workloads::Op::Kind::fileWrite:
-        kernel.writeFile(*this, *op.file, op.pageIndex, op.bytes,
-                         [this, op] { completeOp(op); });
-        return;
-
-      case workloads::Op::Kind::msync:
-        kernel.msyncVma(*this, op.vma, [this, op] { completeOp(op); });
-        return;
-
-      case workloads::Op::Kind::idle:
-        kernel.eventQueue().postIn(
-            op.idleTicks, [this, op] { completeOp(op); }, "tc.idle");
-        return;
-
-      case workloads::Op::Kind::done:
-        isDone = true;
-        finished = kernel.now();
-        kernel.scheduler().finish(this);
-        if (onFinished)
-            onFinished();
-        return;
-    }
-    panic("thread '", name(), "': unhandled op kind");
 }
 
 void
-ThreadContext::completeOp(const workloads::Op &op)
+ThreadContext::accessDone(const AccessInfo &info)
 {
-    if (op.endsAppOp) {
-        ++nAppOps;
-        if (appOpFaulted)
-            faultedOpLat.sample(toMicroseconds(kernel.now() -
-                                               appOpStart));
-        appOpOpen = false;
+    memLat.sample(toMicroseconds(info.latency));
+    if (info.faulted) {
+        appOpFaulted = true;
+        ++nFaulted;
+        faultStall += kernel.now() - memOpStart;
+        if (info.hwHandled)
+            ++nHwHandled;
+    } else {
+        uCycles += info.latency / prm.cyclePeriod;
+        mCycles += info.latency / prm.cyclePeriod;
     }
-    nextOp();
+    if (memOpEndsApp)
+        finishOp(kernel.now());
+    opLoop();
 }
 
 void
-ThreadContext::execCompute(const workloads::ComputeSpec &spec,
-                           std::function<void()> done)
+ThreadContext::finishOp(Tick logical_now)
+{
+    ++nAppOps;
+    if (appOpFaulted)
+        faultedOpLat.sample(toMicroseconds(logical_now - appOpStart));
+    appOpOpen = false;
+}
+
+Tick
+ThreadContext::computeBurst(const workloads::ComputeSpec &spec)
 {
     // Issue-slot share depends on what the SMT sibling is doing right
     // now (sampled at burst start; bursts are short).
@@ -161,8 +246,10 @@ ThreadContext::execCompute(const workloads::ComputeSpec &spec,
             a = spec.hotBase + (rng.range(spec.hotBytes) & ~7ULL);
         }
         auto r = caches.access(physCore, a, false, ExecMode::user);
-        if (r.latency > prm.l1HitLatency)
-            data_stall += r.latency - prm.l1HitLatency;
+        // max() instead of a conditional: hit/miss is random here, so
+        // a host branch on it mispredicts constantly; cmov is free.
+        data_stall +=
+            std::max(r.latency, prm.l1HitLatency) - prm.l1HitLatency;
     }
     // Overlapped misses (memory-level parallelism) hide part of the
     // data-stall cycles.
@@ -174,11 +261,15 @@ ThreadContext::execCompute(const workloads::ComputeSpec &spec,
     std::uint64_t n_lines = spec.instructions / 16 + 1;
     std::uint64_t text_lines = std::max<std::uint64_t>(
         spec.textBytes / lineSize, 1);
+    // One modulo per burst; the loop wraps incrementally (a 64-bit
+    // divide per fetched line is measurable host-side).
+    std::uint64_t pos = fetchSeq % text_lines;
     for (std::uint64_t i = 0; i < n_lines; ++i) {
-        VAddr a = spec.textBase + ((fetchSeq + i) % text_lines) * lineSize;
+        VAddr a = spec.textBase + pos * lineSize;
+        if (++pos == text_lines)
+            pos = 0;
         auto r = caches.access(physCore, a, true, ExecMode::user);
-        if (r.latency > prm.l1HitLatency)
-            extra += r.latency - prm.l1HitLatency;
+        extra += std::max(r.latency, prm.l1HitLatency) - prm.l1HitLatency;
     }
     // Cold-path fetches (rare branches, library calls) from a 1 MB
     // region: the workload's intrinsic L1I miss floor.
@@ -186,8 +277,7 @@ ThreadContext::execCompute(const workloads::ComputeSpec &spec,
         VAddr a = spec.textBase + 0x100'0000 +
                   ((fetchSeq * 13 + i * 67) % 16384) * lineSize;
         auto r = caches.access(physCore, a, true, ExecMode::user);
-        if (r.latency > prm.l1HitLatency)
-            extra += r.latency - prm.l1HitLatency;
+        extra += std::max(r.latency, prm.l1HitLatency) - prm.l1HitLatency;
     }
     fetchSeq += n_lines;
 
@@ -203,8 +293,9 @@ ThreadContext::execCompute(const workloads::ComputeSpec &spec,
         std::uint64_t site = rng.range(spec.staticBranches);
         std::uint64_t pc = spec.textBase + site * 16;
         bool taken = rng.chance(spec.branchBias);
-        if (!bp.predictAndUpdate(pc, taken, ExecMode::user))
-            ++mispred;
+        // Count without branching on the (data-dependent) outcome.
+        mispred += static_cast<std::uint64_t>(
+            !bp.predictAndUpdate(pc, taken, ExecMode::user));
     }
 
     auto base = static_cast<Cycles>(
@@ -217,8 +308,7 @@ ThreadContext::execCompute(const workloads::ComputeSpec &spec,
     uCycles += duration / prm.cyclePeriod; // wall cycles in user mode
     cCycles += duration / prm.cyclePeriod;
 
-    kernel.eventQueue().postIn(duration, std::move(done),
-                                         "tc.compute");
+    return duration;
 }
 
 } // namespace hwdp::cpu

@@ -9,6 +9,18 @@
  * file writes go through the kernel's syscall path. User-mode
  * instruction/cycle accounting follows the PMU convention the paper
  * uses: fault-resolution time is not user time.
+ *
+ * Execution is batched (the zero-event fast path): ops that complete
+ * without OS or SMU interaction — compute bursts, TLB/walk hits, think
+ * time — run back-to-back in host code, accruing their latency into a
+ * logical clock, and the thread posts a single continuation event per
+ * batch. A batch is cut when the logical clock would pass the event
+ * queue's next pending event (so no cross-actor interleaving is ever
+ * reordered), when memQuantum ops have accrued, or when the next op
+ * needs real simulated time (page miss, file write, msync, done).
+ * Because nothing else runs inside a batch, the machine state any
+ * other actor can observe is identical to event-per-op execution; see
+ * DESIGN.md section 6e for the equivalence argument.
  */
 
 #ifndef HWDP_CPU_THREAD_CONTEXT_HH
@@ -30,9 +42,17 @@ struct CoreParams
     double baseCpi = 0.45;    ///< CPI with all-hit caches.
     Cycles mispredPenalty = 15;
     Cycles l1HitLatency = 4;  ///< Folded into baseCpi.
+
+    /**
+     * Max ops accrued inline per continuation event. 1 restores
+     * event-per-op pacing (the legacy path, kept for differential
+     * testing); the default bounds how far one thread's logical clock
+     * can run ahead of the event queue within a quantum.
+     */
+    unsigned memQuantum = 4096;
 };
 
-class ThreadContext : public os::Thread
+class ThreadContext : public os::Thread, public AccessSink
 {
   public:
     ThreadContext(std::string name, unsigned core, os::Kernel &kernel,
@@ -45,6 +65,9 @@ class ThreadContext : public os::Thread
 
     /** OOM-killer victim: terminate gracefully instead of panicking. */
     bool handleOom() override;
+
+    /** Slow-path (page-miss) access completion. */
+    void accessDone(const AccessInfo &info) override;
 
     /** Invoked once the workload yields its done op. */
     void setOnFinished(std::function<void()> fn)
@@ -125,10 +148,20 @@ class ThreadContext : public os::Thread
     bool appOpFaulted = false;
     bool appOpOpen = false;
 
-    void nextOp();
-    void completeOp(const workloads::Op &op);
-    void execCompute(const workloads::ComputeSpec &spec,
-                     std::function<void()> done);
+    /**
+     * An op drawn mid-batch that needs real simulated time is stashed
+     * here across the batch cut and executed at the continuation.
+     */
+    workloads::Op curOp{};
+    bool hasCurOp = false;
+
+    /** Logical issue time of the in-flight slow-path memory access. */
+    Tick memOpStart = 0;
+    bool memOpEndsApp = false;
+
+    void opLoop();
+    void finishOp(Tick logical_now);
+    Tick computeBurst(const workloads::ComputeSpec &spec);
 };
 
 } // namespace hwdp::cpu

@@ -1,39 +1,82 @@
 #include "cpu/tlb.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace hwdp::cpu {
 
-Tlb::Tlb(unsigned l1_entries, unsigned l2_entries, unsigned l2_assoc)
-    : l1Cap(l1_entries), l2Assoc(l2_assoc)
+Tlb::Tlb(unsigned l1_entries, unsigned l2_entries, unsigned l2_assoc,
+         unsigned l1_assoc)
+    : l1Assoc(std::min(l1_assoc, l1_entries)), l2Assoc(l2_assoc)
 {
     if (l1_entries == 0 || l2_entries == 0 || l2_assoc == 0 ||
-        l2_entries % l2_assoc != 0)
+        l1_assoc == 0 || l2_entries % l2_assoc != 0 ||
+        l1_entries % l1Assoc != 0)
         fatal("tlb: bad geometry");
+    l1Sets = l1_entries / l1Assoc;
     l2Sets = l2_entries / l2_assoc;
+    l1.resize(l1_entries);
     l2.resize(l2_entries);
 }
 
-Tlb::Result
-Tlb::lookup(VAddr vaddr)
+Tlb::Entry *
+Tlb::find(std::vector<Entry> &lvl, unsigned sets, unsigned assoc,
+          std::uint64_t vpn)
 {
-    ++nLookups;
-    std::uint64_t vpn = vaddr >> pageShift;
+    Entry *base = &lvl[(vpn % sets) * assoc];
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].vpn == vpn)
+            return &base[w];
+    }
+    return nullptr;
+}
 
+Tlb::Entry *
+Tlb::fill(std::vector<Entry> &lvl, unsigned sets, unsigned assoc,
+          std::uint64_t vpn, Pfn pfn)
+{
+    Entry *base = &lvl[(vpn % sets) * assoc];
+    Entry *victim = base;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    // Evicting the latched L1 slot would leave the latch pointing at
+    // a different translation; drop it (the caller re-latches).
+    if (&lvl == &l1 && latchIdx != npos && victim == &l1[latchIdx])
+        latchIdx = npos;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->pfn = pfn;
+    victim->lastUse = ++useClock;
+    return victim;
+}
+
+Tlb::Result
+Tlb::lookupSlow(std::uint64_t vpn)
+{
     Result r;
-    auto it = l1Map.find(vpn);
-    if (it != l1Map.end()) {
-        l1Order.splice(l1Order.begin(), l1Order, it->second.second);
+    if (Entry *e = find(l1, l1Sets, l1Assoc, vpn)) {
+        e->lastUse = ++useClock;
+        latchVpn = vpn;
+        latchIdx = static_cast<std::size_t>(e - l1.data());
         r.hit = true;
         r.l1Hit = true;
-        r.pfn = it->second.first;
+        r.pfn = e->pfn;
         return r;
     }
     ++nL1Miss;
 
-    if (L2Entry *e = l2Find(vpn)) {
+    if (Entry *e = find(l2, l2Sets, l2Assoc, vpn)) {
         e->lastUse = ++useClock;
-        l1Insert(vpn, e->pfn);
+        Entry *ne = fill(l1, l1Sets, l1Assoc, vpn, e->pfn);
+        latchVpn = vpn;
+        latchIdx = static_cast<std::size_t>(ne - l1.data());
         r.hit = true;
         r.pfn = e->pfn;
         return r;
@@ -43,87 +86,48 @@ Tlb::lookup(VAddr vaddr)
 }
 
 void
-Tlb::l1Insert(std::uint64_t vpn, Pfn pfn)
-{
-    auto it = l1Map.find(vpn);
-    if (it != l1Map.end()) {
-        it->second.first = pfn;
-        l1Order.splice(l1Order.begin(), l1Order, it->second.second);
-        return;
-    }
-    if (l1Map.size() >= l1Cap) {
-        std::uint64_t victim = l1Order.back();
-        l1Order.pop_back();
-        l1Map.erase(victim);
-    }
-    l1Order.push_front(vpn);
-    l1Map[vpn] = {pfn, l1Order.begin()};
-}
-
-Tlb::L2Entry *
-Tlb::l2Find(std::uint64_t vpn)
-{
-    std::uint64_t set = vpn % l2Sets;
-    L2Entry *base = &l2[set * l2Assoc];
-    for (unsigned w = 0; w < l2Assoc; ++w) {
-        if (base[w].valid && base[w].vpn == vpn)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-void
-Tlb::l2Insert(std::uint64_t vpn, Pfn pfn)
-{
-    std::uint64_t set = vpn % l2Sets;
-    L2Entry *base = &l2[set * l2Assoc];
-    L2Entry *victim = base;
-    for (unsigned w = 0; w < l2Assoc; ++w) {
-        L2Entry &e = base[w];
-        if (e.valid && e.vpn == vpn) {
-            e.pfn = pfn;
-            e.lastUse = ++useClock;
-            return;
-        }
-        if (!e.valid) {
-            victim = &e;
-        } else if (victim->valid && e.lastUse < victim->lastUse) {
-            victim = &e;
-        }
-    }
-    victim->valid = true;
-    victim->vpn = vpn;
-    victim->pfn = pfn;
-    victim->lastUse = ++useClock;
-}
-
-void
 Tlb::insert(VAddr vaddr, Pfn pfn)
 {
     std::uint64_t vpn = vaddr >> pageShift;
-    l1Insert(vpn, pfn);
-    l2Insert(vpn, pfn);
+
+    Entry *e1 = find(l1, l1Sets, l1Assoc, vpn);
+    if (!e1) {
+        e1 = fill(l1, l1Sets, l1Assoc, vpn, pfn);
+        latchVpn = vpn;
+        latchIdx = static_cast<std::size_t>(e1 - l1.data());
+    } else if (e1->pfn != pfn) {
+        e1->pfn = pfn;
+        e1->lastUse = ++useClock;
+    }
+
+    Entry *e2 = find(l2, l2Sets, l2Assoc, vpn);
+    if (!e2) {
+        fill(l2, l2Sets, l2Assoc, vpn, pfn);
+    } else if (e2->pfn != pfn) {
+        e2->pfn = pfn;
+        e2->lastUse = ++useClock;
+    }
 }
 
 void
 Tlb::invalidate(VAddr vaddr)
 {
     std::uint64_t vpn = vaddr >> pageShift;
-    auto it = l1Map.find(vpn);
-    if (it != l1Map.end()) {
-        l1Order.erase(it->second.second);
-        l1Map.erase(it);
-    }
-    if (L2Entry *e = l2Find(vpn))
+    if (latchIdx != npos && latchVpn == vpn)
+        latchIdx = npos;
+    if (Entry *e = find(l1, l1Sets, l1Assoc, vpn))
+        e->valid = false;
+    if (Entry *e = find(l2, l2Sets, l2Assoc, vpn))
         e->valid = false;
 }
 
 void
 Tlb::flush()
 {
-    l1Map.clear();
-    l1Order.clear();
-    for (L2Entry &e : l2)
+    latchIdx = npos;
+    for (Entry &e : l1)
+        e.valid = false;
+    for (Entry &e : l2)
         e.valid = false;
 }
 

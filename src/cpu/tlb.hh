@@ -2,18 +2,24 @@
  * @file
  * Two-level TLB model (per logical core).
  *
- * Geometry approximates the evaluation machine: a 64-entry
- * fully-associative L1 DTLB in front of a 1536-entry 8-way L2 STLB.
- * Only 4 KB translations are modelled (Section V: huge pages are not
- * a first-class feature of the design).
+ * Geometry approximates the evaluation machine: a 64-entry 8-way L1
+ * DTLB in front of a 1536-entry 8-way L2 STLB. Only 4 KB translations
+ * are modelled (Section V: huge pages are not a first-class feature
+ * of the design).
+ *
+ * Both levels are flat set-associative arrays (the L1 used to be an
+ * unordered_map + list LRU, which put two pointer chases and an
+ * allocation churn on the per-access fast path). A one-entry last-VPN
+ * latch in front of the L1 catches the strong page locality of
+ * compute bursts: a latch hit is a single compare. The latch is an
+ * index into the L1 array, so recency still updates on every hit and
+ * invalidation stays exact.
  */
 
 #ifndef HWDP_CPU_TLB_HH
 #define HWDP_CPU_TLB_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -30,15 +36,38 @@ class Tlb
         Pfn pfn = 0;
     };
 
+    /**
+     * @p l1_assoc is clamped to @p l1_entries, so small test
+     * geometries (e.g. 4-entry L1) stay fully associative.
+     */
     Tlb(unsigned l1_entries = 64, unsigned l2_entries = 1536,
-        unsigned l2_assoc = 8);
+        unsigned l2_assoc = 8, unsigned l1_assoc = 8);
 
-    Result lookup(VAddr vaddr);
+    Result
+    lookup(VAddr vaddr)
+    {
+        ++nLookups;
+        std::uint64_t vpn = vaddr >> pageShift;
 
-    /** Install a translation in both levels. */
+        if (latchIdx != npos && latchVpn == vpn) {
+            Entry &e = l1[latchIdx];
+            e.lastUse = ++useClock;
+            ++nLatchHits;
+            return Result{true, true, e.pfn};
+        }
+        return lookupSlow(vpn);
+    }
+
+    /**
+     * Install a translation in both levels. Idempotent: a VPN already
+     * resident in a level is left in place (same PFN: untouched; a
+     * remap updates the PFN and recency) instead of re-inserting —
+     * re-walking a translation that is still in the L1 must not churn
+     * the L2's LRU state.
+     */
     void insert(VAddr vaddr, Pfn pfn);
 
-    /** Shoot down one translation (both levels). */
+    /** Shoot down one translation (both levels and the latch). */
     void invalidate(VAddr vaddr);
 
     /** Full flush (context switch between address spaces). */
@@ -47,35 +76,43 @@ class Tlb
     std::uint64_t lookups() const { return nLookups; }
     std::uint64_t l1Misses() const { return nL1Miss; }
     std::uint64_t misses() const { return nMiss; }
+    /** L1 hits served by the one-entry last-VPN latch. */
+    std::uint64_t latchHits() const { return nLatchHits; }
 
   private:
-    unsigned l1Cap;
-    unsigned l2Assoc;
-    unsigned l2Sets;
-
-    /** L1: fully associative with LRU via list + map. */
-    std::list<std::uint64_t> l1Order; // front = MRU, holds VPNs
-    std::unordered_map<std::uint64_t,
-                       std::pair<Pfn, std::list<std::uint64_t>::iterator>>
-        l1Map;
-
-    struct L2Entry
+    struct Entry
     {
         std::uint64_t vpn = 0;
         Pfn pfn = 0;
         std::uint64_t lastUse = 0;
         bool valid = false;
     };
-    std::vector<L2Entry> l2;
+
+    static constexpr std::size_t npos = ~std::size_t(0);
+
+    unsigned l1Assoc;
+    unsigned l1Sets;
+    unsigned l2Assoc;
+    unsigned l2Sets;
+
+    std::vector<Entry> l1; // l1Sets * l1Assoc, row-major by set
+    std::vector<Entry> l2; // l2Sets * l2Assoc, row-major by set
     std::uint64_t useClock = 0;
+
+    /** Last translated VPN and its L1 slot; npos = no latch. */
+    std::uint64_t latchVpn = 0;
+    std::size_t latchIdx = npos;
 
     std::uint64_t nLookups = 0;
     std::uint64_t nL1Miss = 0;
     std::uint64_t nMiss = 0;
+    std::uint64_t nLatchHits = 0;
 
-    void l1Insert(std::uint64_t vpn, Pfn pfn);
-    L2Entry *l2Find(std::uint64_t vpn);
-    void l2Insert(std::uint64_t vpn, Pfn pfn);
+    Result lookupSlow(std::uint64_t vpn);
+    Entry *find(std::vector<Entry> &lvl, unsigned sets, unsigned assoc,
+                std::uint64_t vpn);
+    Entry *fill(std::vector<Entry> &lvl, unsigned sets, unsigned assoc,
+                std::uint64_t vpn, Pfn pfn);
 };
 
 } // namespace hwdp::cpu

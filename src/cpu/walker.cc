@@ -3,9 +3,64 @@
 namespace hwdp::cpu {
 
 Walker::Walker(mem::CacheHierarchy &caches, unsigned phys_core,
-               Tick cycle_period)
-    : caches(caches), physCore(phys_core), period(cycle_period)
+               Tick cycle_period, unsigned pwc_entries)
+    : caches(caches), physCore(phys_core), period(cycle_period),
+      pwc(pwc_entries)
 {
+}
+
+bool
+Walker::pwcLookup(PAddr addr)
+{
+    for (PwcEntry &e : pwc) {
+        if (e.valid && e.addr == addr) {
+            e.lastUse = ++pwcClock;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Walker::pwcInsert(PAddr addr)
+{
+    if (pwc.empty())
+        return;
+    PwcEntry *victim = &pwc.front();
+    for (PwcEntry &e : pwc) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    if (!victim->valid)
+        ++nPwcValid;
+    victim->valid = true;
+    victim->addr = addr;
+    victim->lastUse = ++pwcClock;
+}
+
+void
+Walker::pwcInvalidate(PAddr entry_addr)
+{
+    if (nPwcValid == 0)
+        return;
+    for (PwcEntry &e : pwc) {
+        if (e.valid && e.addr == entry_addr) {
+            e.valid = false;
+            --nPwcValid;
+        }
+    }
+}
+
+void
+Walker::pwcFlush()
+{
+    for (PwcEntry &e : pwc)
+        e.valid = false;
+    nPwcValid = 0;
 }
 
 Walker::Outcome
@@ -17,17 +72,27 @@ Walker::walk(os::AddressSpace &as, VAddr vaddr)
     os::WalkRefs refs = as.pageTable().walkRefs(vaddr, false);
     out.refs = refs;
 
-    // Root access (PGD entry) is effectively always cached; charge the
-    // three lower-level entry reads through the hierarchy. Walker
-    // traffic is attributed to user mode: it exists identically under
-    // OSDP and HWDP and is not OS pollution.
+    // Root access (PGD entry) is effectively always cached; the PUD
+    // and PMD entry reads go through the PWC and are only charged to
+    // the hierarchy on a PWC miss. The leaf PTE read is always
+    // charged. Walker traffic is attributed to user mode: it exists
+    // identically under OSDP and HWDP and is not OS pollution.
     Cycles cycles = 0;
-    for (const os::EntryRef *r : {&refs.pud, &refs.pmd, &refs.pte}) {
+    for (const os::EntryRef *r : {&refs.pud, &refs.pmd}) {
         if (!r->valid())
             break;
+        if (pwcLookup(r->addr)) {
+            ++nPwcHits;
+            continue;
+        }
+        ++nPwcMisses;
         cycles += caches.access(physCore, r->addr, false,
                                 ExecMode::user).latency;
+        pwcInsert(r->addr);
     }
+    if (refs.pmd.valid() && refs.pte.valid())
+        cycles += caches.access(physCore, refs.pte.addr, false,
+                                ExecMode::user).latency;
     out.latency = cycles * period;
 
     if (!refs.pte.valid()) {

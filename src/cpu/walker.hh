@@ -8,10 +8,24 @@
  * it classifies the access as a hardware-handled page miss and hands
  * the MMU the three entry references plus the <SID, device, LBA>
  * triple the SMU request needs.
+ *
+ * The walker carries a small page-walk cache (PWC) over the upper
+ * levels, the MMU-cache structure real walkers (and gem5's walker
+ * model) rely on: PUD and PMD entry reads that hit the PWC skip their
+ * cache-hierarchy charge entirely — upper entries cover 1 GB / 2 MB
+ * regions, so a handful of entries captures nearly all walks. The PGD
+ * entry is modelled as always cached (no charge), and the leaf PTE
+ * read is always charged. The PWC is keyed by entry physical address
+ * and is timing-only — the walker still reads the live page table, so
+ * a stale PWC entry can never produce a wrong translation — but it is
+ * shot down alongside the TLB when kpted/reclaim rewrite PTEs, the
+ * coherence a real design needs.
  */
 
 #ifndef HWDP_CPU_WALKER_HH
 #define HWDP_CPU_WALKER_HH
+
+#include <vector>
 
 #include "mem/cache_hierarchy.hh"
 #include "os/page_table.hh"
@@ -37,8 +51,12 @@ class Walker
         os::WalkRefs refs;       ///< Valid for present/hwMiss.
     };
 
+    /**
+     * @param pwc_entries Fully-associative page-walk-cache capacity
+     *                    over PUD/PMD entries; 0 disables the PWC.
+     */
     Walker(mem::CacheHierarchy &caches, unsigned phys_core,
-           Tick cycle_period);
+           Tick cycle_period, unsigned pwc_entries = 16);
 
     /**
      * Walk the tree for @p vaddr, charging cache accesses. Sets the
@@ -46,13 +64,44 @@ class Walker
      */
     Outcome walk(os::AddressSpace &as, VAddr vaddr);
 
+    /** Drop the PWC entry caching the upper entry at @p entry_addr. */
+    void pwcInvalidate(PAddr entry_addr);
+
+    /** Drop every PWC entry (address-space-wide shootdowns, tests). */
+    void pwcFlush();
+
+    /**
+     * True when no PWC entry is valid — shootdown broadcasts check
+     * this before paying for a walk of the invalidation targets (most
+     * cores never walk and keep an empty PWC).
+     */
+    bool pwcEmpty() const { return nPwcValid == 0; }
+
     std::uint64_t walks() const { return nWalks; }
+    std::uint64_t pwcHits() const { return nPwcHits; }
+    std::uint64_t pwcMisses() const { return nPwcMisses; }
 
   private:
+    struct PwcEntry
+    {
+        PAddr addr = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
     mem::CacheHierarchy &caches;
     unsigned physCore;
     Tick period;
+    std::vector<PwcEntry> pwc;
+    std::uint64_t pwcClock = 0;
+    unsigned nPwcValid = 0;
     std::uint64_t nWalks = 0;
+    std::uint64_t nPwcHits = 0;
+    std::uint64_t nPwcMisses = 0;
+
+    /** True (and recency bumped) when @p addr is PWC-resident. */
+    bool pwcLookup(PAddr addr);
+    void pwcInsert(PAddr addr);
 };
 
 } // namespace hwdp::cpu

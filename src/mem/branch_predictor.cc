@@ -1,5 +1,7 @@
 #include "mem/branch_predictor.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace hwdp::mem {
@@ -12,36 +14,6 @@ BranchPredictor::BranchPredictor(unsigned history_bits)
               history_bits);
     historyMask = (1ULL << historyBits) - 1;
     pht.assign(std::size_t(1) << historyBits, 1); // weakly not-taken
-}
-
-std::uint64_t
-BranchPredictor::index(std::uint64_t pc) const
-{
-    // Classic gshare: XOR the branch address (sans byte offset) with
-    // the global history register.
-    return ((pc >> 2) ^ ghr) & historyMask;
-}
-
-bool
-BranchPredictor::predictAndUpdate(std::uint64_t pc, bool taken,
-                                  ExecMode mode)
-{
-    std::uint64_t idx = index(pc);
-    std::uint8_t &ctr = pht[idx];
-    bool predicted_taken = ctr >= 2;
-    bool correct = predicted_taken == taken;
-
-    if (taken && ctr < 3)
-        ++ctr;
-    else if (!taken && ctr > 0)
-        --ctr;
-    ghr = ((ghr << 1) | (taken ? 1 : 0)) & historyMask;
-
-    auto m = static_cast<unsigned>(mode);
-    ++nLookups[m];
-    if (!correct)
-        ++nMiss[m];
-    return correct;
 }
 
 std::uint64_t

@@ -30,10 +30,35 @@ class BranchPredictor
 
     /**
      * Predict the branch at @p pc, then update with the actual
-     * @p taken outcome.
+     * @p taken outcome. Inline: compute bursts and kernel pollution
+     * both drive one call per simulated branch, so the table poke
+     * must not cost a cross-TU call.
      * @return true when the prediction was correct.
      */
-    bool predictAndUpdate(std::uint64_t pc, bool taken, ExecMode mode);
+    bool
+    predictAndUpdate(std::uint64_t pc, bool taken, ExecMode mode)
+    {
+        // Classic gshare: XOR the branch address (sans byte offset)
+        // with the global history register.
+        std::uint64_t idx = ((pc >> 2) ^ ghr) & historyMask;
+        std::uint8_t &ctr = pht[idx];
+        bool predicted_taken = ctr >= 2;
+        bool correct = predicted_taken == taken;
+
+        // Saturating 2-bit update, branch-free: the outcome is data
+        // (workloads flip coins per simulated branch), so a host-side
+        // conditional on `taken` would mispredict every other call.
+        unsigned t = taken ? 1u : 0u;
+        ctr = static_cast<std::uint8_t>(
+            ctr + (t & static_cast<unsigned>(ctr < 3)) -
+            ((t ^ 1u) & static_cast<unsigned>(ctr > 0)));
+        ghr = ((ghr << 1) | t) & historyMask;
+
+        auto m = static_cast<unsigned>(mode);
+        ++nLookups[m];
+        nMiss[m] += static_cast<std::uint64_t>(!correct);
+        return correct;
+    }
 
     std::uint64_t lookups(ExecMode mode) const;
     std::uint64_t mispredicts(ExecMode mode) const;
@@ -52,8 +77,6 @@ class BranchPredictor
 
     std::uint64_t nLookups[2] = {0, 0};
     std::uint64_t nMiss[2] = {0, 0};
-
-    std::uint64_t index(std::uint64_t pc) const;
 };
 
 } // namespace hwdp::mem

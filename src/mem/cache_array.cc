@@ -13,6 +13,8 @@ CacheArray::CacheArray(std::string name, std::uint64_t size_bytes,
 {
     if (assoc == 0 || line_bytes == 0 || size_bytes == 0)
         fatal("cache '", label, "': degenerate geometry");
+    if (assoc > 64)
+        fatal("cache '", label, "': associativity above 64 unsupported");
     if (!std::has_single_bit(static_cast<std::uint64_t>(line_bytes)))
         fatal("cache '", label, "': line size must be a power of two");
     std::uint64_t n_lines = size_bytes / line_bytes;
@@ -23,72 +25,25 @@ CacheArray::CacheArray(std::string name, std::uint64_t size_bytes,
         fatal("cache '", label, "': set count must be a power of two");
     lineShiftBits = static_cast<unsigned>(
         std::countr_zero(static_cast<std::uint64_t>(line_bytes)));
-    entries.resize(static_cast<std::size_t>(sets) * ways);
-}
-
-std::uint64_t
-CacheArray::setIndex(std::uint64_t addr) const
-{
-    return (addr >> lineShiftBits) & (sets - 1);
-}
-
-std::uint64_t
-CacheArray::tagOf(std::uint64_t addr) const
-{
-    return addr >> lineShiftBits;
-}
-
-bool
-CacheArray::access(std::uint64_t addr)
-{
-    std::uint64_t set = setIndex(addr);
-    std::uint64_t tag = tagOf(addr);
-    Way *base = &entries[set * ways];
-    ++useClock;
-
-    Way *victim = base;
-    for (unsigned w = 0; w < ways; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == tag) {
-            way.lastUse = useClock;
-            ++hits;
-            return true;
-        }
-        if (!way.valid) {
-            victim = &way; // prefer an invalid way
-        } else if (victim->valid && way.lastUse < victim->lastUse) {
-            victim = &way;
-        }
-    }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = useClock;
-    ++misses;
-    return false;
-}
-
-bool
-CacheArray::probe(std::uint64_t addr) const
-{
-    std::uint64_t set = setIndex(addr);
-    std::uint64_t tag = tagOf(addr);
-    const Way *base = &entries[set * ways];
-    for (unsigned w = 0; w < ways; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return true;
-    }
-    return false;
+    setBits = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint64_t>(sets)));
+    stampMask = (std::uint64_t(1) << (lineShiftBits + setBits)) - 1;
+    if (ways >= stampMask)
+        fatal("cache '", label, "': stamp field too narrow for ", ways,
+              " ways");
+    meta.assign(static_cast<std::size_t>(sets) * ways, 0);
 }
 
 bool
 CacheArray::invalidate(std::uint64_t addr)
 {
-    std::uint64_t set = setIndex(addr);
-    std::uint64_t tag = tagOf(addr);
-    Way *base = &entries[set * ways];
+    std::size_t base = (addr >> lineShiftBits & (sets - 1)) *
+                       static_cast<std::size_t>(ways);
+    std::uint64_t want = tagWord(addr);
     for (unsigned w = 0; w < ways; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].valid = false;
+        if ((meta[base + w] & ~stampMask) == want) {
+            meta[base + w] = 0;
+            --nValid;
             return true;
         }
     }
@@ -98,17 +53,38 @@ CacheArray::invalidate(std::uint64_t addr)
 void
 CacheArray::flush()
 {
-    for (Way &w : entries)
-        w.valid = false;
+    meta.assign(meta.size(), 0);
+    nValid = 0;
+    useClock = 0;
 }
 
-std::uint64_t
-CacheArray::occupancy() const
+void
+CacheArray::renormalize()
 {
-    std::uint64_t n = 0;
-    for (const Way &w : entries)
-        n += w.valid ? 1 : 0;
-    return n;
+    // Insertion-sort the valid ways of each set by stamp, then rewrite
+    // each stamp as its 1-based rank. ways <= 64 keeps the scratch on
+    // the stack; the clock restarts above the largest assigned rank.
+    for (unsigned s = 0; s < sets; ++s) {
+        std::uint64_t *row = &meta[static_cast<std::size_t>(s) * ways];
+        unsigned order[64];
+        unsigned n = 0;
+        for (unsigned w = 0; w < ways; ++w) {
+            if (row[w] == 0)
+                continue;
+            unsigned pos = n++;
+            while (pos > 0 && (row[order[pos - 1]] & stampMask) >
+                                  (row[w] & stampMask)) {
+                order[pos] = order[pos - 1];
+                --pos;
+            }
+            order[pos] = w;
+        }
+        for (unsigned r = 0; r < n; ++r) {
+            std::uint64_t m = row[order[r]];
+            row[order[r]] = (m & ~stampMask) | (r + 1);
+        }
+    }
+    useClock = ways;
 }
 
 } // namespace hwdp::mem

@@ -6,6 +6,22 @@
  * microarchitectural-pollution analysis needs: the OS fault handler
  * evicts user-application lines, and the resulting extra user misses
  * show up as reduced user-level IPC (Figures 4 and 14).
+ *
+ * Layout: each way is a single 64-bit word packing the tag (upper
+ * bits) with its LRU stamp (lower bits), so a set scan — the hottest
+ * loop in the whole simulator; every compute-burst data reference and
+ * kernel-pollution touch lands here — reads exactly one densely
+ * packed stream of ways and a hit updates recency in the word it
+ * already loaded. Splitting tags and stamps into parallel arrays
+ * doubles the host cache lines touched per scan, which dominates the
+ * simulator's wall clock on the LLC (whose metadata exceeds the host
+ * L2). The stamp field is narrow, so stamps are renormalised to their
+ * per-set LRU rank when the clock saturates; order — the only thing
+ * LRU consults — is preserved exactly.
+ *
+ * Victim selection (the way with the smallest stamp; invalid ways
+ * carry stamp 0 and therefore win) rides along with the hit scan so a
+ * miss installs its line without a second pass over the set.
  */
 
 #ifndef HWDP_MEM_CACHE_ARRAY_HH
@@ -25,7 +41,7 @@ class CacheArray
     /**
      * @param name       For diagnostics.
      * @param size_bytes Total capacity; must be assoc * n_sets * line.
-     * @param assoc      Ways per set.
+     * @param assoc      Ways per set (at most 64).
      * @param line_bytes Line size (default 64 B).
      */
     CacheArray(std::string name, std::uint64_t size_bytes, unsigned assoc,
@@ -35,10 +51,114 @@ class CacheArray
      * Look up @p addr, allocating on miss.
      * @return true on hit.
      */
-    bool access(std::uint64_t addr);
+    bool
+    access(std::uint64_t addr)
+    {
+        std::size_t base = (addr >> lineShiftBits & (sets - 1)) *
+                           static_cast<std::size_t>(ways);
+        std::uint64_t want = tagWord(addr);
+        if (useClock == stampMask) [[unlikely]]
+            renormalize();
+        std::uint64_t clock = ++useClock;
+
+        // Hit scan first, with no victim bookkeeping: a min-reduction
+        // carried through the loop serialises it on the host, and the
+        // common case (a hit) never needs one.
+        const std::uint64_t tag_mask = ~stampMask;
+        if (ways <= 8) {
+            // Narrow set (one host line): scan branchless. An
+            // early-exit loop mispredicts once per access because the
+            // hit way is unpredictable; accumulating the hit way with
+            // conditional moves costs a few ALU ops and no flush.
+            std::uint64_t found = 0;
+            unsigned hit_way = 0;
+            for (unsigned w = 0; w < ways; ++w) {
+                bool eq = (meta[base + w] & tag_mask) == want;
+                found |= eq;
+                hit_way = eq ? w : hit_way;
+            }
+            if (found) {
+                meta[base + hit_way] = want | clock;
+                ++hits;
+                return true;
+            }
+        } else {
+            // Wide set (several host lines, large array): the scan is
+            // memory-latency-bound, so start the trailing lines'
+            // fetches before walking the set in order.
+            __builtin_prefetch(&meta[base + 8]);
+            if (ways > 16)
+                __builtin_prefetch(&meta[base + 16]);
+            for (unsigned w = 0; w < ways; ++w) {
+                std::uint64_t m = meta[base + w];
+                if ((m & tag_mask) == want) {
+                    meta[base + w] = want | clock;
+                    ++hits;
+                    return true;
+                }
+            }
+        }
+
+        // Miss: second pass (over the set just loaded into the host
+        // cache) for the smallest stamp; invalid ways carry 0 and win.
+        // Stamp and way index pack into one key (ways <= 64), turning
+        // the argmin into plain min chains; two accumulators keep the
+        // host's cmov latency off the critical path. Stamp ties can
+        // only be invalid ways, which the way-index bits break toward
+        // the first — matching the strict-min scan this replaces.
+        std::uint64_t best = ~std::uint64_t(0);
+        std::uint64_t alt = ~std::uint64_t(0);
+        unsigned w = 0;
+        for (; w + 1 < ways; w += 2) {
+            std::uint64_t a = (meta[base + w] & stampMask) << 6 | w;
+            std::uint64_t b =
+                (meta[base + w + 1] & stampMask) << 6 | (w + 1);
+            best = best < a ? best : a;
+            alt = alt < b ? alt : b;
+        }
+        if (w < ways) {
+            std::uint64_t a = (meta[base + w] & stampMask) << 6 | w;
+            best = best < a ? best : a;
+        }
+        best = best < alt ? best : alt;
+        if (best >> 6 == 0)
+            ++nValid; // filling an invalid way
+        meta[base + (best & 63)] = want | clock;
+        ++misses;
+        return false;
+    }
 
     /** Look up without allocating or updating recency. */
-    bool probe(std::uint64_t addr) const;
+    bool
+    probe(std::uint64_t addr) const
+    {
+        std::size_t base = (addr >> lineShiftBits & (sets - 1)) *
+                           static_cast<std::size_t>(ways);
+        std::uint64_t want = tagWord(addr);
+        for (unsigned w = 0; w < ways; ++w) {
+            if ((meta[base + w] & ~stampMask) == want)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Hint the host to start fetching the set @p addr maps to. The
+     * hierarchy issues this for the next level while it still scans
+     * the current one, overlapping the model's serial level walk with
+     * the host's memory latency. No simulated effect.
+     */
+    void
+    prefetch(std::uint64_t addr) const
+    {
+        std::size_t base = (addr >> lineShiftBits & (sets - 1)) *
+                           static_cast<std::size_t>(ways);
+        __builtin_prefetch(&meta[base]);
+        if (ways > 8)
+            __builtin_prefetch(&meta[base + 8]);
+        if (ways > 16)
+            __builtin_prefetch(&meta[base + 16]);
+    }
 
     /** Invalidate a single line if present; returns true if it was. */
     bool invalidate(std::uint64_t addr);
@@ -46,8 +166,8 @@ class CacheArray
     /** Drop all contents (e.g. on simulated power events / tests). */
     void flush();
 
-    /** Number of valid lines currently resident. */
-    std::uint64_t occupancy() const;
+    /** Number of valid lines currently resident (O(1) live counter). */
+    std::uint64_t occupancy() const { return nValid; }
 
     std::uint64_t sizeBytes() const { return bytes; }
     unsigned associativity() const { return ways; }
@@ -59,26 +179,51 @@ class CacheArray
     std::uint64_t missCount() const { return misses; }
 
   private:
-    struct Way
-    {
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0; // LRU timestamp
-        bool valid = false;
-    };
-
     std::string label;
     std::uint64_t bytes;
     unsigned ways;
     unsigned line;
     unsigned sets;
     unsigned lineShiftBits;
-    std::vector<Way> entries; // sets * ways, row-major by set
+    unsigned setBits;
+
+    /**
+     * Stamp field width = line-offset bits + set-index bits: exactly
+     * the address bits the tag does not need, so tag | stamp always
+     * fits one word with the tag exact. Stamps of valid ways are in
+     * [1, stampMask); 0 is reserved for invalid ways (and makes the
+     * all-zero word the invalid encoding), stampMask triggers
+     * renormalisation before it is ever stored.
+     */
+    std::uint64_t stampMask;
+
+    std::vector<std::uint64_t> meta; // sets * ways, row-major by set
     std::uint64_t useClock = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t nValid = 0;
 
-    std::uint64_t setIndex(std::uint64_t addr) const;
-    std::uint64_t tagOf(std::uint64_t addr) const;
+    /**
+     * Tag field for @p addr, positioned above the stamp. Stored with
+     * +1 bias so no valid way ever encodes as zero: the tag field of
+     * a real line is therefore never 0 and an invalid way (word 0)
+     * can never false-hit address 0. The bias cannot overflow for any
+     * modelled address (it would need the top line of the 64-bit
+     * space, which nothing maps).
+     */
+    std::uint64_t
+    tagWord(std::uint64_t addr) const
+    {
+        return ((addr >> (lineShiftBits + setBits)) + 1)
+               << (lineShiftBits + setBits);
+    }
+
+    /**
+     * Rewrite every stamp as its per-set LRU rank (1..ways), resetting
+     * the clock. Order-preserving, so replacement behaviour is
+     * bit-identical; runs once every ~2^stampBits accesses.
+     */
+    void renormalize();
 };
 
 } // namespace hwdp::mem

@@ -5,63 +5,27 @@
 namespace hwdp::mem {
 
 CacheHierarchy::CacheHierarchy(unsigned n_cores, const CacheParams &params)
-    : prm(params)
+    : prm(params), llc("llc", params.llcBytes, params.llcAssoc)
 {
     if (n_cores == 0)
         fatal("cache hierarchy: need at least one core");
+    l1i.reserve(n_cores);
+    l1d.reserve(n_cores);
+    l2.reserve(n_cores);
     for (unsigned c = 0; c < n_cores; ++c) {
-        l1i.push_back(std::make_unique<CacheArray>(
-            "l1i" + std::to_string(c), prm.l1iBytes, prm.l1iAssoc));
-        l1d.push_back(std::make_unique<CacheArray>(
-            "l1d" + std::to_string(c), prm.l1dBytes, prm.l1dAssoc));
-        l2.push_back(std::make_unique<CacheArray>(
-            "l2_" + std::to_string(c), prm.l2Bytes, prm.l2Assoc));
+        l1i.emplace_back("l1i" + std::to_string(c), prm.l1iBytes,
+                         prm.l1iAssoc);
+        l1d.emplace_back("l1d" + std::to_string(c), prm.l1dBytes,
+                         prm.l1dAssoc);
+        l2.emplace_back("l2_" + std::to_string(c), prm.l2Bytes,
+                        prm.l2Assoc);
     }
-    llc = std::make_unique<CacheArray>("llc", prm.llcBytes, prm.llcAssoc);
 }
 
-CacheAccessResult
-CacheHierarchy::access(unsigned core, std::uint64_t addr, bool is_inst,
-                       ExecMode mode)
+void
+CacheHierarchy::badCore(unsigned core) const
 {
-    if (core >= l1d.size())
-        panic("cache hierarchy: core ", core, " out of range");
-
-    CacheAccessResult r;
-    ModeCounters &mc = modeCtrs[static_cast<unsigned>(mode)];
-    CacheArray &first = is_inst ? *l1i[core] : *l1d[core];
-
-    if (is_inst) {
-        ++mc.l1iAccesses;
-    } else {
-        ++mc.l1dAccesses;
-    }
-
-    if (first.access(addr)) {
-        r.latency = prm.l1Latency;
-        return r;
-    }
-    r.l1Miss = true;
-    if (is_inst)
-        ++mc.l1iMisses;
-    else
-        ++mc.l1dMisses;
-
-    if (l2[core]->access(addr)) {
-        r.latency = prm.l2Latency;
-        return r;
-    }
-    r.l2Miss = true;
-    ++mc.l2Misses;
-
-    if (llc->access(addr)) {
-        r.latency = prm.llcLatency;
-        return r;
-    }
-    r.llcMiss = true;
-    ++mc.llcMisses;
-    r.latency = prm.dramLatency;
-    return r;
+    panic("cache hierarchy: core ", core, " out of range");
 }
 
 void

@@ -51,16 +51,6 @@ class CacheHierarchy
   public:
     CacheHierarchy(unsigned n_cores, const CacheParams &params);
 
-    /**
-     * Access one line.
-     * @param core    Physical core index (selects private caches).
-     * @param addr    Byte address; only the line address matters.
-     * @param is_inst True for instruction fetch (uses the L1I).
-     * @param mode    Privilege mode for attribution.
-     */
-    CacheAccessResult access(unsigned core, std::uint64_t addr,
-                             bool is_inst, ExecMode mode);
-
     /** Per-mode miss counters (for Figures 4 and 14). */
     struct ModeCounters
     {
@@ -69,6 +59,59 @@ class CacheHierarchy
         std::uint64_t l2Misses = 0;
         std::uint64_t llcMisses = 0;
     };
+
+    /**
+     * Access one line. Defined inline: every simulated data reference,
+     * instruction fetch and page-walk read lands here, so the L1-hit
+     * path must not cost a cross-TU call. The cache arrays are stored
+     * by value so the tag scan starts after a single index, not a
+     * unique_ptr chase.
+     * @param core    Physical core index (selects private caches).
+     * @param addr    Byte address; only the line address matters.
+     * @param is_inst True for instruction fetch (uses the L1I).
+     * @param mode    Privilege mode for attribution.
+     */
+    CacheAccessResult
+    access(unsigned core, std::uint64_t addr, bool is_inst, ExecMode mode)
+    {
+        if (core >= l1d.size()) [[unlikely]]
+            badCore(core);
+
+        CacheAccessResult r;
+        ModeCounters &mc = modeCtrs[static_cast<unsigned>(mode)];
+        CacheArray &first = is_inst ? l1i[core] : l1d[core];
+
+        if (is_inst)
+            ++mc.l1iAccesses;
+        else
+            ++mc.l1dAccesses;
+
+        if (first.access(addr)) {
+            r.latency = prm.l1Latency;
+            return r;
+        }
+        r.l1Miss = true;
+        if (is_inst)
+            ++mc.l1iMisses;
+        else
+            ++mc.l1dMisses;
+
+        if (l2[core].access(addr)) {
+            r.latency = prm.l2Latency;
+            return r;
+        }
+        r.l2Miss = true;
+        ++mc.l2Misses;
+
+        if (llc.access(addr)) {
+            r.latency = prm.llcLatency;
+            return r;
+        }
+        r.llcMiss = true;
+        ++mc.llcMisses;
+        r.latency = prm.dramLatency;
+        return r;
+    }
 
     const ModeCounters &counters(ExecMode mode) const
     {
@@ -80,15 +123,17 @@ class CacheHierarchy
     const CacheParams &params() const { return prm; }
     unsigned numCores() const { return static_cast<unsigned>(l1d.size()); }
 
-    CacheArray &llcArray() { return *llc; }
+    CacheArray &llcArray() { return llc; }
 
   private:
     CacheParams prm;
-    std::vector<std::unique_ptr<CacheArray>> l1i;
-    std::vector<std::unique_ptr<CacheArray>> l1d;
-    std::vector<std::unique_ptr<CacheArray>> l2;
-    std::unique_ptr<CacheArray> llc;
+    std::vector<CacheArray> l1i;
+    std::vector<CacheArray> l1d;
+    std::vector<CacheArray> l2;
+    CacheArray llc;
     ModeCounters modeCtrs[2];
+
+    [[noreturn]] void badCore(unsigned core) const;
 };
 
 } // namespace hwdp::mem

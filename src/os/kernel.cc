@@ -445,6 +445,8 @@ Kernel::syncHardwareHandledPte(AddressSpace &as, VAddr vaddr,
     if (!pg.lruLinked)
         reclaim->lru().insertInactive(pg);
     ref.write(pte::clearLbaBit(e));
+    if (pteSyncFn)
+        pteSyncFn(as, vaddr);
 }
 
 void

@@ -214,6 +214,17 @@ class Kernel : public sim::SimObject
     /** TLB shootdown callback (registered by the CPU layer). */
     void setShootdownFn(Rmap::ShootdownFn fn);
 
+    /**
+     * Invoked after every kpted-style metadata sync rewrites a
+     * hardware-handled PTE (registered by the CPU layer): the walkers'
+     * page-walk caches drop the affected upper entries, the coherence
+     * a real paging-structure cache needs on PTE maintenance.
+     */
+    void setPteSyncFn(std::function<void(AddressSpace &, VAddr)> fn)
+    {
+        pteSyncFn = std::move(fn);
+    }
+
     // ---- Fault statistics -------------------------------------------------
     std::uint64_t majorFaults() const { return statMajor.value(); }
     std::uint64_t minorFaults() const { return statMinor.value(); }
@@ -258,6 +269,7 @@ class Kernel : public sim::SimObject
     std::function<void(unsigned)> refillHook;
     HwdpHooks hwdpHooks;
     Rmap::ShootdownFn shootdownFn;
+    std::function<void(AddressSpace &, VAddr)> pteSyncFn;
 
     /** PTE population for a fast-mmap area; returns pages touched. */
     std::uint64_t populateFastVma(AddressSpace &as, File &file, Vma *vma);

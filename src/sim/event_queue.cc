@@ -235,6 +235,21 @@ EventQueue::ringPeek(unsigned &bucket_out) const
     return true;
 }
 
+Tick
+EventQueue::nextEventTick()
+{
+    unsigned rb = 0;
+    bool has_ring = ringPeek(rb);
+    if (!tombstones.empty())
+        skipDead();
+    bool has_far = !farHeap.empty();
+    if (!has_ring && !has_far)
+        return maxTick;
+    if (has_ring && (!has_far || bucketFront(rb) < farHeap.top()))
+        return bucketFront(rb).when;
+    return farHeap.top().when;
+}
+
 EventQueue::StepOutcome
 EventQueue::tryStep(Tick limit)
 {

@@ -200,6 +200,15 @@ class EventQueue
     Tick now() const { return curTick; }
 
     /**
+     * Tick of the earliest pending event, or maxTick when the queue
+     * is empty. The inline-execution fast path uses this as its batch
+     * horizon: accesses completed synchronously at logical times
+     * strictly before this tick cannot be reordered against any
+     * scheduled event. May tidy internal buckets (not const).
+     */
+    Tick nextEventTick();
+
+    /**
      * Schedule @p ev at absolute tick @p when.
      * @pre !ev->scheduled() && when >= now()
      */

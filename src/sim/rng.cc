@@ -6,15 +6,10 @@
 
 namespace hwdp::sim {
 
-std::uint64_t
-Rng::range(std::uint64_t bound)
+void
+Rng::rangePanic() const
 {
-    if (bound == 0)
-        panic("Rng::range with zero bound");
-    // Multiply-shift rejection-free mapping (Lemire); bias is below
-    // 2^-64 * bound which is negligible for simulation purposes.
-    unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
-    return static_cast<std::uint64_t>(m >> 64);
+    panic("Rng::range with zero bound");
 }
 
 std::uint64_t
@@ -23,23 +18,6 @@ Rng::between(std::uint64_t lo, std::uint64_t hi)
     if (hi < lo)
         panic("Rng::between with inverted bounds");
     return lo + range(hi - lo + 1);
-}
-
-double
-Rng::uniform()
-{
-    // 53-bit mantissa from the top bits.
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
 }
 
 double

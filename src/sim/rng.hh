@@ -31,17 +31,45 @@ class Rng
         return z ^ (z >> 31);
     }
 
+    // The uniform distributions are defined inline: workload compute
+    // bursts draw two of them per simulated data reference, so the
+    // call overhead is measurable on the whole-simulation profile.
+
     /** Uniform integer in [0, bound). @pre bound > 0 */
-    std::uint64_t range(std::uint64_t bound);
+    std::uint64_t
+    range(std::uint64_t bound)
+    {
+        if (bound == 0) [[unlikely]]
+            rangePanic();
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // below 2^-64 * bound which is negligible for simulation
+        // purposes.
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double
+    uniform()
+    {
+        // 53-bit mantissa from the top bits.
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli trial with probability @p p of returning true. */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
 
     /** Exponentially distributed value with the given mean. */
     double exponential(double mean);
@@ -56,6 +84,9 @@ class Rng
     std::uint64_t state;
     bool haveSpare = false;
     double spare = 0.0;
+
+    /** Out-of-line so the inline fast path stays branch + mul. */
+    [[noreturn]] void rangePanic() const;
 };
 
 } // namespace hwdp::sim

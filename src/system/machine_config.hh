@@ -39,6 +39,9 @@ struct MachineConfig
     Tick cyclePeriod = 357; // ps, 2.8 GHz
     cpu::CoreParams core{};
 
+    /** Per-walker page-walk-cache entries (0 disables the PWC). */
+    unsigned pwcEntries = 16;
+
     // ---- Memory ---------------------------------------------------------
     /** Allocatable DRAM in 4 KB frames (default 512 MB scaled). */
     std::uint64_t memFrames = 128 * 1024;

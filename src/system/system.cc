@@ -42,15 +42,25 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
         kern->attachDevice(ssds.back().get(), os::BlockDeviceId{0, d});
     }
 
-    // TLB shootdown: invalidate the translation on every core.
-    kern->setShootdownFn([this](os::AddressSpace &, VAddr va) {
+    // TLB shootdown: invalidate the translation on every core, and
+    // drop the page-walk-cache entries covering the address (the
+    // INVLPG contract: paging-structure caches flush alongside the
+    // TLB for the invalidated linear address).
+    kern->setShootdownFn([this](os::AddressSpace &as, VAddr va) {
         for (auto &c : cores)
             c->mmu().tlb().invalidate(va);
+        pwcShootdown(as, va);
+    });
+
+    // kpted metadata sync rewrites hardware-handled PTEs without a
+    // full shootdown; the PWC still drops the covering upper entries.
+    kern->setPteSyncFn([this](os::AddressSpace &as, VAddr va) {
+        pwcShootdown(as, va);
     });
 
     for (unsigned i = 0; i < cfg.nLogical; ++i) {
         cores.push_back(std::make_unique<cpu::Core>(
-            i, eq, *hierarchy, *kern, cfg.cyclePeriod));
+            i, eq, *hierarchy, *kern, cfg.cyclePeriod, cfg.pwcEntries));
         if (cfg.hwStallTimeout > 0)
             cores.back()->mmu().setStallTimeout(cfg.hwStallTimeout);
     }
@@ -98,6 +108,30 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
 }
 
 System::~System() = default;
+
+void
+System::pwcShootdown(os::AddressSpace &as, VAddr va)
+{
+    // Resolving the upper-entry addresses costs a host-side walk of
+    // the page table; skip it when every walker's PWC is empty (the
+    // common case — only cores that recently missed hold entries).
+    bool any = false;
+    for (auto &c : cores) {
+        if (!c->mmu().walker().pwcEmpty()) {
+            any = true;
+            break;
+        }
+    }
+    if (!any)
+        return;
+    os::WalkRefs refs = as.pageTable().walkRefs(va, false);
+    for (auto &c : cores) {
+        if (refs.pud.valid())
+            c->mmu().walker().pwcInvalidate(refs.pud.addr);
+        if (refs.pmd.valid())
+            c->mmu().walker().pwcInvalidate(refs.pmd.addr);
+    }
+}
 
 core::FreePageQueue *
 System::freePageQueue()
@@ -272,6 +306,24 @@ System::userBranchLookups() const
     std::uint64_t t = 0;
     for (const auto &bp : bps)
         t += bp.lookups(ExecMode::user);
+    return t;
+}
+
+std::uint64_t
+System::totalPwcHits() const
+{
+    std::uint64_t t = 0;
+    for (const auto &c : cores)
+        t += c->mmu().walker().pwcHits();
+    return t;
+}
+
+std::uint64_t
+System::totalPwcMisses() const
+{
+    std::uint64_t t = 0;
+    for (const auto &c : cores)
+        t += c->mmu().walker().pwcMisses();
     return t;
 }
 

@@ -135,6 +135,10 @@ class System
     std::uint64_t userBranchMispredicts() const;
     std::uint64_t userBranchLookups() const;
 
+    /** Page-walk-cache hits/misses summed over every core's walker. */
+    std::uint64_t totalPwcHits() const;
+    std::uint64_t totalPwcMisses() const;
+
   private:
     MachineConfig cfg;
     sim::EventQueue eq;
@@ -158,6 +162,9 @@ class System
     std::vector<std::unique_ptr<cpu::ThreadContext>> tcs;
     std::uint64_t threadsDone = 0;
     bool started = false;
+
+    /** Drop PWC entries covering @p va from every core's walker. */
+    void pwcShootdown(os::AddressSpace &as, VAddr va);
 
   public:
     /** Transfer ownership of a workload to the system (lifetime). */

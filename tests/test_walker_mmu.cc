@@ -214,3 +214,84 @@ TEST(Mmu, SmuBounceFallsBackToOsFault)
     EXPECT_EQ(sys.kernel().smuFallbackFaults(), 1u);
     EXPECT_EQ(sys.kernel().majorFaults(), 1u);
 }
+
+TEST(WalkerPwc, UpperLevelWalksHitAfterFirstWalk)
+{
+    system::System sys(tinyConfig(system::PagingMode::osdp));
+    auto mf = sys.mapDataset("f", 16);
+    for (unsigned i = 0; i < 2; ++i) {
+        Pfn pfn = sys.physMem().alloc();
+        sys.kernel().installPage(*mf.as, *mf.vma,
+                                 mf.vma->start + i * pageSize, pfn, true);
+    }
+
+    Walker w(sys.caches(), 0, 357);
+    auto o1 = w.walk(*mf.as, mf.vma->start);
+    ASSERT_EQ(o1.kind, Walker::Classification::present);
+    EXPECT_EQ(w.pwcMisses(), 2u); // PUD and PMD entries
+    EXPECT_EQ(w.pwcHits(), 0u);
+
+    // Adjacent page: same PUD/PMD entries, so both reads hit the PWC
+    // and only the leaf PTE read is charged to the hierarchy.
+    auto o2 = w.walk(*mf.as, mf.vma->start + pageSize);
+    ASSERT_EQ(o2.kind, Walker::Classification::present);
+    EXPECT_EQ(w.pwcHits(), 2u);
+    EXPECT_EQ(w.pwcMisses(), 2u);
+    EXPECT_LT(o2.latency, o1.latency);
+}
+
+TEST(WalkerPwc, ZeroEntriesDisablesCaching)
+{
+    system::System sys(tinyConfig(system::PagingMode::osdp));
+    auto mf = sys.mapDataset("f", 16);
+    Pfn pfn = sys.physMem().alloc();
+    sys.kernel().installPage(*mf.as, *mf.vma, mf.vma->start, pfn, true);
+
+    Walker w(sys.caches(), 0, 357, 0);
+    for (int i = 0; i < 3; ++i) {
+        auto out = w.walk(*mf.as, mf.vma->start);
+        EXPECT_EQ(out.kind, Walker::Classification::present);
+    }
+    EXPECT_EQ(w.pwcHits(), 0u);
+    EXPECT_TRUE(w.pwcEmpty());
+}
+
+TEST(WalkerPwc, ShootdownOnReclaimUnmapInvalidates)
+{
+    // Reclaim's unmap path must shoot down the PWC along with the TLB:
+    // the upper-level LBA summary bits it rewrites are exactly what
+    // the PWC caches the timing of.
+    system::System sys(tinyConfig(system::PagingMode::osdp));
+    auto mf = sys.mapDataset("f", 16);
+    Pfn pfn = sys.physMem().alloc();
+    sys.kernel().installPage(*mf.as, *mf.vma, mf.vma->start, pfn, true);
+
+    auto &w = sys.core(0).mmu().walker();
+    ASSERT_EQ(w.walk(*mf.as, mf.vma->start).kind,
+              Walker::Classification::present);
+    ASSERT_FALSE(w.pwcEmpty());
+
+    ASSERT_FALSE(sys.kernel().rmap().unmapForEviction(
+        sys.kernel().page(pfn))); // clean page
+    EXPECT_TRUE(w.pwcEmpty());
+}
+
+TEST(WalkerPwc, KptedMetadataSyncInvalidates)
+{
+    // kpted's metadata sync clears the upper-level LBA bits, so the
+    // walker must re-read (and re-charge) those entries afterwards.
+    system::System sys(tinyConfig(system::PagingMode::hwdp));
+    auto mf = sys.mapDataset("f", 16);
+    Pfn pfn = sys.physMem().alloc();
+    sys.kernel().installHardwareHandled(*mf.as, *mf.vma, mf.vma->start,
+                                        pfn);
+
+    auto &w = sys.core(0).mmu().walker();
+    ASSERT_EQ(w.walk(*mf.as, mf.vma->start).kind,
+              Walker::Classification::present);
+    ASSERT_FALSE(w.pwcEmpty());
+
+    auto refs = mf.as->pageTable().walkRefs(mf.vma->start, false);
+    sys.kernel().syncHardwareHandledPte(*mf.as, mf.vma->start, refs.pte);
+    EXPECT_TRUE(w.pwcEmpty());
+}
