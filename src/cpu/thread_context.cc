@@ -226,6 +226,118 @@ ThreadContext::finishOp(Tick logical_now)
 Tick
 ThreadContext::computeBurst(const workloads::ComputeSpec &spec)
 {
+    if (!prm.batch)
+        return computeBurstPerLine(spec);
+
+    // Batched burst. Identical simulated state and statistics to the
+    // per-line path below: the RNG draws happen in the original loop
+    // order (address/outcome generation is hoisted, not reordered),
+    // each loop's stream goes through accessBatch as one run (so each
+    // cache array sees the same addresses in the same order as the
+    // sequential descents), and the stall sum is reconstructed exactly
+    // from the per-level hit counts — every line that hits level k
+    // contributes the same max(latency_k, l1HitLatency) - l1HitLatency
+    // term the per-line loop adds one at a time.
+    double share = kernel.scheduler().widthShare(core());
+    const mem::CacheParams &cp = caches.params();
+    auto stallSum = [&](const mem::CacheBatchResult &r, std::uint64_t n) {
+        auto stall_for = [&](Cycles lat) {
+            return std::max(lat, prm.l1HitLatency) - prm.l1HitLatency;
+        };
+        return (n - r.l1Misses) * stall_for(cp.l1Latency) +
+               (r.l1Misses - r.l2Misses) * stall_for(cp.l2Latency) +
+               (r.l2Misses - r.llcMisses) * stall_for(cp.llcLatency) +
+               r.llcMisses * stall_for(cp.dramLatency);
+    };
+
+    Cycles extra = 0;
+
+    // Data references: draw the addresses with the exact per-line RNG
+    // sequence, then stream them through the hierarchy level-major.
+    auto n_refs = static_cast<std::uint64_t>(
+        static_cast<double>(spec.instructions) * spec.memRefFrac);
+    burstAddrs.resize(n_refs);
+    for (std::uint64_t i = 0; i < n_refs; ++i) {
+        if (spec.coldBytes > 0 && rng.chance(spec.coldFrac)) {
+            burstAddrs[i] = spec.hotBase + spec.hotBytes +
+                            (rng.range(spec.coldBytes) & ~7ULL);
+        } else {
+            burstAddrs[i] = spec.hotBase + (rng.range(spec.hotBytes) & ~7ULL);
+        }
+    }
+    Cycles data_stall = 0;
+    if (n_refs > 0) {
+        auto r = caches.accessBatch(physCore, burstAddrs.data(), n_refs,
+                                    false, ExecMode::user);
+        data_stall = stallSum(r, n_refs);
+    }
+    extra += static_cast<Cycles>(static_cast<double>(data_stall) /
+                                 std::max(spec.mlp, 1.0));
+
+    // Instruction fetch: the text stream wraps incrementally exactly
+    // like the reference loop, then goes through the L1I as one run.
+    std::uint64_t n_lines = spec.instructions / 16 + 1;
+    std::uint64_t text_lines =
+        std::max<std::uint64_t>(spec.textBytes / lineSize, 1);
+    std::uint64_t pos = fetchSeq % text_lines;
+    burstAddrs.resize(n_lines);
+    for (std::uint64_t i = 0; i < n_lines; ++i) {
+        burstAddrs[i] = spec.textBase + pos * lineSize;
+        if (++pos == text_lines)
+            pos = 0;
+    }
+    {
+        auto r = caches.accessBatch(physCore, burstAddrs.data(), n_lines,
+                                    true, ExecMode::user);
+        extra += stallSum(r, n_lines);
+    }
+
+    // Cold-path fetches.
+    if (spec.icacheColdLines > 0) {
+        burstAddrs.resize(spec.icacheColdLines);
+        for (std::uint32_t i = 0; i < spec.icacheColdLines; ++i)
+            burstAddrs[i] = spec.textBase + 0x100'0000 +
+                            ((fetchSeq * 13 + i * 67) % 16384) * lineSize;
+        auto r = caches.accessBatch(physCore, burstAddrs.data(),
+                                    spec.icacheColdLines, true,
+                                    ExecMode::user);
+        extra += stallSum(r, spec.icacheColdLines);
+    }
+    fetchSeq += n_lines;
+
+    // Branches: draw site and outcome in the original interleaved
+    // order, then run the predictor batch (n_pcs == n, so the ring
+    // never wraps and pcs[i] pairs with taken[i] like the loop).
+    auto n_br = static_cast<std::uint64_t>(
+        static_cast<double>(spec.instructions) * spec.branchFrac);
+    burstPcs.resize(n_br);
+    burstTaken.resize(n_br);
+    for (std::uint64_t i = 0; i < n_br; ++i) {
+        burstPcs[i] = spec.textBase + rng.range(spec.staticBranches) * 16;
+        burstTaken[i] =
+            static_cast<std::uint8_t>(rng.chance(spec.branchBias));
+    }
+    std::uint64_t mispred =
+        n_br > 0 ? bp.updateBatch(burstPcs.data(), n_br, burstTaken.data(),
+                                  n_br, ExecMode::user)
+                 : 0;
+
+    auto base = static_cast<Cycles>(
+        static_cast<double>(spec.instructions) * prm.baseCpi);
+    Cycles cycles = base + extra + mispred * prm.mispredPenalty;
+    auto duration = static_cast<Tick>(
+        static_cast<double>(cycles * prm.cyclePeriod) / share);
+
+    uInstr += spec.instructions;
+    uCycles += duration / prm.cyclePeriod;
+    cCycles += duration / prm.cyclePeriod;
+
+    return duration;
+}
+
+Tick
+ThreadContext::computeBurstPerLine(const workloads::ComputeSpec &spec)
+{
     // Issue-slot share depends on what the SMT sibling is doing right
     // now (sampled at burst start; bursts are short).
     double share = kernel.scheduler().widthShare(core());

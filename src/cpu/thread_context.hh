@@ -28,6 +28,7 @@
 
 #include <array>
 #include <functional>
+#include <vector>
 
 #include "cpu/mmu.hh"
 #include "os/kernel.hh"
@@ -50,6 +51,15 @@ struct CoreParams
      * can run ahead of the event queue within a quantum.
      */
     unsigned memQuantum = 4096;
+
+    /**
+     * Route computeBurst's cache/branch streams through the batched
+     * APIs (level-major accessBatch, updateBatch). Off restores the
+     * per-line reference loops; both produce bit-identical simulated
+     * state, so the flag exists for differential testing and follows
+     * MachineConfig::pollutionBatch.
+     */
+    bool batch = true;
 };
 
 class ThreadContext : public os::Thread, public AccessSink
@@ -159,9 +169,17 @@ class ThreadContext : public os::Thread, public AccessSink
     Tick memOpStart = 0;
     bool memOpEndsApp = false;
 
+    // computeBurst scratch, reused across bursts (no steady-state
+    // allocation): addresses for one batched loop, branch PCs and
+    // pre-drawn outcomes for the predictor batch.
+    std::vector<std::uint64_t> burstAddrs;
+    std::vector<std::uint64_t> burstPcs;
+    std::vector<std::uint8_t> burstTaken;
+
     void opLoop();
     void finishOp(Tick logical_now);
     Tick computeBurst(const workloads::ComputeSpec &spec);
+    Tick computeBurstPerLine(const workloads::ComputeSpec &spec);
 };
 
 } // namespace hwdp::cpu

@@ -17,6 +17,50 @@ BranchPredictor::BranchPredictor(unsigned history_bits)
 }
 
 std::uint64_t
+BranchPredictor::updateBatch(const std::uint64_t *pcs, std::size_t n_pcs,
+                             const std::uint8_t *taken, std::size_t n,
+                             ExecMode mode)
+{
+    // Same gshare transition as predictAndUpdate, unrolled over the
+    // batch: the GHR and the miss count live in locals, the per-mode
+    // statistics are written once at the end. The PHT/GHR updates are
+    // inherently serial (each index depends on the previous outcome),
+    // but they are pure ALU work once the per-call overhead is gone.
+    std::uint64_t g = ghr;
+    std::uint64_t miss = 0;
+    std::uint8_t *table = pht.data();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < n) {
+        // Inner loop over one pass of the PC ring: no wrap check per
+        // update (the common case never wraps — runs are at most one
+        // ring long).
+        std::size_t len = std::min(n - i, n_pcs - j);
+        const std::uint64_t *pc = pcs + j;
+        for (std::size_t k = 0; k < len; ++k) {
+            std::uint64_t idx = ((pc[k] >> 2) ^ g) & historyMask;
+            std::uint8_t ctr = table[idx];
+            unsigned t = taken[i + k] ? 1u : 0u;
+            // Branch-free on the outcome: simulated coin-flip data.
+            miss += static_cast<std::uint64_t>((ctr >= 2) != (t != 0));
+            table[idx] = static_cast<std::uint8_t>(
+                ctr + (t & static_cast<unsigned>(ctr < 3)) -
+                ((t ^ 1u) & static_cast<unsigned>(ctr > 0)));
+            g = ((g << 1) | t) & historyMask;
+        }
+        i += len;
+        j += len;
+        if (j == n_pcs)
+            j = 0;
+    }
+    ghr = g;
+    auto m = static_cast<unsigned>(mode);
+    nLookups[m] += n;
+    nMiss[m] += miss;
+    return miss;
+}
+
+std::uint64_t
 BranchPredictor::lookups(ExecMode mode) const
 {
     return nLookups[static_cast<unsigned>(mode)];

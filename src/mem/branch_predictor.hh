@@ -12,6 +12,7 @@
 #ifndef HWDP_MEM_BRANCH_PREDICTOR_HH
 #define HWDP_MEM_BRANCH_PREDICTOR_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -59,6 +60,21 @@ class BranchPredictor
         nMiss[m] += static_cast<std::uint64_t>(!correct);
         return correct;
     }
+
+    /**
+     * Apply @p n updates in bulk, equivalent to n predictAndUpdate
+     * calls with pc = pcs[i % n_pcs] and outcome taken[i] (non-zero =
+     * taken). The kernel-pollution model drives hundreds of updates
+     * per phase over a memoized PC vector; this keeps the GHR and the
+     * counters in registers across the batch and bulk-increments the
+     * per-mode statistics once, instead of paying the bookkeeping per
+     * branch. @p n_pcs must cover the caller's wrap period (the
+     * pollution stream repeats its PCs every 1024 branches).
+     * @return the number of mispredicted branches in the batch.
+     */
+    std::uint64_t updateBatch(const std::uint64_t *pcs, std::size_t n_pcs,
+                              const std::uint8_t *taken, std::size_t n,
+                              ExecMode mode);
 
     std::uint64_t lookups(ExecMode mode) const;
     std::uint64_t mispredicts(ExecMode mode) const;

@@ -1,5 +1,6 @@
 #include "mem/cache_array.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "sim/logging.hh"
@@ -32,6 +33,63 @@ CacheArray::CacheArray(std::string name, std::uint64_t size_bytes,
         fatal("cache '", label, "': stamp field too narrow for ", ways,
               " ways");
     meta.assign(static_cast<std::size_t>(sets) * ways, 0);
+}
+
+std::size_t
+CacheArray::accessBatch(const std::uint64_t *addrs, std::size_t n,
+                        std::uint64_t *miss_out,
+                        std::uint64_t *hit_bitmap)
+{
+    if (n == 0)
+        return 0;
+    if (hit_bitmap) {
+        for (std::size_t w = 0; w < (n + 63) / 64; ++w)
+            hit_bitmap[w] = 0;
+    }
+
+    // Wide arrays only (the LLC): the metadata exceeds the host
+    // cache, so a set scan is a host memory stall. Prefetching each
+    // set this many lines before its scan overlaps those stalls; the
+    // hint is safe under any aliasing (a stale prefetch just warms
+    // the line the scan re-reads).
+    const bool wide = ways > 8;
+    constexpr std::size_t lookahead = 12;
+    if (wide) {
+        for (std::size_t j = 0; j < std::min(lookahead, n); ++j)
+            prefetch(addrs[j]);
+    }
+
+    std::size_t nmiss = 0;
+    std::size_t i = 0;
+    while (i < n) {
+        // The reference path renormalises when the clock saturates at
+        // the start of an access; cutting the run at the same
+        // headroom reproduces the renormalisation points exactly.
+        if (useClock == stampMask) [[unlikely]]
+            renormalize();
+        std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n - i, stampMask - useClock));
+
+        for (std::size_t j = i; j < i + chunk; ++j) {
+            if (wide && j + lookahead < n)
+                prefetch(addrs[j + lookahead]);
+            std::uint64_t addr = addrs[j];
+            bool hit = accessOne(addr, useClock + (j - i) + 1);
+            // Branch-free compaction: the store is unconditional, the
+            // cursor advances only on a miss.
+            miss_out[nmiss] = addr;
+            nmiss += !hit;
+            if (hit_bitmap)
+                hit_bitmap[j >> 6] |=
+                    static_cast<std::uint64_t>(hit) << (j & 63);
+        }
+        useClock += chunk;
+        i += chunk;
+    }
+
+    hits += n - nmiss;
+    misses += nmiss;
+    return n - nmiss;
 }
 
 bool

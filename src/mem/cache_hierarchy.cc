@@ -22,6 +22,61 @@ CacheHierarchy::CacheHierarchy(unsigned n_cores, const CacheParams &params)
     }
 }
 
+CacheBatchResult
+CacheHierarchy::accessBatch(unsigned core, const std::uint64_t *addrs,
+                            std::size_t n, bool is_inst, ExecMode mode)
+{
+    if (core >= l1d.size()) [[unlikely]]
+        badCore(core);
+
+    CacheBatchResult r;
+    if (n == 0)
+        return r;
+    ModeCounters &mc = modeCtrs[static_cast<unsigned>(mode)];
+
+    if (batchMiss1.size() < n) {
+        batchMiss1.resize(n);
+        batchMiss2.resize(n);
+        batchMiss3.resize(n);
+    }
+
+    // Level-major: the whole run against the L1, its compacted miss
+    // list through the L2, then the LLC. Each array's access sequence
+    // is the same subsequence it would see line-major, so state and
+    // counters match the per-line path exactly.
+    CacheArray &first = is_inst ? l1i[core] : l1d[core];
+    std::size_t h1 = first.accessBatch(addrs, n, batchMiss1.data());
+    std::size_t m1 = n - h1;
+    r.l1Misses = m1;
+    if (is_inst) {
+        mc.l1iAccesses += n;
+        mc.l1iMisses += m1;
+    } else {
+        mc.l1dAccesses += n;
+        mc.l1dMisses += m1;
+    }
+
+    std::size_t h2 = 0, h3 = 0, m2 = 0;
+    if (m1 > 0) {
+        h2 = l2[core].accessBatch(batchMiss1.data(), m1,
+                                  batchMiss2.data());
+        m2 = m1 - h2;
+        r.l2Misses = m2;
+        mc.l2Misses += m2;
+    }
+    if (m2 > 0) {
+        h3 = llc.accessBatch(batchMiss2.data(), m2, batchMiss3.data());
+        r.llcMisses = m2 - h3;
+        mc.llcMisses += r.llcMisses;
+    }
+
+    r.totalLatency = static_cast<Cycles>(h1) * prm.l1Latency +
+                     static_cast<Cycles>(h2) * prm.l2Latency +
+                     static_cast<Cycles>(h3) * prm.llcLatency +
+                     static_cast<Cycles>(m2 - h3) * prm.dramLatency;
+    return r;
+}
+
 void
 CacheHierarchy::badCore(unsigned core) const
 {

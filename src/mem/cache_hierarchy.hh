@@ -46,6 +46,23 @@ struct CacheAccessResult
     bool llcMiss = false;
 };
 
+/** Aggregate outcome of one batched hierarchy access run. */
+struct CacheBatchResult
+{
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t llcMisses = 0;
+    /** Sum of the per-line service latencies. */
+    Cycles totalLatency = 0;
+
+    /** Tag-array probes the run issued across all levels. */
+    std::uint64_t
+    probes(std::uint64_t n) const
+    {
+        return n + l1Misses + l2Misses;
+    }
+};
+
 class CacheHierarchy
 {
   public:
@@ -113,6 +130,24 @@ class CacheHierarchy
         return r;
     }
 
+    /**
+     * Access a run of @p n lines level-major: the whole run is
+     * streamed through the L1, the compacted miss list through the
+     * L2, its misses through the LLC — three dense passes whose loads
+     * the host can overlap, instead of n dependent three-level
+     * descents. Simulated state and every counter end up bit-identical
+     * to n sequential access() calls: each array sees the same
+     * addresses in the same relative order (a level's access sequence
+     * is a subsequence of the run, and the arrays share no state), so
+     * only the interleaving *between* independent arrays changes.
+     * Used by the kernel-pollution model, whose phase footprints are
+     * natural line runs; per-line latencies are not materialised
+     * (pollution charges time by phase cycle budgets, not per line).
+     */
+    CacheBatchResult accessBatch(unsigned core, const std::uint64_t *addrs,
+                                 std::size_t n, bool is_inst,
+                                 ExecMode mode);
+
     const ModeCounters &counters(ExecMode mode) const
     {
         return modeCtrs[static_cast<unsigned>(mode)];
@@ -132,6 +167,12 @@ class CacheHierarchy
     std::vector<CacheArray> l2;
     CacheArray llc;
     ModeCounters modeCtrs[2];
+
+    // Batch scratch, reused across calls (no steady-state allocation):
+    // L1 misses, L2 misses, and a sink for the LLC's miss list.
+    std::vector<std::uint64_t> batchMiss1;
+    std::vector<std::uint64_t> batchMiss2;
+    std::vector<std::uint64_t> batchMiss3;
 
     [[noreturn]] void badCore(unsigned core) const;
 };

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "os/kernel_phases.hh"
 #include "sim/logging.hh"
 
 namespace hwdp::metrics {
@@ -75,6 +76,25 @@ void
 Table::print() const
 {
     std::fputs(toString().c_str(), stdout);
+}
+
+Table
+pollutionProbeTable(const os::KernelExec &kexec)
+{
+    Table t({"category", "tag probes", "bp updates"});
+    auto n_cats = static_cast<unsigned>(os::KernelCostCat::numCats);
+    for (unsigned c = 0; c < n_cats; ++c) {
+        auto cat = static_cast<os::KernelCostCat>(c);
+        std::uint64_t probes = kexec.pollutionProbes(cat);
+        std::uint64_t branches = kexec.pollutionBranchUpdates(cat);
+        if (probes == 0 && branches == 0)
+            continue;
+        t.addRow({os::kernelCostCatName(cat), std::to_string(probes),
+                  std::to_string(branches)});
+    }
+    t.addRow({"total", std::to_string(kexec.totalPollutionProbes()),
+              std::to_string(kexec.totalPollutionBranchUpdates())});
+    return t;
 }
 
 void

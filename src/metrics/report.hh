@@ -13,6 +13,10 @@
 #include <string>
 #include <vector>
 
+namespace hwdp::os {
+class KernelExec;
+}
+
 namespace hwdp::metrics {
 
 class Table
@@ -40,6 +44,16 @@ class Table
 
 /** Print a section banner for a figure/table reproduction. */
 void banner(const std::string &title, const std::string &subtitle = "");
+
+/**
+ * Per-KernelCostCat pollution observability: one row per category
+ * that issued any pollution, with the cache tag-array probes and
+ * branch-predictor updates it caused, plus a total row. This is the
+ * simulator-hot-path work the batched pollution engine streams, so
+ * benches print it next to their timing numbers to show where the
+ * probes come from.
+ */
+Table pollutionProbeTable(const os::KernelExec &kexec);
 
 } // namespace hwdp::metrics
 

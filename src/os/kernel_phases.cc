@@ -150,43 +150,135 @@ KernelExec::runBatch(unsigned phys_core, const KernelPhase &phase,
     return total;
 }
 
+KernelExec::Footprint &
+KernelExec::footprint(const KernelPhase &phase)
+{
+    auto [it, fresh] = footprints.try_emplace(phase.name);
+    Footprint &fp = it->second;
+    if (fresh) {
+        // Stable per-phase bases: kernel text/data live in a high
+        // region distinct from any user mapping. The FNV-ish hash
+        // spreads phases; hashing the name once per phase (not once
+        // per invocation) is a measurable win on its own.
+        std::uint64_t h = 1469598103934665603ULL;
+        for (const char *p = phase.name; *p; ++p)
+            h = (h ^ static_cast<std::uint64_t>(*p)) * 1099511628211ULL;
+        fp.textBase = 0xffff'ffff'8000'0000ULL + (h & 0x3f'ffc0);
+        fp.dataBase = 0xffff'ea00'0000'0000ULL + ((h >> 20) & 0xff'ffc0);
+    }
+    return fp;
+}
+
 void
 KernelExec::applyPollution(unsigned phys_core, const KernelPhase &phase)
 {
     ++invocation;
-    // Stable per-phase bases: kernel text/data live in a high region
-    // distinct from any user mapping. The FNV-ish hash spreads phases.
-    std::uint64_t h = 1469598103934665603ULL;
-    for (const char *p = phase.name; *p; ++p)
-        h = (h ^ static_cast<std::uint64_t>(*p)) * 1099511628211ULL;
-
-    std::uint64_t text_base = 0xffff'ffff'8000'0000ULL + (h & 0x3f'ffc0);
-    std::uint64_t data_base = 0xffff'ea00'0000'0000ULL + ((h >> 20) &
-                                                          0xff'ffc0);
-
-    for (unsigned i = 0; i < phase.icLines; ++i) {
-        caches.access(phys_core, text_base + i * lineSize, true,
-                      ExecMode::kernel);
+    Footprint &fp = footprint(phase);
+    if (batch) {
+        applyPollutionBatch(phys_core, phase, fp);
+        return;
     }
+
+    // Reference path: per-line level descents, kept bit-for-bit as
+    // the oracle the batched path is verified against.
+    auto c = static_cast<unsigned>(phase.cat);
+    std::uint64_t probes = 0;
+    for (unsigned i = 0; i < phase.icLines; ++i) {
+        auto r = caches.access(phys_core, fp.textBase + i * lineSize,
+                               true, ExecMode::kernel);
+        probes += 1u + r.l1Miss + r.l2Miss;
+    }
+    // The odd-index (per-invocation) line indices step by 2 mod 2048,
+    // so one modulo seeds a wrapping index for the whole loop.
+    std::uint64_t vary = (invocation * 37 + 1) % 2048;
     for (unsigned i = 0; i < phase.dcLines; ++i) {
         // Half the data lines are stable structures, half vary per
         // invocation (struct page, PTE, bio of *this* fault).
         std::uint64_t addr;
         if ((i & 1) == 0) {
-            addr = data_base + i * lineSize;
+            addr = fp.dataBase + i * lineSize;
         } else {
-            addr = data_base + 0x100'0000 +
-                   ((invocation * 37 + i) % 2048) * lineSize;
+            addr = fp.dataBase + 0x100'0000 + vary * lineSize;
+            vary += 2;
+            if (vary >= 2048)
+                vary -= 2048;
         }
-        caches.access(phys_core, addr, false, ExecMode::kernel);
+        auto r = caches.access(phys_core, addr, false, ExecMode::kernel);
+        probes += 1u + r.l1Miss + r.l2Miss;
     }
+    probesByCat[c] += probes;
+    branchesByCat[c] += phase.branches;
     for (unsigned i = 0; i < phase.branches; ++i) {
-        std::uint64_t pc = text_base + (i % 1024) * 16;
+        std::uint64_t pc = fp.textBase + (i % 1024) * 16;
         // Kernel control flow is uncorrelated with the user patterns
         // sharing the PHT: from an aliased user entry's point of view
         // the interference is adversarial.
         bool taken = rng.chance(0.5);
         bps[phys_core].predictAndUpdate(pc, taken, ExecMode::kernel);
+    }
+}
+
+void
+KernelExec::applyPollutionBatch(unsigned phys_core,
+                                const KernelPhase &phase, Footprint &fp)
+{
+    auto c = static_cast<unsigned>(phase.cat);
+    std::size_t ic = phase.icLines;
+    std::size_t dc = phase.dcLines;
+    std::size_t br = phase.branches;
+
+    // Grow the memoized vectors to this phase's counts (runBatch
+    // scales dcLines/branches per call, so the first large batch
+    // extends them; growth is amortised to nothing).
+    if (fp.text.size() < ic) {
+        for (std::size_t i = fp.text.size(); i < ic; ++i)
+            fp.text.push_back(fp.textBase + i * lineSize);
+    }
+    if (fp.data.size() < dc) {
+        for (std::size_t i = fp.data.size(); i < dc; ++i)
+            fp.data.push_back((i & 1) == 0 ? fp.dataBase + i * lineSize
+                                           : 0);
+    }
+    std::size_t pcs_needed = std::min<std::size_t>(br, 1024);
+    if (fp.branchPcs.size() < pcs_needed) {
+        for (std::size_t i = fp.branchPcs.size(); i < pcs_needed; ++i)
+            fp.branchPcs.push_back(fp.textBase + i * 16);
+    }
+
+    std::uint64_t probes = 0;
+    if (ic > 0) {
+        auto r = caches.accessBatch(phys_core, fp.text.data(), ic, true,
+                                    ExecMode::kernel);
+        probes += r.probes(ic);
+    }
+    if (dc > 0) {
+        // Rewrite the per-invocation (odd) slots in bulk, then stream
+        // the run in its original interleaved order — order within
+        // one array is what the batch preserves exactly.
+        std::uint64_t vary = (invocation * 37 + 1) % 2048;
+        std::uint64_t vary_base = fp.dataBase + 0x100'0000;
+        for (std::size_t i = 1; i < dc; i += 2) {
+            fp.data[i] = vary_base + vary * lineSize;
+            vary += 2;
+            if (vary >= 2048)
+                vary -= 2048;
+        }
+        auto r = caches.accessBatch(phys_core, fp.data.data(), dc, false,
+                                    ExecMode::kernel);
+        probes += r.probes(dc);
+    }
+    probesByCat[c] += probes;
+    branchesByCat[c] += br;
+    if (br > 0) {
+        if (takenScratch.size() < br)
+            takenScratch.resize(br);
+        // The bulk draw produces the identical Bernoulli stream (and
+        // generator state) as one chance(0.5) per branch.
+        rng.fill(0.5, takenScratch.data(), br);
+        bps[phys_core].updateBatch(fp.branchPcs.data(),
+                                   fp.branchPcs.size(),
+                                   takenScratch.data(), br,
+                                   ExecMode::kernel);
     }
 }
 
@@ -222,6 +314,38 @@ KernelExec::totalCycles() const
     return t;
 }
 
+std::uint64_t
+KernelExec::pollutionProbes(KernelCostCat cat) const
+{
+    return probesByCat[static_cast<unsigned>(cat)];
+}
+
+std::uint64_t
+KernelExec::totalPollutionProbes() const
+{
+    std::uint64_t t = 0;
+    for (unsigned i = 0; i < static_cast<unsigned>(KernelCostCat::numCats);
+         ++i)
+        t += probesByCat[i];
+    return t;
+}
+
+std::uint64_t
+KernelExec::pollutionBranchUpdates(KernelCostCat cat) const
+{
+    return branchesByCat[static_cast<unsigned>(cat)];
+}
+
+std::uint64_t
+KernelExec::totalPollutionBranchUpdates() const
+{
+    std::uint64_t t = 0;
+    for (unsigned i = 0; i < static_cast<unsigned>(KernelCostCat::numCats);
+         ++i)
+        t += branchesByCat[i];
+    return t;
+}
+
 void
 KernelExec::resetAccounting()
 {
@@ -229,6 +353,8 @@ KernelExec::resetAccounting()
          ++i) {
         instrByCat[i] = 0;
         cyclesByCat[i] = 0;
+        probesByCat[i] = 0;
+        branchesByCat[i] = 0;
     }
 }
 

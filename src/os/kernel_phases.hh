@@ -22,6 +22,7 @@
 #define HWDP_OS_KERNEL_PHASES_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/branch_predictor.hh"
@@ -135,21 +136,82 @@ class KernelExec
     /** Pollution can be disabled for pure-latency experiments. */
     void setPollutionEnabled(bool on) { pollute = on; }
 
+    /**
+     * Select the batched pollution path (the default) or the per-line
+     * reference path. Both produce bit-identical simulated state and
+     * statistics; the reference path exists so the differential suite
+     * can prove that, and for bisecting host-perf regressions.
+     */
+    void setBatchEnabled(bool on) { batch = on; }
+    bool batchEnabled() const { return batch; }
+
+    /**
+     * Cache tag-array probes (across all three levels) issued by
+     * pollution on behalf of @p cat — the simulator-hot-path cost the
+     * batch path exists to cut, surfaced so benches can report where
+     * the probes come from. Counted identically by both paths.
+     */
+    std::uint64_t pollutionProbes(KernelCostCat cat) const;
+    std::uint64_t totalPollutionProbes() const;
+
+    /** Branch-predictor updates issued by pollution for @p cat. */
+    std::uint64_t pollutionBranchUpdates(KernelCostCat cat) const;
+    std::uint64_t totalPollutionBranchUpdates() const;
+
   private:
     mem::CacheHierarchy &caches;
     std::vector<mem::BranchPredictor> &bps;
     Tick period;
     sim::Rng rng;
     bool pollute = true;
+    bool batch = true;
 
     std::uint64_t instrByCat[static_cast<unsigned>(KernelCostCat::numCats)] =
         {};
     Cycles cyclesByCat[static_cast<unsigned>(KernelCostCat::numCats)] = {};
+    std::uint64_t probesByCat[static_cast<unsigned>(KernelCostCat::numCats)] =
+        {};
+    std::uint64_t branchesByCat[static_cast<unsigned>(
+        KernelCostCat::numCats)] = {};
 
     /** Monotone counter that spreads per-invocation data addresses. */
     std::uint64_t invocation = 0;
 
+    /**
+     * Memoized per-phase footprint: everything about a phase's
+     * pollution that does not vary per invocation. The FNV name hash
+     * and the derived text/data bases are computed once; the
+     * instruction-line run, the stable (even-index) data lines and
+     * the branch-PC cycle are flattened into address vectors the
+     * batch path streams directly. Odd data slots are per-invocation
+     * and rewritten in bulk before each use. Vectors grow on demand
+     * because runBatch scales dcLines/branches per call.
+     */
+    struct Footprint
+    {
+        std::uint64_t textBase = 0;
+        std::uint64_t dataBase = 0;
+        std::vector<std::uint64_t> text;
+        std::vector<std::uint64_t> data;
+        std::vector<std::uint64_t> branchPcs; // cycle: min(branches,1024)
+    };
+
+    /**
+     * Keyed by the phase's name pointer: phases are static table
+     * entries (runBatch's scaled copies share the table entry's name),
+     * so pointer identity is both stable and cheaper than hashing the
+     * string per invocation.
+     */
+    std::unordered_map<const char *, Footprint> footprints;
+
+    /** Scratch for the bulk Bernoulli draws (taken flags). */
+    std::vector<std::uint8_t> takenScratch;
+
+    Footprint &footprint(const KernelPhase &phase);
+
     void applyPollution(unsigned phys_core, const KernelPhase &phase);
+    void applyPollutionBatch(unsigned phys_core, const KernelPhase &phase,
+                             Footprint &fp);
 };
 
 } // namespace hwdp::os

@@ -11,6 +11,7 @@
 #ifndef HWDP_SIM_RNG_HH
 #define HWDP_SIM_RNG_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace hwdp::sim {
@@ -69,6 +70,57 @@ class Rng
         if (p >= 1.0)
             return true;
         return uniform() < p;
+    }
+
+    /**
+     * Fill @p out with @p n Bernoulli draws, 1 with probability @p p.
+     * Produces the exact decision sequence (and final generator state)
+     * of n sequential chance(p) calls — the batched kernel-pollution
+     * path depends on that stream equivalence. Unlike the sequential
+     * form, the i-th draw's state is computed directly as
+     * state + (i+1) * gamma, so the mixes carry no loop dependency and
+     * the host can overlap them.
+     */
+    void
+    fill(double p, std::uint8_t *out, std::size_t n)
+    {
+        // chance() consumes no state for the degenerate probabilities.
+        if (p <= 0.0) {
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = 0;
+            return;
+        }
+        if (p >= 1.0) {
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = 1;
+            return;
+        }
+        const std::uint64_t s = state;
+        if (p == 0.5) {
+            // The dominant caller (kernel-pollution branch streams)
+            // draws fair coins. (z >> 11) * 2^-53 < 0.5 is exactly
+            // "bit 63 of z is clear" — both sides of the comparison
+            // are exact in double — so the draw reduces to pure
+            // integer ops the compiler can vectorise.
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint64_t z = s + (i + 1) * 0x9e3779b97f4a7c15ULL;
+                z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+                z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+                z ^= z >> 31;
+                out[i] = static_cast<std::uint8_t>(z >> 63 ^ 1);
+            }
+            state = s + n * 0x9e3779b97f4a7c15ULL;
+            return;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t z = s + (i + 1) * 0x9e3779b97f4a7c15ULL;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            z ^= z >> 31;
+            double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+            out[i] = u < p ? 1 : 0;
+        }
+        state = s + n * 0x9e3779b97f4a7c15ULL;
     }
 
     /** Exponentially distributed value with the given mean. */
