@@ -202,13 +202,18 @@ struct FioJob
 };
 
 inline std::vector<FioRun>
-sweepFio(const std::vector<FioJob> &jobs, unsigned parallelism = 0)
+sweepFio(const std::vector<FioJob> &jobs, unsigned parallelism = 0,
+         std::vector<SweepRunner::JobTiming> *timings = nullptr)
 {
     SweepRunner runner(parallelism);
-    return runner.map<FioRun>(jobs.size(), [&](std::size_t i) {
-        const FioJob &j = jobs[i];
-        return runFio(j.cfg, j.threads, j.opsPerThread, j.datasetPages);
-    });
+    return runner.map<FioRun>(
+        jobs.size(),
+        [&](std::size_t i) {
+            const FioJob &j = jobs[i];
+            return runFio(j.cfg, j.threads, j.opsPerThread,
+                          j.datasetPages);
+        },
+        timings);
 }
 
 struct KvJob
@@ -222,14 +227,18 @@ struct KvJob
 };
 
 inline std::vector<KvRun>
-sweepKv(const std::vector<KvJob> &jobs, unsigned parallelism = 0)
+sweepKv(const std::vector<KvJob> &jobs, unsigned parallelism = 0,
+        std::vector<SweepRunner::JobTiming> *timings = nullptr)
 {
     SweepRunner runner(parallelism);
-    return runner.map<KvRun>(jobs.size(), [&](std::size_t i) {
-        const KvJob &j = jobs[i];
-        return runKv(j.cfg, j.type, j.threads, j.opsPerThread,
-                     j.datasetPages, j.warm);
-    });
+    return runner.map<KvRun>(
+        jobs.size(),
+        [&](std::size_t i) {
+            const KvJob &j = jobs[i];
+            return runKv(j.cfg, j.type, j.threads, j.opsPerThread,
+                         j.datasetPages, j.warm);
+        },
+        timings);
 }
 
 } // namespace hwdp::bench

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Parallel simulation mode: host scaling curve and identity gate.
+ *
+ * One heavy 8-simulated-core machine (large compute bursts whose data
+ * runs cross the sharded-dispatch threshold, plus demand paging to
+ * keep the kernel pollution engine busy) is run to completion at
+ * simThreads in {1, 2, 4, 8}. Every run's final machine state must
+ * hash identically — the point of the mode is that host lanes are
+ * invisible to the simulation — and each point reports the median of
+ * N repeats for both wall clock and steal-immune process CPU time
+ * (getrusage), the BENCH_parallel.json protocol.
+ *
+ * The speedup claim is a wall-clock claim and needs free host cores:
+ * on a 1-core host every simThreads > 1 point degrades (same work +
+ * coordination on one lane), which the JSON records honestly.
+ */
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "bench/host_timing.hh"
+#include "testing/machine_differ.hh"
+
+using namespace hwdp;
+
+namespace {
+
+/**
+ * Heavy bursts: ~6k data lines per burst (well past the 1024-line
+ * sharded threshold), ~7.5k branches (past the async side-lane
+ * threshold), with a paged read every few bursts so faults and the
+ * kernel pollution engine stay in the loop.
+ */
+class HeavyBurstWorkload : public workloads::Workload
+{
+  public:
+    HeavyBurstWorkload(os::Vma *vma, std::uint64_t pages,
+                       std::uint64_t n_ops)
+        : vma(vma), pages(pages), remaining(n_ops)
+    {
+        spec.instructions = 50000;
+        spec.memRefFrac = 0.12;
+        spec.branchFrac = 0.15;
+        spec.coldBytes = 8 * 1024 * 1024;
+        spec.coldFrac = 0.2;
+        spec.staticBranches = 256;
+    }
+
+    workloads::Op
+    next(sim::Rng &rng) override
+    {
+        if (remaining == 0)
+            return workloads::Op::makeDone();
+        --remaining;
+        if (++seq % 4 == 0) {
+            VAddr va = vma->start + rng.range(pages) * pageSize;
+            return workloads::Op::makeMem(va, false, true);
+        }
+        return workloads::Op::makeCompute(spec, true);
+    }
+
+    const char *label() const override { return "heavy"; }
+
+  private:
+    os::Vma *vma;
+    std::uint64_t pages;
+    std::uint64_t remaining;
+    std::uint64_t seq = 0;
+    workloads::ComputeSpec spec;
+};
+
+struct PointOut
+{
+    std::uint64_t stateHash = 0;
+    std::uint64_t appOps = 0;
+    std::uint64_t finalTick = 0;
+};
+
+PointOut
+runPoint(unsigned sim_threads)
+{
+    auto cfg = bench::paperConfig(system::PagingMode::hwdp);
+    cfg.nLogical = 8;
+    cfg.nPhysical = 8; // 8 busy simulated cores, no SMT sharing
+    cfg.simThreads = sim_threads;
+    cfg.memFrames = 32 * 1024;
+    system::System sys(cfg);
+    std::uint64_t pages = 64 * 1024;
+    auto mf = sys.mapDataset("heavy.dat", pages);
+    for (unsigned t = 0; t < 8; ++t) {
+        auto *wl = sys.makeWorkload<HeavyBurstWorkload>(mf.vma, pages,
+                                                        500);
+        sys.addThread(*wl, t, *mf.as);
+    }
+    sys.runUntilThreadsDone(seconds(120.0));
+    testing::quiesce(sys);
+    auto snap = testing::snapshot(sys, "parallel_scaling");
+    PointOut o;
+    o.stateHash = snap.stateHash;
+    o.appOps = sys.totalAppOps();
+    o.finalTick = sys.now();
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned repeats = 3;
+    if (argc > 1)
+        repeats = static_cast<unsigned>(std::atoi(argv[1]));
+    if (repeats == 0)
+        repeats = 1;
+
+    unsigned host = std::thread::hardware_concurrency();
+    metrics::banner(
+        "Parallel simulation mode: scaling curve",
+        "one machine, simThreads sweep; state must hash identically");
+    std::printf("host hardware concurrency: %u, repeats per point: %u "
+                "(median of wall and CPU reported)\n\n",
+                host, repeats);
+
+    const unsigned points[] = {1, 2, 4, 8};
+    std::vector<bench::TimedRun> timing(std::size(points));
+    std::vector<PointOut> out(std::size(points));
+
+    for (std::size_t p = 0; p < std::size(points); ++p) {
+        timing[p] = bench::medianOfRuns(repeats, [&] {
+            out[p] = runPoint(points[p]);
+        });
+    }
+
+    bool identical = true;
+    for (std::size_t p = 1; p < std::size(points); ++p) {
+        if (out[p].stateHash != out[0].stateHash ||
+            out[p].finalTick != out[0].finalTick)
+            identical = false;
+    }
+
+    metrics::Table t({"simThreads", "wall s (median)", "cpu s (median)",
+                      "wall speedup", "state hash"});
+    char hash[32];
+    for (std::size_t p = 0; p < std::size(points); ++p) {
+        std::snprintf(hash, sizeof(hash), "%016llx",
+                      static_cast<unsigned long long>(out[p].stateHash));
+        t.addRow({std::to_string(points[p]),
+                  metrics::Table::num(timing[p].wallSec, 3),
+                  metrics::Table::num(timing[p].cpuSec, 3),
+                  metrics::Table::num(timing[0].wallSec /
+                                      timing[p].wallSec) +
+                      "x",
+                  hash});
+    }
+    t.print();
+    std::printf("\nbit-identical state across simThreads: %s\n",
+                identical ? "yes" : "NO — DETERMINISM VIOLATION");
+
+    std::printf("{\"bench\": \"parallel_scaling\", \"host_cores\": %u, "
+                "\"repeats\": %u, \"identical\": %s",
+                host, repeats, identical ? "true" : "false");
+    for (std::size_t p = 0; p < std::size(points); ++p) {
+        std::printf(", \"t%u_wall_s\": %.3f, \"t%u_cpu_s\": %.3f",
+                    points[p], timing[p].wallSec, points[p],
+                    timing[p].cpuSec);
+    }
+    std::printf("}\n");
+    return identical ? 0 : 1;
+}

@@ -20,11 +20,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "bench/host_timing.hh"
 
 namespace hwdp::bench {
 
@@ -54,24 +57,56 @@ class SweepRunner
     unsigned jobs() const { return nJobs; }
 
     /**
+     * Per-job host cost, recorded when map() is given a timing sink:
+     * wall clock plus the executing thread's own CPU time
+     * (RUSAGE_THREAD) — the steal-immune number the BENCH_*.json
+     * protocol quotes, since co-tenant load inflates wall but not the
+     * CPU the job was actually granted.
+     */
+    struct JobTiming
+    {
+        double wallSec = 0;
+        double cpuSec = 0;
+    };
+
+    /**
      * Evaluate fn(0) .. fn(n-1) and return the results indexed by
      * input position regardless of completion order. fn must not
      * touch shared mutable state (build a fresh System per call).
      * The first exception thrown by any point is rethrown here after
      * all workers drain.
+     * @param timings Optional: resized to n and filled with each
+     *                job's wall / thread-CPU cost, indexed like the
+     *                results.
      */
     template <typename R, typename Fn>
     std::vector<R>
-    map(std::size_t n, Fn &&fn) const
+    map(std::size_t n, Fn &&fn,
+        std::vector<JobTiming> *timings = nullptr) const
     {
         std::vector<R> results(n);
+        if (timings)
+            timings->assign(n, JobTiming{});
         if (n == 0)
             return results;
+        auto runOne = [&](std::size_t i) {
+            if (!timings) {
+                results[i] = fn(i);
+                return;
+            }
+            double cpu0 = threadCpuSeconds();
+            auto t0 = std::chrono::steady_clock::now();
+            results[i] = fn(i);
+            auto t1 = std::chrono::steady_clock::now();
+            (*timings)[i] = {
+                std::chrono::duration<double>(t1 - t0).count(),
+                threadCpuSeconds() - cpu0};
+        };
         unsigned workers =
             static_cast<unsigned>(std::min<std::size_t>(nJobs, n));
         if (workers <= 1) {
             for (std::size_t i = 0; i < n; ++i)
-                results[i] = fn(i);
+                runOne(i);
             return results;
         }
 
@@ -85,7 +120,7 @@ class SweepRunner
                 if (i >= n)
                     return;
                 try {
-                    results[i] = fn(i);
+                    runOne(i);
                 } catch (...) {
                     std::lock_guard<std::mutex> g(errorLock);
                     if (!error)

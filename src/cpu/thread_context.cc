@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/shard_pool.hh"
 
 namespace hwdp::cpu {
 
@@ -265,6 +266,35 @@ ThreadContext::computeBurst(const workloads::ComputeSpec &spec)
             burstAddrs[i] = spec.hotBase + (rng.range(spec.hotBytes) & ~7ULL);
         }
     }
+
+    // Branches: draw site and outcome in the original interleaved
+    // order (the cache streams consume no randomness, so drawing them
+    // here leaves the generator stream identical to drawing them after
+    // the cache passes — which is where the per-line path draws them).
+    auto n_br = static_cast<std::uint64_t>(
+        static_cast<double>(spec.instructions) * spec.branchFrac);
+    burstPcs.resize(n_br);
+    burstTaken.resize(n_br);
+    for (std::uint64_t i = 0; i < n_br; ++i) {
+        burstPcs[i] = spec.textBase + rng.range(spec.staticBranches) * 16;
+        burstTaken[i] =
+            static_cast<std::uint8_t>(rng.chance(spec.branchBias));
+    }
+
+    // Heavy bursts overlap the predictor batch with the cache passes
+    // on the pool's side lane: predictor state is disjoint from every
+    // tag array and the outcomes are pre-drawn, so the overlap cannot
+    // change simulated results; mispred is read only after the join.
+    constexpr std::uint64_t asyncMinBranches = 512;
+    std::uint64_t mispred = 0;
+    auto bp_update = [&] {
+        mispred = bp.updateBatch(burstPcs.data(), n_br, burstTaken.data(),
+                                 n_br, ExecMode::user);
+    };
+    bool bp_async = prm.pool && n_br >= asyncMinBranches;
+    if (bp_async)
+        prm.pool->launchAsync(bp_update);
+
     Cycles data_stall = 0;
     if (n_refs > 0) {
         auto r = caches.accessBatch(physCore, burstAddrs.data(), n_refs,
@@ -305,22 +335,12 @@ ThreadContext::computeBurst(const workloads::ComputeSpec &spec)
     }
     fetchSeq += n_lines;
 
-    // Branches: draw site and outcome in the original interleaved
-    // order, then run the predictor batch (n_pcs == n, so the ring
-    // never wraps and pcs[i] pairs with taken[i] like the loop).
-    auto n_br = static_cast<std::uint64_t>(
-        static_cast<double>(spec.instructions) * spec.branchFrac);
-    burstPcs.resize(n_br);
-    burstTaken.resize(n_br);
-    for (std::uint64_t i = 0; i < n_br; ++i) {
-        burstPcs[i] = spec.textBase + rng.range(spec.staticBranches) * 16;
-        burstTaken[i] =
-            static_cast<std::uint8_t>(rng.chance(spec.branchBias));
-    }
-    std::uint64_t mispred =
-        n_br > 0 ? bp.updateBatch(burstPcs.data(), n_br, burstTaken.data(),
-                                  n_br, ExecMode::user)
-                 : 0;
+    // Predictor batch (n_pcs == n, so the ring never wraps and pcs[i]
+    // pairs with taken[i] like the per-line loop).
+    if (bp_async)
+        prm.pool->joinAsync();
+    else if (n_br > 0)
+        bp_update();
 
     auto base = static_cast<Cycles>(
         static_cast<double>(spec.instructions) * prm.baseCpi);

@@ -6,6 +6,7 @@
 
 #include "os/kernel_phases.hh"
 #include "sim/logging.hh"
+#include "sim/shard_pool.hh"
 
 namespace hwdp::metrics {
 
@@ -94,6 +95,17 @@ pollutionProbeTable(const os::KernelExec &kexec)
     }
     t.addRow({"total", std::to_string(kexec.totalPollutionProbes()),
               std::to_string(kexec.totalPollutionBranchUpdates())});
+    return t;
+}
+
+Table
+shardPoolTable(const sim::ShardPool &pool)
+{
+    Table t({"lanes", "regions", "region tasks", "async tasks"});
+    t.addRow({std::to_string(pool.lanes()),
+              std::to_string(pool.regionsRun()),
+              std::to_string(pool.regionTasksRun()),
+              std::to_string(pool.asyncTasksRun())});
     return t;
 }
 

@@ -17,6 +17,10 @@ namespace hwdp::os {
 class KernelExec;
 }
 
+namespace hwdp::sim {
+class ShardPool;
+}
+
 namespace hwdp::metrics {
 
 class Table
@@ -54,6 +58,14 @@ void banner(const std::string &title, const std::string &subtitle = "");
  * probes come from.
  */
 Table pollutionProbeTable(const os::KernelExec &kexec);
+
+/**
+ * Parallel-mode host observability: lanes, sharded regions and region
+ * tasks executed, async side tasks run. Pure host-side counters —
+ * deliberately not part of dumpMachineStats, which must stay
+ * byte-identical across simThreads values.
+ */
+Table shardPoolTable(const sim::ShardPool &pool);
 
 } // namespace hwdp::metrics
 

@@ -30,6 +30,10 @@
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class ShardPool;
+}
+
 namespace hwdp::os {
 
 /** Attribution buckets for Figure 15 (kernel cost breakdown). */
@@ -146,6 +150,16 @@ class KernelExec
     bool batchEnabled() const { return batch; }
 
     /**
+     * Attach the parallel-mode worker pool: large pollution batches
+     * then run their branch-predictor update on the pool's side lane,
+     * overlapped with the cache passes of the same phase (the
+     * predictor and the tag arrays share no state, and the outcome
+     * stream is pre-drawn, so the overlap cannot change simulated
+     * results). nullptr restores fully serial execution.
+     */
+    void setShardPool(sim::ShardPool *p) { pool = p; }
+
+    /**
      * Cache tag-array probes (across all three levels) issued by
      * pollution on behalf of @p cat — the simulator-hot-path cost the
      * batch path exists to cut, surfaced so benches can report where
@@ -165,6 +179,7 @@ class KernelExec
     sim::Rng rng;
     bool pollute = true;
     bool batch = true;
+    sim::ShardPool *pool = nullptr;
 
     std::uint64_t instrByCat[static_cast<unsigned>(KernelCostCat::numCats)] =
         {};

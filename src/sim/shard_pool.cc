@@ -1,0 +1,183 @@
+#include "sim/shard_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace hwdp::sim {
+
+namespace {
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Bounded spin, then yield: the regions are short (one batch run), so
+ * a waiter usually spins only a few iterations; yielding afterwards
+ * keeps an oversubscribed host (fewer cores than lanes) live.
+ */
+inline void
+backoff(unsigned &spins)
+{
+    if (++spins < 64)
+        cpuRelax();
+    else
+        std::this_thread::yield();
+}
+
+} // namespace
+
+ShardPool::ShardPool(unsigned n_lanes) : nLanes(n_lanes)
+{
+    if (n_lanes < 2 || n_lanes > maxLanes)
+        fatal("shard pool: lanes must be in [2, ", maxLanes, "], got ",
+              n_lanes);
+    workers.reserve(n_lanes - 1);
+    for (unsigned i = 0; i + 1 < n_lanes; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ShardPool::~ShardPool()
+{
+    stopFlag.store(true, std::memory_order_release);
+    gen.fetch_add(1, std::memory_order_release);
+    gen.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+bool
+ShardPool::tryClaimAsync()
+{
+    unsigned expect = 1;
+    if (!asyncState.compare_exchange_strong(expect, 2,
+                                            std::memory_order_acquire))
+        return false;
+    asyncFn(asyncCtx, 0);
+    asyncState.store(3, std::memory_order_release);
+    asyncState.notify_all();
+    return true;
+}
+
+void
+ShardPool::help()
+{
+    // Copy the region description once: regNext is the only region
+    // field touched after this, and a stale claim (task id past the
+    // region's count) executes nothing.
+    TaskFn fn = regFn;
+    void *ctx = regCtx;
+    unsigned n = regTasks;
+    for (;;) {
+        unsigned t = regNext.fetch_add(1, std::memory_order_relaxed);
+        if (t >= n)
+            return;
+        fn(ctx, t);
+        regDone.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ShardPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t g = gen.load(std::memory_order_acquire);
+        if (g == seen) {
+            gen.wait(seen, std::memory_order_acquire);
+            continue;
+        }
+        seen = g;
+        if (stopFlag.load(std::memory_order_acquire))
+            return;
+
+        tryClaimAsync();
+
+        // Join the region published for this wake epoch, if any. The
+        // epoch check inside the active window is what excludes
+        // stragglers: run() retires the epoch (regGen = 0) and drains
+        // `active` before it rewrites any region field, so a worker
+        // arriving late sees a mismatched epoch and backs out without
+        // touching the region.
+        active.fetch_add(1, std::memory_order_acquire);
+        if (regGen.load(std::memory_order_acquire) == g)
+            help();
+        active.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+void
+ShardPool::run(unsigned n_tasks, TaskFn fn, void *ctx)
+{
+    if (n_tasks == 0)
+        return;
+    ++nRegions;
+    nRegionTasks += n_tasks;
+
+    // Retire any previous epoch, then wait out workers inside the
+    // claim window before rewriting the region fields.
+    regGen.store(0, std::memory_order_relaxed);
+    unsigned spins = 0;
+    while (active.load(std::memory_order_acquire) != 0)
+        backoff(spins);
+
+    regFn = fn;
+    regCtx = ctx;
+    regTasks = n_tasks;
+    regNext.store(0, std::memory_order_relaxed);
+    regDone.store(0, std::memory_order_relaxed);
+
+    std::uint64_t g = gen.load(std::memory_order_relaxed) + 1;
+    regGen.store(g, std::memory_order_release);
+    gen.store(g, std::memory_order_release);
+    gen.notify_all();
+
+    // The caller is a lane too: with every worker asleep (or busy on
+    // the async lane) the region still completes right here.
+    help();
+
+    spins = 0;
+    while (regDone.load(std::memory_order_acquire) < n_tasks)
+        backoff(spins);
+}
+
+void
+ShardPool::launchAsync(TaskFn fn, void *ctx)
+{
+    if (asyncState.load(std::memory_order_relaxed) != 0)
+        fatal("shard pool: async lane already in flight");
+    ++nAsync;
+    asyncFn = fn;
+    asyncCtx = ctx;
+    asyncState.store(1, std::memory_order_release);
+    gen.fetch_add(1, std::memory_order_release);
+    gen.notify_all();
+}
+
+void
+ShardPool::joinAsync()
+{
+    unsigned st = asyncState.load(std::memory_order_acquire);
+    if (st == 0)
+        return;
+    // Unclaimed: execute it here so completion never waits on a
+    // worker being scheduled.
+    unsigned expect = 1;
+    if (asyncState.compare_exchange_strong(expect, 2,
+                                           std::memory_order_acquire)) {
+        asyncFn(asyncCtx, 0);
+        asyncState.store(0, std::memory_order_relaxed);
+        return;
+    }
+    unsigned spins = 0;
+    while (asyncState.load(std::memory_order_acquire) != 3)
+        backoff(spins);
+    asyncState.store(0, std::memory_order_relaxed);
+}
+
+} // namespace hwdp::sim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Host worker pool for deterministic intra-machine parallelism.
+ *
+ * The sweep harness already parallelises *across* independent
+ * simulated machines; the ShardPool parallelises *within* one. It is
+ * the execution substrate of the parallel simulation mode
+ * (MachineConfig::simThreads): a persistent set of host threads that
+ * execute sharded batch work — cache-level set shards, the
+ * branch-predictor side lane — published by the simulation thread,
+ * with a barrier at the end of every region.
+ *
+ * The pool is host machinery only. Which lane executes which shard
+ * never influences simulated state: work is partitioned by simulated
+ * structure (cache set index), every shard's effects are confined to
+ * its own partition, and all cross-shard aggregation (counter sums,
+ * miss-list compaction) happens on the simulation thread after the
+ * barrier, in canonical run order. DESIGN.md section 6g carries the
+ * full argument; the parallel differential suite enforces it.
+ *
+ * Synchronisation contract (what TSan checks): region effects are
+ * published by the per-task release increments of the done counter
+ * and acquired by the simulation thread's barrier spin, so everything
+ * a task wrote happens-before the caller's first read after
+ * parallelFor returns. The async lane hands off through the state
+ * variable the same way.
+ */
+
+#ifndef HWDP_SIM_SHARD_POOL_HH
+#define HWDP_SIM_SHARD_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace hwdp::sim {
+
+class ShardPool
+{
+  public:
+    /**
+     * @param n_lanes Total execution lanes, including the calling
+     *                (simulation) thread: n_lanes - 1 host workers are
+     *                spawned. Must be in [2, maxLanes].
+     */
+    explicit ShardPool(unsigned n_lanes);
+    ~ShardPool();
+
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    static constexpr unsigned maxLanes = 64;
+
+    /** Execution lanes, including the caller. */
+    unsigned lanes() const { return nLanes; }
+
+    using TaskFn = void (*)(void *ctx, unsigned task);
+
+    /**
+     * Run fn(ctx, t) for every t in [0, n_tasks), distributing tasks
+     * over the caller and the workers. Barrier: returns only after
+     * every task completed, with all task effects visible to the
+     * caller. Tasks must write disjoint state. Must be called from
+     * the simulation thread only (one region at a time).
+     */
+    void run(unsigned n_tasks, TaskFn fn, void *ctx);
+
+    /** Type-erased convenience over run(); @p f must be reentrant. */
+    template <typename F>
+    void
+    parallelFor(unsigned n_tasks, F &&f)
+    {
+        run(
+            n_tasks,
+            [](void *c, unsigned t) {
+                (*static_cast<std::remove_reference_t<F> *>(c))(t);
+            },
+            &f);
+    }
+
+    /**
+     * Post one side task to run concurrently with the caller (and
+     * with any parallelFor regions the caller issues before joining).
+     * Claimed by an idle worker, or executed by the caller inside
+     * joinAsync() if none got to it — so progress never depends on a
+     * worker being runnable. One async task may be in flight at a
+     * time; @p f must stay alive until joinAsync() returns.
+     */
+    void launchAsync(TaskFn fn, void *ctx);
+
+    template <typename F>
+    void
+    launchAsync(F &f)
+    {
+        launchAsync(
+            [](void *c, unsigned) { (*static_cast<F *>(c))(); }, &f);
+    }
+
+    /**
+     * Wait for the posted async task (executing it here if unclaimed).
+     * Its effects are visible to the caller on return. No-op when
+     * nothing is posted.
+     */
+    void joinAsync();
+
+    // ---- Host-side observability (never part of simulated state) ----
+    std::uint64_t regionsRun() const { return nRegions; }
+    std::uint64_t regionTasksRun() const { return nRegionTasks; }
+    std::uint64_t asyncTasksRun() const { return nAsync; }
+
+  private:
+    unsigned nLanes;
+    std::vector<std::thread> workers;
+
+    /**
+     * Wake epoch: bumped (with notify) whenever there is new work — a
+     * region or an async post — and on shutdown. Workers sleep on it.
+     */
+    std::atomic<std::uint64_t> gen{0};
+    std::atomic<bool> stopFlag{false};
+
+    // Current region. Fields are written by the simulation thread
+    // only while no valid region is published (regGen == 0) and no
+    // worker is between active++/active-- — see run().
+    TaskFn regFn = nullptr;
+    void *regCtx = nullptr;
+    unsigned regTasks = 0;
+    std::atomic<unsigned> regNext{0};
+    std::atomic<unsigned> regDone{0};
+
+    /**
+     * Epoch of the published region (0 = none). A worker joins a
+     * region only when this matches the wake epoch it observed, which
+     * is what makes a straggler from an old wake-up harmless: it can
+     * never mistake the next region's fields for its own.
+     */
+    std::atomic<std::uint64_t> regGen{0};
+
+    /** Workers currently inside the region-claim window. */
+    std::atomic<unsigned> active{0};
+
+    // Async side lane: 0 idle, 1 posted, 2 claimed, 3 done.
+    TaskFn asyncFn = nullptr;
+    void *asyncCtx = nullptr;
+    std::atomic<unsigned> asyncState{0};
+
+    std::uint64_t nRegions = 0;
+    std::uint64_t nRegionTasks = 0;
+    std::uint64_t nAsync = 0;
+
+    void workerLoop();
+    void help();
+    bool tryClaimAsync();
+};
+
+} // namespace hwdp::sim
+
+#endif // HWDP_SIM_SHARD_POOL_HH

@@ -43,6 +43,11 @@ MachineConfig::describe() const
        << "kpted            : period "
        << toMicroseconds(kptedPeriod) / 1000.0 << " ms, "
        << (kptedGuidedScan ? "guided" : "full") << " scan\n";
+    // Host-only knob: shown only when engaged, so the default dump
+    // stays a pure Table II reproduction.
+    if (simThreads > 1)
+        os << "host sim threads : " << simThreads
+           << " (parallel simulation mode, bit-identical)\n";
     return os.str();
 }
 

@@ -12,11 +12,17 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
 {
     setQuiet(cfg.quiet);
 
+    if (cfg.simThreads == 0)
+        fatal("system: simThreads must be >= 1");
+    if (cfg.simThreads > 1)
+        pool = std::make_unique<sim::ShardPool>(cfg.simThreads);
+
     pm = std::make_unique<mem::PhysMem>(eq,
                                         cfg.memFrames + cfg.reservedFrames,
                                         cfg.reservedFrames);
     hierarchy = std::make_unique<mem::CacheHierarchy>(cfg.nPhysical,
                                                       cfg.cache);
+    hierarchy->setShardPool(pool.get());
     bps.reserve(cfg.nPhysical);
     for (unsigned i = 0; i < cfg.nPhysical; ++i)
         bps.emplace_back();
@@ -30,6 +36,7 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
                                         rng.fork());
     kern->kexec().setPollutionEnabled(cfg.pollutionEnabled);
     kern->kexec().setBatchEnabled(cfg.pollutionBatch);
+    kern->kexec().setShardPool(pool.get());
 
     // Block devices (the paper's machine has one; the PTE device-id
     // field supports up to 8 per socket).
@@ -205,6 +212,7 @@ System::addThread(workloads::Workload &wl, unsigned core_idx,
     // engine and user-side burst streams switch together.
     cpu::CoreParams core_prm = cfg.core;
     core_prm.batch = cfg.pollutionBatch;
+    core_prm.pool = pool.get();
     auto tc = std::make_unique<cpu::ThreadContext>(
         std::string(wl.label()) + "#" + std::to_string(tcs.size()),
         core_idx, *kern, cores.at(core_idx)->mmu(), *hierarchy,

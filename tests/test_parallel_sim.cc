@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Bit-identity of the parallel simulation mode, at three levels.
+ *
+ * Array level: the sharded batch protocol (accessBatchShard per shard
+ * + finishShardedBatch) is driven *sequentially* — no threads — and
+ * compared word-for-word against accessBatch on a reference array.
+ * This isolates the exactness argument (set partitioning,
+ * position-determined stamps, per-shard renormalisation at identical
+ * access indices) from the thread pool entirely, including adversarial
+ * same-set merge-order runs and renormalisation-boundary edge cases.
+ *
+ * Hierarchy level: a real ShardPool with the parallel threshold forced
+ * to 1 runs the level-major descent sharded; counters and full LLC
+ * post-state must match a serial hierarchy fed the same runs.
+ *
+ * Machine level: the differential workloads (FIO and YCSB-A) run under
+ * every paging mode for simThreads in {1, 2, 4}, clean and under a 1%
+ * fault plan; snapshots must hash identically and the full machine
+ * stats dump must be byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/cache_hierarchy.hh"
+#include "sim/rng.hh"
+#include "sim/shard_pool.hh"
+#include "system/system.hh"
+#include "testing/fault_plan.hh"
+#include "testing/invariants.hh"
+#include "testing/machine_differ.hh"
+#include "workloads/fio.hh"
+#include "workloads/kv_store.hh"
+#include "workloads/ycsb.hh"
+
+using namespace hwdp;
+using namespace hwdp::mem;
+namespace ht = hwdp::testing;
+
+namespace {
+
+/**
+ * Drive one run through the sharded protocol (sequentially, shard by
+ * shard) and through plain accessBatch on a reference array; require
+ * identical post-state, counters, per-line outcomes and miss order.
+ */
+void
+expectShardedMatchesBatch(CacheArray &sharded, CacheArray &ref,
+                          const std::vector<std::uint64_t> &run,
+                          unsigned n_shards)
+{
+    std::vector<std::uint8_t> flags(run.size() + 1, 0xcd);
+    std::uint64_t total_hits = 0, total_fills = 0;
+    for (unsigned s = 0; s < n_shards; ++s) {
+        CacheArray::ShardResult r = sharded.accessBatchShard(
+            run.data(), run.size(), flags.data(), s, n_shards);
+        total_hits += r.hits;
+        total_fills += r.fills;
+    }
+    sharded.finishShardedBatch(run.size(), total_hits, total_fills);
+
+    std::vector<std::uint64_t> miss_out(run.size() + 1, 0xdead);
+    std::vector<std::uint64_t> bitmap((run.size() + 63) / 64 + 1, 0);
+    std::size_t ref_hits = ref.accessBatch(run.data(), run.size(),
+                                           miss_out.data(),
+                                           bitmap.data());
+
+    ASSERT_EQ(total_hits, ref_hits) << "shards " << n_shards;
+    ASSERT_EQ(sharded.hitCount(), ref.hitCount());
+    ASSERT_EQ(sharded.missCount(), ref.missCount());
+    ASSERT_EQ(sharded.occupancy(), ref.occupancy());
+    // Full post-state: every tag and every LRU stamp.
+    ASSERT_EQ(sharded.rawMeta(), ref.rawMeta());
+    // Per-line outcomes match the reference bitmap.
+    for (std::size_t i = 0; i < run.size(); ++i) {
+        bool ref_hit = bitmap[i / 64] >> (i % 64) & 1;
+        ASSERT_EQ(flags[i] != 0, ref_hit) << "line " << i;
+    }
+}
+
+system::MachineConfig
+smallConfig(system::PagingMode mode, unsigned sim_threads)
+{
+    system::MachineConfig cfg;
+    cfg.mode = mode;
+    cfg.nLogical = 4;
+    cfg.nPhysical = 2;
+    cfg.memFrames = 32 * 1024;
+    cfg.smu.freeQueueCapacity = 512;
+    cfg.kpooldPeriod = milliseconds(1.0);
+    cfg.kptedPeriod = milliseconds(4.0);
+    cfg.simThreads = sim_threads;
+    return cfg;
+}
+
+struct MachineResult
+{
+    ht::MachineState state;
+    std::string stats;
+};
+
+/** Mirror of test_differential's FIO run, parameterised on threads. */
+MachineResult
+runFio(system::PagingMode mode, unsigned sim_threads,
+       double fault_rate = 0.0)
+{
+    system::System sys(smallConfig(mode, sim_threads));
+    // Tiny runs must cross the sharded path too, or a 1500-op test
+    // machine would never exercise it.
+    sys.caches().setParallelMinLines(1);
+    ht::FaultPlan plan("plan", sys.eventQueue(), 97);
+    auto mf = sys.mapDataset("f", 8 * 1024);
+    auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 1500);
+    sys.addThread(*wl, 0, *mf.as);
+    if (fault_rate > 0.0) {
+        plan.attach(sys);
+        plan.armAllAtRate(fault_rate);
+    }
+    EXPECT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    ht::quiesce(sys);
+    auto inv = ht::checkInvariants(sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+    MachineResult r{ht::snapshot(sys, pagingModeName(mode)), {}};
+    std::ostringstream os;
+    ht::dumpMachineStats(sys, os);
+    r.stats = os.str();
+    return r;
+}
+
+/** Mirror of test_differential's YCSB-A run. */
+MachineResult
+runYcsb(system::PagingMode mode, unsigned sim_threads,
+        double fault_rate = 0.0)
+{
+    system::System sys(smallConfig(mode, sim_threads));
+    sys.caches().setParallelMinLines(1);
+    ht::FaultPlan plan("plan", sys.eventQueue(), 101);
+    auto mf = sys.mapDataset("data", 16 * 1024);
+    auto *wal = sys.createFile("wal", 8 * 1024);
+    auto store = std::make_unique<workloads::KvStore>(mf.vma, wal,
+                                                      16 * 1024);
+    auto *wl = sys.makeWorkload<workloads::YcsbWorkload>('A', *store,
+                                                         1200);
+    sys.addThread(*wl, 0, *mf.as);
+    if (fault_rate > 0.0) {
+        plan.attach(sys);
+        plan.armAllAtRate(fault_rate);
+    }
+    EXPECT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+    ht::quiesce(sys);
+    auto inv = ht::checkInvariants(sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+    MachineResult r{ht::snapshot(sys, pagingModeName(mode)), {}};
+    std::ostringstream os;
+    ht::dumpMachineStats(sys, os);
+    r.stats = os.str();
+    return r;
+}
+
+void
+expectIdentical(const MachineResult &serial, const MachineResult &par,
+                const char *what, unsigned threads)
+{
+    auto d = ht::diff(serial.state, par.state);
+    EXPECT_TRUE(d.equivalent)
+        << what << " simThreads=" << threads << ": " << d.report;
+    EXPECT_EQ(serial.state.stateHash, par.state.stateHash)
+        << what << " simThreads=" << threads;
+    // Byte identity of the full stats dump — every counter, histogram
+    // and derived figure, not just the logical paging state.
+    EXPECT_EQ(serial.stats, par.stats)
+        << what << " simThreads=" << threads;
+}
+
+} // namespace
+
+// ---- Array level -----------------------------------------------------------
+
+TEST(ParallelSim, ShardedFuzzRandomRunsAllGeometriesAndShardCounts)
+{
+    struct Geo
+    {
+        std::uint64_t bytes;
+        unsigned assoc;
+    };
+    // The paper machine's L1/L2/LLC geometries plus a narrow oddball.
+    const Geo geos[] = {
+        {32 * 1024, 8},
+        {256 * 1024, 8},
+        {20 * 64 * 1024, 20}, // LLC associativity, 1024 sets
+        {4096, 4}};
+    for (const Geo &g : geos) {
+        for (unsigned ns : {1u, 2u, 3u, 4u, 7u}) {
+            CacheArray sharded("s", g.bytes, g.assoc);
+            CacheArray ref("r", g.bytes, g.assoc);
+            sim::Rng rng(0x5eed + g.assoc * 131 + ns);
+            for (int round = 0; round < 25; ++round) {
+                std::size_t len = 1 + rng.range(200);
+                std::vector<std::uint64_t> run;
+                // Few sets/tags: runs collide in sets, repeat lines,
+                // alias tags, and evict lines installed earlier in the
+                // same run.
+                std::uint64_t tags = 1 + rng.range(3 * g.assoc);
+                std::uint64_t sets = 1 + rng.range(8);
+                for (std::size_t i = 0; i < len; ++i) {
+                    std::uint64_t set = rng.range(sets);
+                    std::uint64_t tag = rng.range(tags);
+                    run.push_back(tag * g.bytes / g.assoc + set * 64 +
+                                  rng.range(64));
+                }
+                expectShardedMatchesBatch(sharded, ref, run, ns);
+            }
+        }
+    }
+}
+
+TEST(ParallelSim, AdversarialMergeOrderSameSetRuns)
+{
+    // Every line of the run lands in one set — the whole run belongs
+    // to a single shard and every other shard contributes nothing.
+    // Runs longer than the associativity evict lines installed earlier
+    // in the same call; any stamp scheme that depended on other
+    // shards' progress would diverge here.
+    for (unsigned ns : {1u, 2u, 4u, 7u}) {
+        CacheArray sharded("s", 32 * 1024, 8);
+        CacheArray ref("r", 32 * 1024, 8);
+        std::uint64_t stride = sharded.numSets() * sharded.lineBytes();
+        std::vector<std::uint64_t> run;
+        for (int i = 0; i < 20; ++i)
+            run.push_back(static_cast<std::uint64_t>(i % 11) * stride);
+        expectShardedMatchesBatch(sharded, ref, run, ns);
+    }
+}
+
+TEST(ParallelSim, AdversarialAlternatingSetsAcrossShards)
+{
+    // Consecutive lines alternate over n_shards adjacent sets, so
+    // shard s sees exactly every n_shards-th line: the canonical-order
+    // guarantee (outcomes recorded at the original run index) is what
+    // keeps the merged view identical.
+    for (unsigned ns : {2u, 3u, 4u}) {
+        CacheArray sharded("s", 32 * 1024, 8);
+        CacheArray ref("r", 32 * 1024, 8);
+        std::uint64_t stride = sharded.numSets() * sharded.lineBytes();
+        std::vector<std::uint64_t> run;
+        for (int i = 0; i < 64; ++i) {
+            std::uint64_t set = static_cast<std::uint64_t>(i) % ns;
+            std::uint64_t tag = static_cast<std::uint64_t>(i) / 3;
+            run.push_back(tag * stride + set * 64);
+        }
+        expectShardedMatchesBatch(sharded, ref, run, ns);
+    }
+}
+
+TEST(ParallelSim, ShardCountsExceedingSetsAndRunLength)
+{
+    // More shards than sets (some shards own nothing) and more shards
+    // than lines; n == 0 must also be a clean no-op.
+    CacheArray sharded("s", 4 * 2 * 64, 2); // 4 sets, 2 ways
+    CacheArray ref("r", 4 * 2 * 64, 2);
+    std::vector<std::uint64_t> run = {0, 64, 128, 192, 0};
+    expectShardedMatchesBatch(sharded, ref, run, 7);
+
+    std::vector<std::uint64_t> tiny = {64};
+    expectShardedMatchesBatch(sharded, ref, tiny, 5);
+
+    std::vector<std::uint64_t> empty;
+    expectShardedMatchesBatch(sharded, ref, empty, 3);
+}
+
+TEST(ParallelSim, RenormalisationBoundariesSplitIdentically)
+{
+    // A tiny array (2 sets x 2 ways, 64 B lines) has stampMask = 127:
+    // the LRU clock wraps every ~120 accesses, so a few hundred lines
+    // cross several renormalisation segments. Every shard must derive
+    // the same segment plan and renormalise its own sets at the same
+    // access indices — including segments of length 1 and runs whose
+    // first access lands exactly on the boundary.
+    for (unsigned ns : {1u, 2u, 3u, 5u}) {
+        CacheArray sharded("s", 2 * 2 * 64, 2);
+        CacheArray ref("r", 2 * 2 * 64, 2);
+        sim::Rng rng(99 + ns);
+
+        // Pre-advance both clocks to just below the boundary so the
+        // next batch opens with an immediate renormalisation.
+        std::vector<std::uint64_t> warm;
+        for (int i = 0; i < 120; ++i)
+            warm.push_back(rng.range(16) * 64);
+        expectShardedMatchesBatch(sharded, ref, warm, ns);
+
+        // Single-line batches walk the clock right across the wrap.
+        for (int i = 0; i < 20; ++i) {
+            std::vector<std::uint64_t> one = {rng.range(16) * 64};
+            expectShardedMatchesBatch(sharded, ref, one, ns);
+        }
+
+        // A long run spanning multiple wraps in one call.
+        std::vector<std::uint64_t> longrun;
+        for (int i = 0; i < 400; ++i)
+            longrun.push_back(rng.range(16) * 64);
+        expectShardedMatchesBatch(sharded, ref, longrun, ns);
+    }
+}
+
+// ---- Hierarchy level -------------------------------------------------------
+
+TEST(ParallelSim, HierarchyShardedDescentMatchesSerial)
+{
+    CacheParams cp;
+    cp.llcBytes = 20 * 64 * 1024; // 1024 sets at 20 ways: fast
+    CacheHierarchy serial(2, cp);
+    CacheHierarchy par(2, cp);
+    sim::ShardPool pool(4);
+    par.setShardPool(&pool);
+    par.setParallelMinLines(1); // force every run through the shards
+
+    sim::Rng rng(0xca11ab1e);
+    for (int round = 0; round < 60; ++round) {
+        unsigned core = rng.range(2);
+        bool is_inst = rng.range(2);
+        ExecMode mode = rng.range(2) ? ExecMode::kernel
+                                     : ExecMode::user;
+        std::size_t len = 1 + rng.range(600);
+        std::vector<std::uint64_t> run;
+        for (std::size_t i = 0; i < len; ++i)
+            run.push_back(rng.range(1 << 14) * 64);
+
+        CacheBatchResult a = serial.accessBatch(core, run.data(), len,
+                                                is_inst, mode);
+        CacheBatchResult b = par.accessBatch(core, run.data(), len,
+                                             is_inst, mode);
+        ASSERT_EQ(a.l1Misses, b.l1Misses);
+        ASSERT_EQ(a.l2Misses, b.l2Misses);
+        ASSERT_EQ(a.llcMisses, b.llcMisses);
+        ASSERT_EQ(a.totalLatency, b.totalLatency);
+    }
+
+    for (ExecMode m : {ExecMode::user, ExecMode::kernel}) {
+        const auto &cs = serial.counters(m);
+        const auto &cpar = par.counters(m);
+        ASSERT_EQ(cs.l1iAccesses, cpar.l1iAccesses);
+        ASSERT_EQ(cs.l1iMisses, cpar.l1iMisses);
+        ASSERT_EQ(cs.l1dAccesses, cpar.l1dAccesses);
+        ASSERT_EQ(cs.l1dMisses, cpar.l1dMisses);
+        ASSERT_EQ(cs.l2Misses, cpar.l2Misses);
+        ASSERT_EQ(cs.llcMisses, cpar.llcMisses);
+    }
+    // Full LLC post-state: tags and LRU stamps.
+    ASSERT_EQ(serial.llcArray().rawMeta(), par.llcArray().rawMeta());
+    ASSERT_GT(pool.regionsRun(), 0u);
+}
+
+// ---- Machine level ---------------------------------------------------------
+
+TEST(ParallelSim, FioBitIdenticalAcrossThreadCountsAllModes)
+{
+    for (auto mode : {system::PagingMode::osdp, system::PagingMode::hwdp,
+                      system::PagingMode::swsmu}) {
+        auto serial = runFio(mode, 1);
+        for (unsigned threads : {2u, 4u}) {
+            auto par = runFio(mode, threads);
+            expectIdentical(serial, par, pagingModeName(mode), threads);
+        }
+    }
+}
+
+TEST(ParallelSim, YcsbBitIdenticalAcrossThreadCountsAllModes)
+{
+    for (auto mode : {system::PagingMode::osdp, system::PagingMode::hwdp,
+                      system::PagingMode::swsmu}) {
+        auto serial = runYcsb(mode, 1);
+        for (unsigned threads : {2u, 4u}) {
+            auto par = runYcsb(mode, threads);
+            expectIdentical(serial, par, pagingModeName(mode), threads);
+        }
+    }
+}
+
+TEST(ParallelSim, FaultPlanRunsBitIdenticalAcrossThreadCounts)
+{
+    auto fio1 = runFio(system::PagingMode::hwdp, 1, 0.01);
+    auto fio4 = runFio(system::PagingMode::hwdp, 4, 0.01);
+    expectIdentical(fio1, fio4, "fio+faults", 4);
+
+    auto y1 = runYcsb(system::PagingMode::swsmu, 1, 0.01);
+    auto y2 = runYcsb(system::PagingMode::swsmu, 2, 0.01);
+    expectIdentical(y1, y2, "ycsb+faults", 2);
+}
