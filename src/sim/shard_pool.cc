@@ -44,6 +44,12 @@ ShardPool::ShardPool(unsigned n_lanes) : nLanes(n_lanes)
 
 ShardPool::~ShardPool()
 {
+    // A posted-but-unjoined async task would be dropped silently:
+    // workers see stopFlag before tryClaimAsync and exit. Fail loudly
+    // instead of losing the update.
+    if (asyncState.load(std::memory_order_acquire) != 0)
+        fatal("shard pool: destroyed with an async task in flight "
+              "(missing joinAsync())");
     stopFlag.store(true, std::memory_order_release);
     gen.fetch_add(1, std::memory_order_release);
     gen.notify_all();
@@ -103,9 +109,13 @@ ShardPool::workerLoop()
         // stragglers: run() retires the epoch (regGen = 0) and drains
         // `active` before it rewrites any region field, so a worker
         // arriving late sees a mismatched epoch and backs out without
-        // touching the region.
-        active.fetch_add(1, std::memory_order_acquire);
-        if (regGen.load(std::memory_order_acquire) == g)
+        // touching the region. The active++ / regGen load here and the
+        // regGen store / active load in run() form a store-load
+        // (Dekker) pair: both sides must be seq_cst, or run() could
+        // see active == 0 before this increment while we still see
+        // the stale epoch and enter a region being rewritten.
+        active.fetch_add(1, std::memory_order_seq_cst);
+        if (regGen.load(std::memory_order_seq_cst) == g)
             help();
         active.fetch_sub(1, std::memory_order_release);
     }
@@ -120,10 +130,16 @@ ShardPool::run(unsigned n_tasks, TaskFn fn, void *ctx)
     nRegionTasks += n_tasks;
 
     // Retire any previous epoch, then wait out workers inside the
-    // claim window before rewriting the region fields.
-    regGen.store(0, std::memory_order_relaxed);
+    // claim window before rewriting the region fields. seq_cst on the
+    // store and the first load pairs with the seq_cst active++ /
+    // regGen load in workerLoop(): without it, TSO lets this relaxed
+    // store linger in the store buffer past the active load, so we
+    // could observe active == 0 while a worker that already
+    // incremented still reads the stale epoch and joins the region
+    // we are about to rewrite.
+    regGen.store(0, std::memory_order_seq_cst);
     unsigned spins = 0;
-    while (active.load(std::memory_order_acquire) != 0)
+    while (active.load(std::memory_order_seq_cst) != 0)
         backoff(spins);
 
     regFn = fn;
