@@ -12,12 +12,16 @@
 #ifndef HWDP_BENCH_BENCH_COMMON_HH
 #define HWDP_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/sweep_runner.hh"
 #include "metrics/report.hh"
+#include "system/checkpoint.hh"
 #include "system/system.hh"
 #include "workloads/fio.hh"
 #include "workloads/spec_like.hh"
@@ -183,6 +187,180 @@ runKv(system::MachineConfig cfg, char type, unsigned threads,
     }
     r.osFaults = sys.kernel().majorFaults();
     r.elapsed = sys.now() - t0;
+    return r;
+}
+
+// ---- Warm-fork sweeps --------------------------------------------------
+//
+// A sweep whose points share a warm-up prefix can run that prefix once
+// per family, checkpoint the warmed machine, and fork every point from
+// the blob (system/checkpoint.hh). Both the straight and the forked
+// path pass through the same quiesce → resumeKthreads cycle at the
+// warm boundary, so the measured phase is byte-identical either way —
+// the fork only saves host time, never changes a result.
+
+struct WarmFork
+{
+    /** Warm-up ops per thread; 0 disables the warm phase entirely. */
+    std::uint64_t warmOps = 0;
+
+    /**
+     * Directory holding the per-family blobs. Empty: the warm phase
+     * runs inline in every point (the cold baseline). Set: a point
+     * restores its family's blob when present and saves it otherwise.
+     */
+    std::string checkpointDir;
+
+    bool enabled() const { return warmOps > 0; }
+    bool forked() const { return enabled() && !checkpointDir.empty(); }
+};
+
+/**
+ * Bench command line: --warm-ops=N and --checkpoint-dir=PATH, with
+ * HWDP_WARM_OPS / HWDP_CHECKPOINT_DIR environment fallbacks (flags
+ * win). Unrecognised arguments are ignored so benches can layer their
+ * own.
+ */
+inline WarmFork
+parseWarmFork(int argc, char **argv, std::uint64_t default_warm_ops = 0)
+{
+    WarmFork wf;
+    wf.warmOps = default_warm_ops;
+    if (const char *env = std::getenv("HWDP_WARM_OPS"))
+        wf.warmOps = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("HWDP_CHECKPOINT_DIR"))
+        wf.checkpointDir = env;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--warm-ops=", 0) == 0)
+            wf.warmOps = std::strtoull(a.c_str() + 11, nullptr, 10);
+        else if (a.rfind("--checkpoint-dir=", 0) == 0)
+            wf.checkpointDir = a.substr(17);
+    }
+    return wf;
+}
+
+/**
+ * Blob path for one warm family. The config hash makes the name
+ * self-invalidating: change the machine shape or seed and the old
+ * blob simply stops being found (and would be rejected if forced).
+ */
+inline std::string
+warmCheckpointPath(const WarmFork &wf, const char *family,
+                   const system::MachineConfig &cfg, unsigned threads)
+{
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(
+                      system::Checkpoint::configHash(cfg)));
+    return wf.checkpointDir + "/" + family + "-" + hex + "-t" +
+           std::to_string(threads) + "-w" + std::to_string(wf.warmOps) +
+           ".ckpt";
+}
+
+/**
+ * Run the FIO warm phase for one (cfg, threads) family and save the
+ * blob. Benches that prewarm their families in parallel call this
+ * once per family before the sweep; runFioWarm then restores.
+ */
+inline metrics::CheckpointRow
+warmFioFamily(const system::MachineConfig &cfg, unsigned threads,
+              const WarmFork &wf, const char *label,
+              std::uint64_t dataset_pages = 32 * defaultMemFrames)
+{
+    system::System sys(cfg);
+    auto mf = sys.mapDataset("fio.dat", dataset_pages);
+    for (unsigned t = 0; t < threads; ++t) {
+        auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma,
+                                                            wf.warmOps);
+        sys.addThread(*wl, t, *mf.as);
+    }
+    sys.runUntilThreadsDone(seconds(240.0));
+    system::CheckpointStats st;
+    system::Checkpoint::saveFile(
+        sys, warmCheckpointPath(wf, "fio", cfg, threads), &st);
+    return {label, "save", st.blobBytes, st.tick};
+}
+
+/**
+ * FIO with a warm prefix of @p wf.warmOps per thread ahead of the
+ * measured @p ops_per_thread. Forked mode (wf.forked()) restores the
+ * family blob when present — and runs + saves the warm phase when not,
+ * so the first point of a family warms it for the rest. The returned
+ * metrics cover the measurement threads only.
+ * @param ckpt_row Optional: filled with the save/restore this point
+ *                 performed (caller-owned storage; SweepRunner jobs
+ *                 must not share a sink).
+ */
+inline FioRun
+runFioWarm(system::MachineConfig cfg, unsigned threads,
+           std::uint64_t ops_per_thread, const WarmFork &wf,
+           const char *label = "fio",
+           std::uint64_t dataset_pages = 32 * defaultMemFrames,
+           metrics::CheckpointRow *ckpt_row = nullptr)
+{
+    system::System sys(cfg);
+    auto mf = sys.mapDataset("fio.dat", dataset_pages);
+    // The warm threads are part of the boot recipe on BOTH paths: a
+    // restore target must be built exactly as the saved machine was.
+    for (unsigned t = 0; t < threads; ++t) {
+        auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma,
+                                                            wf.warmOps);
+        sys.addThread(*wl, t, *mf.as);
+    }
+
+    bool restored = false;
+    std::string path;
+    system::CheckpointStats st;
+    if (wf.forked()) {
+        path = warmCheckpointPath(wf, "fio", cfg, threads);
+        restored = system::Checkpoint::restoreFile(sys, path, &st);
+        if (restored && ckpt_row)
+            *ckpt_row = {label, "restore", st.blobBytes, st.tick};
+    }
+    if (!restored && wf.enabled()) {
+        sys.runUntilThreadsDone(seconds(240.0));
+        if (!path.empty()) {
+            system::Checkpoint::saveFile(sys, path, &st);
+            if (ckpt_row)
+                *ckpt_row = {label, "save", st.blobBytes, st.tick};
+        } else {
+            sys.quiesce();
+        }
+    }
+    if (wf.enabled())
+        sys.resumeKthreads();
+
+    std::size_t meas0 = sys.threads().size();
+    for (unsigned t = 0; t < threads; ++t) {
+        auto *wl = sys.makeWorkload<workloads::FioWorkload>(
+            mf.vma, ops_per_thread);
+        sys.addThread(*wl, t, *mf.as);
+    }
+    sys.runUntilThreadsDone(seconds(240.0));
+
+    FioRun r;
+    double lat_sum = 0, p99_sum = 0;
+    std::uint64_t ops = 0;
+    Tick lo = ~Tick(0), hi = 0;
+    for (std::size_t i = meas0; i < sys.threads().size(); ++i) {
+        auto &tc = sys.threads()[i];
+        lat_sum += tc->faultedOpLatencyUs().mean();
+        p99_sum += tc->faultedOpLatencyUs().quantile(0.99);
+        r.hwHandled += tc->hwHandledOps();
+        ops += tc->appOps();
+        lo = std::min(lo, tc->startTick());
+        hi = std::max(hi, tc->done() ? tc->finishTick() : sys.now());
+    }
+    r.meanLatencyUs = lat_sum / threads;
+    r.p99LatencyUs = p99_sum / threads;
+    r.opsPerSec = hi > lo
+                      ? static_cast<double>(ops) / toSeconds(hi - lo)
+                      : 0.0;
+    r.userIpc = sys.aggregateUserIpc();
+    r.osFaults = sys.kernel().majorFaults();
+    r.pwcHits = sys.totalPwcHits();
+    r.pwcMisses = sys.totalPwcMisses();
     return r;
 }
 

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Checkpoint-forked sweeps: host cost of the Fig. 13 FIO sweep run
+ * cold versus forked from per-family warm checkpoints.
+ *
+ * Every point of the sweep is "warm up W ops per thread, then measure
+ * M ops per thread" on a paper-config machine. The cold baseline
+ * simulates the warm-up inside every point; the forked run simulates
+ * it once per (mode, threads) family, saves the warmed machine
+ * (system/checkpoint.hh), and restores the blob for each point. Both
+ * paths pass through the same quiesce/resume cycle at the warm
+ * boundary, so the measured phase is byte-identical — the bench
+ * asserts that per point before quoting any timing.
+ *
+ * Timing follows the BENCH_*.json protocol: process CPU seconds from
+ * getrusage (steal-immune on shared boxes), median of N repeats, wall
+ * clock quoted beside it. The forked repeats delete the blob
+ * directory first so each one pays the warm+save cost honestly.
+ *
+ * Flags (bench_common.hh): --warm-ops=N, --checkpoint-dir=PATH.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "bench/host_timing.hh"
+
+using namespace hwdp;
+using metrics::Table;
+
+namespace {
+
+struct Family
+{
+    system::PagingMode mode;
+    unsigned threads;
+    const char *name;
+};
+
+struct Point
+{
+    std::size_t family;
+    std::uint64_t measOps;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    metrics::banner(
+        "Checkpoint-forked sweeps: Fig. 13 FIO, cold vs warm-fork",
+        "warm once per (mode, threads) family, fork every sweep point");
+
+    bench::WarmFork flags = bench::parseWarmFork(argc, argv, 20000);
+    std::string dir = flags.checkpointDir.empty()
+                          ? std::string("hwdp-checkpoints")
+                          : flags.checkpointDir;
+
+    const std::vector<Family> families = {
+        {system::PagingMode::osdp, 1, "fio osdp t1"},
+        {system::PagingMode::osdp, 4, "fio osdp t4"},
+        {system::PagingMode::hwdp, 1, "fio hwdp t1"},
+        {system::PagingMode::hwdp, 4, "fio hwdp t4"},
+    };
+    const std::vector<std::uint64_t> measOps = {1000, 2000, 3000, 4000};
+    // Fig. 13's FIO dataset (8x memory). Blob size and restore cost
+    // scale with dataset pages, so the sweep's own dataset — not the
+    // 32x cold-miss latency one — is the honest fork granularity.
+    const std::uint64_t datasetPages = 8 * bench::defaultMemFrames;
+
+    std::vector<Point> points;
+    for (std::size_t f = 0; f < families.size(); ++f)
+        for (std::uint64_t m : measOps)
+            points.push_back({f, m});
+
+    auto cfgOf = [&](const Family &f) {
+        return bench::paperConfig(f.mode);
+    };
+
+    // One full sweep; wf decides cold vs forked. Results in point
+    // order regardless of completion order (SweepRunner contract).
+    auto runSweep = [&](const bench::WarmFork &wf,
+                        std::vector<metrics::CheckpointRow> *rows) {
+        if (wf.forked()) {
+            // Phase 1: warm every family in parallel, save the blobs.
+            bench::SweepRunner warmers(0);
+            auto saved = warmers.map<metrics::CheckpointRow>(
+                families.size(), [&](std::size_t f) {
+                    return bench::warmFioFamily(cfgOf(families[f]),
+                                                families[f].threads, wf,
+                                                families[f].name,
+                                                datasetPages);
+                });
+            if (rows)
+                rows->insert(rows->end(), saved.begin(), saved.end());
+        }
+        // Phase 2: the sweep proper (restores under wf.forked()).
+        std::vector<metrics::CheckpointRow> pointRows(points.size());
+        bench::SweepRunner runner(0);
+        auto runs = runner.map<bench::FioRun>(
+            points.size(), [&](std::size_t i) {
+                const Point &p = points[i];
+                const Family &f = families[p.family];
+                return bench::runFioWarm(cfgOf(f), f.threads, p.measOps,
+                                         wf, f.name, datasetPages,
+                                         &pointRows[i]);
+            });
+        if (rows)
+            rows->insert(rows->end(), pointRows.begin(),
+                         pointRows.end());
+        return runs;
+    };
+
+    bench::WarmFork cold{flags.warmOps, ""};
+    bench::WarmFork forked{flags.warmOps, dir};
+
+    // Correctness gate first: the forked sweep must reproduce the
+    // cold sweep's measurement phase exactly.
+    auto coldRuns = runSweep(cold, nullptr);
+    std::vector<metrics::CheckpointRow> ckptRows;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    auto forkedRuns = runSweep(forked, &ckptRows);
+    unsigned mismatches = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const bench::FioRun &a = coldRuns[i];
+        const bench::FioRun &b = forkedRuns[i];
+        if (a.opsPerSec != b.opsPerSec ||
+            a.meanLatencyUs != b.meanLatencyUs ||
+            a.p99LatencyUs != b.p99LatencyUs ||
+            a.hwHandled != b.hwHandled || a.osFaults != b.osFaults) {
+            ++mismatches;
+            std::printf("MISMATCH point %zu (%s, %llu meas ops)\n", i,
+                        families[points[i].family].name,
+                        static_cast<unsigned long long>(
+                            points[i].measOps));
+        }
+    }
+    std::printf("forked == cold on all %zu points: %s\n\n",
+                points.size(), mismatches == 0 ? "yes" : "NO");
+
+    metrics::checkpointTable(ckptRows).print();
+    std::printf("\n");
+
+    // Timing: median-of-3 full sweeps each way. Forked repeats start
+    // from an empty blob directory so every repeat pays warm+save.
+    const unsigned repeats = 3;
+    bench::TimedRun coldT = bench::medianOfRuns(
+        repeats, [&] { runSweep(cold, nullptr); });
+    bench::TimedRun forkedT = bench::medianOfRuns(repeats, [&] {
+        std::filesystem::remove_all(dir);
+        std::filesystem::create_directories(dir);
+        runSweep(forked, nullptr);
+    });
+
+    Table t({"sweep", "points", "cpu s (median)", "wall s (median)"});
+    t.addRow({"cold", std::to_string(points.size()),
+              Table::num(coldT.cpuSec), Table::num(coldT.wallSec)});
+    t.addRow({"checkpoint-forked", std::to_string(points.size()),
+              Table::num(forkedT.cpuSec), Table::num(forkedT.wallSec)});
+    t.print();
+    std::printf("\ncpu speedup: %.2fx   wall speedup: %.2fx\n",
+                coldT.cpuSec / forkedT.cpuSec,
+                coldT.wallSec / forkedT.wallSec);
+
+    std::filesystem::remove_all(dir);
+    return mismatches == 0 ? 0 : 1;
+}

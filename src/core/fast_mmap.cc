@@ -5,8 +5,23 @@
 #include "core/kpoold.hh"
 #include "core/kpted.hh"
 #include "core/smu.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::core {
+
+void
+HwdpOsSupport::serialize(sim::Serializer &s)
+{
+    s.section("hwdpossupport");
+    std::uint64_t n = vmas.size();
+    s.check(n, "fast-vma count");
+    for (auto &fv : vmas) {
+        std::uint32_t asid = fv.as->id();
+        s.check(asid, "fast-vma address space");
+        s.check(fv.vma->start, "fast-vma start");
+        s.check(fv.vma->end, "fast-vma end");
+    }
+}
 
 HwdpOsSupport::HwdpOsSupport(os::Kernel &kernel) : k(kernel)
 {

@@ -52,6 +52,13 @@ class HwdpOsSupport
 
     os::Kernel &kernel() { return k; }
 
+    /**
+     * Checkpoint verification of the fast-VMA registry. The registry
+     * is rebuilt by the boot recipe (fast-mmap calls), so restore only
+     * confirms the restored machine tracks the same VMAs.
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     os::Kernel &k;
     std::vector<FastVma> vmas;

@@ -1,8 +1,23 @@
 #include "core/free_page_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::core {
+
+void
+FreePageQueue::serialize(sim::Serializer &s)
+{
+    s.section("freepagequeue");
+    s.check(cap, "free queue capacity");
+    s.check(depth, "free queue prefetch depth");
+    s.io(prefetchOn);
+    s.io(ring);
+    s.io(buffer);
+    s.io(nPops);
+    s.io(nBufferHits);
+    s.io(nEmptyPops);
+}
 
 FreePageQueue::FreePageQueue(std::uint64_t capacity,
                              unsigned prefetch_depth)

@@ -22,6 +22,10 @@
 
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::core {
 
 class FreePageQueue
@@ -84,6 +88,9 @@ class FreePageQueue
 
     /** Visit every queued PFN (ring + prefetch buffer). */
     void forEachPfn(const std::function<void(Pfn)> &fn) const;
+
+    /** Checkpoint ring and buffer contents plus the pop counters. */
+    void serialize(sim::Serializer &s);
 
   private:
     std::uint64_t cap;

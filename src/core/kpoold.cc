@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "sim/serialize.hh"
+
 namespace hwdp::core {
+
+void
+Kpoold::serialize(sim::Serializer &s)
+{
+    s.section("kpoold");
+    KThread::serialize(s);
+    s.check(maxBatch, "kpoold batch size");
+    s.io(nDonated);
+    s.io(nOverlapped);
+}
 
 Kpoold::Kpoold(os::Kernel &kernel, std::vector<FreePageQueue *> fpqs,
                unsigned core, Tick period, std::uint64_t max_batch)

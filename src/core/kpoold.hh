@@ -49,6 +49,9 @@ class Kpoold : public os::KThread
     std::uint64_t pagesDonated() const { return nDonated; }
     std::uint64_t overlappedRefills() const { return nOverlapped; }
 
+    /** Checkpoint the kthread state and refill counters. */
+    void serialize(sim::Serializer &s);
+
   private:
     os::Kernel &kernel;
     std::vector<FreePageQueue *> fpqs;

@@ -1,6 +1,18 @@
 #include "core/kpted.hh"
 
+#include "sim/serialize.hh"
+
 namespace hwdp::core {
+
+void
+Kpted::serialize(sim::Serializer &s)
+{
+    s.section("kpted");
+    KThread::serialize(s);
+    s.check(guided, "kpted guided-scan flag");
+    s.io(nSynced);
+    s.io(nVisited);
+}
 
 Kpted::Kpted(os::Kernel &kernel, HwdpOsSupport &support, unsigned core,
              Tick period, bool guided_scan)

@@ -41,6 +41,9 @@ class Kpted : public os::KThread
     std::uint64_t entriesVisited() const { return nVisited; }
     bool guidedScan() const { return guided; }
 
+    /** Checkpoint the kthread state and scan counters. */
+    void serialize(sim::Serializer &s);
+
   private:
     os::Kernel &kernel;
     HwdpOsSupport &support;

@@ -1,8 +1,20 @@
 #include "core/nvme_host_controller.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::core {
+
+void
+NvmeHostController::serialize(sim::Serializer &s)
+{
+    s.section("nvmehost");
+    for (auto &d : descs) {
+        s.check(d.valid, "descriptor valid");
+        s.check(d.qid, "descriptor queue id");
+    }
+    stats().serialize(s);
+}
 
 NvmeHostController::NvmeHostController(std::string name,
                                        sim::EventQueue &eq,

@@ -88,6 +88,9 @@ class NvmeHostController : public sim::SimObject
     std::uint64_t readsIssued() const { return statIssued.value(); }
     std::uint64_t errorsSnooped() const { return statErrors.value(); }
 
+    /** Checkpoint the counters; descriptor registers are verified. */
+    void serialize(sim::Serializer &s);
+
   private:
     struct Descriptor
     {

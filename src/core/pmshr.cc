@@ -1,8 +1,22 @@
 #include "core/pmshr.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::core {
+
+void
+Pmshr::serialize(sim::Serializer &s)
+{
+    s.section("pmshr");
+    if (used != 0)
+        throw sim::SerializeError(
+            "checkpoint: PMSHR has outstanding misses; quiesce the "
+            "machine first");
+    std::uint64_t n = entries.size();
+    s.check(n, "pmshr capacity");
+    s.io(nCoalesced);
+}
 
 Pmshr::Pmshr(unsigned n_entries) : entries(n_entries)
 {

@@ -20,6 +20,10 @@
 #include "cpu/mmu.hh"
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::core {
 
 class Pmshr
@@ -83,6 +87,12 @@ class Pmshr
     {
         fullHook = std::move(fn);
     }
+
+    /**
+     * Checkpoint the coalescing counter. Entries hold waiter closures
+     * and in-flight requests, so the CAM must be empty at quiesce.
+     */
+    void serialize(sim::Serializer &s);
 
   private:
     std::function<bool()> fullHook;

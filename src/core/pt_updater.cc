@@ -1,8 +1,16 @@
 #include "core/pt_updater.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::core {
+
+void
+PageTableUpdater::serialize(sim::Serializer &s)
+{
+    s.section("ptupdater");
+    s.io(nUpdates);
+}
 
 Tick
 PageTableUpdater::update(const cpu::PageMissRequest &req, Pfn pfn)

@@ -40,6 +40,9 @@ class PageTableUpdater
 
     std::uint64_t updates() const { return nUpdates; }
 
+    /** Checkpoint the update counter. */
+    void serialize(sim::Serializer &s);
+
     /**
      * TEST ONLY: skip marking the upper-level (PMD/PUD) LBA bits.
      * Breaks the contract kpted's guided scan depends on; exists so

@@ -3,8 +3,27 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::core {
+
+void
+Smu::serialize(sim::Serializer &s)
+{
+    s.section("smu");
+    if (!barrierWaiters.empty())
+        throw sim::SerializeError(
+            "checkpoint: SMU barrier outstanding; quiesce the machine "
+            "first");
+    std::uint64_t nq = fpqs.size();
+    s.check(nq, "free page queue count");
+    for (auto &q : fpqs)
+        q->serialize(s);
+    pmshrUnit.serialize(s);
+    nvme.serialize(s);
+    updater.serialize(s);
+    stats().serialize(s);
+}
 
 Smu::Smu(std::string name, sim::EventQueue &eq, unsigned sid,
          const Params &params, os::Kernel &kernel)

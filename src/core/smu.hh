@@ -141,6 +141,13 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
     }
     sim::Histogram &missLatencyUs() { return statLatency; }
 
+    /**
+     * Checkpoint the free page queues, PMSHR bookkeeping, host
+     * controller, PT updater and all counters. Requires no miss or
+     * barrier outstanding (quiesced).
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     unsigned socketId;
     Params prm;

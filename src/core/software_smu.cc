@@ -1,8 +1,25 @@
 #include "core/software_smu.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::core {
+
+void
+SoftwareSmu::serialize(sim::Serializer &s)
+{
+    s.section("swsmu");
+    if (!inflight.empty() || !byPage.empty())
+        throw sim::SerializeError(
+            "checkpoint: software SMU has emulated misses in flight; "
+            "quiesce the machine first");
+    for (auto &d : devices) {
+        s.check(d.valid, "swsmu device slot valid");
+        s.check(d.qid, "swsmu device queue id");
+    }
+    s.io(nextCid);
+    stats().serialize(s);
+}
 
 SoftwareSmu::SoftwareSmu(std::string name, sim::EventQueue &eq,
                          os::Kernel &kernel, FreePageQueue &fpq)

@@ -52,6 +52,13 @@ class SoftwareSmu : public sim::SimObject
     }
     sim::Histogram &missLatencyUs() { return statLatency; }
 
+    /**
+     * Checkpoint the cid allocator and counters. In-flight emulated
+     * misses hold closures, so both tables must be empty (quiesced);
+     * the device slots are verified.
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     struct DeviceSlot
     {

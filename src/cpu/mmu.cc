@@ -1,8 +1,60 @@
 #include "cpu/mmu.hh"
 
+#include <unordered_map>
+
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::cpu {
+
+void
+Mmu::serialize(sim::Serializer &s)
+{
+    s.section("mmu");
+    tlbUnit.serialize(s);
+    walkUnit.serialize(s);
+
+    // Pending-node pool: all nodes must be idle at quiesce. The node
+    // generations and the free-list order steer stale-timeout
+    // detection and node reuse, so they round-trip to keep a forked
+    // run on the identical path.
+    std::uint64_t nNodes = pendingPool.size();
+    s.io(nNodes);
+    if (s.loading()) {
+        if (pendingPool.size() > nNodes)
+            throw sim::SerializeError(
+                "restore: mmu pending pool larger than checkpointed");
+        while (pendingPool.size() < nNodes)
+            pendingPool.push_back(std::make_unique<Pending>());
+    }
+    for (auto &up : pendingPool)
+        s.io(up->gen);
+    std::vector<std::uint64_t> freeIdx;
+    if (s.saving()) {
+        std::unordered_map<Pending *, std::uint64_t> idx;
+        for (std::uint64_t i = 0; i < pendingPool.size(); ++i)
+            idx[pendingPool[i].get()] = i;
+        for (Pending *p = pendingFree; p; p = p->nextFree)
+            freeIdx.push_back(idx.at(p));
+        if (freeIdx.size() != pendingPool.size())
+            throw sim::SerializeError(
+                "checkpoint: mmu access in flight; quiesce the machine "
+                "first");
+    }
+    s.io(freeIdx);
+    if (s.loading()) {
+        if (freeIdx.size() != pendingPool.size())
+            throw sim::SerializeError(
+                "restore: mmu free-list does not cover the pool");
+        pendingFree = nullptr;
+        for (auto it = freeIdx.rbegin(); it != freeIdx.rend(); ++it) {
+            Pending *p = pendingPool.at(*it).get();
+            p->nextFree = pendingFree;
+            pendingFree = p;
+        }
+    }
+    stats().serialize(s);
+}
 
 Mmu::Mmu(std::string name, sim::EventQueue &eq, unsigned logical_core,
          mem::CacheHierarchy &caches, os::Kernel &kernel,

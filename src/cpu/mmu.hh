@@ -138,6 +138,12 @@ class Mmu : public sim::SimObject
     std::uint64_t osFaults() const { return statOsFault.value(); }
     std::uint64_t smuRejections() const { return statSmuReject.value(); }
 
+    /**
+     * Checkpoint the TLB, walker, pending-node pool bookkeeping and
+     * counters. Every pool node must be idle (no access in flight).
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     /**
      * One parked slow-path access. Nodes are pool-owned and recycled

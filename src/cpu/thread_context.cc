@@ -3,9 +3,45 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 #include "sim/shard_pool.hh"
 
 namespace hwdp::cpu {
+
+void
+ThreadContext::serialize(sim::Serializer &s)
+{
+    s.section("threadcontext");
+    if (s.saving() && hasCurOp)
+        throw sim::SerializeError(
+            "checkpoint: thread '" + name() +
+            "' holds a stashed op; quiesce the machine first");
+    serializeState(s);
+    s.io(uInstr);
+    s.io(uCycles);
+    s.io(cCycles);
+    s.io(mCycles);
+    s.io(nAppOps);
+    s.io(nMemOps);
+    s.io(nFaulted);
+    s.io(nHwHandled);
+    s.io(faultStall);
+    s.io(started);
+    s.io(finished);
+    s.io(isDone);
+    s.io(wasOomKilled);
+    s.io(startedFlag);
+    s.io(fetchSeq);
+    memLat.serialize(s);
+    faultedOpLat.serialize(s);
+    s.io(appOpStart);
+    s.io(appOpFaulted);
+    s.io(appOpOpen);
+    s.io(memOpStart);
+    s.io(memOpEndsApp);
+    rng.serialize(s);
+    workload.serialize(s);
+}
 
 ThreadContext::ThreadContext(std::string name, unsigned core,
                              os::Kernel &kernel, Mmu &mmu,

@@ -137,6 +137,13 @@ class ThreadContext : public os::Thread, public AccessSink
      */
     sim::Histogram &faultedOpLatencyUs() { return faultedOpLat; }
 
+    /**
+     * Checkpoint the execution state: scheduling state, user-mode
+     * accounting, latency histograms and the workload-draw rng. Only
+     * valid at quiesce (no op in flight).
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     os::Kernel &kernel;
     Mmu &mmuRef;

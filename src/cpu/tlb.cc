@@ -3,8 +3,38 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::cpu {
+
+void
+Tlb::serialize(sim::Serializer &s)
+{
+    s.section("tlb");
+    std::uint64_t geom = (static_cast<std::uint64_t>(l1Sets) << 48) |
+                         (static_cast<std::uint64_t>(l1Assoc) << 32) |
+                         (static_cast<std::uint64_t>(l2Sets) << 16) |
+                         l2Assoc;
+    s.check(geom, "tlb geometry");
+    for (auto *lvl : {&l1, &l2}) {
+        for (auto &e : *lvl) {
+            s.io(e.vpn);
+            s.io(e.pfn);
+            s.io(e.lastUse);
+            s.io(e.valid);
+        }
+    }
+    s.io(useClock);
+    s.io(latchVpn);
+    std::uint64_t latch = latchIdx == npos ? ~0ULL : latchIdx;
+    s.io(latch);
+    if (s.loading())
+        latchIdx = latch == ~0ULL ? npos : static_cast<std::size_t>(latch);
+    s.io(nLookups);
+    s.io(nL1Miss);
+    s.io(nMiss);
+    s.io(nLatchHits);
+}
 
 Tlb::Tlb(unsigned l1_entries, unsigned l2_entries, unsigned l2_assoc,
          unsigned l1_assoc)

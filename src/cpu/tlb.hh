@@ -24,6 +24,10 @@
 
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::cpu {
 
 class Tlb
@@ -78,6 +82,9 @@ class Tlb
     std::uint64_t misses() const { return nMiss; }
     /** L1 hits served by the one-entry last-VPN latch. */
     std::uint64_t latchHits() const { return nLatchHits; }
+
+    /** Checkpoint both arrays, the latch, the clock and counters. */
+    void serialize(sim::Serializer &s);
 
   private:
     struct Entry

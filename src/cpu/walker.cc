@@ -1,6 +1,26 @@
 #include "cpu/walker.hh"
 
+#include "sim/serialize.hh"
+
 namespace hwdp::cpu {
+
+void
+Walker::serialize(sim::Serializer &s)
+{
+    s.section("walker");
+    std::uint64_t n = pwc.size();
+    s.check(n, "pwc capacity");
+    for (auto &e : pwc) {
+        s.io(e.addr);
+        s.io(e.lastUse);
+        s.io(e.valid);
+    }
+    s.io(pwcClock);
+    s.io(nPwcValid);
+    s.io(nWalks);
+    s.io(nPwcHits);
+    s.io(nPwcMisses);
+}
 
 Walker::Walker(mem::CacheHierarchy &caches, unsigned phys_core,
                Tick cycle_period, unsigned pwc_entries)

@@ -32,6 +32,10 @@
 #include "os/vma.hh"
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::cpu {
 
 class Walker
@@ -80,6 +84,9 @@ class Walker
     std::uint64_t walks() const { return nWalks; }
     std::uint64_t pwcHits() const { return nPwcHits; }
     std::uint64_t pwcMisses() const { return nPwcMisses; }
+
+    /** Checkpoint the PWC contents, recency clock and counters. */
+    void serialize(sim::Serializer &s);
 
   private:
     struct PwcEntry

@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::mem {
+
+void
+BranchPredictor::serialize(sim::Serializer &s)
+{
+    s.section("branchpredictor");
+    s.check(historyBits, "branch history bits");
+    s.io(ghr);
+    std::uint64_t n = pht.size();
+    s.check(n, "pattern table size");
+    s.ioRange(pht.begin(), pht.end());
+    s.io(nLookups[0]);
+    s.io(nLookups[1]);
+    s.io(nMiss[0]);
+    s.io(nMiss[1]);
+}
 
 BranchPredictor::BranchPredictor(unsigned history_bits)
     : historyBits(history_bits)

@@ -18,6 +18,10 @@
 
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::mem {
 
 class BranchPredictor
@@ -84,6 +88,9 @@ class BranchPredictor
 
     /** Reset tables and counters. */
     void reset();
+
+    /** Checkpoint the GHR, pattern table and per-mode counters. */
+    void serialize(sim::Serializer &s);
 
   private:
     unsigned historyBits;

@@ -4,8 +4,25 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::mem {
+
+void
+CacheArray::serialize(sim::Serializer &s)
+{
+    s.section("cachearray");
+    s.check(bytes, "cache size");
+    s.check(ways, "cache associativity");
+    s.check(line, "cache line size");
+    std::uint64_t n = meta.size();
+    s.check(n, "cache meta words");
+    s.ioRange(meta.begin(), meta.end());
+    s.io(useClock);
+    s.io(hits);
+    s.io(misses);
+    s.io(nValid);
+}
 
 CacheArray::CacheArray(std::string name, std::uint64_t size_bytes,
                        unsigned assoc, unsigned line_bytes)

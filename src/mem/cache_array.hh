@@ -44,6 +44,10 @@
 
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::mem {
 
 class CacheArray
@@ -200,6 +204,12 @@ class CacheArray
      * between the batched and per-line paths.
      */
     const std::vector<std::uint64_t> &rawMeta() const { return meta; }
+
+    /**
+     * Checkpoint the packed tag+stamp words, the LRU clock and the
+     * hit/miss/occupancy counters; the geometry is verified.
+     */
+    void serialize(sim::Serializer &s);
 
   private:
     /** Outcome of one set scan: where to install, and what happened. */

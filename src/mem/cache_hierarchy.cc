@@ -1,9 +1,32 @@
 #include "mem/cache_hierarchy.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 #include "sim/shard_pool.hh"
 
 namespace hwdp::mem {
+
+void
+CacheHierarchy::serialize(sim::Serializer &s)
+{
+    s.section("caches");
+    std::uint64_t nc = l1d.size();
+    s.check(nc, "cache core count");
+    for (std::size_t c = 0; c < l1d.size(); ++c) {
+        l1i[c].serialize(s);
+        l1d[c].serialize(s);
+        l2[c].serialize(s);
+    }
+    llc.serialize(s);
+    for (auto &mc : modeCtrs) {
+        s.io(mc.l1iAccesses);
+        s.io(mc.l1iMisses);
+        s.io(mc.l1dAccesses);
+        s.io(mc.l1dMisses);
+        s.io(mc.l2Misses);
+        s.io(mc.llcMisses);
+    }
+}
 
 CacheHierarchy::CacheHierarchy(unsigned n_cores, const CacheParams &params)
     : prm(params), llc("llc", params.llcBytes, params.llcAssoc)

@@ -164,6 +164,9 @@ class CacheHierarchy
 
     CacheArray &llcArray() { return llc; }
 
+    /** Checkpoint every array and the per-mode miss counters. */
+    void serialize(sim::Serializer &s);
+
     /**
      * Attach a host worker pool: from here on, accessBatch() runs
      * whose length reaches the parallel threshold execute set-sharded

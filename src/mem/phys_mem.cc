@@ -1,8 +1,29 @@
 #include "mem/phys_mem.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::mem {
+
+void
+PhysMem::serialize(sim::Serializer &s)
+{
+    s.section("physmem");
+    s.check(nFrames, "physmem frame count");
+    s.check(reservedFrames, "physmem reserved frames");
+    s.io(freeList);
+    if (s.loading()) {
+        allocated.assign(nFrames, true);
+        for (Pfn pfn : freeList)
+            allocated[pfn] = false;
+        // Reserved frames are the highest-numbered and never handed
+        // out; keep their flags clear as at construction.
+        for (std::uint64_t pfn = nFrames - reservedFrames; pfn < nFrames;
+             ++pfn)
+            allocated[pfn] = false;
+    }
+    stats().serialize(s);
+}
 
 PhysMem::PhysMem(sim::EventQueue &eq, std::uint64_t n_frames,
                  std::uint64_t reserved)

@@ -57,6 +57,13 @@ class PhysMem : public sim::SimObject
         return (nFrames - reservedFrames) * pageSize;
     }
 
+    /**
+     * Checkpoint the allocation state. The free list is ordered —
+     * alloc() pops the back — so it round-trips verbatim; frame count
+     * and reservation are boot structure and only verified.
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     std::uint64_t nFrames;
     std::uint64_t reservedFrames;

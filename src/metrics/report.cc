@@ -109,6 +109,25 @@ shardPoolTable(const sim::ShardPool &pool)
     return t;
 }
 
+Table
+checkpointTable(const std::vector<CheckpointRow> &ops)
+{
+    Table t({"checkpoint", "op", "blob bytes", "ticks skipped"});
+    std::uint64_t bytes = 0, ticks = 0, restores = 0;
+    for (const CheckpointRow &r : ops) {
+        t.addRow({r.label, r.op, std::to_string(r.blobBytes),
+                  std::to_string(r.ticksSkipped)});
+        if (r.op == "restore") {
+            ++restores;
+            ticks += r.ticksSkipped;
+        }
+        bytes += r.blobBytes;
+    }
+    t.addRow({"total", std::to_string(restores) + " restores",
+              std::to_string(bytes), std::to_string(ticks)});
+    return t;
+}
+
 void
 banner(const std::string &title, const std::string &subtitle)
 {

@@ -67,6 +67,27 @@ Table pollutionProbeTable(const os::KernelExec &kexec);
  */
 Table shardPoolTable(const sim::ShardPool &pool);
 
+/**
+ * One checkpoint operation as seen by a bench: a save or restore of a
+ * warmed machine. ticksSkipped is the simulated time the blob
+ * carries — the warmup a forked run does not re-simulate.
+ */
+struct CheckpointRow
+{
+    std::string label; ///< Family key (e.g. "fio osdp t4").
+    std::string op;    ///< "save" or "restore".
+    std::uint64_t blobBytes = 0;
+    std::uint64_t ticksSkipped = 0;
+};
+
+/**
+ * Checkpoint observability for the warm-fork benches: one row per
+ * save/restore with the blob size and the warmed simulated time each
+ * fork skips, plus a total row. Host-side only, like shardPoolTable —
+ * never part of dumpMachineStats.
+ */
+Table checkpointTable(const std::vector<CheckpointRow> &ops);
+
 } // namespace hwdp::metrics
 
 #endif // HWDP_METRICS_REPORT_HH

@@ -1,8 +1,38 @@
 #include "nvme/queue_pair.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::nvme {
+
+void
+QueuePair::serialize(sim::Serializer &s)
+{
+    s.section("queuepair");
+    if (s.saving() && (sqCount != 0 || cqCount != 0))
+        throw sim::SerializeError(
+            "checkpoint: nvme queue pair has entries in flight; "
+            "quiesce the machine first");
+    s.check(id, "queue id");
+    s.check(nEntries, "queue depth");
+    auto prio_word = static_cast<std::uint8_t>(prio);
+    s.check(prio_word, "queue priority");
+    s.io(sqHead);
+    s.io(sqTail);
+    s.io(cqHead);
+    s.io(cqTail);
+    s.io(cqPhase);
+    s.io(hostPhase);
+    s.io(sqCount);
+    s.io(cqCount);
+    // vector<bool> proxies can't bind to io(); element-wise copy.
+    for (std::size_t i = 0; i < cqValidPhase.size(); ++i) {
+        bool b = cqValidPhase[i];
+        s.io(b);
+        if (s.loading())
+            cqValidPhase[i] = b;
+    }
+}
 
 QueuePair::QueuePair(std::uint16_t qid, std::uint16_t depth, PAddr sq_base,
                      PAddr cq_base, Priority priority)

@@ -18,6 +18,8 @@
 
 #include "nvme/nvme_types.hh"
 
+namespace hwdp::sim { class Serializer; }
+
 namespace hwdp::nvme {
 
 class QueuePair
@@ -77,6 +79,14 @@ class QueuePair
 
     /** Consume the completion at the CQ head. @pre cqHasWork() */
     CompletionEntry popCqe();
+
+    /**
+     * Checkpoint the ring positions and phase tags. Both rings must be
+     * drained (quiesced) — the entries themselves are never saved
+     * because consumed slots are dead; only the head/tail/phase state
+     * determines future behaviour.
+     */
+    void serialize(sim::Serializer &s);
 
   private:
     std::uint16_t id;

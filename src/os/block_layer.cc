@@ -1,8 +1,29 @@
 #include "os/block_layer.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
+
+void
+BlockLayer::serialize(sim::Serializer &s)
+{
+    s.section("blocklayer");
+    if (!pending.empty())
+        throw sim::SerializeError(
+            "checkpoint: block layer has in-flight bios; quiesce the "
+            "machine first");
+    std::uint64_t n = devices.size();
+    s.check(n, "attached device count");
+    for (auto &ds : devices) {
+        std::uint64_t nq = ds.coreQid.size();
+        s.check(nq, "kernel queue pairs per device");
+        for (std::uint16_t qid : ds.coreQid)
+            s.check(qid, "kernel queue pair id");
+    }
+    s.io(nextCid);
+    stats().serialize(s);
+}
 
 BlockLayer::BlockLayer(sim::EventQueue &eq, Scheduler &sched,
                        std::uint16_t queue_depth)

@@ -64,6 +64,13 @@ class BlockLayer : public sim::SimObject
     std::uint64_t writesSubmitted() const { return statWrites.value(); }
     std::uint64_t ioRetries() const { return statRetries.value(); }
 
+    /**
+     * Checkpoint the cid allocator and counters. Pending bios hold
+     * completion closures, so the layer must be drained (quiesced)
+     * on both sides; the queue-pair layout is verified.
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     struct DeviceState
     {

@@ -2,11 +2,22 @@
 
 #include "os/kernel.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
 
 FaultHandler::FaultHandler(Kernel &kernel) : k(kernel)
 {
+}
+
+void
+FaultHandler::serialize(sim::Serializer &s)
+{
+    s.section("faulthandler");
+    if (!inflight.empty())
+        throw sim::SerializeError(
+            "checkpoint: page faults in flight; quiesce the machine "
+            "first");
 }
 
 void

@@ -23,6 +23,10 @@
 #include "os/vma.hh"
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::os {
 
 class Kernel;
@@ -35,6 +39,12 @@ class FaultHandler
 
     void handle(Thread &t, AddressSpace &as, VAddr vaddr, bool is_write,
                 bool smu_fallback, std::function<void()> resume);
+
+    /**
+     * Checkpoint guard: the handler keeps no logical state beyond the
+     * in-flight fault table, which must be empty at quiesce.
+     */
+    void serialize(sim::Serializer &s);
 
   private:
     Kernel &k;

@@ -2,8 +2,26 @@
 
 #include "os/pte.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
+
+void
+FileSystem::serialize(sim::Serializer &s)
+{
+    s.section("filesystem");
+    rng.serialize(s);
+    s.io(nextLba);
+    std::uint64_t n = files.size();
+    s.check(n, "file count");
+    for (auto &f : files) {
+        s.check(f->fid, "file id");
+        std::uint64_t pages = f->blockMap.size();
+        s.check(pages, "file size");
+        s.ioRange(f->blockMap.begin(), f->blockMap.end());
+        s.io(f->marked);
+    }
+}
 
 File::File(std::uint32_t id, std::string name, std::uint64_t n_pages,
            BlockDeviceId bdev)

@@ -23,6 +23,10 @@
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::os {
 
 /** A block device address: socket-local SMU id + device id. */
@@ -90,6 +94,13 @@ class FileSystem
     void setRemapListener(RemapListener fn) { onRemap = std::move(fn); }
 
     std::uint64_t allocatedBlocks() const { return nextLba; }
+
+    /**
+     * Checkpoint the allocator stream and every file's block map
+     * (remapPage mutates maps after creation). File identities are
+     * boot structure and only verified.
+     */
+    void serialize(sim::Serializer &s);
 
   private:
     sim::Rng rng;

@@ -4,8 +4,81 @@
 
 #include "os/fault_handler.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
+
+void
+Kernel::serialize(sim::Serializer &s)
+{
+    s.section("kernel");
+    rng.serialize(s);
+    kernelExec->serialize(s);
+    sched->serialize(s);
+    fileSystem->serialize(s);
+    blk->serialize(s);
+    reverseMap->serialize(s);
+    reclaim->serialize(s);
+    faults->serialize(s);
+    pcache.serialize(s);
+
+    // Per-frame metadata: pointers become (file id, asid) pairs the
+    // identically-booted restore target resolves back.
+    std::uint64_t nf = framePages.size();
+    s.check(nf, "frame count");
+    for (auto &pg : framePages) {
+        std::uint32_t fileId = pg.file ? pg.file->id() : ~0u;
+        std::uint32_t asid = pg.as ? pg.as->id() : ~0u;
+        s.io(fileId);
+        s.io(asid);
+        s.io(pg.index);
+        s.io(pg.vaddr);
+        auto flags = static_cast<std::uint8_t>(
+            (pg.inUse << 0) | (pg.dirty << 1) | (pg.referenced << 2) |
+            (pg.active << 3) | (pg.lruLinked << 4) |
+            (pg.inPageCache << 5) | (pg.underWriteback << 6) |
+            (pg.inSmuQueue << 7));
+        s.io(flags);
+        if (s.loading()) {
+            pg.file = fileId == ~0u ? nullptr : fileSystem->byId(fileId);
+            if (fileId != ~0u && !pg.file)
+                throw sim::SerializeError(
+                    "restore: frame references unknown file id");
+            if (asid == ~0u) {
+                pg.as = nullptr;
+            } else {
+                if (asid >= spaces.size())
+                    throw sim::SerializeError(
+                        "restore: frame references unknown asid");
+                pg.as = spaces[asid].get();
+            }
+            pg.inUse = flags & (1 << 0);
+            pg.dirty = flags & (1 << 1);
+            pg.referenced = flags & (1 << 2);
+            pg.active = flags & (1 << 3);
+            pg.lruLinked = flags & (1 << 4);
+            pg.inPageCache = flags & (1 << 5);
+            pg.underWriteback = flags & (1 << 6);
+            pg.inSmuQueue = flags & (1 << 7);
+        }
+    }
+
+    std::uint64_t nas = spaces.size();
+    s.check(nas, "address space count");
+    for (auto &as : spaces)
+        as->serialize(s);
+
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> wal(
+        walDirtyBytes.begin(), walDirtyBytes.end());
+    std::sort(wal.begin(), wal.end());
+    s.io(wal);
+    if (s.loading()) {
+        walDirtyBytes.clear();
+        walDirtyBytes.insert(wal.begin(), wal.end());
+    }
+
+    stats().serialize(s);
+}
 
 Kernel::Kernel(sim::EventQueue &eq, const KernelParams &params,
                mem::PhysMem &pm, mem::CacheHierarchy &caches,

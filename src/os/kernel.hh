@@ -235,6 +235,15 @@ class Kernel : public sim::SimObject
     std::uint64_t oomKills() const { return statOomKills.value(); }
     sim::Histogram &faultLatencyUs() { return statFaultLatency; }
 
+    /**
+     * Checkpoint the whole OS layer: kernel rng, phase accounting,
+     * scheduler, file system, block layer, rmap, reclaimer, page
+     * cache, per-frame metadata (file/space references encoded as
+     * file id / asid), every address space and the WAL chunk
+     * accumulator. Only valid at quiesce.
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     friend class FaultHandler;
 

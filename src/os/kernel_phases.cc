@@ -3,9 +3,27 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 #include "sim/shard_pool.hh"
 
 namespace hwdp::os {
+
+void
+KernelExec::serialize(sim::Serializer &s)
+{
+    s.section("kernelexec");
+    constexpr unsigned n = static_cast<unsigned>(KernelCostCat::numCats);
+    for (unsigned i = 0; i < n; ++i)
+        s.io(instrByCat[i]);
+    for (unsigned i = 0; i < n; ++i)
+        s.io(cyclesByCat[i]);
+    for (unsigned i = 0; i < n; ++i)
+        s.io(probesByCat[i]);
+    for (unsigned i = 0; i < n; ++i)
+        s.io(branchesByCat[i]);
+    s.io(invocation);
+    rng.serialize(s);
+}
 
 const char *
 kernelCostCatName(KernelCostCat cat)

@@ -31,6 +31,7 @@
 #include "sim/types.hh"
 
 namespace hwdp::sim {
+class Serializer;
 class ShardPool;
 }
 
@@ -171,6 +172,13 @@ class KernelExec
     /** Branch-predictor updates issued by pollution for @p cat. */
     std::uint64_t pollutionBranchUpdates(KernelCostCat cat) const;
     std::uint64_t totalPollutionBranchUpdates() const;
+
+    /**
+     * Checkpoint the accounting arrays, the invocation counter and
+     * the pollution rng. The footprint memo and draw scratch are
+     * host-side caches rebuilt on demand and are not serialized.
+     */
+    void serialize(sim::Serializer &s);
 
   private:
     mem::CacheHierarchy &caches;

@@ -1,8 +1,32 @@
 #include "os/kthread.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
+
+void
+KThread::serialize(sim::Serializer &s)
+{
+    if (s.saving() && timerArmed)
+        throw sim::SerializeError(
+            "checkpoint: kthread '" + name() +
+            "' has an armed timer; quiesce (stop + drain) first");
+    serializeState(s);
+    s.check(per, "kthread period");
+    s.io(due);
+    s.io(stopped);
+    if (s.loading())
+        timerArmed = false;
+    s.io(nBatches);
+}
+
+void
+KThread::restart()
+{
+    stopped = false;
+    armTimer();
+}
 
 KThread::KThread(std::string name, unsigned core, Scheduler &sched,
                  sim::EventQueue &eq, Tick period)

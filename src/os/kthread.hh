@@ -17,6 +17,10 @@
 #include "os/scheduler.hh"
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::os {
 
 class KThread : public Thread
@@ -46,7 +50,21 @@ class KThread : public Thread
     /** Force an immediate wakeup (e.g. SMU queue ran dry). */
     void kick();
 
+    /**
+     * Resume after a quiesce or a restore: clear the stop flag and
+     * re-arm the wake timer. Both sides of a checkpoint call this so
+     * the timer event lands at the same tick with the same sequence
+     * number.
+     */
+    void restart();
+
     std::uint64_t batchesRun() const { return nBatches; }
+
+    /**
+     * Checkpoint the kthread state (quiesced: stopped, timer idle).
+     * Subclasses call this from their own serialize().
+     */
+    void serialize(sim::Serializer &s);
 
   protected:
     Scheduler &sched;

@@ -1,9 +1,28 @@
 #include "os/page_cache.hh"
 
+#include <algorithm>
+
 #include "os/file_system.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
+
+void
+PageCache::serialize(sim::Serializer &s)
+{
+    s.section("pagecache");
+    std::vector<std::pair<std::uint64_t, Pfn>> flat(map.begin(),
+                                                    map.end());
+    std::sort(flat.begin(), flat.end());
+    s.io(flat);
+    if (s.loading()) {
+        map.clear();
+        map.insert(flat.begin(), flat.end());
+    }
+    s.io(nLookups);
+    s.io(nHits);
+}
 
 std::uint64_t
 PageCache::key(const File &file, std::uint64_t index)

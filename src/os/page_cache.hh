@@ -16,6 +16,10 @@
 
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::os {
 
 class File;
@@ -41,6 +45,9 @@ class PageCache
     std::uint64_t hits() const { return nHits; }
 
     static constexpr Pfn noFrame = ~Pfn(0);
+
+    /** Checkpoint the index (key-sorted for a deterministic blob). */
+    void serialize(sim::Serializer &s);
 
   private:
     static std::uint64_t key(const File &file, std::uint64_t index);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
 
@@ -207,6 +208,60 @@ PageTable::scanUnsyncedFull(VAddr start, VAddr end,
                             std::uint64_t *entries_visited)
 {
     return scanImpl(start, end, false, fn, entries_visited);
+}
+
+void
+PageTable::serializeTable(sim::Serializer &s, Table &t)
+{
+    PAddr base = t.base;
+    s.io(base);
+    if (s.loading()) {
+        if (t.base == 0)
+            t.base = base; // table recreated from the blob
+        else if (base != t.base)
+            throw sim::SerializeError(
+                "page table base divergence: restore target was not "
+                "booted with the saved machine's recipe");
+    }
+    s.io(t.e);
+
+    std::array<std::uint64_t, entriesPerTable / 64> mask{};
+    for (unsigned i = 0; i < entriesPerTable; ++i)
+        if (t.child[i])
+            mask[i / 64] |= std::uint64_t(1) << (i % 64);
+    std::array<std::uint64_t, entriesPerTable / 64> stored = mask;
+    s.io(stored);
+    if (s.loading()) {
+        for (unsigned i = 0; i < entriesPerTable; ++i) {
+            bool inBlob =
+                (stored[i / 64] >> (i % 64)) & 1;
+            bool live = (mask[i / 64] >> (i % 64)) & 1;
+            if (live && !inBlob)
+                throw sim::SerializeError(
+                    "restore target has page tables the checkpoint "
+                    "lacks (target must be freshly booted)");
+            if (inBlob && !live) {
+                // The saved machine grew this subtree after boot;
+                // recreate it. Its base is read inside the recursion.
+                t.child[i] = std::make_unique<Table>();
+                ++nTables;
+            }
+        }
+    }
+    for (unsigned i = 0; i < entriesPerTable; ++i)
+        if ((stored[i / 64] >> (i % 64)) & 1)
+            serializeTable(s, *t.child[i]);
+}
+
+void
+PageTable::serialize(sim::Serializer &s)
+{
+    s.section("pagetable");
+    if (s.loading() && root->base != 0xffff'8000'0000'0000ULL)
+        throw sim::SerializeError("page table root base unexpected");
+    serializeTable(s, *root);
+    s.io(nTables);
+    s.io(nextTableBase);
 }
 
 void

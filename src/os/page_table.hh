@@ -21,6 +21,10 @@
 #include "os/pte.hh"
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::os {
 
 /** Levels of the tree, leaf first. */
@@ -115,6 +119,17 @@ class PageTable
     /** Number of table pages currently allocated (space accounting). */
     std::uint64_t tablePages() const { return nTables; }
 
+    /**
+     * Checkpoint the tree *structurally*: every table's simulated
+     * base address rides along with its entries, because entry
+     * addresses key the SMU's page-table updater and the walkers'
+     * PWCs — a restored tree must hand out the identical addresses.
+     * Tables present in the blob but absent in the (identically
+     * booted, never-run) target are created with their recorded
+     * bases; a target table whose base disagrees is a boot mismatch.
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     struct Table
     {
@@ -128,6 +143,8 @@ class PageTable
     PAddr nextTableBase;
 
     Table *childTable(Table &t, unsigned idx, bool allocate);
+
+    void serializeTable(sim::Serializer &s, Table &t);
 
     static unsigned levelIndex(VAddr vaddr, PtLevel level);
 

@@ -2,10 +2,26 @@
 
 #include "os/kernel.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
 
 // ---------------------------------------------------------------- LruLists
+
+void
+LruLists::serialize(sim::Serializer &s)
+{
+    s.section("lru");
+    s.io(active);
+    s.io(inactive);
+    if (s.loading()) {
+        where.clear();
+        for (auto it = active.begin(); it != active.end(); ++it)
+            where[*it] = Loc{ListId::active, it};
+        for (auto it = inactive.begin(); it != inactive.end(); ++it)
+            where[*it] = Loc{ListId::inactive, it};
+    }
+}
 
 void
 LruLists::insert(Page &page, ListId list)
@@ -75,6 +91,19 @@ LruLists::secondChance(Page &page)
 }
 
 // --------------------------------------------------------------- Reclaimer
+
+void
+Reclaimer::serialize(sim::Serializer &s)
+{
+    s.section("reclaimer");
+    KThread::serialize(s);
+    s.check(lowWater, "reclaim low watermark");
+    s.check(highWater, "reclaim high watermark");
+    s.io(nEvicted);
+    s.io(nWriteback);
+    s.io(nDirect);
+    lists.serialize(s);
+}
 
 Reclaimer::Reclaimer(Kernel &kernel, unsigned core, Tick period,
                      std::uint64_t low_water, std::uint64_t high_water)

@@ -24,6 +24,10 @@
 #include "os/kthread.hh"
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::os {
 
 class Kernel;
@@ -53,6 +57,13 @@ class LruLists
     std::uint64_t size() const { return active.size() + inactive.size(); }
 
     bool contains(Pfn pfn) const { return where.count(pfn) != 0; }
+
+    /**
+     * Checkpoint both lists in order; the where-map is rebuilt on
+     * load (eviction order is logical state — Figure 15 depends on
+     * it).
+     */
+    void serialize(sim::Serializer &s);
 
     static constexpr Pfn invalidPfn = ~Pfn(0);
 
@@ -104,6 +115,9 @@ class Reclaimer : public KThread
 
     std::uint64_t lowWatermark() const { return lowWater; }
     std::uint64_t highWatermark() const { return highWater; }
+
+    /** Checkpoint the LRU lists, counters and kthread state. */
+    void serialize(sim::Serializer &s);
 
   private:
     Kernel &kernel;

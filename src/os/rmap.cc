@@ -3,8 +3,17 @@
 #include "os/file_system.hh"
 #include "os/vma.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
+
+void
+Rmap::serialize(sim::Serializer &s)
+{
+    s.section("rmap");
+    s.io(nLbaEvictions);
+    s.io(nPlainEvictions);
+}
 
 Rmap::Rmap(ShootdownFn shootdown) : shootdown(std::move(shootdown))
 {

@@ -18,6 +18,10 @@
 #include "os/page.hh"
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::os {
 
 class AddressSpace;
@@ -49,6 +53,9 @@ class Rmap
 
     std::uint64_t evictionsToLba() const { return nLbaEvictions; }
     std::uint64_t evictionsPlain() const { return nPlainEvictions; }
+
+    /** Checkpoint the eviction counters (mappings live on Page). */
+    void serialize(sim::Serializer &s);
 
   private:
     ShootdownFn shootdown;

@@ -1,8 +1,51 @@
 #include "os/scheduler.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
+
+void
+Thread::serializeState(sim::Serializer &s)
+{
+    if (s.saving()) {
+        if (st == State::running || resumeAction)
+            throw sim::SerializeError(
+                "checkpoint: thread '" + nm +
+                "' is mid-operation; quiesce the machine first");
+    }
+    s.io(st);
+}
+
+void
+Scheduler::serialize(sim::Serializer &s)
+{
+    s.section("scheduler");
+    std::uint32_t n = nLogical;
+    s.check(n, "logical core count");
+    for (unsigned c = 0; c < nLogical; ++c) {
+        CoreState &cs = cores[c];
+        if (s.saving() &&
+            (cs.cur || !cs.runq.empty() || !cs.kwork.empty() ||
+             cs.inKernelWork || cs.skipSwitchCharge))
+            throw sim::SerializeError(
+                "checkpoint: core " + std::to_string(c) +
+                " is busy; quiesce the machine first");
+        if (s.loading()) {
+            // Discard the fresh-boot run queue: its threads were
+            // registered by the boot recipe but never dispatched;
+            // their states are restored by their own serializers.
+            cs.cur = nullptr;
+            cs.runq.clear();
+            cs.kwork.clear();
+            cs.inKernelWork = false;
+            cs.skipSwitchCharge = nullptr;
+        }
+        s.io(cs.hwStall);
+        s.io(cs.started);
+    }
+    stats().serialize(s);
+}
 
 Scheduler::Scheduler(sim::EventQueue &eq, unsigned n_logical,
                      unsigned n_physical, KernelExec &kexec,

@@ -27,6 +27,10 @@
 #include "os/kernel_phases.hh"
 #include "sim/sim_object.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::os {
 
 class Scheduler;
@@ -75,6 +79,13 @@ class Thread
      * kthreads and anonymous test threads keep that behaviour.
      */
     virtual bool handleOom() { return false; }
+
+    /**
+     * Checkpoint the scheduling state. Only valid at quiesce, when
+     * the thread is blocked or finished (never running/runnable with
+     * a pending dispatch) and carries no resume action.
+     */
+    void serializeState(sim::Serializer &s);
 
   protected:
     bool kthread = false;
@@ -179,6 +190,15 @@ class Scheduler : public sim::SimObject
     std::uint64_t contextSwitches() const { return statSwitches.value(); }
 
     KernelExec &kernelExec() { return kexec; }
+
+    /**
+     * Checkpoint the per-core state and switch counters. Only valid
+     * at quiesce: every core idle, run queues and kernel-work queues
+     * empty on the save side. On load the fresh-boot run queues
+     * (never-started threads) are discarded; the threads themselves
+     * restore their states via serializeState().
+     */
+    void serialize(sim::Serializer &s);
 
   private:
     struct KernelWork

@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
+#include "os/file_system.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::os {
+
+void
+AddressSpace::serialize(sim::Serializer &s)
+{
+    s.section("addrspace");
+    s.check(asid, "address space id");
+    std::uint64_t n = areas.size();
+    s.check(n, "vma count");
+    for (auto &vma : areas) {
+        s.check(vma->start, "vma start");
+        s.check(vma->end, "vma end");
+        std::uint32_t fileId = vma->file ? vma->file->id() : ~0u;
+        s.check(fileId, "vma backing file");
+        s.check(vma->filePageOffset, "vma file offset");
+        s.check(vma->fastMmap, "vma fast-mmap flag");
+        s.check(vma->prot, "vma protection");
+    }
+    s.io(nextMapBase);
+    pt.serialize(s);
+}
 
 AddressSpace::AddressSpace(std::uint32_t id) : asid(id)
 {

@@ -71,6 +71,13 @@ class AddressSpace
 
     const std::vector<std::unique_ptr<Vma>> &vmas() const { return areas; }
 
+    /**
+     * Checkpoint the space: the VMA layout is boot structure (verified
+     * per area, including backing-file identity), the page table and
+     * the map-base allocator round-trip.
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     std::uint32_t asid;
     PageTable pt;

@@ -6,8 +6,46 @@
 #include <tuple>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::sim {
+
+void
+EventQueue::serialize(Serializer &s)
+{
+    s.section("eventqueue");
+    if (size() != 0)
+        throw SerializeError(
+            s.saving()
+                ? "checkpoint requires a drained event queue (quiesce "
+                  "first): events are type-erased and unserializable"
+                : "restore target has pending events (restore onto a "
+                  "freshly booted, never-run machine)");
+    s.io(curTick);
+    s.io(nextSeq);
+    s.io(nProcessed);
+    s.io(pstats.created);
+    s.io(pstats.acquired);
+    s.io(pstats.released);
+    s.io(pstats.heapFallbacks);
+    if (s.loading()) {
+        // Every node is free (the queue is empty); pre-grow the pool
+        // to the saved node count so the continued run reuses nodes
+        // exactly where the straight run did.
+        if (pool.size() > pstats.created)
+            throw SerializeError(
+                "restore target's event pool exceeds the checkpoint's");
+        while (pool.size() < pstats.created) {
+            pool.push_back(std::make_unique<PooledEvent>());
+            pool.back()->_pooled = true;
+        }
+        freeList = nullptr;
+        for (auto &node : pool) {
+            node->nextFree = freeList;
+            freeList = node.get();
+        }
+    }
+}
 
 Event::~Event()
 {

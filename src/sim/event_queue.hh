@@ -45,6 +45,7 @@ namespace hwdp::sim {
 
 class EventQueue;
 class PooledEvent;
+class Serializer;
 
 /**
  * An occurrence scheduled on an EventQueue. Subclasses implement
@@ -304,6 +305,18 @@ class EventQueue
     };
 
     const PoolStats &poolStats() const { return pstats; }
+
+    /**
+     * Checkpoint the queue. Events themselves are type-erased
+     * callables and cannot be serialized, so the queue must be EMPTY
+     * (fully drained — the quiesce contract) on both sides; what
+     * round-trips is the clock, the FIFO sequence counter (same-tick
+     * ordering after restore depends on it), the processed count and
+     * the pool accounting. On load the pooled free list is pre-grown
+     * to the saved node count so host allocation behaviour (and the
+     * PoolStats invariants) match the straight run exactly.
+     */
+    void serialize(Serializer &s);
 
     // Two-tier scheduler geometry. Bucket width 2^10 ticks ~ 1 ns;
     // 8192 buckets give a ~8.4 us near horizon, wide enough for every

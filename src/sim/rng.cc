@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::sim {
 
@@ -46,6 +47,14 @@ Rng::normal(double mean, double stddev)
     spare = r * std::sin(theta);
     haveSpare = true;
     return mean + stddev * r * std::cos(theta);
+}
+
+void
+Rng::serialize(Serializer &s)
+{
+    s.io(state);
+    s.io(haveSpare);
+    s.io(spare);
 }
 
 Rng

@@ -16,6 +16,8 @@
 
 namespace hwdp::sim {
 
+class Serializer;
+
 /** SplitMix64 generator with convenience distributions. */
 class Rng
 {
@@ -131,6 +133,9 @@ class Rng
 
     /** Derive an independent stream (for per-component RNGs). */
     Rng fork();
+
+    /** Checkpoint the stream position and the Box-Muller spare. */
+    void serialize(Serializer &s);
 
   private:
     std::uint64_t state;

@@ -6,8 +6,53 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::sim {
+
+void
+Counter::serialize(Serializer &s)
+{
+    s.io(val);
+}
+
+void
+Mean::serialize(Serializer &s)
+{
+    s.io(sum);
+    s.io(n);
+    s.io(mn);
+    s.io(mx);
+}
+
+void
+Histogram::serialize(Serializer &s)
+{
+    // Geometry is fixed at construction: verify, never resize.
+    s.check(width, "histogram bucket width");
+    std::uint64_t nb = bins.size();
+    s.check(nb, "histogram bucket count");
+    s.ioRange(bins.begin(), bins.end());
+    s.io(n);
+    s.io(sum);
+}
+
+void
+StatGroup::serialize(Serializer &s)
+{
+    std::uint64_t count = all.size();
+    s.check(count, "stat count");
+    for (StatBase *st : all) {
+        std::uint64_t tag = Serializer::hashName(st->name().c_str());
+        std::uint64_t stored = tag;
+        s.io(stored);
+        if (s.loading() && stored != tag)
+            throw SerializeError("stat group '" + _name +
+                                 "' layout changed: blob stat does not "
+                                 "match '" + st->name() + "'");
+        st->serialize(s);
+    }
+}
 
 std::string
 Counter::valueString() const

@@ -19,6 +19,8 @@
 
 namespace hwdp::sim {
 
+class Serializer;
+
 /** Common interface for dumpable statistics. */
 class StatBase
 {
@@ -37,6 +39,9 @@ class StatBase
 
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
+
+    /** Checkpoint the value state (never the name/description). */
+    virtual void serialize(Serializer &s) = 0;
 
   private:
     std::string _name;
@@ -57,6 +62,7 @@ class Counter : public StatBase
 
     std::string valueString() const override;
     void reset() override { val = 0; }
+    void serialize(Serializer &s) override;
 
   private:
     std::uint64_t val = 0;
@@ -86,6 +92,7 @@ class Mean : public StatBase
     double maxValue() const { return n ? mx : 0.0; }
 
     std::string valueString() const override;
+    void serialize(Serializer &s) override;
 
     void
     reset() override
@@ -126,6 +133,7 @@ class Histogram : public StatBase
 
     std::string valueString() const override;
     void reset() override;
+    void serialize(Serializer &s) override;
 
   private:
     double width;
@@ -153,6 +161,14 @@ class StatGroup
 
     void resetAll();
     void dump(std::ostream &os) const;
+
+    /**
+     * Checkpoint every registered stat in registration order. The
+     * stat count and each stat's name tag are verified on load, so a
+     * component that gains or loses stats invalidates old blobs
+     * loudly instead of shifting the stream.
+     */
+    void serialize(Serializer &s);
 
     ~StatGroup();
     StatGroup(const StatGroup &) = delete;

@@ -3,8 +3,46 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::ssd {
+
+void
+SsdDevice::serialize(sim::Serializer &s)
+{
+    s.section("ssddevice");
+    if (s.saving()) {
+        if (nInflight != 0 || fetchScheduled)
+            throw sim::SerializeError(
+                "checkpoint: ssd '" + name() +
+                "' has commands in flight; quiesce the machine first");
+        for (auto &qs : queues)
+            if (qs.doorbellPending)
+                throw sim::SerializeError(
+                    "checkpoint: ssd '" + name() +
+                    "' has a pending doorbell; quiesce the machine "
+                    "first");
+    }
+    rng.serialize(s);
+    std::uint64_t nq = queues.size();
+    s.check(nq, "queue pair count");
+    for (auto &qs : queues) {
+        s.check(qs.interrupts, "queue interrupt mode");
+        qs.qp->serialize(s);
+        s.io(qs.inflight);
+    }
+    s.io(channelFreeAt);
+    s.io(nReads);
+    s.io(nWrites);
+    s.io(nErrors);
+    if (s.loading()) {
+        nInflight = 0;
+        fetchScheduled = false;
+        for (auto &qs : queues)
+            qs.doorbellPending = false;
+    }
+    stats().serialize(s);
+}
 
 SsdDevice::SsdDevice(std::string name, sim::EventQueue &eq,
                      const SsdProfile &profile, sim::Rng rng)

@@ -117,6 +117,13 @@ class SsdDevice : public sim::SimObject
     /** Attach (or clear, with nullptr) the fault injector. */
     void setFaultInjector(IoFaultInjector *inj) { injector = inj; }
 
+    /**
+     * Checkpoint the device: RNG, channel busy horizon, queue rings
+     * and counters. The device must be idle (no in-flight commands,
+     * no pending doorbells, no scheduled fetch).
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     struct QueueState
     {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 #include "ssd/ssd_profile.hh"
 #include "workloads/fio.hh"
 
@@ -266,6 +267,95 @@ System::stopKthreads()
     if (kpooldThread)
         kpooldThread->stop();
     kern->reclaimer().stop();
+}
+
+void
+System::quiesce()
+{
+    if (!started)
+        throw sim::SerializeError(
+            "checkpoint: machine was never started");
+    if (threadsDone < tcs.size())
+        throw sim::SerializeError(
+            "checkpoint: " + std::to_string(tcs.size() - threadsDone) +
+            " workload thread(s) still running; run the warmup to "
+            "completion before quiescing");
+    stopKthreads();
+    eq.run();
+    if (!eq.empty())
+        throw sim::SerializeError(
+            "checkpoint: event queue failed to drain");
+}
+
+void
+System::resumeKthreads()
+{
+    // Fixed order: each restart posts one timer event, and same-tick
+    // ordering is by event sequence number, so both sides of a
+    // checkpoint must arm the timers identically.
+    if (kptedThread)
+        kptedThread->restart();
+    if (kpooldThread && cfg.kpooldEnabled)
+        kpooldThread->restart();
+    kern->reclaimer().restart();
+}
+
+void
+System::serialize(sim::Serializer &s)
+{
+    s.section("system");
+    auto mode_word = static_cast<std::uint32_t>(cfg.mode);
+    s.check(mode_word, "paging mode");
+    s.check(cfg.nLogical, "logical core count");
+    s.check(cfg.nDevices, "block device count");
+    std::uint64_t nthreads = tcs.size();
+    s.check(nthreads, "workload thread count");
+
+    eq.serialize(s);
+    rng.serialize(s);
+    pm->serialize(s);
+    hierarchy->serialize(s);
+    for (auto &bp : bps)
+        bp.serialize(s);
+    kern->serialize(s);
+    for (auto &d : ssds)
+        d->serialize(s);
+    for (auto &c : cores)
+        c->mmu().serialize(s);
+    if (smuUnit)
+        smuUnit->serialize(s);
+    if (swFpq)
+        swFpq->serialize(s);
+    if (swSmu)
+        swSmu->serialize(s);
+    if (support)
+        support->serialize(s);
+    if (kptedThread)
+        kptedThread->serialize(s);
+    if (kpooldThread)
+        kpooldThread->serialize(s);
+    for (auto &tc : tcs)
+        tc->serialize(s);
+    s.io(threadsDone);
+    s.section("system.end");
+}
+
+void
+System::onRestored(std::uint64_t blob_bytes)
+{
+    started = true;
+    ckptNote = "restored at tick " + std::to_string(eq.now()) +
+               " from a " + std::to_string(blob_bytes) + "-byte blob";
+}
+
+std::string
+System::describe() const
+{
+    std::string d = cfg.describe();
+    d += "checkpoint       : ";
+    d += ckptNote.empty() ? "cold boot" : ckptNote;
+    d += '\n';
+    return d;
 }
 
 std::uint64_t

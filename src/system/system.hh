@@ -123,6 +123,36 @@ class System
     /** Stop periodic kthreads so the event queue can drain. */
     void stopKthreads();
 
+    // ---- Checkpointing ---------------------------------------------------
+    /**
+     * Bring the machine to a checkpointable state: stop the periodic
+     * kthreads and drain the event queue. Requires every workload
+     * thread to have finished (an unbounded workload never drains);
+     * throws sim::SerializeError otherwise. Call resumeKthreads() to
+     * continue running afterwards — both the straight and the restored
+     * path must do so, so the re-armed timers land on identical ticks
+     * with identical event sequence numbers.
+     */
+    void quiesce();
+
+    /** Re-arm the periodic kthreads after quiesce() or a restore. */
+    void resumeKthreads();
+
+    /**
+     * Checkpoint every component in a fixed order. Save side requires
+     * quiesce(); load side requires a machine built by the *same boot
+     * recipe* (same config, files, mappings, threads) that was never
+     * started — boot structure is verified, logical state overwritten.
+     * Use system::Checkpoint for the versioned header + file I/O.
+     */
+    void serialize(sim::Serializer &s);
+
+    /** Called by Checkpoint::restore once the blob is applied. */
+    void onRestored(std::uint64_t blob_bytes);
+
+    /** Config dump plus the checkpoint provenance line. */
+    std::string describe() const;
+
     Tick now() const { return eq.now(); }
 
     // ---- Aggregate measurements ------------------------------------------
@@ -169,6 +199,9 @@ class System
     std::vector<std::unique_ptr<cpu::ThreadContext>> tcs;
     std::uint64_t threadsDone = 0;
     bool started = false;
+
+    /** describe() provenance: cold boot or restored-from-blob. */
+    std::string ckptNote;
 
     /** Drop PWC entries covering @p va from every core's walker. */
     void pwcShootdown(os::AddressSpace &as, VAddr va);

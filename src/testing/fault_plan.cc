@@ -1,8 +1,35 @@
 #include "testing/fault_plan.hh"
 
+#include "sim/serialize.hh"
 #include "system/system.hh"
 
 namespace hwdp::testing {
+
+void
+FaultPlan::serialize(sim::Serializer &s)
+{
+    s.section("faultplan");
+    for (auto &st : states) {
+        s.check(st.armed, "fault site armed");
+        s.check(st.cfg.rate, "fault site rate");
+        s.check(st.cfg.maxInjections, "fault site cap");
+        st.rng.serialize(s);
+        s.io(st.nQueries);
+    }
+    std::uint64_t n = injectionLog.size();
+    s.io(n);
+    if (s.loading())
+        injectionLog.resize(n);
+    for (auto &e : injectionLog) {
+        auto site = static_cast<std::uint32_t>(e.site);
+        s.io(site);
+        if (s.loading())
+            e.site = static_cast<FaultSite>(site);
+        s.io(e.tick);
+        s.io(e.querySeq);
+    }
+    stats().serialize(s);
+}
 
 const char *
 faultSiteName(FaultSite s)

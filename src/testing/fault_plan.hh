@@ -122,6 +122,13 @@ class FaultPlan : public sim::SimObject, public ssd::IoFaultInjector
     };
     const std::vector<LogEntry> &log() const { return injectionLog; }
 
+    /**
+     * Checkpoint the per-site RNG streams, query cursors and the
+     * injection log, so a forked run injects at exactly the same
+     * future queries a straight run would.
+     */
+    void serialize(sim::Serializer &s);
+
   private:
     struct SiteState
     {

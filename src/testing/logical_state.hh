@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The logical memory-management state walk, shared between the
+ * MachineDiffer and the checkpointer.
+ *
+ * One traversal produces, per (address space, VMA, page): residency,
+ * backing identity (file id + file index, or anonymous offset),
+ * dirtiness, metadata-sync status and the rmap/LRU/page-cache
+ * bookkeeping — never raw PFNs (frame allocation order legitimately
+ * differs across paging modes) and never raw ticks. A provenance hash
+ * folds the per-page state so whole-machine equality is a single
+ * comparison.
+ *
+ * Consumers: testing::snapshot()/diff() compare two machines;
+ * system::Checkpoint stores the hash in its footer and re-walks the
+ * restored machine to prove the restore reproduced the saved logical
+ * state. Because both consume this one walk, the differ and the
+ * checkpointer cannot drift apart about what "logical state" means.
+ */
+
+#ifndef HWDP_TESTING_LOGICAL_STATE_HH
+#define HWDP_TESTING_LOGICAL_STATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hwdp::system {
+class System;
+}
+
+namespace hwdp::testing {
+
+/** Logical state of one page slot of a VMA. */
+struct PageState
+{
+    bool resident = false;
+
+    /** Backing identity (mode-independent). */
+    bool fileBacked = false;
+    std::uint32_t fileId = 0;
+    std::uint64_t fileIndex = 0; ///< For anon: page index in the VMA.
+
+    bool dirty = false;
+
+    /** Resident with OS metadata synchronised (LBA bit clear). */
+    bool synced = false;
+
+    /** Bookkeeping of the backing frame (resident pages only). */
+    bool rmapOk = false;
+    bool lruLinked = false;
+    bool inPageCache = false;
+
+    bool operator==(const PageState &o) const;
+    bool operator!=(const PageState &o) const { return !(*this == o); }
+};
+
+struct VmaState
+{
+    VAddr start = 0;
+    VAddr end = 0;
+    bool anon = false;
+    std::vector<PageState> pages;
+};
+
+struct AsState
+{
+    std::uint32_t asid = 0;
+    std::vector<VmaState> vmas;
+};
+
+struct MachineState
+{
+    std::string label;
+    std::vector<AsState> spaces;
+    std::uint64_t totalAppOps = 0;
+    std::uint64_t oomKills = 0;
+
+    /** Misses resolved by any path (SMU + SW-SMU + OS major/minor). */
+    std::uint64_t faultsServiced = 0;
+
+    /** FNV-1a fold of every per-page logical state. */
+    std::uint64_t stateHash = 0;
+};
+
+/** The per-page flag word folded into the provenance hash. */
+std::uint64_t packFlags(const PageState &ps);
+
+/** One readable line describing a page's logical state. */
+std::string describePageState(const PageState &ps);
+
+/** Walk @p sys and capture its full logical state. */
+MachineState captureLogicalState(system::System &sys,
+                                 const std::string &label);
+
+/**
+ * The provenance hash alone — the walk without keeping the per-page
+ * records (the checkpoint footer path).
+ */
+std::uint64_t logicalStateHash(system::System &sys);
+
+} // namespace hwdp::testing
+
+#endif // HWDP_TESTING_LOGICAL_STATE_HH

@@ -11,15 +11,6 @@
 
 namespace hwdp::testing {
 
-bool
-PageState::operator==(const PageState &o) const
-{
-    return resident == o.resident && fileBacked == o.fileBacked &&
-           fileId == o.fileId && fileIndex == o.fileIndex &&
-           dirty == o.dirty && synced == o.synced && rmapOk == o.rmapOk &&
-           lruLinked == o.lruLinked && inPageCache == o.inPageCache;
-}
-
 void
 quiesce(system::System &sys)
 {
@@ -43,112 +34,10 @@ quiesce(system::System &sys)
     sys.eventQueue().run();
 }
 
-namespace {
-
-inline void
-fold(std::uint64_t &h, std::uint64_t v)
-{
-    for (unsigned i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= 1099511628211ULL;
-    }
-}
-
-std::uint64_t
-packFlags(const PageState &ps)
-{
-    return (std::uint64_t(ps.resident) << 0) |
-           (std::uint64_t(ps.fileBacked) << 1) |
-           (std::uint64_t(ps.dirty) << 2) |
-           (std::uint64_t(ps.synced) << 3) |
-           (std::uint64_t(ps.rmapOk) << 4) |
-           (std::uint64_t(ps.lruLinked) << 5) |
-           (std::uint64_t(ps.inPageCache) << 6);
-}
-
-std::string
-describe(const PageState &ps)
-{
-    std::ostringstream os;
-    if (!ps.resident) {
-        os << "non-resident";
-    } else {
-        os << "resident";
-        os << (ps.synced ? " synced" : " UNSYNCED");
-        if (ps.dirty)
-            os << " dirty";
-        os << (ps.rmapOk ? " rmap-ok" : " rmap-BROKEN");
-        if (ps.lruLinked)
-            os << " lru";
-        if (ps.inPageCache)
-            os << " pagecache";
-    }
-    if (ps.fileBacked)
-        os << " file=" << ps.fileId << ":" << ps.fileIndex;
-    else
-        os << " anon:" << ps.fileIndex;
-    return os.str();
-}
-
-} // namespace
-
 MachineState
 snapshot(system::System &sys, const std::string &label)
 {
-    using namespace os::pte;
-
-    MachineState ms;
-    ms.label = label;
-    ms.stateHash = 14695981039346656037ULL;
-
-    os::Kernel &kern = sys.kernel();
-    for (const auto &as : kern.addressSpaces()) {
-        AsState ast;
-        ast.asid = as->id();
-        for (const auto &vma : as->vmas()) {
-            VmaState vs;
-            vs.start = vma->start;
-            vs.end = vma->end;
-            vs.anon = vma->file == nullptr;
-            vs.pages.reserve(vma->numPages());
-            for (std::uint64_t i = 0; i < vma->numPages(); ++i) {
-                VAddr va = vma->start + (i << pageShift);
-                Entry e = as->pageTable().readPte(va);
-
-                PageState ps;
-                ps.fileBacked = vma->file != nullptr;
-                ps.fileId = vma->file ? vma->file->id() : 0;
-                ps.fileIndex =
-                    vma->file ? vma->fileIndexOf(va) : i;
-                if (isPresent(e)) {
-                    ps.resident = true;
-                    ps.synced = !hasLbaBit(e);
-                    const os::Page &pg = kern.page(pfnOf(e));
-                    ps.dirty = pg.dirty || isDirty(e);
-                    ps.rmapOk =
-                        pg.as == as.get() && pg.vaddr == va;
-                    ps.lruLinked = pg.lruLinked;
-                    ps.inPageCache = pg.inPageCache;
-                }
-                fold(ms.stateHash, ast.asid);
-                fold(ms.stateHash, ps.fileIndex);
-                fold(ms.stateHash, ps.fileId);
-                fold(ms.stateHash, packFlags(ps));
-                vs.pages.push_back(ps);
-            }
-            ast.vmas.push_back(std::move(vs));
-        }
-        ms.spaces.push_back(std::move(ast));
-    }
-
-    ms.totalAppOps = sys.totalAppOps();
-    ms.oomKills = kern.oomKills();
-    ms.faultsServiced = kern.majorFaults() + kern.minorFaults();
-    if (sys.smu())
-        ms.faultsServiced += sys.smu()->handled();
-    if (sys.softwareSmu())
-        ms.faultsServiced += sys.softwareSmu()->handled();
-    return ms;
+    return captureLogicalState(sys, label);
 }
 
 DiffResult
@@ -200,8 +89,8 @@ diff(const MachineState &a, const MachineState &b, const DiffOptions &opt)
                          << " page " << p << " (va 0x" << std::hex
                          << (vm_a.start + (p << pageShift))
                          << std::dec << "): "
-                         << describe(vm_a.pages[p]) << "  |  "
-                         << describe(vm_b.pages[p]);
+                         << describePageState(vm_a.pages[p]) << "  |  "
+                         << describePageState(vm_b.pages[p]);
                     divergence(line.str());
                 }
             }

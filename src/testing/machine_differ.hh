@@ -9,14 +9,10 @@
  * SMU, software-emulated SMU, plain OSDP), quiesce both, snapshot the
  * logical memory-management state of each and compare.
  *
- * The snapshot is deliberately *logical*: per (address space, VMA,
- * page) it records residency, backing identity (file id + file index,
- * or anonymous offset), dirtiness, metadata-sync status and the
- * rmap/LRU/page-cache bookkeeping — never raw PFNs (frame allocation
- * order legitimately differs across modes) and never raw ticks. A
- * provenance hash folds the per-page state so whole-machine equality
- * is one comparison; on mismatch diff() renders a readable
- * first-divergence report naming the page and both sides' states.
+ * The state model and the walk live in testing/logical_state.hh,
+ * shared with the checkpointer; this module adds the cross-machine
+ * comparison: on mismatch diff() renders a readable first-divergence
+ * report naming the page and both sides' states.
  */
 
 #ifndef HWDP_TESTING_MACHINE_DIFFER_HH
@@ -28,64 +24,13 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "testing/logical_state.hh"
 
 namespace hwdp::system {
 class System;
 }
 
 namespace hwdp::testing {
-
-/** Logical state of one page slot of a VMA. */
-struct PageState
-{
-    bool resident = false;
-
-    /** Backing identity (mode-independent). */
-    bool fileBacked = false;
-    std::uint32_t fileId = 0;
-    std::uint64_t fileIndex = 0; ///< For anon: page index in the VMA.
-
-    bool dirty = false;
-
-    /** Resident with OS metadata synchronised (LBA bit clear). */
-    bool synced = false;
-
-    /** Bookkeeping of the backing frame (resident pages only). */
-    bool rmapOk = false;
-    bool lruLinked = false;
-    bool inPageCache = false;
-
-    bool operator==(const PageState &o) const;
-    bool operator!=(const PageState &o) const { return !(*this == o); }
-};
-
-struct VmaState
-{
-    VAddr start = 0;
-    VAddr end = 0;
-    bool anon = false;
-    std::vector<PageState> pages;
-};
-
-struct AsState
-{
-    std::uint32_t asid = 0;
-    std::vector<VmaState> vmas;
-};
-
-struct MachineState
-{
-    std::string label;
-    std::vector<AsState> spaces;
-    std::uint64_t totalAppOps = 0;
-    std::uint64_t oomKills = 0;
-
-    /** Misses resolved by any path (SMU + SW-SMU + OS major/minor). */
-    std::uint64_t faultsServiced = 0;
-
-    /** FNV-1a fold of every per-page logical state. */
-    std::uint64_t stateHash = 0;
-};
 
 struct DiffOptions
 {

@@ -1,8 +1,24 @@
 #include "workloads/fio.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::workloads {
+
+void
+FioWorkload::serialize(sim::Serializer &s)
+{
+    s.section("fio");
+    if (s.saving() && phase != Phase::loop)
+        throw sim::SerializeError(
+            "checkpoint: fio workload is mid-op; quiesce the machine "
+            "first");
+    s.check(unbounded, "fio unbounded flag");
+    s.check(sequential, "fio sequential flag");
+    s.io(remaining);
+    s.io(curPage);
+    s.io(seqIndex);
+}
 
 FioWorkload::FioWorkload(os::Vma *region, std::uint64_t n_ops,
                          std::uint64_t loop_instructions,

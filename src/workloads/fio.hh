@@ -34,6 +34,8 @@ class FioWorkload : public Workload
     Op next(sim::Rng &rng) override;
     const char *label() const override { return "fio_randread"; }
 
+    void serialize(sim::Serializer &s) override;
+
   private:
     enum class Phase { loop, access, copy };
 

@@ -1,8 +1,18 @@
 #include "workloads/kv_store.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::workloads {
+
+void
+KvStore::serialize(sim::Serializer &s)
+{
+    s.section("kvstore");
+    s.check(data->start, "kv data vma start");
+    s.io(nKeys);
+    s.io(walCursor);
+}
 
 KvStore::KvStore(os::Vma *data_vma, os::File *wal_file,
                  std::uint64_t n_keys)

@@ -50,6 +50,9 @@ class KvStore
 
     os::Vma *dataVma() const { return data; }
 
+    /** Checkpoint the mutable store state (key count, WAL cursor). */
+    void serialize(sim::Serializer &s);
+
   private:
     os::Vma *data;
     os::File *wal;

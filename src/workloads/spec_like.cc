@@ -1,8 +1,17 @@
 #include "workloads/spec_like.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::workloads {
+
+void
+SpecLikeWorkload::serialize(sim::Serializer &s)
+{
+    s.section("speclike");
+    s.check(unbounded, "spec unbounded flag");
+    s.io(remaining);
+}
 
 const std::vector<std::string> &
 SpecLikeWorkload::kernelNames()

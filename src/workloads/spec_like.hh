@@ -34,6 +34,8 @@ class SpecLikeWorkload : public Workload
 
     static const std::vector<std::string> &kernelNames();
 
+    void serialize(sim::Serializer &s) override;
+
   private:
     std::string name;
     std::uint64_t remaining;

@@ -18,6 +18,10 @@
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
+namespace hwdp::sim {
+class Serializer;
+}
+
 namespace hwdp::os {
 class File;
 struct Vma;
@@ -149,6 +153,13 @@ class Workload
     virtual Op next(sim::Rng &rng) = 0;
 
     virtual const char *label() const = 0;
+
+    /**
+     * Checkpoint the draw cursor. The default is for stateless
+     * recipes; drivers with progress state override it. Only valid at
+     * quiesce — a driver holding expanded-but-unexecuted ops throws.
+     */
+    virtual void serialize(sim::Serializer &s) { (void)s; }
 };
 
 } // namespace hwdp::workloads

@@ -3,8 +3,34 @@
 #include <cstdio>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace hwdp::workloads {
+
+void
+YcsbWorkload::serialize(sim::Serializer &s)
+{
+    s.section("ycsb");
+    if (s.saving() && !pending.empty())
+        throw sim::SerializeError(
+            "checkpoint: ycsb workload is mid-request; quiesce the "
+            "machine first");
+    s.check(kind, "ycsb type");
+    s.io(remaining);
+    store.serialize(s);
+}
+
+void
+DbBenchReadRandom::serialize(sim::Serializer &s)
+{
+    s.section("dbbench");
+    if (s.saving() && !pending.empty())
+        throw sim::SerializeError(
+            "checkpoint: dbbench workload is mid-request; quiesce the "
+            "machine first");
+    s.io(remaining);
+    store.serialize(s);
+}
 
 YcsbWorkload::YcsbWorkload(char type, KvStore &store, std::uint64_t n_ops,
                            unsigned max_scan)

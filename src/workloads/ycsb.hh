@@ -38,6 +38,8 @@ class YcsbWorkload : public Workload
 
     char type() const { return kind; }
 
+    void serialize(sim::Serializer &s) override;
+
   private:
     char kind;
     char name[8];
@@ -58,6 +60,8 @@ class DbBenchReadRandom : public Workload
 
     Op next(sim::Rng &rng) override;
     const char *label() const override { return "dbbench_readrandom"; }
+
+    void serialize(sim::Serializer &s) override;
 
   private:
     KvStore &store;

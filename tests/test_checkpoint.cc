@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Machine checkpointing: a warmed machine saved, restored onto an
+ * identically booted twin and continued must be indistinguishable —
+ * byte-identical stats dumps and equal logical-state hashes versus
+ * the straight run — for every paging mode, workload, host lane
+ * count, clean and under an injected fault plan. Plus unit blob
+ * round-trips for the leaf serializers and rejection of foreign,
+ * stale-version and wrong-config blobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/serialize.hh"
+#include "sim/stats.hh"
+#include "system/checkpoint.hh"
+#include "system/system.hh"
+#include "testing/fault_plan.hh"
+#include "testing/invariants.hh"
+#include "testing/machine_differ.hh"
+#include "workloads/fio.hh"
+#include "workloads/kv_store.hh"
+#include "workloads/ycsb.hh"
+
+using namespace hwdp;
+namespace ht = hwdp::testing;
+
+namespace {
+
+constexpr std::uint64_t warmOps = 900;
+constexpr std::uint64_t measOps = 700;
+
+struct Scenario
+{
+    system::PagingMode mode;
+    char wl; // 'I' = FIO, 'A' = YCSB-A
+    unsigned simThreads;
+    double faultRate;
+};
+
+std::string
+scenarioName(const Scenario &sc)
+{
+    std::ostringstream os;
+    os << pagingModeName(sc.mode) << "/" << sc.wl << "/lanes"
+       << sc.simThreads << "/rate" << sc.faultRate;
+    return os.str();
+}
+
+system::MachineConfig
+smallConfig(const Scenario &sc)
+{
+    system::MachineConfig cfg;
+    cfg.mode = sc.mode;
+    cfg.nLogical = 4;
+    cfg.nPhysical = 2;
+    cfg.memFrames = 32 * 1024;
+    cfg.smu.freeQueueCapacity = 512;
+    cfg.kpooldPeriod = milliseconds(1.0);
+    cfg.kptedPeriod = milliseconds(4.0);
+    cfg.simThreads = sc.simThreads;
+    return cfg;
+}
+
+/**
+ * One machine built by the scenario's boot recipe: config, dataset,
+ * fault plan and the warm-up thread. Both the save side and the
+ * restore side boot through this, as the checkpoint contract demands.
+ */
+struct Machine
+{
+    std::unique_ptr<system::System> sys;
+    std::unique_ptr<ht::FaultPlan> plan;
+    std::unique_ptr<workloads::KvStore> store;
+    system::System::MappedFile mf;
+
+    /** Add one more workload thread (the measurement phase). */
+    void
+    addThread(char wl, std::uint64_t ops)
+    {
+        workloads::Workload *w;
+        if (wl == 'I')
+            w = sys->makeWorkload<workloads::FioWorkload>(mf.vma, ops);
+        else
+            w = sys->makeWorkload<workloads::YcsbWorkload>('A', *store,
+                                                           ops);
+        sys->addThread(*w, 0, *mf.as);
+    }
+};
+
+Machine
+boot(const Scenario &sc)
+{
+    Machine m;
+    m.sys = std::make_unique<system::System>(smallConfig(sc));
+    m.plan = std::make_unique<ht::FaultPlan>("plan",
+                                             m.sys->eventQueue(), 97);
+    if (sc.wl == 'I') {
+        m.mf = m.sys->mapDataset("f", 8 * 1024);
+    } else {
+        m.mf = m.sys->mapDataset("data", 16 * 1024);
+        auto *wal = m.sys->createFile("wal", 8 * 1024);
+        m.store = std::make_unique<workloads::KvStore>(m.mf.vma, wal,
+                                                       16 * 1024);
+    }
+    m.addThread(sc.wl, warmOps);
+    if (sc.faultRate > 0.0) {
+        m.plan->attach(*m.sys);
+        m.plan->armAllAtRate(sc.faultRate);
+    }
+    return m;
+}
+
+/** Measurement phase + end-state capture, shared by both paths. */
+void
+finish(Machine &m, const Scenario &sc, std::string &stats,
+       std::uint64_t &hash)
+{
+    m.addThread(sc.wl, measOps);
+    ASSERT_TRUE(m.sys->runUntilThreadsDone(seconds(30.0)));
+    ht::quiesce(*m.sys);
+    auto inv = ht::checkInvariants(*m.sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+    std::ostringstream os;
+    ht::dumpMachineStats(*m.sys, os);
+    stats = os.str();
+    hash = ht::snapshot(*m.sys, "end").stateHash;
+}
+
+/**
+ * The round-trip property: warm, save, continue on the saved machine
+ * (straight) and on a restored twin (forked); both measurement phases
+ * must be byte-identical. The fault plan is a test-side attachment,
+ * so its cursors ride in a side blob the same way a bench would
+ * carry them.
+ */
+void
+expectRoundTripIdentity(const Scenario &sc)
+{
+    SCOPED_TRACE(scenarioName(sc));
+
+    // Straight path: warm, save, resume, measure.
+    Machine a = boot(sc);
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(30.0)));
+    system::CheckpointStats st;
+    std::vector<std::uint8_t> blob = system::Checkpoint::save(*a.sys,
+                                                              &st);
+    EXPECT_EQ(st.blobBytes, blob.size());
+    EXPECT_GT(blob.size(), 0u);
+    sim::Serializer ps = sim::Serializer::saver();
+    a.plan->serialize(ps);
+    std::vector<std::uint8_t> planBlob = ps.takeBlob();
+    a.sys->resumeKthreads();
+    std::string statsA;
+    std::uint64_t hashA = 0;
+    finish(a, sc, statsA, hashA);
+
+    // Forked path: boot the same recipe, restore, resume, measure.
+    Machine b = boot(sc);
+    system::CheckpointStats rst;
+    system::Checkpoint::restore(*b.sys, blob, &rst);
+    EXPECT_EQ(rst.tick, st.tick);
+    EXPECT_EQ(rst.logicalHash, st.logicalHash);
+    sim::Serializer pl = sim::Serializer::loader(planBlob);
+    b.plan->serialize(pl);
+    // A freshly restored machine must already satisfy every invariant
+    // before it runs a single further event.
+    auto inv0 = ht::checkInvariants(*b.sys);
+    EXPECT_TRUE(inv0.empty()) << inv0.front();
+    b.sys->resumeKthreads();
+    EXPECT_EQ(b.sys->now(), st.tick);
+    std::string statsB;
+    std::uint64_t hashB = 0;
+    finish(b, sc, statsB, hashB);
+
+    EXPECT_EQ(hashA, hashB);
+    EXPECT_EQ(statsA, statsB) << "stats dumps diverge for "
+                              << scenarioName(sc);
+}
+
+} // namespace
+
+TEST(Checkpoint, RoundTripIdentityAcrossModesWorkloadsAndLanes)
+{
+    for (auto mode : {system::PagingMode::osdp, system::PagingMode::hwdp,
+                      system::PagingMode::swsmu}) {
+        for (char wl : {'I', 'A'}) {
+            for (unsigned lanes : {1u, 4u}) {
+                expectRoundTripIdentity({mode, wl, lanes, 0.0});
+            }
+        }
+    }
+}
+
+TEST(Checkpoint, RoundTripIdentityUnderOnePercentFaultPlan)
+{
+    for (auto mode : {system::PagingMode::osdp, system::PagingMode::hwdp,
+                      system::PagingMode::swsmu}) {
+        for (char wl : {'I', 'A'}) {
+            for (unsigned lanes : {1u, 4u}) {
+                expectRoundTripIdentity({mode, wl, lanes, 0.01});
+            }
+        }
+    }
+}
+
+TEST(Checkpoint, BlobPortsAcrossSimThreadCounts)
+{
+    // Parallel mode is bit-identical, so a blob saved at one lane
+    // count restores under another. Save at 1 lane, restore at 4.
+    Scenario one{system::PagingMode::hwdp, 'I', 1, 0.0};
+    Scenario four{system::PagingMode::hwdp, 'I', 4, 0.0};
+
+    Machine a = boot(one);
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(30.0)));
+    auto blob = system::Checkpoint::save(*a.sys);
+    a.sys->resumeKthreads();
+    std::string statsA;
+    std::uint64_t hashA = 0;
+    finish(a, one, statsA, hashA);
+
+    Machine b = boot(four);
+    system::Checkpoint::restore(*b.sys, blob);
+    b.sys->resumeKthreads();
+    std::string statsB;
+    std::uint64_t hashB = 0;
+    finish(b, four, statsB, hashB);
+
+    EXPECT_EQ(hashA, hashB);
+    EXPECT_EQ(statsA, statsB);
+}
+
+TEST(Checkpoint, SaveRefusesARunningMachine)
+{
+    Scenario sc{system::PagingMode::hwdp, 'I', 1, 0.0};
+    Machine m = boot(sc);
+    m.sys->runFor(microseconds(50.0));
+    EXPECT_THROW(system::Checkpoint::save(*m.sys), sim::SerializeError);
+}
+
+TEST(Checkpoint, SaveRefusesANeverStartedMachine)
+{
+    Scenario sc{system::PagingMode::hwdp, 'I', 1, 0.0};
+    Machine m = boot(sc);
+    EXPECT_THROW(system::Checkpoint::save(*m.sys), sim::SerializeError);
+}
+
+TEST(Checkpoint, RejectsForeignStaleAndMisconfiguredBlobs)
+{
+    Scenario sc{system::PagingMode::hwdp, 'I', 1, 0.0};
+    Machine a = boot(sc);
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(30.0)));
+    auto blob = system::Checkpoint::save(*a.sys);
+
+    // Bad magic: not a checkpoint blob at all.
+    {
+        auto bad = blob;
+        bad[0] ^= 0xff;
+        Machine b = boot(sc);
+        try {
+            system::Checkpoint::restore(*b.sys, bad);
+            FAIL() << "foreign blob accepted";
+        } catch (const sim::SerializeError &e) {
+            EXPECT_NE(std::string(e.what()).find("magic"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+
+    // Version mismatch: a blob from a different format generation.
+    {
+        auto bad = blob;
+        bad[4] ^= 0x01; // version field follows the 4-byte magic
+        Machine b = boot(sc);
+        try {
+            system::Checkpoint::restore(*b.sys, bad);
+            FAIL() << "stale-version blob accepted";
+        } catch (const sim::SerializeError &e) {
+            EXPECT_NE(std::string(e.what()).find("version"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+
+    // Config mismatch: restore target booted with a different shape.
+    {
+        Scenario other = sc;
+        other.mode = system::PagingMode::swsmu;
+        Machine b = boot(other);
+        EXPECT_THROW(system::Checkpoint::restore(*b.sys, blob),
+                     sim::SerializeError);
+    }
+}
+
+TEST(Checkpoint, ConfigHashIgnoresSimThreadsOnly)
+{
+    system::MachineConfig base = smallConfig(
+        {system::PagingMode::hwdp, 'I', 1, 0.0});
+    system::MachineConfig lanes = base;
+    lanes.simThreads = 4;
+    EXPECT_EQ(system::Checkpoint::configHash(base),
+              system::Checkpoint::configHash(lanes));
+
+    system::MachineConfig seeded = base;
+    seeded.seed += 1;
+    EXPECT_NE(system::Checkpoint::configHash(base),
+              system::Checkpoint::configHash(seeded));
+
+    system::MachineConfig bigger = base;
+    bigger.memFrames *= 2;
+    EXPECT_NE(system::Checkpoint::configHash(base),
+              system::Checkpoint::configHash(bigger));
+}
+
+TEST(Checkpoint, FileRoundTripAndMissingFileFallback)
+{
+    Scenario sc{system::PagingMode::osdp, 'I', 1, 0.0};
+    Machine a = boot(sc);
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(30.0)));
+
+    std::string path = ::testing::TempDir() + "hwdp_ckpt_test.ckpt";
+    system::CheckpointStats st;
+    system::Checkpoint::saveFile(*a.sys, path, &st);
+    EXPECT_GT(st.blobBytes, 0u);
+
+    Machine b = boot(sc);
+    EXPECT_FALSE(system::Checkpoint::restoreFile(
+        *b.sys, path + ".missing"));
+    system::CheckpointStats rst;
+    ASSERT_TRUE(system::Checkpoint::restoreFile(*b.sys, path, &rst));
+    EXPECT_EQ(rst.tick, st.tick);
+    EXPECT_EQ(rst.logicalHash, st.logicalHash);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, DescribeCarriesProvenance)
+{
+    Scenario sc{system::PagingMode::hwdp, 'I', 1, 0.0};
+    Machine a = boot(sc);
+    EXPECT_NE(a.sys->describe().find("cold boot"), std::string::npos);
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(30.0)));
+    auto blob = system::Checkpoint::save(*a.sys);
+
+    Machine b = boot(sc);
+    system::Checkpoint::restore(*b.sys, blob);
+    std::string d = b.sys->describe();
+    EXPECT_NE(d.find("restored at tick"), std::string::npos) << d;
+    EXPECT_NE(d.find(std::to_string(blob.size()) + "-byte"),
+              std::string::npos)
+        << d;
+}
+
+// ---- Leaf blob round-trips ---------------------------------------------
+
+TEST(CheckpointUnit, RngBlobRoundTrip)
+{
+    sim::Rng a(12345);
+    for (int i = 0; i < 100; ++i)
+        a.next();
+    sim::Serializer s = sim::Serializer::saver();
+    a.serialize(s);
+    auto blob = s.takeBlob();
+
+    sim::Rng b(999); // different state, fully overwritten by the load
+    sim::Serializer l = sim::Serializer::loader(blob);
+    b.serialize(l);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+namespace {
+
+struct CountingEvent : sim::Event
+{
+    int fired = 0;
+    void process() override { ++fired; }
+};
+
+} // namespace
+
+TEST(CheckpointUnit, EventQueueBlobRoundTrip)
+{
+    sim::EventQueue a;
+    CountingEvent ev;
+    a.schedule(&ev, 100);
+    a.run();
+    a.schedule(&ev, 250);
+    a.run();
+    ASSERT_EQ(ev.fired, 2);
+    ASSERT_EQ(a.now(), 250u);
+
+    sim::Serializer s = sim::Serializer::saver();
+    a.serialize(s);
+    auto blob = s.takeBlob();
+
+    sim::EventQueue b;
+    sim::Serializer l = sim::Serializer::loader(blob);
+    b.serialize(l);
+    EXPECT_EQ(b.now(), a.now());
+
+    // Same-tick ordering is by sequence number; a restored queue must
+    // continue the saved sequence, so two queues that each schedule
+    // the same next event process it at the same tick.
+    CountingEvent e2;
+    b.schedule(&e2, 300);
+    b.run();
+    EXPECT_EQ(e2.fired, 1);
+    EXPECT_EQ(b.now(), 300u);
+}
+
+TEST(CheckpointUnit, EventQueueRefusesPendingEvents)
+{
+    sim::EventQueue a;
+    CountingEvent ev;
+    a.schedule(&ev, 100);
+    sim::Serializer s = sim::Serializer::saver();
+    EXPECT_THROW(a.serialize(s), sim::SerializeError);
+    a.deschedule(&ev);
+}
+
+TEST(CheckpointUnit, StatGroupBlobRoundTrip)
+{
+    sim::StatGroup a("grp");
+    auto &c = a.counter("hits", "hits counted");
+    auto &m = a.mean("lat", "latency");
+    c += 41;
+    m.sample(2.5);
+    m.sample(7.5);
+
+    sim::Serializer s = sim::Serializer::saver();
+    a.serialize(s);
+    auto blob = s.takeBlob();
+
+    sim::StatGroup b("grp");
+    auto &c2 = b.counter("hits", "hits counted");
+    b.mean("lat", "latency");
+    sim::Serializer l = sim::Serializer::loader(blob);
+    b.serialize(l);
+    EXPECT_EQ(c2.value(), 41u);
+
+    std::ostringstream da, db;
+    a.dump(da);
+    b.dump(db);
+    EXPECT_EQ(da.str(), db.str());
+
+    // A group whose stat roster changed must reject the old blob.
+    sim::StatGroup c3("grp");
+    c3.counter("misses", "renamed stat");
+    c3.mean("lat", "latency");
+    sim::Serializer l2 = sim::Serializer::loader(blob);
+    EXPECT_THROW(c3.serialize(l2), sim::SerializeError);
+}
