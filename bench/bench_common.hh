@@ -141,7 +141,7 @@ runKv(system::MachineConfig cfg, char type, unsigned threads,
         for (std::uint64_t i = dataset_pages - n; i < dataset_pages;
              ++i) {
             VAddr va = mf.vma->start + i * pageSize;
-            Pfn pfn = sys.physMem().alloc();
+            Pfn pfn = sys.allocFrameInterleaved(i);
             if (pfn == mem::PhysMem::invalidPfn)
                 break;
             sys.kernel().installPage(*mf.as, *mf.vma, va, pfn, true);

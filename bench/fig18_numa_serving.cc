@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Figure 18 (extension): multi-socket NUMA serving under open-loop
+ * zipfian traffic.
+ *
+ * The paper evaluates a single-socket machine with closed-loop
+ * clients; this bench asks the serving question instead: at a fixed
+ * offered load (Poisson arrivals, scrambled-zipfian keys, 95/5
+ * read/update), what tail latency does each paging mode deliver, and
+ * where does it saturate — across 1, 2 and 4 sockets? Latency is
+ * measured from the scheduled arrival, so queueing delay under
+ * overload is part of the number (the hockey stick).
+ *
+ * For each (sockets, mode) the offered load is swept and the table
+ * reports p50/p99/p99.9 at every point plus the saturation
+ * throughput: the highest offered load whose achieved rate stays
+ * within 95% of offered.
+ *
+ * Flags:
+ *   --smoke            tiny sweep for CI (one load point, few requests)
+ *   --identity-check   run one point, checkpoint the finished machine,
+ *                      restore into a fresh boot and verify that the
+ *                      logical-state hash and the served/quantile
+ *                      numbers survive the round trip bit-exactly
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "testing/logical_state.hh"
+#include "workloads/open_loop.hh"
+
+using namespace hwdp;
+using metrics::Table;
+
+namespace {
+
+struct ServingPoint
+{
+    double offeredOpsPerSec = 0;
+    double achievedOpsPerSec = 0;
+    double p50Us = 0;
+    double p99Us = 0;
+    double p999Us = 0;
+    std::uint64_t served = 0;
+    std::uint64_t logicalHash = 0;
+};
+
+struct ServingJob
+{
+    system::MachineConfig cfg;
+    double offeredOpsPerSec = 0;
+    std::uint64_t totalRequests = 0;
+    unsigned nServers = 1;
+    std::uint64_t datasetPages = bench::defaultDatasetPages;
+};
+
+/** Keeps the store + source alive for the machine's lifetime. */
+struct ServingHolder : workloads::Workload
+{
+    std::unique_ptr<workloads::KvStore> store;
+    std::unique_ptr<workloads::OpenLoopSource> source;
+    workloads::Op next(sim::Rng &) override
+    {
+        return workloads::Op::makeDone();
+    }
+    const char *label() const override { return "serving_holder"; }
+};
+
+/**
+ * Boot one serving machine: warmed dataset, WAL, open-loop source and
+ * one server thread per server index. Shared by the measurement path
+ * and the identity check (a restore target must repeat the recipe).
+ */
+system::System::MappedFile
+bootServing(system::System &sys, const ServingJob &j)
+{
+    auto mf = sys.mapDataset("kv.dat", j.datasetPages);
+    std::uint64_t limit = j.cfg.memFrames * 8 / 10;
+    std::uint64_t n = std::min(j.datasetPages, limit);
+    for (std::uint64_t i = j.datasetPages - n; i < j.datasetPages; ++i) {
+        VAddr va = mf.vma->start + i * pageSize;
+        Pfn pfn = sys.allocFrameInterleaved(i);
+        if (pfn == mem::PhysMem::invalidPfn)
+            break;
+        sys.kernel().installPage(*mf.as, *mf.vma, va, pfn, true);
+    }
+    auto *wal = sys.createFile("kv.wal", 64 * 1024);
+
+    auto *holder = sys.makeWorkload<ServingHolder>();
+    holder->store = std::make_unique<workloads::KvStore>(
+        mf.vma, wal, j.datasetPages);
+
+    workloads::OpenLoopParams olp;
+    olp.offeredOpsPerSec = j.offeredOpsPerSec;
+    olp.totalRequests = j.totalRequests;
+    olp.nServers = j.nServers;
+    // The schedule rng is forked from the config seed, independent of
+    // the machine's rng tree: the same seed gives the same arrival
+    // schedule on every mode and socket count.
+    holder->source = std::make_unique<workloads::OpenLoopSource>(
+        *holder->store, olp, sim::Rng(j.cfg.seed ^ 0x6f70656e6c6f6fULL));
+
+    for (unsigned t = 0; t < j.nServers; ++t) {
+        auto *wl = sys.makeWorkload<workloads::OpenLoopServer>(
+            *holder->source, t);
+        sys.addThread(*wl, t, *mf.as);
+    }
+    return mf;
+}
+
+ServingPoint
+measure(system::System &sys, const ServingJob &j)
+{
+    ServingPoint p;
+    p.offeredOpsPerSec = j.offeredOpsPerSec;
+
+    std::vector<const metrics::LatencyReservoir *> rs;
+    Tick first = maxTick, last = 0;
+    for (auto &tc : sys.threads()) {
+        auto *srv =
+            dynamic_cast<workloads::OpenLoopServer *>(&tc->workloadRef());
+        if (!srv)
+            continue;
+        rs.push_back(&srv->latency());
+        p.served += srv->served();
+        last = std::max(last, srv->lastCompletion());
+        first = std::min(first, tc->startTick());
+    }
+    p.p50Us = metrics::LatencyReservoir::quantileAcross(rs, 0.5);
+    p.p99Us = metrics::LatencyReservoir::quantileAcross(rs, 0.99);
+    p.p999Us = metrics::LatencyReservoir::quantileAcross(rs, 0.999);
+    if (last > first && p.served > 0)
+        p.achievedOpsPerSec =
+            static_cast<double>(p.served) / toSeconds(last - first);
+    return p;
+}
+
+ServingPoint
+runServing(const ServingJob &j)
+{
+    system::System sys(j.cfg);
+    bootServing(sys, j);
+    sys.runUntilThreadsDone(seconds(600.0));
+    return measure(sys, j);
+}
+
+/** Completion-checkpoint identity: straight vs save -> restore. */
+bool
+identityCheck(const ServingJob &j)
+{
+    system::System straight(j.cfg);
+    bootServing(straight, j);
+    straight.runUntilThreadsDone(seconds(600.0));
+    ServingPoint a = measure(straight, j);
+    straight.quiesce();
+    a.logicalHash = testing::logicalStateHash(straight);
+    auto blob = system::Checkpoint::save(straight);
+
+    system::System forked(j.cfg);
+    bootServing(forked, j);
+    system::Checkpoint::restore(forked, blob);
+    ServingPoint b = measure(forked, j);
+    b.logicalHash = testing::logicalStateHash(forked);
+
+    bool ok = a.logicalHash == b.logicalHash && a.served == b.served &&
+              a.p50Us == b.p50Us && a.p99Us == b.p99Us &&
+              a.p999Us == b.p999Us;
+    std::printf("identity: straight hash %016llx, forked hash %016llx, "
+                "served %llu/%llu, p99 %.2f/%.2f -> %s\n",
+                static_cast<unsigned long long>(a.logicalHash),
+                static_cast<unsigned long long>(b.logicalHash),
+                static_cast<unsigned long long>(a.served),
+                static_cast<unsigned long long>(b.served), a.p99Us,
+                b.p99Us, ok ? "MATCH" : "MISMATCH");
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false, identity = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--identity-check") == 0)
+            identity = true;
+    }
+
+    metrics::banner(
+        "Figure 18 (ext): NUMA serving, open-loop zipfian traffic",
+        "p50/p99/p99.9 vs offered load; saturation = last point with "
+        "achieved >= 95% of offered");
+
+    const std::vector<unsigned> socketCounts = smoke ? std::vector<unsigned>{2}
+                                                     : std::vector<unsigned>{1, 2, 4};
+    const system::PagingMode modes[] = {system::PagingMode::osdp,
+                                        system::PagingMode::hwdp,
+                                        system::PagingMode::swsmu};
+    const std::vector<double> loads =
+        smoke ? std::vector<double>{50e3}
+              : std::vector<double>{25e3, 50e3, 100e3, 200e3, 400e3};
+    const std::uint64_t totalRequests = smoke ? 3000 : 20000;
+    const unsigned nServers = 12; // cores 12..15 host the kthreads
+
+    if (identity) {
+        ServingJob j;
+        j.cfg = bench::paperConfig(system::PagingMode::hwdp);
+        j.cfg.sockets = 2;
+        j.offeredOpsPerSec = 50e3;
+        j.totalRequests = smoke ? 2000 : 6000;
+        j.nServers = nServers;
+        return identityCheck(j) ? 0 : 1;
+    }
+
+    // One job per (sockets, mode, load); all points are independent
+    // machines, fanned out over the sweep pool.
+    std::vector<ServingJob> jobs;
+    for (unsigned s : socketCounts) {
+        for (auto mode : modes) {
+            for (double load : loads) {
+                ServingJob j;
+                j.cfg = bench::paperConfig(mode);
+                j.cfg.sockets = s;
+                j.offeredOpsPerSec = load;
+                j.totalRequests = totalRequests;
+                j.nServers = nServers;
+                jobs.push_back(j);
+            }
+        }
+    }
+    bench::SweepRunner runner(0);
+    auto points = runner.map<ServingPoint>(
+        jobs.size(), [&](std::size_t i) { return runServing(jobs[i]); });
+
+    Table t({"sockets", "mode", "offered/s", "achieved/s", "p50 us",
+             "p99 us", "p99.9 us"});
+    std::size_t pi = 0;
+    for (unsigned s : socketCounts) {
+        for (auto mode : modes) {
+            double saturation = 0;
+            for (double load : loads) {
+                const ServingPoint &p = points[pi++];
+                (void)load;
+                if (p.achievedOpsPerSec >= 0.95 * p.offeredOpsPerSec)
+                    saturation = p.offeredOpsPerSec;
+                t.addRow({std::to_string(s),
+                          system::pagingModeName(mode),
+                          Table::num(p.offeredOpsPerSec, 0),
+                          Table::num(p.achievedOpsPerSec, 0),
+                          Table::num(p.p50Us), Table::num(p.p99Us),
+                          Table::num(p.p999Us)});
+            }
+            t.addRow({std::to_string(s), system::pagingModeName(mode),
+                      "saturation", Table::num(saturation, 0), "-", "-",
+                      "-"});
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -49,8 +49,8 @@ HwdpOsSupport::unregisterFastVma(os::Vma *vma)
 void
 HwdpOsSupport::attachSmu(Smu *s)
 {
-    smu = s;
-    smu->setQueueEmptyCallback([this] {
+    smus.push_back(s);
+    s->setQueueEmptyCallback([this] {
         // Wake kpoold early so the queue refills before the next miss
         // where possible.
         if (kpoold)
@@ -89,15 +89,41 @@ HwdpOsSupport::installHooks()
             kt->syncRange(as, lo, hi, core, std::move(done));
         };
     }
-    if (smu) {
-        Smu *s = smu;
+    if (smus.size() == 1) {
+        // Single socket: hand the barrier straight through, exactly
+        // the pre-NUMA hook.
+        Smu *s = smus.front();
         hooks.smuBarrier = [s](std::function<void()> done) {
             s->barrier(std::move(done));
+        };
+    } else if (!smus.empty()) {
+        // Multi-socket: an unmap barrier must cover every socket's
+        // SMU — a miss in flight on any of them may still write the
+        // PTEs being torn down. Chained in socket order so the
+        // completion sequence is deterministic.
+        std::vector<Smu *> list = smus;
+        hooks.smuBarrier = [list](std::function<void()> done) {
+            barrierChain(list, 0, std::move(done));
         };
     }
     // munmap destroys the Vma; the registry must not keep scanning it.
     hooks.vmaUnmapped = [this](os::Vma *vma) { unregisterFastVma(vma); };
     k.setHwdpHooks(std::move(hooks));
+}
+
+void
+HwdpOsSupport::barrierChain(std::vector<Smu *> smus, std::size_t i,
+                            std::function<void()> done)
+{
+    if (i == smus.size()) {
+        done();
+        return;
+    }
+    Smu *s = smus[i];
+    s->barrier([smus = std::move(smus), i,
+                done = std::move(done)]() mutable {
+        barrierChain(std::move(smus), i + 1, std::move(done));
+    });
 }
 
 } // namespace hwdp::core

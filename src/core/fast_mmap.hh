@@ -41,7 +41,11 @@ class HwdpOsSupport
 
     const std::vector<FastVma> &fastVmas() const { return vmas; }
 
-    /** Install the SMU barrier hook and the queue-empty kick. */
+    /**
+     * Install the SMU barrier hook and the queue-empty kick. Called
+     * once per socket on multi-socket machines; the barrier hook then
+     * waits on every attached SMU in socket order.
+     */
     void attachSmu(Smu *smu);
 
     /** Install the metadata-sync hook (munmap/msync barriers). */
@@ -62,11 +66,15 @@ class HwdpOsSupport
   private:
     os::Kernel &k;
     std::vector<FastVma> vmas;
-    Smu *smu = nullptr;
+    std::vector<Smu *> smus; ///< One per socket, attach order = socket order.
     Kpted *kpted = nullptr;
     Kpoold *kpoold = nullptr;
 
     void installHooks();
+
+    /** Barrier on smus[i..): each completes before the next starts. */
+    static void barrierChain(std::vector<Smu *> smus, std::size_t i,
+                             std::function<void()> done);
 };
 
 } // namespace hwdp::core

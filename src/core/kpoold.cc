@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/logging.hh"
 #include "sim/serialize.hh"
 
 namespace hwdp::core {
@@ -24,12 +25,25 @@ Kpoold::Kpoold(os::Kernel &kernel, std::vector<FreePageQueue *> fpqs,
 {
 }
 
+void
+Kpoold::setSocketTags(std::vector<unsigned> tags)
+{
+    if (!tags.empty() && tags.size() != fpqs.size())
+        fatal("kpoold: ", tags.size(), " socket tags for ", fpqs.size(),
+              " queues");
+    socketTags = std::move(tags);
+}
+
 std::uint64_t
-Kpoold::donateTo(FreePageQueue &q, std::uint64_t want)
+Kpoold::donateTo(FreePageQueue &q, std::uint64_t want, unsigned socket)
 {
     std::uint64_t pushed = 0;
     while (pushed < want && q.freeSlots() > 0) {
-        Pfn pfn = kernel.physMem().alloc();
+        // Strictly the queue's home node: a remote frame in a local
+        // free-page queue would break the home-socket invariant (and
+        // hand the SMU a frame every subsequent access pays the
+        // QPI/UPI hop for).
+        Pfn pfn = kernel.physMem().allocOnSocket(socket);
         if (pfn == mem::PhysMem::invalidPfn) {
             // Memory pressure: let the reclaimer catch up and retry
             // next period.
@@ -52,8 +66,8 @@ Kpoold::donate(std::uint64_t want)
     std::uint64_t per_queue = std::max<std::uint64_t>(
         want / fpqs.size(), 1);
     std::uint64_t pushed = 0;
-    for (FreePageQueue *q : fpqs)
-        pushed += donateTo(*q, per_queue);
+    for (std::size_t qi = 0; qi < fpqs.size(); ++qi)
+        pushed += donateTo(*fpqs[qi], per_queue, socketOfQueue(qi));
     return pushed;
 }
 
@@ -70,9 +84,9 @@ Kpoold::batch(std::function<void()> done)
 void
 Kpoold::prime()
 {
-    for (FreePageQueue *q : fpqs) {
-        donateTo(*q, q->capacity());
-        q->refillPrefetch();
+    for (std::size_t qi = 0; qi < fpqs.size(); ++qi) {
+        donateTo(*fpqs[qi], fpqs[qi]->capacity(), socketOfQueue(qi));
+        fpqs[qi]->refillPrefetch();
     }
 }
 

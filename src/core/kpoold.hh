@@ -35,6 +35,16 @@ class Kpoold : public os::KThread
     Kpoold(os::Kernel &kernel, std::vector<FreePageQueue *> fpqs,
            unsigned core, Tick period, std::uint64_t max_batch = 1024);
 
+    /**
+     * Home socket of each queue in the same order as the constructor's
+     * fpqs (multi-socket machines). Refills draw strictly from the
+     * queue's home node — a dry node starves its queue and bounces
+     * misses to the OS rather than polluting it with remote frames,
+     * preserving the frame-home == owning-FPQ invariant. Unset (the
+     * default) treats every queue as socket 0.
+     */
+    void setSocketTags(std::vector<unsigned> tags);
+
     void batch(std::function<void()> done) override;
 
     /**
@@ -55,12 +65,20 @@ class Kpoold : public os::KThread
   private:
     os::Kernel &kernel;
     std::vector<FreePageQueue *> fpqs;
+    std::vector<unsigned> socketTags; ///< Empty: all queues on socket 0.
     std::uint64_t maxBatch;
     std::uint64_t nDonated = 0;
     std::uint64_t nOverlapped = 0;
 
-    /** Move up to @p want frames into @p q. */
-    std::uint64_t donateTo(FreePageQueue &q, std::uint64_t want);
+    unsigned
+    socketOfQueue(std::size_t qi) const
+    {
+        return qi < socketTags.size() ? socketTags[qi] : 0;
+    }
+
+    /** Move up to @p want home-socket frames into @p q. */
+    std::uint64_t donateTo(FreePageQueue &q, std::uint64_t want,
+                           unsigned socket);
 
     /** Spread up to @p want frames across all queues. */
     std::uint64_t donate(std::uint64_t want);

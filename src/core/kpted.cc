@@ -12,6 +12,9 @@ Kpted::serialize(sim::Serializer &s)
     s.check(guided, "kpted guided-scan flag");
     s.io(nSynced);
     s.io(nVisited);
+    // Guarded so single-socket blobs keep the pre-NUMA layout.
+    if (crossSocketIpis > 0)
+        s.io(nIpis);
 }
 
 Kpted::Kpted(os::Kernel &kernel, HwdpOsSupport &support, unsigned core,
@@ -53,6 +56,12 @@ Kpted::batch(std::function<void()> done)
         phys, os::phases::kptedScanEntry, visited);
     dur += sched.kernelExec().runBatch(phys, os::phases::kptedPerPage,
                                        synced);
+    // One batched shootdown round covers every PTE this pass rewrote.
+    if (crossSocketIpis > 0 && synced > 0) {
+        dur += sched.kernelExec().runBatch(
+            phys, os::phases::shootdownIpi, crossSocketIpis);
+        nIpis += crossSocketIpis;
+    }
     eq.postIn(dur, std::move(done), "kpted.batch");
 }
 
@@ -66,6 +75,11 @@ Kpted::syncRange(os::AddressSpace &as, VAddr lo, VAddr hi,
         phys, os::phases::kptedScanEntry, visited);
     dur += sched.kernelExec().runBatch(phys, os::phases::kptedPerPage,
                                        synced);
+    if (crossSocketIpis > 0 && synced > 0) {
+        dur += sched.kernelExec().runBatch(
+            phys, os::phases::shootdownIpi, crossSocketIpis);
+        nIpis += crossSocketIpis;
+    }
     eq.postIn(dur, std::move(done), "kpted.syncRange");
 }
 

@@ -41,6 +41,17 @@ class Kpted : public os::KThread
     std::uint64_t entriesVisited() const { return nVisited; }
     bool guidedScan() const { return guided; }
 
+    /**
+     * Multi-socket: every sync batch that rewrote at least one PTE
+     * ends with one batched TLB/PWC shootdown round, an IPI per
+     * remote socket. @p n is sockets - 1; 0 (default) charges
+     * nothing, keeping single-socket timing untouched.
+     */
+    void setCrossSocketIpis(unsigned n) { crossSocketIpis = n; }
+
+    /** IPIs charged for cross-socket sync shootdowns. */
+    std::uint64_t shootdownIpisSent() const { return nIpis; }
+
     /** Checkpoint the kthread state and scan counters. */
     void serialize(sim::Serializer &s);
 
@@ -48,8 +59,10 @@ class Kpted : public os::KThread
     os::Kernel &kernel;
     HwdpOsSupport &support;
     bool guided;
+    unsigned crossSocketIpis = 0;
     std::uint64_t nSynced = 0;
     std::uint64_t nVisited = 0;
+    std::uint64_t nIpis = 0; ///< Serialized only when multi-socket.
 
     /** One scan pass over a range; returns (synced, visited). */
     std::pair<std::uint64_t, std::uint64_t>

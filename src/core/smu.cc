@@ -22,6 +22,9 @@ Smu::serialize(sim::Serializer &s)
     pmshrUnit.serialize(s);
     nvme.serialize(s);
     updater.serialize(s);
+    // Guarded so single-socket blobs keep the pre-NUMA layout.
+    if (prm.coresPerSocket != 0)
+        s.io(nRemoteRequests);
     stats().serialize(s);
 }
 
@@ -99,6 +102,14 @@ Smu::handleMiss(cpu::PageMissRequest req)
     // Two register writes deliver the request, then the CAM lookup.
     Tick delay =
         (prm.requestRegWrites + prm.camLookup) * prm.cyclePeriod;
+    // Remote-socket requester: the register writes cross the
+    // interconnect to this socket's SMU and the completion broadcast
+    // crosses back — charged once as a round-trip premium.
+    if (prm.coresPerSocket != 0 &&
+        req.core / prm.coresPerSocket != socketId) {
+        delay += prm.remoteRequestLatency;
+        ++nRemoteRequests;
+    }
     Tick started = now();
     eq.postIn(delay,
                         [this, req = std::move(req), started]() mutable {

@@ -82,6 +82,19 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
         bool perCoreFreeQueues = false;
         unsigned nFreeQueues = 16;
 
+        /**
+         * Multi-socket topology: logical cores per socket (0 — the
+         * default — treats every requester as local). A miss whose
+         * core sits on another socket pays remoteRequestLatency on
+         * top of the register-write delivery: the paper's SMU is
+         * per-socket, so a remote-socket PTE routes the miss across
+         * the interconnect to the owning SMU.
+         */
+        unsigned coresPerSocket = 0;
+
+        /** Cross-socket request round-trip premium. */
+        Tick remoteRequestLatency = nanoseconds(120.0);
+
         NvmeHostController::Timing nvme{};
         Tick cyclePeriod = 357;
     };
@@ -135,6 +148,9 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
         return statRejectFull.value();
     }
     std::uint64_t ioRetries() const { return statIoRetry.value(); }
+
+    /** Misses delivered from a core on another socket. */
+    std::uint64_t remoteRequests() const { return nRemoteRequests; }
     std::uint64_t rejectedIoError() const
     {
         return statRejectIoError.value();
@@ -158,6 +174,13 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
     PageTableUpdater updater;
     std::function<void()> onQueueEmpty;
     std::vector<std::function<void()>> barrierWaiters;
+
+    /**
+     * Plain member, not a sim::Counter: the SMU's stat group is part
+     * of the single-socket stats dump, which must stay byte-identical
+     * to pre-NUMA output. Serialized only for multi-socket SMUs.
+     */
+    std::uint64_t nRemoteRequests = 0;
 
     sim::Counter &statHandled;
     sim::Counter &statZeroFill;

@@ -39,6 +39,20 @@ class SoftwareSmu : public sim::SimObject
     /** Register as the kernel's early-fault interceptor. */
     void install();
 
+    /**
+     * One emulated-SMU fault check, callable by an external
+     * dispatcher: multi-socket machines run one emulation per socket
+     * and System installs a single interceptor that routes by the
+     * PTE's socket-id field instead of calling install() on any one
+     * of them. Semantics identical to the installed interceptor.
+     */
+    bool
+    tryIntercept(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
+                 os::pte::Entry e, std::function<void()> resume)
+    {
+        return intercept(t, as, vaddr, e, std::move(resume));
+    }
+
     std::uint64_t handled() const { return statHandled.value(); }
     std::uint64_t coalesced() const { return statCoalesced.value(); }
     std::uint64_t queueEmptyBounces() const

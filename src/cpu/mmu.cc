@@ -53,6 +53,9 @@ Mmu::serialize(sim::Serializer &s)
             pendingFree = p;
         }
     }
+    // Guarded so single-socket blobs keep the pre-NUMA layout.
+    if (numaPm)
+        s.io(nRemoteDram);
     stats().serialize(s);
 }
 
@@ -90,8 +93,16 @@ Mmu::dataAccess(VAddr vaddr, Pfn pfn, bool is_write)
 {
     PAddr paddr = (static_cast<PAddr>(pfn) << pageShift) |
                   (vaddr & pageOffsetMask);
-    Cycles lat = caches.access(physCore, paddr, false,
-                               ExecMode::user).latency;
+    auto res = caches.access(physCore, paddr, false, ExecMode::user);
+    Cycles lat = res.latency;
+    // NUMA: only an access the caches could not satisfy travels to
+    // DRAM; when the frame's home node is not this core's socket it
+    // pays the interconnect hop. Single-socket machines never wire
+    // numaPm, leaving this path untouched.
+    if (numaPm && res.llcMiss && numaPm->socketOf(pfn) != mySocket) {
+        lat += numaRemoteExtra;
+        ++nRemoteDram;
+    }
     if (is_write) {
         // The hardware would set the PTE/TLB dirty state on the first
         // write; the model tracks it on the page for reclaim.

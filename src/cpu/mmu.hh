@@ -109,6 +109,26 @@ class Mmu : public sim::SimObject
     std::uint64_t stallTimeouts() const { return statTimeout.value(); }
 
     /**
+     * NUMA wiring for data accesses: the core's socket, the frame
+     * partition (frame -> home node), and the extra cycles an
+     * LLC-missing access pays when the frame is on a remote node.
+     * Forwards the walk-step model to the walker. Not called on
+     * single-socket machines — the access path is then unchanged.
+     */
+    void
+    setNuma(unsigned my_socket, const mem::PhysMem *frame_map,
+            unsigned n_sockets, Cycles remote_extra)
+    {
+        mySocket = my_socket;
+        numaPm = frame_map;
+        numaRemoteExtra = remote_extra;
+        walkUnit.setNuma(my_socket, n_sockets, remote_extra);
+    }
+
+    /** Data accesses that paid the remote-DRAM premium. */
+    std::uint64_t remoteDramAccesses() const { return nRemoteDram; }
+
+    /**
      * Perform a user memory access on behalf of thread @p t, issued
      * @p defer ticks into the caller's inline batch (logical issue
      * time = now() + defer).
@@ -174,6 +194,11 @@ class Mmu : public sim::SimObject
     os::Kernel &kernel;
     Tick period;
     Tick stallTimeout = 0;
+
+    unsigned mySocket = 0;
+    const mem::PhysMem *numaPm = nullptr; ///< nullptr: single socket.
+    Cycles numaRemoteExtra = 0;
+    std::uint64_t nRemoteDram = 0; ///< Serialized only when NUMA is wired.
     Tlb tlbUnit;
     Walker walkUnit;
     std::vector<PageMissHandlerIface *> smus; // by socket id

@@ -131,7 +131,7 @@ ThreadContext::opLoop()
         }
 
         if (!hasCurOp) {
-            curOp = workload.next(rng);
+            curOp = workload.next(rng, t0 + accrued);
             hasCurOp = true;
         }
         const workloads::Op &op = curOp;
@@ -258,6 +258,7 @@ ThreadContext::finishOp(Tick logical_now)
     if (appOpFaulted)
         faultedOpLat.sample(toMicroseconds(logical_now - appOpStart));
     appOpOpen = false;
+    workload.appOpDone(logical_now);
 }
 
 Tick

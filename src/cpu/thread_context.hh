@@ -101,6 +101,7 @@ class ThreadContext : public os::Thread, public AccessSink
 
     os::AddressSpace &addressSpace() { return as; }
     Mmu &mmu() { return mmuRef; }
+    workloads::Workload &workloadRef() { return workload; }
 
     // ---- Measurements ---------------------------------------------------
     std::uint64_t userInstructions() const { return uInstr; }

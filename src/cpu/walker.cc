@@ -20,6 +20,9 @@ Walker::serialize(sim::Serializer &s)
     s.io(nWalks);
     s.io(nPwcHits);
     s.io(nPwcMisses);
+    // Guarded so single-socket blobs keep the pre-NUMA layout.
+    if (numaSockets > 1)
+        s.io(nRemoteSteps);
 }
 
 Walker::Walker(mem::CacheHierarchy &caches, unsigned phys_core,
@@ -97,6 +100,21 @@ Walker::walk(os::AddressSpace &as, VAddr vaddr)
     // the hierarchy on a PWC miss. The leaf PTE read is always
     // charged. Walker traffic is attributed to user mode: it exists
     // identically under OSDP and HWDP and is not OS pollution.
+    // NUMA: page-table pages are kernel allocations interleaved
+    // across sockets (page-granular entry address picks the node); a
+    // charged step that misses the LLC on a remote node pays the
+    // interconnect hop on top. Single-socket machines never enter the
+    // extra branch.
+    auto charge = [this](PAddr addr) {
+        auto res = caches.access(physCore, addr, false, ExecMode::user);
+        Cycles c = res.latency;
+        if (numaSockets > 1 && res.llcMiss &&
+            (addr >> pageShift) % numaSockets != mySocket) {
+            c += numaRemoteExtra;
+            ++nRemoteSteps;
+        }
+        return c;
+    };
     Cycles cycles = 0;
     for (const os::EntryRef *r : {&refs.pud, &refs.pmd}) {
         if (!r->valid())
@@ -106,13 +124,11 @@ Walker::walk(os::AddressSpace &as, VAddr vaddr)
             continue;
         }
         ++nPwcMisses;
-        cycles += caches.access(physCore, r->addr, false,
-                                ExecMode::user).latency;
+        cycles += charge(r->addr);
         pwcInsert(r->addr);
     }
     if (refs.pmd.valid() && refs.pte.valid())
-        cycles += caches.access(physCore, refs.pte.addr, false,
-                                ExecMode::user).latency;
+        cycles += charge(refs.pte.addr);
     out.latency = cycles * period;
 
     if (!refs.pte.valid()) {

@@ -85,6 +85,24 @@ class Walker
     std::uint64_t pwcHits() const { return nPwcHits; }
     std::uint64_t pwcMisses() const { return nPwcMisses; }
 
+    /**
+     * NUMA model for walk steps. Page-table pages are kernel
+     * allocations interleaved across sockets (the entry address —
+     * page-granular — picks the node); a walk step that misses the
+     * LLC and lands on a remote node pays @p remote_extra cycles.
+     * Default (n_sockets 1) charges nothing extra.
+     */
+    void
+    setNuma(unsigned my_socket, unsigned n_sockets, Cycles remote_extra)
+    {
+        mySocket = my_socket;
+        numaSockets = n_sockets;
+        numaRemoteExtra = remote_extra;
+    }
+
+    /** Walk steps that paid the remote-node premium. */
+    std::uint64_t remoteWalkSteps() const { return nRemoteSteps; }
+
     /** Checkpoint the PWC contents, recency clock and counters. */
     void serialize(sim::Serializer &s);
 
@@ -105,6 +123,11 @@ class Walker
     std::uint64_t nWalks = 0;
     std::uint64_t nPwcHits = 0;
     std::uint64_t nPwcMisses = 0;
+
+    unsigned mySocket = 0;
+    unsigned numaSockets = 1;
+    Cycles numaRemoteExtra = 0;
+    std::uint64_t nRemoteSteps = 0; ///< Serialized only when sockets > 1.
 
     /** True (and recency bumped) when @p addr is PWC-resident. */
     bool pwcLookup(PAddr addr);

@@ -11,11 +11,15 @@ PhysMem::serialize(sim::Serializer &s)
     s.section("physmem");
     s.check(nFrames, "physmem frame count");
     s.check(reservedFrames, "physmem reserved frames");
-    s.io(freeList);
+    // One list per socket in index order: a single-socket blob is
+    // byte-identical to the pre-NUMA single-list layout.
+    for (auto &l : freeLists)
+        s.io(l);
     if (s.loading()) {
         allocated.assign(nFrames, true);
-        for (Pfn pfn : freeList)
-            allocated[pfn] = false;
+        for (const auto &l : freeLists)
+            for (Pfn pfn : l)
+                allocated[pfn] = false;
         // Reserved frames are the highest-numbered and never handed
         // out; keep their flags clear as at construction.
         for (std::uint64_t pfn = nFrames - reservedFrames; pfn < nFrames;
@@ -26,9 +30,10 @@ PhysMem::serialize(sim::Serializer &s)
 }
 
 PhysMem::PhysMem(sim::EventQueue &eq, std::uint64_t n_frames,
-                 std::uint64_t reserved)
+                 std::uint64_t reserved, unsigned n_sockets)
     : sim::SimObject("physmem", eq), nFrames(n_frames),
-      reservedFrames(reserved), allocated(n_frames, false),
+      reservedFrames(reserved), nSockets(n_sockets),
+      allocated(n_frames, false),
       allocs(stats().counter("allocs", "frames allocated")),
       frees(stats().counter("frees", "frames freed")),
       failedAllocs(stats().counter("failed_allocs",
@@ -37,22 +42,54 @@ PhysMem::PhysMem(sim::EventQueue &eq, std::uint64_t n_frames,
     if (reserved >= n_frames)
         fatal("physmem: reserved (", reserved, ") >= total frames (",
               n_frames, ")");
-    freeList.reserve(n_frames - reserved);
-    // Hand out low frame numbers first (reserved frames are the
-    // highest-numbered ones) so tests get predictable PFNs.
-    for (std::uint64_t pfn = n_frames - reserved; pfn-- > 0;)
-        freeList.push_back(pfn);
+    if (n_sockets == 0)
+        fatal("physmem: zero sockets");
+    const std::uint64_t allocatable = n_frames - reserved;
+    if (n_sockets > allocatable)
+        fatal("physmem: more sockets (", n_sockets,
+              ") than allocatable frames (", allocatable, ")");
+    socketSpan = allocatable / n_sockets;
+    freeLists.resize(n_sockets);
+    // Hand out low frame numbers first within each span (reserved
+    // frames are the highest-numbered ones) so tests get predictable
+    // PFNs; the last socket's span absorbs any remainder.
+    for (unsigned s = 0; s < n_sockets; ++s) {
+        std::uint64_t lo = s * socketSpan;
+        std::uint64_t hi =
+            (s + 1 == n_sockets) ? allocatable : (s + 1) * socketSpan;
+        freeLists[s].reserve(hi - lo);
+        for (std::uint64_t pfn = hi; pfn-- > lo;)
+            freeLists[s].push_back(pfn);
+    }
 }
 
 Pfn
-PhysMem::alloc()
+PhysMem::alloc(unsigned socket)
 {
-    if (freeList.empty()) {
+    for (unsigned i = 0; i < nSockets; ++i) {
+        auto &l = freeLists[(socket + i) % nSockets];
+        if (l.empty())
+            continue;
+        Pfn pfn = l.back();
+        l.pop_back();
+        allocated[pfn] = true;
+        ++allocs;
+        return pfn;
+    }
+    ++failedAllocs;
+    return invalidPfn;
+}
+
+Pfn
+PhysMem::allocOnSocket(unsigned socket)
+{
+    auto &l = freeLists[socket];
+    if (l.empty()) {
         ++failedAllocs;
         return invalidPfn;
     }
-    Pfn pfn = freeList.back();
-    freeList.pop_back();
+    Pfn pfn = l.back();
+    l.pop_back();
     allocated[pfn] = true;
     ++allocs;
     return pfn;
@@ -66,7 +103,7 @@ PhysMem::free(Pfn pfn)
     if (!allocated[pfn])
         panic("physmem: double free of pfn ", pfn);
     allocated[pfn] = false;
-    freeList.push_back(pfn);
+    freeLists[socketOf(pfn)].push_back(pfn);
     ++frees;
 }
 

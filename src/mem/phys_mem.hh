@@ -7,6 +7,13 @@
  * logic and the SMU free-page queue both draw from this pool, so the
  * pool is the ground truth for "how much memory the machine has",
  * which is what the paper's dataset:memory ratios control.
+ *
+ * Multi-socket machines partition the allocatable range into one
+ * contiguous span per socket (the usual SRAT layout): socketOf() is a
+ * division, and per-socket free lists let kpoold keep each socket's
+ * free-page queue filled with home-socket frames. A single-socket
+ * machine has exactly one list and behaves byte-identically to the
+ * pre-NUMA pool.
  */
 
 #ifndef HWDP_MEM_PHYS_MEM_HH
@@ -30,24 +37,61 @@ class PhysMem : public sim::SimObject
      * @param n_frames Total number of 4 KB frames in the machine.
      * @param reserved Frames set aside for the kernel image / fixed
      *                 structures; never allocatable.
+     * @param n_sockets DRAM nodes; the allocatable range is split into
+     *                  this many contiguous spans.
      */
     PhysMem(sim::EventQueue &eq, std::uint64_t n_frames,
-            std::uint64_t reserved = 0);
+            std::uint64_t reserved = 0, unsigned n_sockets = 1);
 
     /** Allocate one frame; returns invalidPfn when exhausted. */
-    Pfn alloc();
+    Pfn alloc() { return alloc(0); }
 
-    /** Return a frame to the pool. @pre pfn was allocated. */
+    /**
+     * Allocate preferring @p socket, falling back to the next socket
+     * in index order when the preferred node is dry (the kernel's
+     * fault path must not OOM while a remote node still has frames).
+     * Returns invalidPfn only when every node is exhausted.
+     */
+    Pfn alloc(unsigned socket);
+
+    /**
+     * Allocate strictly on @p socket; invalidPfn when that node is
+     * dry. kpoold uses this so every frame it donates to socket s's
+     * free-page queue is homed on s (an invariant checkInvariants
+     * audits).
+     */
+    Pfn allocOnSocket(unsigned socket);
+
+    /** Return a frame to its home node's pool. @pre pfn was allocated. */
     void free(Pfn pfn);
 
     /** True when @p pfn is currently allocated. */
     bool isAllocated(Pfn pfn) const;
 
+    /** Home NUMA node of @p pfn (contiguous-span partition). */
+    unsigned socketOf(Pfn pfn) const
+    {
+        unsigned s = static_cast<unsigned>(pfn / socketSpan);
+        return s < nSockets ? s : nSockets - 1;
+    }
+
+    unsigned sockets() const { return nSockets; }
+
     std::uint64_t totalFrames() const { return nFrames; }
-    std::uint64_t freeFrames() const { return freeList.size(); }
+    std::uint64_t freeFrames() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &l : freeLists)
+            n += l.size();
+        return n;
+    }
+    std::uint64_t freeFramesOn(unsigned socket) const
+    {
+        return freeLists[socket].size();
+    }
     std::uint64_t allocatedFrames() const
     {
-        return nFrames - reservedFrames - freeList.size();
+        return nFrames - reservedFrames - freeFrames();
     }
     std::uint64_t reservedCount() const { return reservedFrames; }
 
@@ -58,7 +102,7 @@ class PhysMem : public sim::SimObject
     }
 
     /**
-     * Checkpoint the allocation state. The free list is ordered —
+     * Checkpoint the allocation state. Each free list is ordered —
      * alloc() pops the back — so it round-trips verbatim; frame count
      * and reservation are boot structure and only verified.
      */
@@ -67,7 +111,9 @@ class PhysMem : public sim::SimObject
   private:
     std::uint64_t nFrames;
     std::uint64_t reservedFrames;
-    std::vector<Pfn> freeList;
+    unsigned nSockets;
+    std::uint64_t socketSpan; ///< Allocatable frames per socket span.
+    std::vector<std::vector<Pfn>> freeLists;
     std::vector<bool> allocated;
 
     sim::Counter &allocs;

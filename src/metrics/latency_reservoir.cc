@@ -1,0 +1,134 @@
+#include "metrics/latency_reservoir.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/serialize.hh"
+
+namespace hwdp::metrics {
+
+LatencyReservoir::LatencyReservoir(std::size_t capacity) : cap(capacity)
+{
+    if (cap < 2)
+        fatal("latency reservoir: capacity must be >= 2");
+    samples.reserve(cap);
+}
+
+void
+LatencyReservoir::record(double v)
+{
+    if (seq % stride == 0) {
+        samples.push_back(v);
+        if (samples.size() >= cap) {
+            // Renormalize: keep the even-index retained samples. They
+            // are exactly the arrivals at seq % (2 * stride) == 0, so
+            // the retained set stays the deterministic stride
+            // subsample of the whole stream.
+            std::size_t w = 0;
+            for (std::size_t i = 0; i < samples.size(); i += 2)
+                samples[w++] = samples[i];
+            samples.resize(w);
+            stride *= 2;
+        }
+        sortedValid = false;
+    }
+    ++seq;
+}
+
+const std::vector<double> &
+LatencyReservoir::view() const
+{
+    if (!sortedValid) {
+        sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        sortedValid = true;
+    }
+    return sorted;
+}
+
+double
+LatencyReservoir::quantile(double q) const
+{
+    const std::vector<double> &v = view();
+    if (v.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(v.size())));
+    if (idx > 0)
+        --idx; // nearest-rank: ceil(q*n)-th order statistic, 1-based
+    return v[std::min(idx, v.size() - 1)];
+}
+
+double
+LatencyReservoir::min() const
+{
+    const std::vector<double> &v = view();
+    return v.empty() ? 0.0 : v.front();
+}
+
+double
+LatencyReservoir::max() const
+{
+    const std::vector<double> &v = view();
+    return v.empty() ? 0.0 : v.back();
+}
+
+double
+LatencyReservoir::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples)
+        s += x;
+    return s / static_cast<double>(samples.size());
+}
+
+double
+LatencyReservoir::quantileAcross(
+    const std::vector<const LatencyReservoir *> &rs, double q)
+{
+    // Weighted nearest-rank: each retained sample stands for its
+    // reservoir's stride arrivals.
+    std::vector<std::pair<double, std::uint64_t>> wv;
+    std::uint64_t total = 0;
+    for (const LatencyReservoir *r : rs) {
+        if (!r)
+            continue;
+        for (double x : r->samples)
+            wv.emplace_back(x, r->stride);
+        total += r->stride * r->samples.size();
+    }
+    if (wv.empty())
+        return 0.0;
+    std::sort(wv.begin(), wv.end());
+    q = std::clamp(q, 0.0, 1.0);
+    auto want = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (want == 0)
+        want = 1;
+    std::uint64_t cum = 0;
+    for (const auto &[x, w] : wv) {
+        cum += w;
+        if (cum >= want)
+            return x;
+    }
+    return wv.back().first;
+}
+
+void
+LatencyReservoir::serialize(sim::Serializer &s)
+{
+    s.section("latency_reservoir");
+    std::uint64_t c = cap;
+    s.check(c, "reservoir capacity");
+    s.io(stride);
+    s.io(seq);
+    s.io(samples);
+    if (s.loading())
+        sortedValid = false;
+}
+
+} // namespace hwdp::metrics

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Online quantile reservoir for per-request latency.
+ *
+ * The open-loop serving experiments (Figure 18 extension) report tail
+ * latency — p50/p99/p99.9 — over millions of requests, which a
+ * fixed-bucket histogram can only approximate and a full sample log
+ * cannot afford. The reservoir keeps *exact* samples while the stream
+ * fits its capacity and switches to deterministic stride decimation
+ * when it does not: every time the retained set fills, the even-index
+ * samples are kept, the stride doubles, and only every stride-th
+ * subsequent arrival is retained. Unlike randomized reservoir
+ * sampling, the retained set is a pure function of the input stream —
+ * two runs of the same simulation produce bit-identical reservoirs,
+ * which the differential and checkpoint-fork gates rely on.
+ *
+ * Quantiles are exact (nearest-rank) below capacity; decimated
+ * streams report the nearest retained sample, whose rank error is
+ * bounded by stride / count.
+ */
+
+#ifndef HWDP_METRICS_LATENCY_RESERVOIR_HH
+#define HWDP_METRICS_LATENCY_RESERVOIR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hwdp::sim {
+class Serializer;
+}
+
+namespace hwdp::metrics {
+
+class LatencyReservoir
+{
+  public:
+    /** @param capacity Retained-sample bound; must be >= 2. */
+    explicit LatencyReservoir(std::size_t capacity = 1 << 16);
+
+    void record(double v);
+
+    /** Samples offered (not retained). */
+    std::uint64_t count() const { return seq; }
+
+    /** Current decimation stride (1 = every sample retained). */
+    std::uint64_t decimationStride() const { return stride; }
+
+    std::size_t retained() const { return samples.size(); }
+
+    /**
+     * Nearest-rank quantile, @p q in [0, 1]. Exact while stride is 1;
+     * 0.0 on an empty reservoir.
+     */
+    double quantile(double q) const;
+
+    double min() const;
+    double max() const;
+    double mean() const;
+
+    /**
+     * Quantile across several reservoirs, each sample weighted by its
+     * reservoir's stride (a retained sample at stride k stands for k
+     * arrivals). The per-server reservoirs of one machine merge this
+     * way without ever concatenating raw streams.
+     */
+    static double quantileAcross(
+        const std::vector<const LatencyReservoir *> &rs, double q);
+
+    /** Checkpoint stride, cursor and the retained samples. */
+    void serialize(sim::Serializer &s);
+
+  private:
+    std::size_t cap;
+    std::uint64_t stride = 1;
+    std::uint64_t seq = 0;
+    std::vector<double> samples;
+
+    /** Host-side sort cache, invalidated by record(); not serialized. */
+    mutable std::vector<double> sorted;
+    mutable bool sortedValid = false;
+
+    const std::vector<double> &view() const;
+};
+
+} // namespace hwdp::metrics
+
+#endif // HWDP_METRICS_LATENCY_RESERVOIR_HH

@@ -102,8 +102,9 @@ void
 FaultHandler::anonFault(CtxPtr c)
 {
     // First-touch anonymous fault: allocate a zeroed frame and map it
-    // — a minor fault with the page-allocation cost, no I/O.
-    c->pfn = k.physMem().alloc();
+    // — a minor fault with the page-allocation cost, no I/O. The
+    // placement policy homes the frame relative to the faulting core.
+    c->pfn = k.allocFrameFor(c->t->core());
     if (c->pfn == mem::PhysMem::invalidPfn) {
         if (++c->allocRetries > 200) {
             // Anonymous pages are unevictable in this model (no swap),
@@ -152,7 +153,7 @@ FaultHandler::majorFault(CtxPtr c)
 void
 FaultHandler::allocateFrame(CtxPtr c)
 {
-    c->pfn = k.physMem().alloc();
+    c->pfn = k.allocFrameFor(c->t->core());
     if (c->pfn != mem::PhysMem::invalidPfn) {
         k.scheduler().runPhases(c->t->core(),
                                 {&phases::pageAlloc, &phases::ioSubmit},

@@ -77,7 +77,23 @@ Kernel::serialize(sim::Serializer &s)
         walDirtyBytes.insert(wal.begin(), wal.end());
     }
 
+    // Guarded so single-socket blobs keep the pre-NUMA layout.
+    if (prm.sockets > 1)
+        s.io(numaRrCursor);
+
     stats().serialize(s);
+}
+
+Pfn
+Kernel::allocFrameFor(unsigned core_id)
+{
+    if (prm.sockets <= 1)
+        return pm.alloc();
+    unsigned socket = prm.numaRoundRobin
+                          ? static_cast<unsigned>(numaRrCursor++ %
+                                                  prm.sockets)
+                          : socketOfCore(core_id);
+    return pm.alloc(socket);
 }
 
 Kernel::Kernel(sim::EventQueue &eq, const KernelParams &params,

@@ -52,6 +52,17 @@ struct KernelParams
     std::uint64_t writebackChunkPages = 1;
 
     double smtShare = 0.6;
+
+    /**
+     * NUMA topology the frame allocator sees: cores are split into
+     * equal contiguous groups, one per socket, matching PhysMem's
+     * per-socket frame spans. 1 keeps the pre-NUMA single-pool
+     * behavior exactly.
+     */
+    unsigned sockets = 1;
+
+    /** Round-robin fault placement instead of first-touch. */
+    bool numaRoundRobin = false;
 };
 
 class Kernel : public sim::SimObject
@@ -78,6 +89,25 @@ class Kernel : public sim::SimObject
     void attachDevice(ssd::SsdDevice *dev, BlockDeviceId bdev);
     unsigned deviceIndexOf(BlockDeviceId bdev) const;
     ssd::SsdDevice &deviceOf(BlockDeviceId bdev);
+
+    // ---- NUMA placement ---------------------------------------------------
+    /** Socket of a logical core under the equal contiguous split. */
+    unsigned
+    socketOfCore(unsigned core_id) const
+    {
+        return prm.sockets <= 1
+                   ? 0
+                   : core_id / (prm.nLogical / prm.sockets);
+    }
+
+    /**
+     * Allocate a frame for a fault taken on @p core_id under the
+     * configured placement policy (first-touch homes the frame on the
+     * faulting core's socket, round-robin interleaves; both fall back
+     * to the next socket when the preferred node is dry). Single-socket
+     * kernels take the plain allocator path unchanged.
+     */
+    Pfn allocFrameFor(unsigned core_id);
 
     // ---- Page-frame metadata -------------------------------------------
     Page &page(Pfn pfn);
@@ -273,6 +303,9 @@ class Kernel : public sim::SimObject
 
     /** Per-file partially filled writeback chunk (in pages). */
     std::unordered_map<std::uint32_t, std::uint64_t> walDirtyBytes;
+
+    /** Next socket for round-robin placement (serialized when >1 socket). */
+    std::uint64_t numaRrCursor = 0;
 
     FaultInterceptor interceptor;
     std::function<void(unsigned)> refillHook;

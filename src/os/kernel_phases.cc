@@ -107,6 +107,13 @@ const KernelPhase kptedScanEntry =
     {"kpted_scan_entry", 3, 2, 0, 1, 2, KernelCostCat::kpted};
 const KernelPhase kpooldPerPage =
     {"kpoold_per_page", 420, 260, 5, 9, 16, KernelCostCat::kpoold};
+// Cross-socket TLB/PWC shootdown: one IPI to a remote socket plus the
+// remote handler's invalidation work, charged on the initiating core
+// (the initiator spins until the remote acknowledges). ~0.5 us at
+// 2.8 GHz, the usual smp_call_function cost. Multi-socket machines
+// only — single-socket shootdowns stay IPI-free as before.
+const KernelPhase shootdownIpi =
+    {"shootdown_ipi", 1400, 520, 10, 8, 35, KernelCostCat::irq};
 
 // Software-emulated SMU (the real-machine prototype of Section VI-A):
 // the fault still traps, then runs an in-kernel SMU emulation and an

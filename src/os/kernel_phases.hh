@@ -99,6 +99,7 @@ extern const KernelPhase writebackComplete; ///< Write-I/O completion.
 extern const KernelPhase kptedPerPage;     ///< Batched metadata sync.
 extern const KernelPhase kptedScanEntry;   ///< Per page-table entry visit.
 extern const KernelPhase kpooldPerPage;    ///< Batched free-page refill.
+extern const KernelPhase shootdownIpi;     ///< Cross-socket TLB/PWC IPI.
 
 // --- Software-emulated SMU (Figure 17 baseline) -----------------------
 extern const KernelPhase swSmuSubmit;      ///< Emulated PMSHR + NVMe cmd.

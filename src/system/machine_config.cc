@@ -17,6 +17,16 @@ pagingModeName(PagingMode mode)
     return "?";
 }
 
+const char *
+numaPlacementName(NumaPlacement p)
+{
+    switch (p) {
+      case NumaPlacement::firstTouch: return "first-touch";
+      case NumaPlacement::roundRobin: return "round-robin";
+    }
+    return "?";
+}
+
 std::string
 MachineConfig::describe() const
 {
@@ -43,6 +53,16 @@ MachineConfig::describe() const
        << "kpted            : period "
        << toMicroseconds(kptedPeriod) / 1000.0 << " ms, "
        << (kptedGuidedScan ? "guided" : "full") << " scan\n";
+    // Shown only when engaged, so the default dump stays a pure
+    // Table II reproduction (and the checkpoint config hash — FNV over
+    // this text — is unchanged for single-socket machines).
+    if (sockets > 1)
+        os << "sockets          : " << sockets << " x "
+           << coresPerSocket() << " cores, " << nDevices
+           << " NVMe/socket, remote DRAM +" << numaRemoteExtraCycles
+           << " cyc, remote SMU +"
+           << toNanoseconds(numaRemoteSmuLatency) << " ns, "
+           << numaPlacementName(numaPlacement) << " placement\n";
     // Host-only knob: shown only when engaged, so the default dump
     // stays a pure Table II reproduction.
     if (simThreads > 1)

@@ -29,6 +29,14 @@ enum class PagingMode {
 
 const char *pagingModeName(PagingMode mode);
 
+/** Where the kernel homes a freshly faulted anonymous/file frame. */
+enum class NumaPlacement {
+    firstTouch, ///< Frame on the faulting core's socket (Linux default).
+    roundRobin, ///< Interleave frames across sockets in fault order.
+};
+
+const char *numaPlacementName(NumaPlacement p);
+
 struct MachineConfig
 {
     PagingMode mode = PagingMode::osdp;
@@ -38,6 +46,40 @@ struct MachineConfig
     unsigned nPhysical = 8;
     Tick cyclePeriod = 357; // ps, 2.8 GHz
     cpu::CoreParams core{};
+
+    // ---- Topology -------------------------------------------------------
+    /**
+     * CPU sockets in the machine. Each socket groups an equal share of
+     * the logical cores, a contiguous span of DRAM, its own SMU (or
+     * SW-SMU) with PMSHR + free-page queues, and its own NVMe
+     * device(s) behind the local host controller — the paper's SMU is
+     * explicitly per-socket (Section III). 1 (the default) builds a
+     * machine byte-identical to the pre-NUMA simulator: same object
+     * names, same RNG fork order, same stats dump, same checkpoint
+     * blob. The PTE's 3-bit socket-id field caps this at 8.
+     */
+    unsigned sockets = 1;
+
+    /**
+     * Extra core cycles an LLC-missing data access pays when the frame
+     * lives on a remote socket (the QPI/UPI hop). Inert at sockets=1.
+     */
+    unsigned numaRemoteExtraCycles = 170;
+
+    /**
+     * Latency for a miss request register write that crosses sockets
+     * to a remote SMU (PTE socket-id != faulting core's socket).
+     */
+    Tick numaRemoteSmuLatency = nanoseconds(120.0);
+
+    /** Frame placement policy for kernel-side fault allocation. */
+    NumaPlacement numaPlacement = NumaPlacement::firstTouch;
+
+    unsigned coresPerSocket() const { return nLogical / sockets; }
+    unsigned socketOfCore(unsigned core_id) const
+    {
+        return sockets <= 1 ? 0 : core_id / coresPerSocket();
+    }
 
     /** Per-walker page-walk-cache entries (0 disables the PWC). */
     unsigned pwcEntries = 16;

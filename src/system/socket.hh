@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Socket: per-socket grouping of one machine's resources.
+ *
+ * The paper's SMU is a per-socket memory-side unit (Section III): each
+ * socket carries its own SMU with PMSHR and free-page queues, its own
+ * NVMe device(s) behind the local host controller, a contiguous span
+ * of DRAM (see mem::PhysMem's partition) and an equal share of the
+ * logical cores. System assembles one of these per configured socket —
+ * a single-socket machine gets exactly one, wrapping the same objects
+ * the pre-NUMA simulator built.
+ *
+ * The grouping is non-owning: System owns every component; Socket is
+ * the topology view the NUMA paths (placement, remote-fill routing,
+ * shootdown fan-out, invariant audits) navigate. The only state that
+ * lives *in* the Socket is the shootdown epoch and fan-out counts,
+ * serialized by System only for multi-socket machines so single-socket
+ * checkpoint blobs stay byte-identical to pre-NUMA ones.
+ */
+
+#ifndef HWDP_SYSTEM_SOCKET_HH
+#define HWDP_SYSTEM_SOCKET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/smu.hh"
+#include "core/software_smu.hh"
+
+namespace hwdp::system {
+
+struct Socket
+{
+    unsigned id = 0;
+
+    /** Local cores are the contiguous range [firstCore, firstCore+nCores). */
+    unsigned firstCore = 0;
+    unsigned nCores = 0;
+
+    /** This socket's SMU (hwdp mode; owns PMSHR, FPQs, NVMe host ctrl). */
+    core::Smu *smu = nullptr;
+
+    /** This socket's software SMU + its free-page queue (swsmu mode). */
+    core::SoftwareSmu *swSmu = nullptr;
+    core::FreePageQueue *swFpq = nullptr;
+
+    /** Locally attached block devices (global ssd index order). */
+    std::vector<ssd::SsdDevice *> devices;
+
+    /**
+     * Bumped once per TLB/PWC shootdown broadcast. Every socket
+     * observes every broadcast, so the epochs must agree across
+     * sockets at all times — checkInvariants audits exactly that.
+     */
+    std::uint64_t shootdownEpoch = 0;
+
+    /** Shootdown broadcasts that reached this socket from another one. */
+    std::uint64_t remoteShootdownsIn = 0;
+
+    /** Remote-PWC invalidations dropped/deferred by fault injection. */
+    std::uint64_t shootdownsDropped = 0;
+    std::uint64_t shootdownsDelayed = 0;
+
+    bool
+    containsCore(unsigned core_id) const
+    {
+        return core_id >= firstCore && core_id < firstCore + nCores;
+    }
+
+    /** The socket's free-page queues, whichever SMU flavour it runs. */
+    std::vector<core::FreePageQueue *>
+    freePageQueues() const
+    {
+        if (smu)
+            return smu->freePageQueues();
+        if (swFpq)
+            return {swFpq};
+        return {};
+    }
+};
+
+} // namespace hwdp::system
+
+#endif // HWDP_SYSTEM_SOCKET_HH

@@ -15,12 +15,22 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
 
     if (cfg.simThreads == 0)
         fatal("system: simThreads must be >= 1");
+    // The PTE socket-id field is 3 bits (Section V's LBA encoding),
+    // so at most 8 sockets can be addressed by hardware-handled PTEs.
+    if (cfg.sockets == 0 || cfg.sockets > 8)
+        fatal("system: sockets must be 1..8");
+    if (cfg.nLogical % cfg.sockets != 0)
+        fatal("system: nLogical (", cfg.nLogical,
+              ") must divide evenly across ", cfg.sockets, " sockets");
+    if (cfg.sockets > 1 && cfg.nPhysical % cfg.sockets != 0)
+        fatal("system: nPhysical (", cfg.nPhysical,
+              ") must divide evenly across ", cfg.sockets, " sockets");
     if (cfg.simThreads > 1)
         pool = std::make_unique<sim::ShardPool>(cfg.simThreads);
 
     pm = std::make_unique<mem::PhysMem>(eq,
                                         cfg.memFrames + cfg.reservedFrames,
-                                        cfg.reservedFrames);
+                                        cfg.reservedFrames, cfg.sockets);
     hierarchy = std::make_unique<mem::CacheHierarchy>(cfg.nPhysical,
                                                       cfg.cache);
     hierarchy->setShardPool(pool.get());
@@ -33,6 +43,8 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
     kp.nPhysical = cfg.nPhysical;
     kp.cyclePeriod = cfg.cyclePeriod;
     kp.reclaimCore = cfg.reclaimCore();
+    kp.sockets = cfg.sockets;
+    kp.numaRoundRobin = cfg.numaPlacement == NumaPlacement::roundRobin;
     kern = std::make_unique<os::Kernel>(eq, kp, *pm, *hierarchy, bps,
                                         rng.fork());
     kern->kexec().setPollutionEnabled(cfg.pollutionEnabled);
@@ -45,10 +57,18 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
         cfg.nDevices > core::NvmeHostController::maxDevices)
         fatal("system: nDevices must be 1..8");
     auto prof = ssd::profileByName(cfg.ssdProfile);
-    for (unsigned d = 0; d < cfg.nDevices; ++d) {
-        ssds.push_back(std::make_unique<ssd::SsdDevice>(
-            "ssd" + std::to_string(d), eq, prof, rng.fork()));
-        kern->attachDevice(ssds.back().get(), os::BlockDeviceId{0, d});
+    // Each socket carries its own nDevices locally attached drives;
+    // the PTE's socket-id field routes misses to the home socket's
+    // controller. A single socket reproduces the pre-NUMA machine
+    // exactly (same names, same rng fork sequence).
+    for (unsigned s = 0; s < cfg.sockets; ++s) {
+        for (unsigned d = 0; d < cfg.nDevices; ++d) {
+            ssds.push_back(std::make_unique<ssd::SsdDevice>(
+                "ssd" + std::to_string(s * cfg.nDevices + d), eq, prof,
+                rng.fork()));
+            kern->attachDevice(ssds.back().get(),
+                               os::BlockDeviceId{s, d});
+        }
     }
 
     // TLB shootdown: invalidate the translation on every core, and
@@ -58,13 +78,14 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
     kern->setShootdownFn([this](os::AddressSpace &as, VAddr va) {
         for (auto &c : cores)
             c->mmu().tlb().invalidate(va);
-        pwcShootdown(as, va);
+        pwcShootdown(as, va, false);
     });
 
     // kpted metadata sync rewrites hardware-handled PTEs without a
     // full shootdown; the PWC still drops the covering upper entries.
+    // This is the one path the shootdown fault hook may perturb.
     kern->setPteSyncFn([this](os::AddressSpace &as, VAddr va) {
-        pwcShootdown(as, va);
+        pwcShootdown(as, va, true);
     });
 
     for (unsigned i = 0; i < cfg.nLogical; ++i) {
@@ -73,54 +94,120 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
         if (cfg.hwStallTimeout > 0)
             cores.back()->mmu().setStallTimeout(cfg.hwStallTimeout);
     }
+    if (cfg.sockets > 1) {
+        for (unsigned i = 0; i < cfg.nLogical; ++i)
+            cores[i]->mmu().setNuma(cfg.socketOfCore(i), pm.get(),
+                                    cfg.sockets,
+                                    cfg.numaRemoteExtraCycles);
+    }
 
     if (cfg.mode != PagingMode::osdp) {
         support = std::make_unique<core::HwdpOsSupport>(*kern);
 
         std::vector<core::FreePageQueue *> fpq_set;
+        std::vector<unsigned> fpq_tags;
         if (cfg.mode == PagingMode::hwdp) {
             core::Smu::Params sp = cfg.smu;
             sp.cyclePeriod = cfg.cyclePeriod;
             sp.nvme.cyclePeriod = cfg.cyclePeriod;
-            smuUnit = std::make_unique<core::Smu>("smu0", eq, 0, sp,
-                                                  *kern);
-            for (unsigned d = 0; d < cfg.nDevices; ++d)
-                smuUnit->configureDevice(d, ssds[d].get());
-            for (auto &c : cores)
-                c->attachSmu(0, smuUnit.get());
-            support->attachSmu(smuUnit.get());
-            fpq_set = smuUnit->freePageQueues();
+            if (cfg.sockets > 1) {
+                sp.coresPerSocket = cfg.coresPerSocket();
+                sp.remoteRequestLatency = cfg.numaRemoteSmuLatency;
+            }
+            for (unsigned s = 0; s < cfg.sockets; ++s) {
+                smuUnits.push_back(std::make_unique<core::Smu>(
+                    "smu" + std::to_string(s), eq, s, sp, *kern));
+                core::Smu *u = smuUnits.back().get();
+                for (unsigned d = 0; d < cfg.nDevices; ++d)
+                    u->configureDevice(d,
+                                       ssds[s * cfg.nDevices + d].get());
+                // Every core sees every SMU: the MMU routes a miss by
+                // the faulting PTE's socket-id field, local or not.
+                for (auto &c : cores)
+                    c->attachSmu(s, u);
+                support->attachSmu(u);
+                for (core::FreePageQueue *q : u->freePageQueues()) {
+                    fpq_set.push_back(q);
+                    fpq_tags.push_back(s);
+                }
+            }
         } else {
-            swFpq = std::make_unique<core::FreePageQueue>(
-                cfg.smu.freeQueueCapacity, cfg.smu.prefetchDepth);
-            swSmu = std::make_unique<core::SoftwareSmu>("swsmu", eq,
-                                                        *kern, *swFpq);
-            for (unsigned d = 0; d < cfg.nDevices; ++d)
-                swSmu->configureDevice(d, ssds[d].get());
-            swSmu->install();
-            fpq_set = {swFpq.get()};
+            for (unsigned s = 0; s < cfg.sockets; ++s) {
+                swFpqs.push_back(std::make_unique<core::FreePageQueue>(
+                    cfg.smu.freeQueueCapacity, cfg.smu.prefetchDepth));
+                swSmus.push_back(std::make_unique<core::SoftwareSmu>(
+                    s == 0 ? "swsmu" : "swsmu" + std::to_string(s), eq,
+                    *kern, *swFpqs.back()));
+                for (unsigned d = 0; d < cfg.nDevices; ++d)
+                    swSmus.back()->configureDevice(
+                        d, ssds[s * cfg.nDevices + d].get());
+                fpq_set.push_back(swFpqs.back().get());
+                fpq_tags.push_back(s);
+            }
+            if (cfg.sockets == 1) {
+                swSmus[0]->install();
+            } else {
+                // One emulation per socket; dispatch by the PTE's
+                // socket-id field (anonymous zero-fill PTEs carry
+                // socket 0 and deterministically land there).
+                kern->setFaultInterceptor(
+                    [this](os::Thread &t, os::AddressSpace &as,
+                           VAddr va, os::pte::Entry e,
+                           std::function<void()> resume) {
+                        unsigned sid = os::pte::socketIdOf(e);
+                        return swSmus.at(sid)->tryIntercept(
+                            t, as, va, e, std::move(resume));
+                    });
+            }
         }
 
         kptedThread = std::make_unique<core::Kpted>(
             *kern, *support, cfg.kptedCore(), cfg.kptedPeriod,
             cfg.kptedGuidedScan);
+        if (cfg.sockets > 1)
+            kptedThread->setCrossSocketIpis(cfg.sockets - 1);
         kern->scheduler().addThread(kptedThread.get());
         support->attachKpted(kptedThread.get());
 
         kpooldThread = std::make_unique<core::Kpoold>(
             *kern, std::move(fpq_set), cfg.kpooldCore(),
             cfg.kpooldPeriod, cfg.kpooldBatch);
+        if (cfg.sockets > 1)
+            kpooldThread->setSocketTags(std::move(fpq_tags));
         if (cfg.kpooldEnabled)
             kern->scheduler().addThread(kpooldThread.get());
         support->attachKpoold(kpooldThread.get());
+    }
+
+    // Topology view, built for every machine and mode (size 1 on a
+    // single socket) so audits and benches have one way to navigate.
+    for (unsigned s = 0; s < cfg.sockets; ++s) {
+        Socket sk;
+        sk.id = s;
+        sk.firstCore = s * cfg.coresPerSocket();
+        sk.nCores = cfg.coresPerSocket();
+        sk.smu = smuAt(s);
+        sk.swSmu = softwareSmuAt(s);
+        sk.swFpq = s < swFpqs.size() ? swFpqs[s].get() : nullptr;
+        for (unsigned d = 0; d < cfg.nDevices; ++d)
+            sk.devices.push_back(ssds[s * cfg.nDevices + d].get());
+        socketTopo.push_back(std::move(sk));
     }
 }
 
 System::~System() = default;
 
 void
-System::pwcShootdown(os::AddressSpace &as, VAddr va)
+System::pwcShootdown(os::AddressSpace &as, VAddr va, bool sync_path)
 {
+    // Every broadcast advances every socket's epoch — the epoch counts
+    // the coherence event itself, not the invalidation work it caused,
+    // and checkInvariants audits that the epochs agree across sockets.
+    if (cfg.sockets > 1) {
+        for (auto &sk : socketTopo)
+            ++sk.shootdownEpoch;
+    }
+
     // Resolving the upper-entry addresses costs a host-side walk of
     // the page table; skip it when every walker's PWC is empty (the
     // common case — only cores that recently missed hold entries).
@@ -134,20 +221,74 @@ System::pwcShootdown(os::AddressSpace &as, VAddr va)
     if (!any)
         return;
     os::WalkRefs refs = as.pageTable().walkRefs(va, false);
-    for (auto &c : cores) {
-        if (refs.pud.valid())
-            c->mmu().walker().pwcInvalidate(refs.pud.addr);
-        if (refs.pmd.valid())
-            c->mmu().walker().pwcInvalidate(refs.pmd.addr);
+    if (cfg.sockets <= 1) {
+        for (auto &c : cores) {
+            if (refs.pud.valid())
+                c->mmu().walker().pwcInvalidate(refs.pud.addr);
+            if (refs.pmd.valid())
+                c->mmu().walker().pwcInvalidate(refs.pmd.addr);
+        }
+        return;
+    }
+
+    // Multi-socket fan-out, one socket at a time. The fault hook may
+    // drop or defer a remote socket's invalidation on the sync path
+    // only: kpted sync rewrites a PTE to an equivalent translation,
+    // so a stale PWC upper entry is a performance artifact, never a
+    // correctness hole; unmap shootdowns are never perturbed.
+    for (auto &sk : socketTopo) {
+        ShootdownFault f{};
+        if (sync_path && sk.id != 0 && shootdownFaultHook)
+            f = shootdownFaultHook(sk.id);
+
+        bool busy = false;
+        for (unsigned i = 0; i < sk.nCores; ++i) {
+            if (!cores[sk.firstCore + i]->mmu().walker().pwcEmpty()) {
+                busy = true;
+                break;
+            }
+        }
+        if (!busy)
+            continue;
+        ++sk.remoteShootdownsIn;
+
+        if (f.drop) {
+            ++sk.shootdownsDropped;
+            continue;
+        }
+        if (f.delay > 0) {
+            ++sk.shootdownsDelayed;
+            unsigned first = sk.firstCore, n = sk.nCores;
+            eq.postIn(
+                f.delay,
+                [this, refs, first, n] {
+                    for (unsigned i = 0; i < n; ++i) {
+                        auto &w = cores[first + i]->mmu().walker();
+                        if (refs.pud.valid())
+                            w.pwcInvalidate(refs.pud.addr);
+                        if (refs.pmd.valid())
+                            w.pwcInvalidate(refs.pmd.addr);
+                    }
+                },
+                "numa.shootdown.delayed");
+            continue;
+        }
+        for (unsigned i = 0; i < sk.nCores; ++i) {
+            auto &w = cores[sk.firstCore + i]->mmu().walker();
+            if (refs.pud.valid())
+                w.pwcInvalidate(refs.pud.addr);
+            if (refs.pmd.valid())
+                w.pwcInvalidate(refs.pmd.addr);
+        }
     }
 }
 
 core::FreePageQueue *
 System::freePageQueue()
 {
-    if (smuUnit)
-        return &smuUnit->freePageQueue();
-    return swFpq.get();
+    if (!smuUnits.empty())
+        return &smuUnits.front()->freePageQueue();
+    return swFpqs.empty() ? nullptr : swFpqs.front().get();
 }
 
 os::File *
@@ -156,8 +297,11 @@ System::createFile(const std::string &name, std::uint64_t pages,
 {
     if (device >= ssds.size())
         fatal("system: file on unattached device ", device);
-    return kern->fs().createFile(name, pages,
-                                 os::BlockDeviceId{0, device});
+    // The global device index maps to (socket, local device) the same
+    // way the boot loop attached them.
+    return kern->fs().createFile(
+        name, pages,
+        os::BlockDeviceId{device / cfg.nDevices, device % cfg.nDevices});
 }
 
 System::MappedFile
@@ -195,7 +339,7 @@ System::preload(const MappedFile &mf)
         VAddr va = mf.vma->start + i * pageSize;
         if (os::pte::isPresent(mf.as->pageTable().readPte(va)))
             continue;
-        Pfn pfn = pm->alloc();
+        Pfn pfn = allocFrameInterleaved(i);
         if (pfn == mem::PhysMem::invalidPfn) {
             warn("preload: out of memory after ", i, " of ",
                  mf.vma->numPages(), " pages");
@@ -310,6 +454,9 @@ System::serialize(sim::Serializer &s)
     s.check(cfg.nDevices, "block device count");
     std::uint64_t nthreads = tcs.size();
     s.check(nthreads, "workload thread count");
+    // Guarded so single-socket blobs keep the pre-NUMA byte layout.
+    if (cfg.sockets > 1)
+        s.check(cfg.sockets, "socket count");
 
     eq.serialize(s);
     rng.serialize(s);
@@ -322,18 +469,26 @@ System::serialize(sim::Serializer &s)
         d->serialize(s);
     for (auto &c : cores)
         c->mmu().serialize(s);
-    if (smuUnit)
-        smuUnit->serialize(s);
-    if (swFpq)
-        swFpq->serialize(s);
-    if (swSmu)
-        swSmu->serialize(s);
+    for (auto &u : smuUnits)
+        u->serialize(s);
+    for (auto &q : swFpqs)
+        q->serialize(s);
+    for (auto &u : swSmus)
+        u->serialize(s);
     if (support)
         support->serialize(s);
     if (kptedThread)
         kptedThread->serialize(s);
     if (kpooldThread)
         kpooldThread->serialize(s);
+    if (cfg.sockets > 1) {
+        for (auto &sk : socketTopo) {
+            s.io(sk.shootdownEpoch);
+            s.io(sk.remoteShootdownsIn);
+            s.io(sk.shootdownsDropped);
+            s.io(sk.shootdownsDelayed);
+        }
+    }
     for (auto &tc : tcs)
         tc->serialize(s);
     s.io(threadsDone);

@@ -24,6 +24,7 @@
 #include "cpu/thread_context.hh"
 #include "sim/shard_pool.hh"
 #include "system/machine_config.hh"
+#include "system/socket.hh"
 
 namespace hwdp::system {
 
@@ -49,12 +50,52 @@ class System
     /** Parallel-mode worker pool; nullptr when simThreads == 1. */
     sim::ShardPool *shardPool() { return pool.get(); }
 
-    core::Smu *smu() { return smuUnit.get(); }
-    core::SoftwareSmu *softwareSmu() { return swSmu.get(); }
+    core::Smu *smu()
+    {
+        return smuUnits.empty() ? nullptr : smuUnits.front().get();
+    }
+    core::SoftwareSmu *softwareSmu()
+    {
+        return swSmus.empty() ? nullptr : swSmus.front().get();
+    }
     core::Kpted *kpted() { return kptedThread.get(); }
     core::Kpoold *kpoold() { return kpooldThread.get(); }
     core::HwdpOsSupport *hwdpSupport() { return support.get(); }
     core::FreePageQueue *freePageQueue();
+
+    // ---- Socket topology -------------------------------------------------
+    unsigned numSockets() const { return cfg.sockets; }
+    Socket &socketAt(unsigned s) { return socketTopo.at(s); }
+    const std::vector<Socket> &socketTopology() const
+    {
+        return socketTopo;
+    }
+    core::Smu *smuAt(unsigned s)
+    {
+        return s < smuUnits.size() ? smuUnits[s].get() : nullptr;
+    }
+    core::SoftwareSmu *softwareSmuAt(unsigned s)
+    {
+        return s < swSmus.size() ? swSmus[s].get() : nullptr;
+    }
+
+    /**
+     * Fault injection on the cross-socket shootdown fan-out (the
+     * kpted-sync path only — unmap shootdowns are never perturbed, a
+     * stale PWC entry there could outlive its table). Queried once
+     * per remote socket per sync broadcast, so a seeded plan stays
+     * schedule-stable.
+     */
+    struct ShootdownFault
+    {
+        bool drop = false; ///< Skip this socket's PWC invalidation.
+        Tick delay = 0;    ///< Apply it this much later (0: now).
+    };
+    using ShootdownFaultHook = std::function<ShootdownFault(unsigned)>;
+    void setShootdownFaultHook(ShootdownFaultHook fn)
+    {
+        shootdownFaultHook = std::move(fn);
+    }
 
     /** Number of attached block devices. */
     unsigned numSsds() const
@@ -95,6 +136,19 @@ class System
 
     /** MAP_POPULATE: install every page resident (the ideal config). */
     void preload(const MappedFile &mf);
+
+    /**
+     * Boot/warm-time frame allocation: single-socket machines take
+     * the plain allocator path; multi-socket machines interleave by
+     * @p seq so a preloaded dataset spreads evenly across nodes.
+     */
+    Pfn allocFrameInterleaved(std::uint64_t seq)
+    {
+        return cfg.sockets > 1
+                   ? physMem().alloc(static_cast<unsigned>(
+                         seq % cfg.sockets))
+                   : physMem().alloc();
+    }
 
     /** Add a workload thread pinned to @p core_idx. */
     cpu::ThreadContext *addThread(workloads::Workload &wl,
@@ -188,10 +242,16 @@ class System
     std::vector<std::unique_ptr<ssd::SsdDevice>> ssds;
     std::vector<std::unique_ptr<cpu::Core>> cores;
 
-    std::unique_ptr<core::Smu> smuUnit;
-    std::unique_ptr<core::FreePageQueue> swFpq; // swsmu mode only
-    std::unique_ptr<core::SoftwareSmu> swSmu;
+    /** One per socket, index = socket id (hwdp mode). */
+    std::vector<std::unique_ptr<core::Smu>> smuUnits;
+    /** One per socket, index = socket id (swsmu mode only). */
+    std::vector<std::unique_ptr<core::FreePageQueue>> swFpqs;
+    std::vector<std::unique_ptr<core::SoftwareSmu>> swSmus;
     std::unique_ptr<core::HwdpOsSupport> support;
+
+    /** Topology view; built for every machine (size 1 at one socket). */
+    std::vector<Socket> socketTopo;
+    ShootdownFaultHook shootdownFaultHook;
     std::unique_ptr<core::Kpted> kptedThread;
     std::unique_ptr<core::Kpoold> kpooldThread;
 
@@ -203,8 +263,13 @@ class System
     /** describe() provenance: cold boot or restored-from-blob. */
     std::string ckptNote;
 
-    /** Drop PWC entries covering @p va from every core's walker. */
-    void pwcShootdown(os::AddressSpace &as, VAddr va);
+    /**
+     * Drop PWC entries covering @p va from every core's walker,
+     * bumping the per-socket shootdown epochs on multi-socket
+     * machines. @p sync_path marks kpted-sync broadcasts, the only
+     * ones the shootdown fault hook may drop or delay.
+     */
+    void pwcShootdown(os::AddressSpace &as, VAddr va, bool sync_path);
 
   public:
     /** Transfer ownership of a workload to the system (lifetime). */

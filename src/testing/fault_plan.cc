@@ -47,6 +47,14 @@ faultSiteName(FaultSite s)
         return "fpq_dry";
       case FaultSite::pmshrFull:
         return "pmshr_full";
+      case FaultSite::remoteFpqDry:
+        return "remote_fpq_dry";
+      case FaultSite::shootdownDrop:
+        return "shootdown_drop";
+      case FaultSite::shootdownDelay:
+        return "shootdown_delay";
+      case FaultSite::remotePmshrFull:
+        return "remote_pmshr_full";
     }
     return "unknown";
 }
@@ -95,12 +103,29 @@ FaultPlan::attach(system::System &sys)
 {
     for (unsigned d = 0; d < sys.numSsds(); ++d)
         attachSsd(sys.ssdAt(d));
-    if (sys.smu()) {
-        for (core::FreePageQueue *q : sys.smu()->freePageQueues())
-            attachFpq(*q);
-        attachPmshr(sys.smu()->pmshr());
-    } else if (sys.freePageQueue()) {
-        attachFpq(*sys.freePageQueue());
+    // Socket 0 keeps the original sites, so a single-socket plan's
+    // query sequences are unchanged; sockets 1+ get the remote
+    // variants, which makes "only the remote node misbehaves"
+    // experiments expressible.
+    for (const system::Socket &sk : sys.socketTopology()) {
+        bool remote = sk.id != 0;
+        for (core::FreePageQueue *q : sk.freePageQueues())
+            attachFpq(*q, remote);
+        if (sk.smu)
+            attachPmshr(sk.smu->pmshr(), remote);
+    }
+    if (sys.numSockets() > 1) {
+        sys.setShootdownFaultHook([this](unsigned) {
+            system::System::ShootdownFault f;
+            // Both streams advance on every query, so arming one site
+            // never shifts the other's decision sequence.
+            f.drop = decide(FaultSite::shootdownDrop);
+            bool delay = decide(FaultSite::shootdownDelay);
+            if (delay && !f.drop)
+                f.delay = states[idx(FaultSite::shootdownDelay)]
+                              .cfg.shootdownDeferral;
+            return f;
+        });
     }
 }
 
@@ -111,15 +136,19 @@ FaultPlan::attachSsd(ssd::SsdDevice &dev)
 }
 
 void
-FaultPlan::attachFpq(core::FreePageQueue &q)
+FaultPlan::attachFpq(core::FreePageQueue &q, bool remote_socket)
 {
-    q.setDryHook([this] { return decide(FaultSite::fpqDry); });
+    FaultSite s =
+        remote_socket ? FaultSite::remoteFpqDry : FaultSite::fpqDry;
+    q.setDryHook([this, s] { return decide(s); });
 }
 
 void
-FaultPlan::attachPmshr(core::Pmshr &p)
+FaultPlan::attachPmshr(core::Pmshr &p, bool remote_socket)
 {
-    p.setFullHook([this] { return decide(FaultSite::pmshrFull); });
+    FaultSite s = remote_socket ? FaultSite::remotePmshrFull
+                                : FaultSite::pmshrFull;
+    p.setFullHook([this, s] { return decide(s); });
 }
 
 bool

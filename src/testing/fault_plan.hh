@@ -43,8 +43,13 @@ enum class FaultSite : unsigned {
     ssdDroppedDoorbell, ///< Doorbell noticed late by the device.
     fpqDry,             ///< Free page queue pop behaves empty.
     pmshrFull,          ///< PMSHR allocate behaves full.
+    // NUMA sites (appended: earlier sites keep their fork streams).
+    remoteFpqDry,       ///< Dry spell on a remote socket's FPQ.
+    shootdownDrop,      ///< Cross-socket sync shootdown dropped.
+    shootdownDelay,     ///< Cross-socket sync shootdown deferred.
+    remotePmshrFull,    ///< Forced-full window on a remote PMSHR.
 };
-inline constexpr unsigned numFaultSites = 6;
+inline constexpr unsigned numFaultSites = 10;
 
 const char *faultSiteName(FaultSite s);
 
@@ -67,6 +72,9 @@ struct SiteConfig
     Tick latencySpike = microseconds(50.0);
     Tick channelStall = microseconds(20.0);
     Tick doorbellDelay = microseconds(5.0);
+
+    /** Deferral applied when shootdownDelay hits. */
+    Tick shootdownDeferral = microseconds(2.0);
 };
 
 class FaultPlan : public sim::SimObject, public ssd::IoFaultInjector
@@ -90,12 +98,15 @@ class FaultPlan : public sim::SimObject, public ssd::IoFaultInjector
     /**
      * Attach to everything relevant in @p sys for its paging mode:
      * every SSD, every free page queue, and the PMSHR when present.
+     * Multi-socket machines route sockets 1+ through the remote-site
+     * variants (remoteFpqDry / remotePmshrFull) and install the
+     * cross-socket shootdown fault hook.
      */
     void attach(system::System &sys);
 
     void attachSsd(ssd::SsdDevice &dev);
-    void attachFpq(core::FreePageQueue &q);
-    void attachPmshr(core::Pmshr &p);
+    void attachFpq(core::FreePageQueue &q, bool remote_socket = false);
+    void attachPmshr(core::Pmshr &p, bool remote_socket = false);
 
     // ---- ssd::IoFaultInjector -------------------------------------------
     ssd::IoFaultDecision onCommand(const nvme::SubmissionEntry &sqe,

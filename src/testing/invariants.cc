@@ -78,19 +78,38 @@ checkInvariants(system::System &sys)
                                 std::to_string(deviceIdOf(e)) +
                                 " != file device " +
                                 std::to_string(vma->file->device().dev));
+                        if (socketIdOf(e) != vma->file->device().sid)
+                            v.push_back(
+                                where + ": PTE socket id " +
+                                std::to_string(socketIdOf(e)) +
+                                " != file device socket " +
+                                std::to_string(vma->file->device().sid));
                     } else if (lbaOf(e) != zeroFillLba) {
                         v.push_back(where +
                                     ": anonymous PTE carries lba " +
                                     std::to_string(lbaOf(e)) +
                                     " instead of the zero-fill LBA");
+                    } else if (socketIdOf(e) != 0) {
+                        v.push_back(where +
+                                    ": anonymous PTE carries socket id " +
+                                    std::to_string(socketIdOf(e)) +
+                                    " instead of 0");
                     }
+                    if (socketIdOf(e) >= sys.numSockets())
+                        v.push_back(where + ": PTE routes to socket " +
+                                    std::to_string(socketIdOf(e)) +
+                                    " beyond the machine's " +
+                                    std::to_string(sys.numSockets()));
                 }
             }
         }
     }
 
     // ---- 2. Free-page-queue frames --------------------------------------
-    auto checkFpq = [&](const core::FreePageQueue &q, unsigned idx) {
+    // On a multi-socket machine every queue belongs to a socket, and
+    // kpoold only donates home-socket frames to it.
+    auto checkFpq = [&](const core::FreePageQueue &q, unsigned idx,
+                        unsigned home) {
         q.forEachPfn([&](Pfn pfn) {
             std::string where =
                 "free page queue " + std::to_string(idx) + " frame " +
@@ -106,19 +125,26 @@ checkInvariants(system::System &sys)
                 v.push_back(where + ": not allocated");
             if (!kern.page(pfn).inSmuQueue)
                 v.push_back(where + ": not flagged inSmuQueue");
+            if (sys.numSockets() > 1 && pm.socketOf(pfn) != home)
+                v.push_back(where + ": home socket " +
+                            std::to_string(pm.socketOf(pfn)) +
+                            " but queued on socket " +
+                            std::to_string(home));
         });
     };
-    if (core::Smu *smu = sys.smu()) {
+    {
         unsigned qi = 0;
-        for (core::FreePageQueue *q : smu->freePageQueues())
-            checkFpq(*q, qi++);
-    } else if (core::FreePageQueue *q = sys.freePageQueue()) {
-        checkFpq(*q, 0);
+        for (const system::Socket &sk : sys.socketTopology())
+            for (core::FreePageQueue *q : sk.freePageQueues())
+                checkFpq(*q, qi++, sk.id);
     }
 
     // ---- 3. PMSHR <-> in-flight NVMe commands ---------------------------
-    if (core::Smu *smu = sys.smu()) {
-        const core::Pmshr &p = smu->pmshr();
+    for (const system::Socket &sk : sys.socketTopology()) {
+        if (!sk.smu)
+            continue;
+        const core::Pmshr &p = sk.smu->pmshr();
+        std::string tag = "socket " + std::to_string(sk.id) + " pmshr";
         std::unordered_set<PAddr> pteAddrs;
         unsigned valid = 0;
         for (unsigned i = 0; i < p.capacity(); ++i) {
@@ -127,23 +153,27 @@ checkInvariants(system::System &sys)
             const auto &en = p.entry(static_cast<int>(i));
             ++valid;
             if (!pteAddrs.insert(en.pteAddr).second)
-                v.push_back("pmshr: duplicate pte address " +
+                v.push_back(tag + ": duplicate pte address " +
                             hex(en.pteAddr));
         }
         if (valid != p.occupancy())
-            v.push_back("pmshr: occupancy " +
+            v.push_back(tag + ": occupancy " +
                         std::to_string(p.occupancy()) + " != " +
                         std::to_string(valid) + " valid entries");
-        for (unsigned d = 0; d < sys.numSsds(); ++d) {
-            if (!smu->hostController().deviceConfigured(d))
+        // The host controller numbers devices locally; sk.devices holds
+        // the same local order.
+        for (unsigned d = 0; d < sk.devices.size(); ++d) {
+            if (!sk.smu->hostController().deviceConfigured(d))
                 continue;
-            std::uint16_t qid = smu->hostController().queueIdOf(d);
-            ssd::SsdDevice &dev = sys.ssdAt(d);
+            std::uint16_t qid = sk.smu->hostController().queueIdOf(d);
+            ssd::SsdDevice &dev = *sk.devices[d];
             std::uint64_t cmds = dev.queuePair(qid).sqOccupancy() +
                                  dev.queueInflight(qid);
             if (cmds > p.occupancy())
-                v.push_back("smu queue on device " + std::to_string(d) +
-                            ": " + std::to_string(cmds) +
+                v.push_back("socket " + std::to_string(sk.id) +
+                            " smu queue on local device " +
+                            std::to_string(d) + ": " +
+                            std::to_string(cmds) +
                             " commands in flight but only " +
                             std::to_string(p.occupancy()) +
                             " pmshr entries");
@@ -160,6 +190,27 @@ checkInvariants(system::System &sys)
             v.push_back(where + ": on an LRU list but not inUse");
         if (pg.inSmuQueue && pg.lruLinked)
             v.push_back(where + ": inSmuQueue and on an LRU list");
+    }
+
+    // ---- 5. Socket topology ---------------------------------------------
+    // Every shootdown broadcast bumps every socket's epoch — dropped or
+    // deferred remote invalidations change PWC contents, never the
+    // epoch — so the epochs must agree at all times, fault plan or not.
+    if (sys.numSockets() > 1) {
+        const system::Socket &s0 = sys.socketAt(0);
+        for (const system::Socket &sk : sys.socketTopology()) {
+            if (sk.shootdownEpoch != s0.shootdownEpoch)
+                v.push_back("socket " + std::to_string(sk.id) +
+                            ": shootdown epoch " +
+                            std::to_string(sk.shootdownEpoch) +
+                            " != socket 0's " +
+                            std::to_string(s0.shootdownEpoch));
+            if (sk.shootdownsDropped + sk.shootdownsDelayed >
+                sk.remoteShootdownsIn)
+                v.push_back("socket " + std::to_string(sk.id) +
+                            ": dropped+delayed shootdowns exceed "
+                            "remote broadcasts received");
+        }
     }
 
     return v;

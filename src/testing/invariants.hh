@@ -16,6 +16,10 @@
  *     never carry more commands than the PMSHR has entries in flight.
  *  4. Frame flags compose: inPageCache implies a file identity,
  *     lruLinked implies inUse, inSmuQueue excludes lruLinked.
+ *  5. Socket topology is coherent (multi-socket machines): every PTE
+ *     routes to an existing socket and carries its file's device
+ *     socket id; free-page queues hold only home-socket frames;
+ *     shootdown epochs agree across all sockets.
  *
  * checkInvariants() returns human-readable violation strings (empty =
  * machine consistent), so tests can EXPECT the vector empty and get a

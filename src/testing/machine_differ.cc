@@ -126,14 +126,46 @@ dumpMachineStats(system::System &sys, std::ostream &os)
     kern.blockLayer().stats().dump(os);
     for (unsigned d = 0; d < sys.numSsds(); ++d)
         sys.ssdAt(d).stats().dump(os);
-    if (core::Smu *smu = sys.smu()) {
-        smu->stats().dump(os);
-        smu->hostController().stats().dump(os);
+    for (unsigned s = 0; s < sys.numSockets(); ++s) {
+        if (core::Smu *smu = sys.smuAt(s)) {
+            smu->stats().dump(os);
+            smu->hostController().stats().dump(os);
+        }
+        if (core::SoftwareSmu *sw = sys.softwareSmuAt(s))
+            sw->stats().dump(os);
     }
-    if (core::SoftwareSmu *sw = sys.softwareSmu())
-        sw->stats().dump(os);
     for (unsigned c = 0; c < sys.config().nLogical; ++c)
         sys.core(c).mmu().stats().dump(os);
+
+    // NUMA-only counters: emitted only on multi-socket machines so the
+    // single-socket dump stays byte-identical to the pre-NUMA one (the
+    // differential gate depends on that).
+    if (sys.numSockets() > 1) {
+        for (const system::Socket &sk : sys.socketTopology()) {
+            os << "socket" << sk.id
+               << ".shootdownEpoch " << sk.shootdownEpoch << "\n"
+               << "socket" << sk.id << ".remoteShootdownsIn "
+               << sk.remoteShootdownsIn << "\n"
+               << "socket" << sk.id << ".shootdownsDropped "
+               << sk.shootdownsDropped << "\n"
+               << "socket" << sk.id << ".shootdownsDelayed "
+               << sk.shootdownsDelayed << "\n";
+            if (sk.smu)
+                os << "socket" << sk.id << ".smu.remoteRequests "
+                   << sk.smu->remoteRequests() << "\n";
+        }
+        std::uint64_t remote_dram = 0, remote_walk = 0;
+        for (unsigned c = 0; c < sys.config().nLogical; ++c) {
+            remote_dram += sys.core(c).mmu().remoteDramAccesses();
+            remote_walk +=
+                sys.core(c).mmu().walker().remoteWalkSteps();
+        }
+        os << "numa.remoteDramAccesses " << remote_dram << "\n"
+           << "numa.remoteWalkSteps " << remote_walk << "\n";
+        if (core::Kpted *kt = sys.kpted())
+            os << "numa.shootdownIpisSent " << kt->shootdownIpisSent()
+               << "\n";
+    }
 }
 
 } // namespace hwdp::testing

@@ -1,0 +1,124 @@
+#include "workloads/open_loop.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/serialize.hh"
+
+namespace hwdp::workloads {
+
+OpenLoopSource::OpenLoopSource(KvStore &store, const OpenLoopParams &p,
+                               sim::Rng schedule_rng)
+    : store(store), prm(p)
+{
+    if (prm.nServers == 0)
+        fatal("open loop: nServers must be >= 1");
+    if (prm.offeredOpsPerSec <= 0.0)
+        fatal("open loop: offered load must be positive");
+    if (prm.readFrac < 0.0 || prm.readFrac > 1.0)
+        fatal("open loop: readFrac must be in [0, 1]");
+
+    if (prm.latestChooser)
+        keyChooser =
+            std::make_unique<LatestChooser>(store.numKeys(), prm.zipfTheta);
+    else
+        keyChooser = std::make_unique<ZipfianChooser>(store.numKeys(),
+                                                      prm.zipfTheta);
+
+    // Poisson arrivals: exponential gaps at the aggregate rate, dealt
+    // round-robin. uniform() is in [0, 1), so 1-u is in (0, 1] and the
+    // log never sees zero.
+    schedule.resize(prm.nServers);
+    const double rate = prm.offeredOpsPerSec;
+    double t_sec = 0.0;
+    for (std::uint64_t i = 0; i < prm.totalRequests; ++i) {
+        double u = schedule_rng.uniform();
+        t_sec += -std::log(1.0 - u) / rate;
+        Tick at = seconds(t_sec);
+        schedule[i % prm.nServers].push_back(at);
+        if (i == 0)
+            first = at;
+        last = at;
+    }
+}
+
+OpenLoopServer::OpenLoopServer(OpenLoopSource &source, unsigned server_idx)
+    : src(source), idx(server_idx),
+      lat(source.params().reservoirCapacity)
+{
+    if (idx >= src.params().nServers)
+        fatal("open loop: server index ", idx, " out of range");
+}
+
+Op
+OpenLoopServer::next(sim::Rng &rng, Tick now)
+{
+    if (!pending.empty()) {
+        Op op = pending.front();
+        pending.pop_front();
+        return op;
+    }
+
+    const std::vector<Tick> &arrivals = src.arrivalsFor(idx);
+    if (cursor >= arrivals.size())
+        return Op::makeDone();
+
+    Tick at = arrivals[cursor];
+    if (now < at) {
+        // Not due yet: hand think time back to the thread. The next
+        // draw happens at exactly the arrival tick.
+        Op op;
+        op.kind = Op::Kind::idle;
+        op.idleTicks = at - now;
+        return op;
+    }
+
+    // Due (or overdue — the open-loop property: an overloaded machine
+    // starts late and the queueing delay lands in the latency).
+    ++cursor;
+    curArrival = at;
+    requestOpen = true;
+
+    KvStore &kv = src.kv();
+    std::uint64_t key = src.chooser().next(rng, kv.numKeys());
+    if (rng.uniform() < src.params().readFrac)
+        kv.emitRead(pending, key);
+    else
+        kv.emitUpdate(pending, key);
+
+    Op op = pending.front();
+    pending.pop_front();
+    return op;
+}
+
+void
+OpenLoopServer::appOpDone(Tick now)
+{
+    if (!requestOpen)
+        return;
+    requestOpen = false;
+    ++nServed;
+    lastDone = now;
+    lat.record(toMicroseconds(now - curArrival));
+}
+
+void
+OpenLoopServer::serialize(sim::Serializer &s)
+{
+    s.section("open_loop");
+    if (s.saving() && !pending.empty())
+        throw sim::SerializeError(
+            "checkpoint: open-loop server is mid-request; quiesce the "
+            "machine first");
+    std::uint64_t n_sched = src.arrivalsFor(idx).size();
+    s.check(n_sched, "open-loop schedule length");
+    s.io(cursor);
+    s.io(curArrival);
+    s.io(requestOpen);
+    s.io(nServed);
+    s.io(lastDone);
+    lat.serialize(s);
+    src.kv().serialize(s);
+}
+
+} // namespace hwdp::workloads

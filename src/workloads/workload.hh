@@ -152,6 +152,28 @@ class Workload
     /** Produce the next operation. Must return done forever after. */
     virtual Op next(sim::Rng &rng) = 0;
 
+    /**
+     * Time-aware draw: @p now is the executing thread's logical clock
+     * at the moment of the draw. Open-loop sources use it to pace
+     * arrivals (idling until the next scheduled request); the default
+     * forwards to the timeless overload, so closed-loop workloads are
+     * untouched.
+     */
+    virtual Op
+    next(sim::Rng &rng, Tick now)
+    {
+        (void)now;
+        return next(rng);
+    }
+
+    /**
+     * Fired when an op with endsAppOp retires, at the logical
+     * completion time. Open-loop sources compute per-request latency
+     * (completion minus *scheduled arrival*, so queueing delay is
+     * included) here; the default does nothing.
+     */
+    virtual void appOpDone(Tick now) { (void)now; }
+
     virtual const char *label() const = 0;
 
     /**

@@ -213,6 +213,103 @@ TEST(BouncePaths, BlockLayerRetriesFailedReadsUnderOsdp)
     EXPECT_EQ(sys.totalAppOps(), 1000u);
 }
 
+namespace {
+
+/** Two-socket machine; one FIO thread per socket on its local device. */
+std::unique_ptr<system::System>
+makeNumaSystem(system::PagingMode mode, std::uint64_t ops = 1200)
+{
+    auto cfg = smallConfig(mode);
+    cfg.sockets = 2;
+    auto sys = std::make_unique<system::System>(cfg);
+    for (unsigned s = 0; s < 2; ++s) {
+        auto mf = sys->mapDataset("f" + std::to_string(s), 8 * 1024,
+                                  nullptr, s);
+        auto *wl =
+            sys->makeWorkload<workloads::FioWorkload>(mf.vma, ops);
+        sys->addThread(*wl, s * cfg.coresPerSocket(), *mf.as);
+    }
+    return sys;
+}
+
+} // namespace
+
+TEST(BouncePaths, RemoteFpqDryBouncesOnItsOwnSocket)
+{
+    auto sys = makeNumaSystem(system::PagingMode::hwdp);
+    ht::FaultPlan plan("plan", sys->eventQueue(), 73);
+    plan.attach(*sys);
+    plan.site(ht::FaultSite::remoteFpqDry).rate = 1.0;
+    plan.site(ht::FaultSite::remoteFpqDry).maxInjections = 8;
+    plan.arm(ht::FaultSite::remoteFpqDry);
+
+    ASSERT_TRUE(sys->runUntilThreadsDone(seconds(30.0)));
+    // The injected dry spells hit socket 1's SMU and bounced to the
+    // OS there. (Socket 0 may see a few genuine dry pops before
+    // kpoold's first refill; only the injected ones are pinned.)
+    EXPECT_EQ(plan.injections(ht::FaultSite::remoteFpqDry), 8u);
+    EXPECT_EQ(plan.injections(ht::FaultSite::fpqDry), 0u);
+    EXPECT_GE(sys->smuAt(1)->rejectedQueueEmpty(), 8u);
+    EXPECT_GE(sys->kernel().smuFallbackFaults(), 8u);
+    EXPECT_EQ(sys->totalAppOps(), 2400u);
+    auto inv = ht::checkInvariants(*sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+}
+
+TEST(BouncePaths, RemotePmshrFullBouncesToOs)
+{
+    auto sys = makeNumaSystem(system::PagingMode::hwdp);
+    ht::FaultPlan plan("plan", sys->eventQueue(), 79);
+    plan.attach(*sys);
+    plan.site(ht::FaultSite::remotePmshrFull).rate = 1.0;
+    plan.site(ht::FaultSite::remotePmshrFull).maxInjections = 8;
+    plan.arm(ht::FaultSite::remotePmshrFull);
+
+    ASSERT_TRUE(sys->runUntilThreadsDone(seconds(30.0)));
+    EXPECT_EQ(sys->smuAt(1)->rejectedPmshrFull(), 8u);
+    EXPECT_EQ(sys->smuAt(0)->rejectedPmshrFull(), 0u);
+    EXPECT_GE(sys->kernel().smuFallbackFaults(), 8u);
+    EXPECT_EQ(sys->totalAppOps(), 2400u);
+    auto inv = ht::checkInvariants(*sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+}
+
+TEST(BouncePaths, DroppedSyncShootdownsAreAbsorbed)
+{
+    // Drop EVERY remote PWC invalidation on the kpted sync path. A
+    // stale PWC entry there is a performance artifact, never a
+    // correctness hole: the run must complete and stay consistent.
+    auto sys = makeNumaSystem(system::PagingMode::hwdp);
+    ht::FaultPlan plan("plan", sys->eventQueue(), 83);
+    plan.attach(*sys);
+    plan.site(ht::FaultSite::shootdownDrop).rate = 1.0;
+    plan.arm(ht::FaultSite::shootdownDrop);
+
+    ASSERT_TRUE(sys->runUntilThreadsDone(seconds(30.0)));
+    EXPECT_GT(sys->socketAt(1).shootdownsDropped, 0u);
+    EXPECT_EQ(sys->totalAppOps(), 2400u);
+    auto inv = ht::checkInvariants(*sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+    // Epochs still agree: drops change PWC contents, not the epoch.
+    EXPECT_EQ(sys->socketAt(0).shootdownEpoch,
+              sys->socketAt(1).shootdownEpoch);
+}
+
+TEST(BouncePaths, DelayedSyncShootdownsEventuallyInvalidate)
+{
+    auto sys = makeNumaSystem(system::PagingMode::hwdp);
+    ht::FaultPlan plan("plan", sys->eventQueue(), 89);
+    plan.attach(*sys);
+    plan.site(ht::FaultSite::shootdownDelay).rate = 1.0;
+    plan.arm(ht::FaultSite::shootdownDelay);
+
+    ASSERT_TRUE(sys->runUntilThreadsDone(seconds(30.0)));
+    EXPECT_GT(sys->socketAt(1).shootdownsDelayed, 0u);
+    EXPECT_EQ(sys->totalAppOps(), 2400u);
+    auto inv = ht::checkInvariants(*sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+}
+
 TEST(BouncePaths, AnonExhaustionOomKillsThreadInsteadOfPanicking)
 {
     auto cfg = smallConfig(system::PagingMode::osdp);

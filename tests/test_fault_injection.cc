@@ -61,11 +61,72 @@ makeFioRun(system::PagingMode mode, std::uint64_t plan_seed,
     return r;
 }
 
+/** The sites a single-socket machine exposes. */
+constexpr unsigned numLocalSites = 6;
+
+const ht::FaultSite numaSites[] = {
+    ht::FaultSite::remoteFpqDry, ht::FaultSite::shootdownDrop,
+    ht::FaultSite::shootdownDelay, ht::FaultSite::remotePmshrFull};
+
+/**
+ * A two-socket machine with one FIO thread per socket, each working a
+ * dataset on its local device — both sockets' SMUs field faults, and
+ * kpted's sync broadcasts fan out across the socket boundary.
+ */
+FioRun
+makeNumaFioRun(system::PagingMode mode, std::uint64_t plan_seed,
+               std::uint64_t ops = 1500, double rate = 0.05,
+               std::uint64_t mem_frames = 8 * 1024,
+               std::uint64_t dataset_pages = 8 * 1024)
+{
+    FioRun r;
+    auto cfg = smallConfig(mode);
+    cfg.sockets = 2;
+    cfg.memFrames = mem_frames;
+    r.sys = std::make_unique<system::System>(cfg);
+    r.plan = std::make_unique<ht::FaultPlan>(
+        "plan", r.sys->eventQueue(), plan_seed);
+    for (unsigned s = 0; s < 2; ++s) {
+        auto mf = r.sys->mapDataset("f" + std::to_string(s),
+                                    dataset_pages, nullptr, s);
+        auto *wl =
+            r.sys->makeWorkload<workloads::FioWorkload>(mf.vma, ops);
+        cpu::ThreadContext *tc =
+            r.sys->addThread(*wl, s * cfg.coresPerSocket(), *mf.as);
+        if (s == 0)
+            r.tc = tc;
+    }
+    r.plan->attach(*r.sys);
+    if (rate > 0.0)
+        r.plan->armAllAtRate(rate);
+    return r;
+}
+
 } // namespace
 
 TEST(FaultInjection, EverySiteFiresUnderFixedSeed)
 {
     FioRun r = makeFioRun(system::PagingMode::hwdp, 7);
+    ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
+
+    for (unsigned i = 0; i < numLocalSites; ++i) {
+        auto s = static_cast<ht::FaultSite>(i);
+        EXPECT_GT(r.plan->queries(s), 0u) << ht::faultSiteName(s);
+        EXPECT_GT(r.plan->injections(s), 0u)
+            << ht::faultSiteName(s);
+    }
+    // A single-socket machine never touches the NUMA sites.
+    for (ht::FaultSite s : numaSites)
+        EXPECT_EQ(r.plan->queries(s), 0u) << ht::faultSiteName(s);
+    EXPECT_EQ(r.plan->totalInjections(), r.plan->log().size());
+
+    // The machine absorbed every fault: all ops completed.
+    EXPECT_EQ(r.sys->totalAppOps(), 2500u);
+}
+
+TEST(FaultInjection, NumaSitesFireOnTwoSocketMachine)
+{
+    FioRun r = makeNumaFioRun(system::PagingMode::hwdp, 7);
     ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
 
     for (unsigned i = 0; i < ht::numFaultSites; ++i) {
@@ -75,9 +136,87 @@ TEST(FaultInjection, EverySiteFiresUnderFixedSeed)
             << ht::faultSiteName(s);
     }
     EXPECT_EQ(r.plan->totalInjections(), r.plan->log().size());
+    EXPECT_EQ(r.sys->totalAppOps(), 3000u);
 
-    // The machine absorbed every fault: all ops completed.
-    EXPECT_EQ(r.sys->totalAppOps(), 2500u);
+    // The injected drops/delays landed on socket 1's counters.
+    const system::Socket &sk1 = r.sys->socketAt(1);
+    EXPECT_GT(sk1.shootdownsDropped, 0u);
+    EXPECT_GT(sk1.shootdownsDelayed, 0u);
+    EXPECT_EQ(sk1.shootdownEpoch, r.sys->socketAt(0).shootdownEpoch);
+}
+
+TEST(FaultInjection, NumaFaultScheduleReplaysUnderSameSeed)
+{
+    FioRun a = makeNumaFioRun(system::PagingMode::hwdp, 11);
+    FioRun b = makeNumaFioRun(system::PagingMode::hwdp, 11);
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(30.0)));
+    ASSERT_TRUE(b.sys->runUntilThreadsDone(seconds(30.0)));
+
+    const auto &la = a.plan->log();
+    const auto &lb = b.plan->log();
+    ASSERT_EQ(la.size(), lb.size());
+    ASSERT_GT(la.size(), 0u);
+    for (std::size_t i = 0; i < la.size(); ++i) {
+        EXPECT_EQ(la[i].site, lb[i].site) << "entry " << i;
+        EXPECT_EQ(la[i].tick, lb[i].tick) << "entry " << i;
+        EXPECT_EQ(la[i].querySeq, lb[i].querySeq) << "entry " << i;
+    }
+
+    std::ostringstream da, db;
+    ht::quiesce(*a.sys);
+    ht::quiesce(*b.sys);
+    ht::dumpMachineStats(*a.sys, da);
+    ht::dumpMachineStats(*b.sys, db);
+    ASSERT_FALSE(da.str().empty());
+    EXPECT_EQ(da.str(), db.str());
+}
+
+TEST(FaultInjection, NumaInvariantsHoldMidRunAndAtCompletion)
+{
+    FioRun r = makeNumaFioRun(system::PagingMode::hwdp, 29);
+    r.sys->eventQueue().runWhile(
+        [&] { return r.sys->totalAppOps() < 800; }, seconds(30.0));
+    auto mid = ht::checkInvariants(*r.sys);
+    EXPECT_TRUE(mid.empty()) << mid.front();
+
+    ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
+    ht::quiesce(*r.sys);
+    auto end = ht::checkInvariants(*r.sys);
+    EXPECT_TRUE(end.empty()) << end.front();
+}
+
+TEST(FaultInjection, NumaFaultedFinalStateMatchesClean)
+{
+    // Pressure-free (datasets fit in DRAM) so reclaim order cannot
+    // differ between the runs; every injected fault — including every
+    // dropped or deferred remote shootdown — must then be invisible in
+    // the final logical state.
+    FioRun faulted = makeNumaFioRun(system::PagingMode::hwdp, 31, 1200,
+                                    0.05, 48 * 1024, 8 * 1024);
+    FioRun clean = makeNumaFioRun(system::PagingMode::hwdp, 31, 1200,
+                                  0.0, 48 * 1024, 8 * 1024);
+    ASSERT_TRUE(faulted.sys->runUntilThreadsDone(seconds(30.0)));
+    ASSERT_TRUE(clean.sys->runUntilThreadsDone(seconds(30.0)));
+    ASSERT_GT(faulted.plan->totalInjections(), 0u);
+    ht::quiesce(*faulted.sys);
+    ht::quiesce(*clean.sys);
+
+    auto a = ht::snapshot(*faulted.sys, "faulted");
+    auto b = ht::snapshot(*clean.sys, "clean");
+    auto d = ht::diff(a, b);
+    EXPECT_TRUE(d.equivalent) << d.report;
+}
+
+TEST(FaultInjection, NumaSwSmuRoutesRemoteQueueSites)
+{
+    FioRun r = makeNumaFioRun(system::PagingMode::swsmu, 37, 1200);
+    ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
+    EXPECT_GT(r.plan->queries(ht::FaultSite::fpqDry), 0u);
+    EXPECT_GT(r.plan->queries(ht::FaultSite::remoteFpqDry), 0u);
+    // No PMSHR exists in swsmu mode, local or remote.
+    EXPECT_EQ(r.plan->queries(ht::FaultSite::pmshrFull), 0u);
+    EXPECT_EQ(r.plan->queries(ht::FaultSite::remotePmshrFull), 0u);
+    EXPECT_EQ(r.sys->totalAppOps(), 2400u);
 }
 
 TEST(FaultInjection, SameSeedReplaysIdenticalSchedule)

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Open-loop serving pieces: the deterministic latency reservoir
+ * (exact nearest-rank quantiles under capacity, stride decimation and
+ * renormalization above it, weighted cross-reservoir merge, blob
+ * round-trip) and the Poisson arrival schedule (seed determinism,
+ * per-server monotonicity, offered-rate tracking), plus a small
+ * end-to-end serving machine that must drain every scheduled request
+ * deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/latency_reservoir.hh"
+#include "sim/rng.hh"
+#include "sim/serialize.hh"
+#include "system/system.hh"
+#include "workloads/kv_store.hh"
+#include "workloads/open_loop.hh"
+
+using namespace hwdp;
+using metrics::LatencyReservoir;
+
+// ---- Reservoir -------------------------------------------------------------
+
+TEST(LatencyReservoir, ExactQuantilesUnderCapacity)
+{
+    LatencyReservoir r(256);
+    // 1..100 in scrambled order: quantiles are order-independent.
+    std::vector<double> vals;
+    for (int i = 1; i <= 100; ++i)
+        vals.push_back(i);
+    sim::Rng rng(7);
+    for (std::size_t i = vals.size(); i > 1; --i)
+        std::swap(vals[i - 1], vals[rng.range(i)]);
+    for (double v : vals)
+        r.record(v);
+
+    EXPECT_EQ(r.count(), 100u);
+    EXPECT_EQ(r.decimationStride(), 1u);
+    EXPECT_EQ(r.retained(), 100u);
+    // Nearest rank: the ceil(q*n)-th smallest.
+    EXPECT_EQ(r.quantile(0.5), 50.0);
+    EXPECT_EQ(r.quantile(0.99), 99.0);
+    EXPECT_EQ(r.quantile(0.999), 100.0);
+    EXPECT_EQ(r.quantile(1.0), 100.0);
+    EXPECT_EQ(r.min(), 1.0);
+    EXPECT_EQ(r.max(), 100.0);
+    EXPECT_DOUBLE_EQ(r.mean(), 50.5);
+}
+
+TEST(LatencyReservoir, SingleSampleAndEmptyEdges)
+{
+    LatencyReservoir one(8);
+    one.record(42.0);
+    EXPECT_EQ(one.quantile(0.0), 42.0);
+    EXPECT_EQ(one.quantile(0.5), 42.0);
+    EXPECT_EQ(one.quantile(1.0), 42.0);
+
+    LatencyReservoir empty(8);
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_EQ(empty.min(), 0.0);
+    EXPECT_EQ(empty.max(), 0.0);
+    EXPECT_EQ(empty.mean(), 0.0);
+}
+
+TEST(LatencyReservoir, DecimationKeepsTheStrideSubsample)
+{
+    // Capacity 8 fed 0..99 in order. The renormalizations double the
+    // stride at fills: after 100 records the retained set is exactly
+    // the multiples of 16 — {0,16,32,48,64,80,96}.
+    LatencyReservoir r(8);
+    for (int i = 0; i < 100; ++i)
+        r.record(i);
+
+    EXPECT_EQ(r.count(), 100u);
+    EXPECT_EQ(r.decimationStride(), 16u);
+    EXPECT_EQ(r.retained(), 7u);
+    EXPECT_EQ(r.min(), 0.0);
+    EXPECT_EQ(r.max(), 96.0);
+    EXPECT_EQ(r.quantile(0.5), 48.0);
+    EXPECT_EQ(r.quantile(1.0), 96.0);
+}
+
+TEST(LatencyReservoir, DeterministicAcrossIdenticalFeeds)
+{
+    LatencyReservoir a(64), b(64);
+    sim::Rng ra(99), rb(99);
+    for (int i = 0; i < 5000; ++i) {
+        a.record(ra.uniform() * 1000.0);
+        b.record(rb.uniform() * 1000.0);
+    }
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.decimationStride(), b.decimationStride());
+    EXPECT_EQ(a.retained(), b.retained());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+}
+
+TEST(LatencyReservoir, WeightedMergeMatchesExactOnUndecimatedSets)
+{
+    // Two stride-1 reservoirs split 1..100: the merged quantile is the
+    // exact nearest-rank over the union.
+    LatencyReservoir a(256), b(256);
+    for (int i = 1; i <= 50; ++i)
+        a.record(i);
+    for (int i = 51; i <= 100; ++i)
+        b.record(i);
+    std::vector<const LatencyReservoir *> rs{&a, &b};
+    EXPECT_EQ(LatencyReservoir::quantileAcross(rs, 0.25), 25.0);
+    EXPECT_EQ(LatencyReservoir::quantileAcross(rs, 0.5), 50.0);
+    EXPECT_EQ(LatencyReservoir::quantileAcross(rs, 0.99), 99.0);
+    EXPECT_EQ(LatencyReservoir::quantileAcross(rs, 1.0), 100.0);
+
+    // A decimated reservoir merged alone agrees with its own quantile
+    // (each retained sample weighted by the stride it stands for).
+    LatencyReservoir d(8);
+    for (int i = 0; i < 100; ++i)
+        d.record(i);
+    std::vector<const LatencyReservoir *> one{&d};
+    for (double q : {0.1, 0.5, 0.9, 1.0})
+        EXPECT_EQ(LatencyReservoir::quantileAcross(one, q),
+                  d.quantile(q))
+            << "q=" << q;
+
+    EXPECT_EQ(LatencyReservoir::quantileAcross({}, 0.5), 0.0);
+}
+
+TEST(LatencyReservoir, BlobRoundTripPreservesEverything)
+{
+    LatencyReservoir a(32);
+    sim::Rng rng(5);
+    for (int i = 0; i < 500; ++i)
+        a.record(rng.uniform() * 77.0);
+
+    sim::Serializer s = sim::Serializer::saver();
+    a.serialize(s);
+    auto blob = s.takeBlob();
+
+    LatencyReservoir b(32);
+    b.record(1.0); // overwritten by the load
+    sim::Serializer l = sim::Serializer::loader(blob);
+    b.serialize(l);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.decimationStride(), b.decimationStride());
+    EXPECT_EQ(a.retained(), b.retained());
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(a.quantile(q), b.quantile(q));
+
+    // A reservoir of a different capacity must reject the blob.
+    LatencyReservoir c(64);
+    sim::Serializer l2 = sim::Serializer::loader(blob);
+    EXPECT_THROW(c.serialize(l2), sim::SerializeError);
+}
+
+// ---- Arrival schedule ------------------------------------------------------
+
+namespace {
+
+system::MachineConfig
+servingConfig(system::PagingMode mode, unsigned sockets = 1)
+{
+    system::MachineConfig cfg;
+    cfg.mode = mode;
+    cfg.nLogical = 4;
+    cfg.nPhysical = 2;
+    cfg.memFrames = 32 * 1024;
+    cfg.smu.freeQueueCapacity = 512;
+    cfg.kpooldPeriod = milliseconds(1.0);
+    cfg.kptedPeriod = milliseconds(4.0);
+    cfg.sockets = sockets;
+    return cfg;
+}
+
+struct Serving
+{
+    std::unique_ptr<system::System> sys;
+    std::unique_ptr<workloads::KvStore> store;
+    std::unique_ptr<workloads::OpenLoopSource> source;
+    std::vector<workloads::OpenLoopServer *> servers;
+};
+
+Serving
+makeServing(system::PagingMode mode, const workloads::OpenLoopParams &p,
+            std::uint64_t seed = 1234, unsigned sockets = 1)
+{
+    Serving sv;
+    auto cfg = servingConfig(mode, sockets);
+    cfg.seed = seed;
+    sv.sys = std::make_unique<system::System>(cfg);
+    auto mf = sv.sys->mapDataset("kv", 8 * 1024);
+    auto *wal = sv.sys->createFile("wal", 8 * 1024);
+    sv.store =
+        std::make_unique<workloads::KvStore>(mf.vma, wal, 8 * 1024);
+    sv.source = std::make_unique<workloads::OpenLoopSource>(
+        *sv.store, p, sim::Rng(seed ^ 0x6f70656e6c6f6fULL));
+    for (unsigned t = 0; t < p.nServers; ++t) {
+        auto *w = sv.sys->makeWorkload<workloads::OpenLoopServer>(
+            *sv.source, t);
+        sv.servers.push_back(w);
+        sv.sys->addThread(*w, t % cfg.nLogical, *mf.as);
+    }
+    return sv;
+}
+
+} // namespace
+
+TEST(OpenLoop, ArrivalScheduleIsSeedDeterministic)
+{
+    workloads::OpenLoopParams p;
+    p.offeredOpsPerSec = 100e3;
+    p.totalRequests = 4000;
+    p.nServers = 3;
+
+    Serving a = makeServing(system::PagingMode::osdp, p, 42);
+    Serving b = makeServing(system::PagingMode::hwdp, p, 42, 2);
+    Serving c = makeServing(system::PagingMode::osdp, p, 43);
+
+    std::uint64_t total = 0;
+    for (unsigned s = 0; s < p.nServers; ++s) {
+        // Same seed: identical per-server schedules, regardless of
+        // paging mode or socket count.
+        EXPECT_EQ(a.source->arrivalsFor(s), b.source->arrivalsFor(s))
+            << "server " << s;
+        total += a.source->arrivalsFor(s).size();
+    }
+    EXPECT_EQ(total, p.totalRequests);
+    // A different seed moves the schedule.
+    EXPECT_NE(a.source->arrivalsFor(0), c.source->arrivalsFor(0));
+}
+
+TEST(OpenLoop, ArrivalsAreMonotoneAndTrackTheOfferedRate)
+{
+    workloads::OpenLoopParams p;
+    p.offeredOpsPerSec = 200e3;
+    p.totalRequests = 20000;
+    p.nServers = 4;
+    Serving sv = makeServing(system::PagingMode::osdp, p, 7);
+
+    for (unsigned s = 0; s < p.nServers; ++s) {
+        const auto &arr = sv.source->arrivalsFor(s);
+        for (std::size_t i = 1; i < arr.size(); ++i)
+            ASSERT_LT(arr[i - 1], arr[i]) << "server " << s;
+    }
+    // 20k arrivals at 200k/s: the schedule spans ~100 ms.
+    double span = toSeconds(sv.source->lastArrival());
+    EXPECT_GT(span, 0.08);
+    EXPECT_LT(span, 0.12);
+    EXPECT_LT(sv.source->firstArrival(), sv.source->lastArrival());
+}
+
+TEST(OpenLoop, ServersDrainEveryScheduledRequest)
+{
+    workloads::OpenLoopParams p;
+    p.offeredOpsPerSec = 50e3;
+    p.totalRequests = 2000;
+    p.nServers = 2;
+    Serving sv = makeServing(system::PagingMode::hwdp, p, 11);
+    ASSERT_TRUE(sv.sys->runUntilThreadsDone(seconds(60.0)));
+
+    std::uint64_t served = 0;
+    std::vector<const metrics::LatencyReservoir *> rs;
+    for (auto *s : sv.servers) {
+        EXPECT_EQ(s->latency().count(), s->served());
+        EXPECT_GT(s->lastCompletion(), 0u);
+        served += s->served();
+        rs.push_back(&s->latency());
+    }
+    EXPECT_EQ(served, p.totalRequests);
+
+    double p50 = metrics::LatencyReservoir::quantileAcross(rs, 0.5);
+    double p99 = metrics::LatencyReservoir::quantileAcross(rs, 0.99);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p99);
+}
+
+TEST(OpenLoop, ServingRunIsSeedDeterministic)
+{
+    workloads::OpenLoopParams p;
+    p.offeredOpsPerSec = 50e3;
+    p.totalRequests = 1500;
+    p.nServers = 2;
+    Serving a = makeServing(system::PagingMode::hwdp, p, 17);
+    Serving b = makeServing(system::PagingMode::hwdp, p, 17);
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(60.0)));
+    ASSERT_TRUE(b.sys->runUntilThreadsDone(seconds(60.0)));
+
+    for (unsigned i = 0; i < p.nServers; ++i) {
+        EXPECT_EQ(a.servers[i]->served(), b.servers[i]->served());
+        EXPECT_EQ(a.servers[i]->lastCompletion(),
+                  b.servers[i]->lastCompletion());
+        for (double q : {0.5, 0.99, 0.999})
+            EXPECT_EQ(a.servers[i]->latency().quantile(q),
+                      b.servers[i]->latency().quantile(q))
+                << "server " << i << " q " << q;
+    }
+}
