@@ -65,6 +65,9 @@ Mmu::Mmu(std::string name, sim::EventQueue &eq, unsigned logical_core,
     : sim::SimObject(std::move(name), eq), core(logical_core),
       physCore(kernel.scheduler().physCoreOf(logical_core)),
       caches(caches), kernel(kernel), period(cycle_period),
+      // Wide (NAPOT / 2 MB) TLB entries exist only when the kernel can
+      // produce wide PTEs; off keeps the 4 KB-only TLB bit for bit.
+      tlbUnit(64, 1536, 8, 8, kernel.pageMode() != PageMode::off),
       walkUnit(caches, physCore, cycle_period, pwc_entries),
       smus(8, nullptr),
       statAccesses(stats().counter("accesses", "memory accesses")),
@@ -152,8 +155,15 @@ Mmu::access(os::Thread &t, os::AddressSpace &as, VAddr vaddr,
     // 2. Page-table walk.
     Walker::Outcome wo = walkUnit.walk(as, vaddr);
     if (wo.kind == Walker::Classification::present) {
-        Pfn pfn = os::pte::pfnOf(wo.entry);
-        tlbUnit.insert(vaddr, pfn);
+        // The entry may be a wide translation (2 MB leaf or NAPOT
+        // range): the TLB caches its base at full reach, while the
+        // data access uses the exact covered frame. reach = 0 keeps
+        // the pre-huge-page behaviour bit for bit.
+        unsigned reach = os::pte::reachOf(wo.entry);
+        Pfn base = os::pte::pfnOf(wo.entry) >> reach << reach;
+        Pfn pfn =
+            base + ((vaddr >> pageShift) & ((1ULL << reach) - 1));
+        tlbUnit.insert(vaddr, base, reach);
         out = AccessInfo{};
         out.latency = wo.latency + dataAccess(vaddr, pfn, is_write);
         return true;
@@ -278,8 +288,11 @@ Mmu::retry(Pending *p)
 
     Walker::Outcome wo = walkUnit.walk(*p->as, p->vaddr);
     if (wo.kind == Walker::Classification::present) {
-        Pfn pfn = os::pte::pfnOf(wo.entry);
-        tlbUnit.insert(p->vaddr, pfn);
+        unsigned reach = os::pte::reachOf(wo.entry);
+        Pfn base = os::pte::pfnOf(wo.entry) >> reach << reach;
+        Pfn pfn =
+            base + ((p->vaddr >> pageShift) & ((1ULL << reach) - 1));
+        tlbUnit.insert(p->vaddr, base, reach);
         complete(p, wo.latency + dataAccess(p->vaddr, pfn, p->write),
                  "mmu.walked");
         return;

@@ -127,6 +127,19 @@ Walker::walk(os::AddressSpace &as, VAddr vaddr)
         cycles += charge(r->addr);
         pwcInsert(r->addr);
     }
+    // A 2 MB PMD leaf terminates the walk one level early: the PMD
+    // entry (already charged / PWC-filtered above) is the
+    // translation, and no leaf PTE read exists to charge — the
+    // latency edge huge pages give a hardware walker.
+    if (refs.pmd.valid() && os::pte::isHugeLeaf(refs.pmd.value())) {
+        out.latency = cycles * period;
+        os::pte::Entry leaf = refs.pmd.value();
+        if (!os::pte::isAccessed(leaf))
+            refs.pmd.write(leaf | os::pte::accessedBit);
+        out.entry = refs.pmd.value();
+        out.kind = Classification::present;
+        return out;
+    }
     if (refs.pmd.valid() && refs.pte.valid())
         cycles += charge(refs.pte.addr);
     out.latency = cycles * period;

@@ -42,7 +42,8 @@ class Walker
 {
   public:
     enum class Classification {
-        present,  ///< Translation available; PTE returned.
+        present,  ///< Translation available; PTE (or a 2 MB PMD
+                  ///  leaf — test pte::isHugeLeaf) returned.
         osFault,  ///< present=0, LBA=0: raise an exception.
         hwMiss,   ///< present=0, LBA=1: send to the SMU.
     };

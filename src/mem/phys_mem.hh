@@ -62,6 +62,17 @@ class PhysMem : public sim::SimObject
      */
     Pfn allocOnSocket(unsigned socket);
 
+    /**
+     * Allocate a naturally aligned run of 2^@p order frames on
+     * @p socket (the 2 MB huge-page path uses order 9). Returns the
+     * base PFN, or invalidPfn when no fully free aligned window exists
+     * on that node. The frames are claimed in the allocation bitmap;
+     * their free-list entries go stale and are skipped lazily by
+     * alloc(), so the single-frame path stays byte-identical whenever
+     * this is never called (pageMode = off).
+     */
+    Pfn allocContig(unsigned socket, unsigned order);
+
     /** Return a frame to its home node's pool. @pre pfn was allocated. */
     void free(Pfn pfn);
 
@@ -81,13 +92,13 @@ class PhysMem : public sim::SimObject
     std::uint64_t freeFrames() const
     {
         std::uint64_t n = 0;
-        for (const auto &l : freeLists)
-            n += l.size();
+        for (auto c : freeCounts)
+            n += c;
         return n;
     }
     std::uint64_t freeFramesOn(unsigned socket) const
     {
-        return freeLists[socket].size();
+        return freeCounts[socket];
     }
     std::uint64_t allocatedFrames() const
     {
@@ -115,6 +126,18 @@ class PhysMem : public sim::SimObject
     std::uint64_t socketSpan; ///< Allocatable frames per socket span.
     std::vector<std::vector<Pfn>> freeLists;
     std::vector<bool> allocated;
+
+    /**
+     * Live (non-stale) entries per free list. Equal to the list size
+     * until allocContig claims frames out of the middle; alloc() then
+     * skips the stale entries lazily and serialize() compacts them.
+     */
+    std::vector<std::uint64_t> freeCounts;
+
+    /** Free frames per naturally aligned 512-frame window. */
+    std::vector<std::uint16_t> windowFree;
+
+    void rebuildWindowCounts();
 
     sim::Counter &allocs;
     sim::Counter &frees;

@@ -4,9 +4,15 @@
 #include <cstdio>
 #include <sstream>
 
+#include "core/kcoalesced.hh"
+#include "cpu/core.hh"
+#include "cpu/mmu.hh"
+#include "cpu/tlb.hh"
+#include "os/kernel.hh"
 #include "os/kernel_phases.hh"
 #include "sim/logging.hh"
 #include "sim/shard_pool.hh"
+#include "system/system.hh"
 
 namespace hwdp::metrics {
 
@@ -125,6 +131,46 @@ checkpointTable(const std::vector<CheckpointRow> &ops)
     }
     t.addRow({"total", std::to_string(restores) + " restores",
               std::to_string(bytes), std::to_string(ticks)});
+    return t;
+}
+
+Table
+translationReachTable(system::System &sys)
+{
+    const os::Kernel &kern = sys.kernel();
+    std::uint64_t lookups = 0, misses = 0;
+    for (unsigned i = 0; i < sys.config().nLogical; ++i) {
+        const cpu::Tlb &tlb = sys.core(i).mmu().tlb();
+        lookups += tlb.lookups();
+        misses += tlb.misses();
+    }
+    std::uint64_t hits = lookups - misses;
+    std::uint64_t wide = sys.totalTlbWideHits();
+
+    Table t({"translation reach", "count"});
+    t.addRow({"tlb hits", std::to_string(hits)});
+    t.addRow({"  served by wide entries", std::to_string(wide)});
+    t.addRow({"  wide hit share",
+              Table::pct(hits ? double(wide) / double(hits) : 0.0)});
+    t.addRow({"thp fault allocations", std::to_string(kern.thpFaults())});
+    t.addRow({"napot promotions", std::to_string(kern.napotPromotions())});
+    t.addRow({"napot breaks", std::to_string(kern.napotBreaks())});
+    t.addRow({"2MB promotions", std::to_string(kern.hugePromotions())});
+    t.addRow({"2MB splits", std::to_string(kern.hugeSplits())});
+    t.addRow({"2MB whole-unit reclaims",
+              std::to_string(kern.hugeReclaims())});
+    if (const core::Kcoalesced *kc = sys.kcoalesced()) {
+        t.addRow({"kcoalesced windows scanned",
+                  std::to_string(kc->windowsScanned())});
+        t.addRow({"kcoalesced windows promoted",
+                  std::to_string(kc->windowsPromoted())});
+        t.addRow({"kcoalesced promotions aborted",
+                  std::to_string(kc->promotionsAborted())});
+        t.addRow({"kcoalesced shootdown IPIs",
+                  std::to_string(kc->shootdownIpisSent())});
+    }
+    t.addRow({"wide shootdowns delayed",
+              std::to_string(sys.wideShootdownsDelayed())});
     return t;
 }
 

@@ -21,6 +21,10 @@ namespace hwdp::sim {
 class ShardPool;
 }
 
+namespace hwdp::system {
+class System;
+}
+
 namespace hwdp::metrics {
 
 class Table
@@ -87,6 +91,16 @@ struct CheckpointRow
  * never part of dumpMachineStats.
  */
 Table checkpointTable(const std::vector<CheckpointRow> &ops);
+
+/**
+ * Translation-reach observability for the huge-page modes: wide-entry
+ * TLB hit share, THP fault-time allocations, NAPOT window
+ * promotions/breaks, kcoalesced scan/promote/abort counts, and the
+ * split/reclaim/delayed-shootdown tallies. All host-side counters;
+ * meaningful only when the machine's pageMode is not off (an off
+ * machine prints a table of zeros).
+ */
+Table translationReachTable(system::System &sys);
 
 } // namespace hwdp::metrics
 

@@ -10,6 +10,16 @@ FaultHandler::FaultHandler(Kernel &kernel) : k(kernel)
 {
 }
 
+namespace {
+
+std::uint64_t
+fileKey(const File &file, std::uint64_t idx)
+{
+    return (static_cast<std::uint64_t>(file.id()) << 40) | idx;
+}
+
+} // namespace
+
 void
 FaultHandler::serialize(sim::Serializer &s)
 {
@@ -94,6 +104,9 @@ FaultHandler::minorFault(CtxPtr c, Pfn cached)
             c->as->pageTable().writePte(
                 c->vaddr, pte::makePresent(cached, c->vma->prot));
             pg.referenced = true;
+            if (k.pageMode() == PageMode::napot ||
+                k.pageMode() == PageMode::coalesce)
+                k.maybePromoteNapot(*c->as, c->vaddr);
             finish(c, true);
         });
 }
@@ -101,6 +114,10 @@ FaultHandler::minorFault(CtxPtr c, Pfn cached)
 void
 FaultHandler::anonFault(CtxPtr c)
 {
+    // Transparent 2 MB path (thp/coalesce modes): one fault populates
+    // a naturally aligned window when a contiguous run is free.
+    if (tryHugeAnon(c))
+        return;
     // First-touch anonymous fault: allocate a zeroed frame and map it
     // — a minor fault with the page-allocation cost, no I/O. The
     // placement policy homes the frame relative to the faulting core.
@@ -146,8 +163,78 @@ FaultHandler::majorFault(CtxPtr c)
         k.scheduler().block(c->t);
         return;
     }
+    if (tryHugeMajor(c))
+        return;
     inflight.emplace(key, std::vector<CtxPtr>{});
     allocateFrame(c);
+}
+
+bool
+FaultHandler::tryHugeAnon(CtxPtr c)
+{
+    PageMode mode = k.pageMode();
+    if ((mode != PageMode::thp && mode != PageMode::coalesce) ||
+        c->vma->fastMmap || c->allocRetries > 0)
+        return false;
+    VAddr win = k.hugeFaultWindow(*c->as, *c->vma, c->vaddr);
+    if (win == Kernel::invalidVaddr)
+        return false;
+    Pfn head = k.allocContigFor(c->t->core());
+    if (head == mem::PhysMem::invalidPfn)
+        return false; // fragmented: fall back to a 4 KB fault
+    k.scheduler().runPhases(
+        c->t->core(), {&phases::pageAlloc, &phases::minorFaultFill},
+        [this, c, win, head] {
+            k.installHugePage(*c->as, *c->vma, win, head, c->vaddr,
+                              c->write);
+            finish(c, true);
+        });
+    return true;
+}
+
+bool
+FaultHandler::tryHugeMajor(CtxPtr c)
+{
+    PageMode mode = k.pageMode();
+    if ((mode != PageMode::thp && mode != PageMode::coalesce) ||
+        c->vma->fastMmap || c->fallback || c->allocRetries > 0)
+        return false;
+    VAddr win = k.hugeFaultWindow(*c->as, *c->vma, c->vaddr);
+    if (win == Kernel::invalidVaddr)
+        return false;
+    // Any 4 KB read already in flight inside the window forfeits the
+    // huge fill — its install would race the wide PTE.
+    File &file = *c->vma->file;
+    std::uint64_t base = c->vma->fileIndexOf(win);
+    for (std::uint64_t i = 0; i < pmdLeafPages; ++i)
+        if (inflight.count(fileKey(file, base + i)))
+            return false;
+    Pfn head = k.allocContigFor(c->t->core());
+    if (head == mem::PhysMem::invalidPfn)
+        return false;
+    c->hugeWin = win;
+    c->pfn = head;
+    for (std::uint64_t i = 0; i < pmdLeafPages; ++i)
+        inflight.emplace(fileKey(file, base + i), std::vector<CtxPtr>{});
+    k.scheduler().runPhases(c->t->core(),
+                            {&phases::pageAlloc, &phases::ioSubmit},
+                            [this, c] { submitIo(c); });
+    return true;
+}
+
+void
+FaultHandler::unlockWindow(CtxPtr c)
+{
+    File &file = *c->vma->file;
+    std::uint64_t base = c->vma->fileIndexOf(c->hugeWin);
+    for (std::uint64_t i = 0; i < pmdLeafPages; ++i) {
+        auto it = inflight.find(fileKey(file, base + i));
+        if (it == inflight.end())
+            continue;
+        for (const CtxPtr &w : it->second)
+            k.scheduler().wake(w->t);
+        inflight.erase(it);
+    }
 }
 
 void
@@ -187,7 +274,10 @@ void
 FaultHandler::submitIo(CtxPtr c)
 {
     File &file = *c->vma->file;
-    std::uint64_t idx = c->vma->fileIndexOf(c->vaddr);
+    // A huge fill reads the whole 2 MB window with one faultRead
+    // command starting at the window's first LBA (DESIGN.md §6j).
+    std::uint64_t idx =
+        c->vma->fileIndexOf(c->hugeWin ? c->hugeWin : c->vaddr);
     unsigned dev_idx = k.deviceIndexOf(file.device());
     Lba lba = file.lbaOf(idx);
     unsigned core = c->t->core();
@@ -216,6 +306,13 @@ FaultHandler::ioFinished(CtxPtr c)
     k.scheduler().runPhases(
         c->t->core(),
         {&phases::metadataUpdate, &phases::pteUpdateReturn}, [this, c] {
+            if (c->hugeWin) {
+                k.installHugePage(*c->as, *c->vma, c->hugeWin, c->pfn,
+                                  c->vaddr, c->write);
+                unlockWindow(c);
+                finish(c, false);
+                return;
+            }
             Page &pg = k.page(c->pfn);
             k.installPage(*c->as, *c->vma, c->vaddr, c->pfn, true);
             if (c->write)

@@ -61,6 +61,14 @@ class FaultHandler
         Vma *vma = nullptr;
         Pfn pfn = 0;
         unsigned allocRetries = 0;
+        /**
+         * Non-zero: this fault fills a whole naturally aligned 2 MB
+         * window (thp/coalesce modes) and @c pfn is the head of a
+         * 512-frame contiguous run. Zero means a normal 4 KB fault
+         * (user mappings live in the canonical upper half, so 0 never
+         * collides with a real window base).
+         */
+        VAddr hugeWin = 0;
     };
     using CtxPtr = std::shared_ptr<Ctx>;
 
@@ -73,6 +81,25 @@ class FaultHandler
     void submitIo(CtxPtr c);
     void ioFinished(CtxPtr c);
     void finish(CtxPtr c, bool minor);
+
+    /**
+     * Attempt a 2 MB transparent-huge-page fill for an anonymous
+     * fault. Returns true when the huge path took over; false falls
+     * through to the 4 KB path (mode off, fastMmap VMA, ineligible
+     * window, or no contiguous run free).
+     */
+    bool tryHugeAnon(CtxPtr c);
+
+    /**
+     * Attempt a 2 MB file-backed fill: one faultRead covers the whole
+     * window (the single-command 2 MB read simplification, see
+     * DESIGN.md §6j). Registers all 512 in-flight keys so concurrent
+     * 4 KB faulters inside the window pile up on the huge read.
+     */
+    bool tryHugeMajor(CtxPtr c);
+
+    /** Wake waiters on and release all 512 keys of c->hugeWin. */
+    void unlockWindow(CtxPtr c);
 
     /**
      * Allocation retries are exhausted: offer the thread an OOM kill.

@@ -1,6 +1,7 @@
 #include "os/kernel.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "os/fault_handler.hh"
 #include "sim/logging.hh"
@@ -61,6 +62,13 @@ Kernel::serialize(sim::Serializer &s)
             pg.underWriteback = flags & (1 << 6);
             pg.inSmuQueue = flags & (1 << 7);
         }
+        // Guarded so pageMode = off blobs keep the pre-huge-page
+        // layout byte for byte.
+        if (prm.pageMode != PageMode::off) {
+            s.io(pg.order);
+            s.io(pg.tail);
+            s.io(pg.headPfn);
+        }
     }
 
     std::uint64_t nas = spaces.size();
@@ -80,6 +88,15 @@ Kernel::serialize(sim::Serializer &s)
     // Guarded so single-socket blobs keep the pre-NUMA layout.
     if (prm.sockets > 1)
         s.io(numaRrCursor);
+
+    if (prm.pageMode != PageMode::off) {
+        s.io(nThpFaults);
+        s.io(nNapotPromotions);
+        s.io(nNapotBreaks);
+        s.io(nHugePromotions);
+        s.io(nHugeSplits);
+        s.io(nHugeReclaims);
+    }
 
     stats().serialize(s);
 }
@@ -313,6 +330,21 @@ Kernel::munmapVma(Thread &t, AddressSpace &as, Vma *vma,
     auto teardown = [this, &t, &as, vma, done = std::move(done)] {
         unsigned phys = sched->physCoreOf(t.core());
         Tick dur = kernelExec->run(phys, phases::syscallEntryExit);
+        // Huge leaves in the range are demoted first: the per-PTE
+        // teardown below never descends through a live 2 MB leaf.
+        if (prm.pageMode != PageMode::off) {
+            std::vector<VAddr> leaves;
+            as.pageTable().forEachHugeLeaf(
+                vma->start, vma->end, [&](VAddr va, EntryRef) {
+                    // Leaves are whole-window mappings inside one VMA;
+                    // the aligned-down scan start may touch a
+                    // neighbouring area's leaf.
+                    if (va >= vma->start)
+                        leaves.push_back(va);
+                });
+            for (VAddr va : leaves)
+                demoteHugePage(as, va);
+        }
         std::uint64_t touched = 0;
         as.pageTable().forEachPte(
             vma->start, vma->end, [&](VAddr, EntryRef ref) {
@@ -376,27 +408,43 @@ Kernel::msyncVma(Thread &t, Vma *vma, std::function<void()> done)
                 done();
         };
 
+        auto writebackPage = [&](Page &pg, bool pte_dirty) {
+            if (!(pg.dirty || pte_dirty) || pg.underWriteback)
+                return;
+            pg.underWriteback = true;
+            kernelExec->run(phys, phases::writebackSubmit);
+            ++*remaining;
+            unsigned dev = deviceIndexOf(vma->file->device());
+            blk->submit(core, dev, vma->file->lbaOf(pg.index), true,
+                        BlockLayer::IoClass::writeback,
+                        [this, &pg, remaining, maybe_done]() mutable {
+                            pg.underWriteback = false;
+                            pg.dirty = false;
+                            --*remaining;
+                            maybe_done();
+                        });
+        };
+
         as->pageTable().forEachPte(
             vma->start, vma->end, [&](VAddr, EntryRef ref) {
                 pte::Entry e = ref.value();
                 if (!pte::isPresent(e))
                     return;
-                Page &pg = page(pte::pfnOf(e));
-                if (!(pg.dirty || pte::isDirty(e)) || pg.underWriteback)
-                    return;
-                pg.underWriteback = true;
-                kernelExec->run(phys, phases::writebackSubmit);
-                ++*remaining;
-                unsigned dev = deviceIndexOf(vma->file->device());
-                blk->submit(core, dev, vma->file->lbaOf(pg.index), true,
-                            BlockLayer::IoClass::writeback,
-                            [this, &pg, remaining, maybe_done]() mutable {
-                                pg.underWriteback = false;
-                                pg.dirty = false;
-                                --*remaining;
-                                maybe_done();
-                            });
+                writebackPage(page(pte::pfnOf(e)), pte::isDirty(e));
             });
+        // forEachPte never descends through a 2 MB leaf; writes inside
+        // one are tracked per 4 KB page (Page.dirty), so the leaf
+        // windows get their own pass without demoting anything.
+        if (prm.pageMode != PageMode::off) {
+            as->pageTable().forEachHugeLeaf(
+                vma->start, vma->end, [&](VAddr va, EntryRef ref) {
+                    if (!vma->contains(va))
+                        return;
+                    Pfn head = pte::pfnOf(ref.value());
+                    for (std::uint64_t i = 0; i < pmdLeafPages; ++i)
+                        writebackPage(page(head + i), false);
+                });
+        }
 
         eq.postIn(dur,
                             [finished, maybe_done]() mutable {
@@ -487,6 +535,9 @@ Kernel::installPage(AddressSpace &as, Vma &vma, VAddr vaddr, Pfn pfn,
             pg.inPageCache = true;
         }
         reclaim->lru().insertInactive(pg);
+        if (prm.pageMode == PageMode::napot ||
+            prm.pageMode == PageMode::coalesce)
+            maybePromoteNapot(as, vaddr);
     } else {
         as.pageTable().markUpperLba(vaddr);
     }
@@ -536,6 +587,254 @@ Kernel::syncHardwareHandledPte(AddressSpace &as, VAddr vaddr,
     ref.write(pte::clearLbaBit(e));
     if (pteSyncFn)
         pteSyncFn(as, vaddr);
+    // HWDP areas keep 4 KB fault granularity but gain reach: a freshly
+    // synchronised page may complete a contiguous 64 KB window.
+    if (prm.pageMode == PageMode::napot ||
+        prm.pageMode == PageMode::coalesce)
+        maybePromoteNapot(as, vaddr);
+}
+
+// ---- Huge pages and translation reach (pageMode != off) ----------------
+
+VAddr
+Kernel::hugeFaultWindow(AddressSpace &as, Vma &vma, VAddr vaddr)
+{
+    constexpr VAddr span = pmdLeafPages << pageShift;
+    VAddr win = vaddr & ~(span - 1);
+    if (win < vma.start || win + span > vma.end)
+        return invalidVaddr;
+    if (auto ref = as.pageTable().hugeLeafRef(win, false);
+        ref.valid() && pte::isHugeLeaf(ref.value()))
+        return invalidVaddr;
+    for (std::uint64_t i = 0; i < pmdLeafPages; ++i) {
+        VAddr va = win + i * pageSize;
+        // Any armed PTE (present, LBA-augmented, ...) disqualifies the
+        // window, as does a cached copy of one of its file pages.
+        if (as.pageTable().readPte(va) != 0)
+            return invalidVaddr;
+        if (vma.file &&
+            pcache.lookup(*vma.file, vma.fileIndexOf(va)) !=
+                PageCache::noFrame)
+            return invalidVaddr;
+    }
+    return win;
+}
+
+Pfn
+Kernel::allocContigFor(unsigned core_id)
+{
+    unsigned socket = prm.sockets <= 1 ? 0 : socketOfCore(core_id);
+    return pm.allocContig(socket, pmdLeafShift);
+}
+
+void
+Kernel::installHugePage(AddressSpace &as, Vma &vma, VAddr win, Pfn head,
+                        VAddr fault_va, bool write)
+{
+    for (std::uint64_t i = 0; i < pmdLeafPages; ++i) {
+        VAddr va = win + i * pageSize;
+        Page &pg = page(head + i);
+        pg.inUse = true;
+        pg.file = vma.file;
+        pg.index = vma.fileIndexOf(va);
+        pg.referenced = true;
+        reverseMap->setMapping(pg, as, va);
+        if (i == 0) {
+            pg.order = pmdLeafShift;
+        } else {
+            pg.tail = true;
+            pg.headPfn = head;
+        }
+        if (vma.file) {
+            pcache.insert(*vma.file, pg.index, head + i);
+            pg.inPageCache = true;
+        }
+    }
+    // Only the head rides the LRU: the unit ages and reclaims as one.
+    reclaim->lru().insertInactive(page(head));
+    if (write)
+        page(head + ((fault_va - win) >> pageShift)).dirty = true;
+    as.pageTable().writeHugeLeaf(win, pte::makeHugeLeaf(head, vma.prot));
+    ++nThpFaults;
+}
+
+void
+Kernel::demoteHugePage(AddressSpace &as, VAddr vaddr)
+{
+    constexpr VAddr span = pmdLeafPages << pageShift;
+    VAddr win = vaddr & ~(span - 1);
+    EntryRef ref = as.pageTable().hugeLeafRef(win, false);
+    if (!ref.valid() || !pte::isHugeLeaf(ref.value()))
+        panic("demoteHugePage: no 2 MB leaf at ", win);
+    Pfn head = pte::pfnOf(ref.value());
+    as.pageTable().splitHugeLeaf(win);
+    page(head).order = 0;
+    for (std::uint64_t i = 1; i < pmdLeafPages; ++i) {
+        Page &pg = page(head + i);
+        pg.tail = false;
+        pg.headPfn = 0;
+        // Tails become ordinary pages and must age like them.
+        if (!pg.lruLinked)
+            reclaim->lru().insertInactive(pg);
+    }
+    ++nHugeSplits;
+    // Same frames before and after the split, so a straggler hitting a
+    // stale wide entry still reads the right data; the staleWideTlb
+    // fault site exploits exactly this to delay the broadcast.
+    shootdownRange(as, win, pmdLeafPages, true);
+}
+
+void
+Kernel::reclaimHugeUnit(Page &head)
+{
+    if (!head.isCompoundHead() || head.as == nullptr)
+        panic("reclaimHugeUnit: page ", head.pfn, " is not a mapped head");
+    AddressSpace &as = *head.as;
+    VAddr win = head.vaddr;
+    EntryRef ref = as.pageTable().hugeLeafRef(win, false);
+    if (!ref.valid() || !pte::isHugeLeaf(ref.value()))
+        panic("reclaimHugeUnit: no 2 MB leaf at ", win);
+    Pfn base = pte::pfnOf(ref.value());
+    // One unmap for the whole unit: the entry reverts to a table
+    // pointer over the kept (zeroed) child table.
+    ref.write(pte::presentBit);
+    // Never delayable: the frames free right below.
+    shootdownRange(as, win, pmdLeafPages, false);
+    for (std::uint64_t i = 0; i < pmdLeafPages; ++i) {
+        Page &pg = page(base + i);
+        if (pg.lruLinked)
+            reclaim->lru().remove(pg);
+        if (pg.inPageCache && pg.file)
+            pcache.remove(*pg.file, pg.index);
+        Pfn pfn = pg.pfn;
+        pg.resetMetadata();
+        pg.pfn = pfn;
+        pm.free(pfn);
+    }
+    ++nHugeReclaims;
+}
+
+bool
+Kernel::hugeWindowPromotable(AddressSpace &as, Vma &vma, VAddr win)
+{
+    constexpr VAddr span = pmdLeafPages << pageShift;
+    if (win % span != 0 || win < vma.start || win + span > vma.end)
+        return false;
+    if (auto ref = as.pageTable().hugeLeafRef(win, false);
+        ref.valid() && pte::isHugeLeaf(ref.value()))
+        return false;
+    pte::Entry first = as.pageTable().readPte(win);
+    if (!pte::isPresent(first) || pte::hasLbaBit(first))
+        return false;
+    Pfn base = pte::pfnOf(first);
+    if (base % pmdLeafPages != 0)
+        return false;
+    for (std::uint64_t i = 0; i < pmdLeafPages; ++i) {
+        pte::Entry e = as.pageTable().readPte(win + i * pageSize);
+        if (!pte::isPresent(e) || pte::hasLbaBit(e) ||
+            pte::pfnOf(e) != base + i)
+            return false;
+        Page &pg = page(base + i);
+        if (!pg.inUse || pg.underWriteback || pg.inSmuQueue ||
+            pg.as != &as || pg.vaddr != win + i * pageSize ||
+            pg.order != 0 || pg.tail)
+            return false;
+    }
+    return true;
+}
+
+bool
+Kernel::promoteWindowHuge(AddressSpace &as, Vma &vma, VAddr win)
+{
+    if (!hugeWindowPromotable(as, vma, win))
+        return false;
+    Pfn base = pte::pfnOf(as.pageTable().readPte(win));
+    bool accessed = false;
+    for (std::uint64_t i = 0; i < pmdLeafPages; ++i)
+        if (pte::isAccessed(as.pageTable().readPte(win + i * pageSize)))
+            accessed = true;
+
+    Page &head = page(base);
+    head.order = pmdLeafShift;
+    for (std::uint64_t i = 1; i < pmdLeafPages; ++i) {
+        Page &pg = page(base + i);
+        pg.tail = true;
+        pg.headPfn = base;
+        if (pg.lruLinked)
+            reclaim->lru().remove(pg);
+    }
+    if (!head.lruLinked)
+        reclaim->lru().insertInactive(head);
+    pte::Entry leaf = pte::makeHugeLeaf(base, vma.prot);
+    if (accessed)
+        leaf |= pte::accessedBit;
+    as.pageTable().writeHugeLeaf(win, leaf);
+    ++nHugePromotions;
+    // The 4 KB (and NAPOT) entries the window used to fill the TLB
+    // with still translate correctly — same frames — but they would
+    // starve the wide entry forever; broadcast so walks reload it.
+    shootdownRange(as, win, pmdLeafPages, true);
+    return true;
+}
+
+void
+Kernel::maybePromoteNapot(AddressSpace &as, VAddr vaddr)
+{
+    constexpr VAddr span = napotPages << pageShift;
+    VAddr win = vaddr & ~(span - 1);
+    Vma *vma = as.findVma(vaddr);
+    if (!vma || win < vma->start || win + span > vma->end)
+        return;
+    std::array<EntryRef, napotPages> refs;
+    Pfn base = 0;
+    for (std::uint64_t i = 0; i < napotPages; ++i) {
+        WalkRefs wr = as.pageTable().walkRefs(win + i * pageSize, false);
+        if (!wr.pte.valid())
+            return;
+        pte::Entry e = wr.pte.value();
+        if (!pte::isPresent(e) || pte::hasLbaBit(e))
+            return;
+        if (pte::hasNapotBit(e))
+            return; // stamping is all-or-nothing per window
+        if (i == 0) {
+            base = pte::pfnOf(e);
+            if (base % napotPages != 0)
+                return;
+        } else if (pte::pfnOf(e) != base + i) {
+            return;
+        }
+        refs[i] = wr.pte;
+    }
+    // Promotion needs no shootdown: every covered VPN still maps to
+    // the same frame, the TLB merely gains reach on the next walk.
+    for (auto &r : refs)
+        r.write(pte::setNapotBit(r.value()));
+    ++nNapotPromotions;
+}
+
+void
+Kernel::breakNapotRun(AddressSpace &as, VAddr vaddr)
+{
+    constexpr VAddr span = napotPages << pageShift;
+    VAddr win = vaddr & ~(span - 1);
+    bool any = false;
+    for (std::uint64_t i = 0; i < napotPages; ++i) {
+        WalkRefs wr = as.pageTable().walkRefs(win + i * pageSize, false);
+        if (!wr.pte.valid())
+            continue;
+        pte::Entry e = wr.pte.value();
+        if (pte::hasNapotBit(e)) {
+            wr.pte.write(pte::clearNapotBit(e));
+            any = true;
+        }
+    }
+    if (!any)
+        return;
+    ++nNapotBreaks;
+    // Demotion must kill resident wide entries before a member frame
+    // is remapped — this is the correctness-critical direction, so it
+    // is never delayable.
+    shootdownRange(as, win, napotPages, false);
 }
 
 void

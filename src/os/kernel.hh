@@ -63,6 +63,14 @@ struct KernelParams
 
     /** Round-robin fault placement instead of first-touch. */
     bool numaRoundRobin = false;
+
+    /**
+     * Translation-reach mode (2 MB THP / NAPOT / transparent
+     * coalescing). off keeps the kernel byte-identical to the
+     * 4 KB-only machine: no compound metadata, no wide PTE bits, no
+     * extra serialized state.
+     */
+    PageMode pageMode = PageMode::off;
 };
 
 class Kernel : public sim::SimObject
@@ -209,6 +217,101 @@ class Kernel : public sim::SimObject
     void syncHardwareHandledPte(AddressSpace &as, VAddr vaddr,
                                 EntryRef ref);
 
+    // ---- Huge pages and translation reach (pageMode != off) -------------
+    PageMode pageMode() const { return prm.pageMode; }
+
+    /**
+     * 2 MB-aligned window base when a transparent-huge-page fault may
+     * be attempted for @p vaddr: the naturally aligned 512-page window
+     * lies inside @p vma and none of its pages is resident or page-
+     * cache cached. Returns invalidVaddr when ineligible.
+     */
+    VAddr hugeFaultWindow(AddressSpace &as, Vma &vma, VAddr vaddr);
+    static constexpr VAddr invalidVaddr = ~VAddr(0);
+
+    /** Contiguous 512-frame run homed for a fault on @p core_id. */
+    Pfn allocContigFor(unsigned core_id);
+
+    /**
+     * Map [win, win + 2 MB) as one PMD leaf over the naturally
+     * aligned 512-frame run starting at @p head: compound-page
+     * metadata (head order 9, tails pointing back), page-cache
+     * insertions for file windows, the head on the LRU, one leaf PTE.
+     */
+    void installHugePage(AddressSpace &as, Vma &vma, VAddr win, Pfn head,
+                         VAddr fault_va, bool write);
+
+    /**
+     * Demote the 2 MB leaf covering @p vaddr back to 512 4 KB PTEs
+     * over the same frames, undo the compound metadata, link the
+     * tails onto the LRU and shoot the wide translation down.
+     */
+    void demoteHugePage(AddressSpace &as, VAddr vaddr);
+
+    /**
+     * Reclaim a whole clean file-backed huge unit at once: one unmap,
+     * one range shootdown, 512 frame frees — no per-page events, so
+     * evicting a huge page costs one reclaim action like a 4 KB one.
+     */
+    void reclaimHugeUnit(Page &head);
+
+    /**
+     * kcoalesced promotion: collapse an eligible 2 MB window of
+     * synchronised, contiguous, equally aligned 4 KB mappings into a
+     * PMD leaf. Returns false when the window does not qualify.
+     */
+    bool promoteWindowHuge(AddressSpace &as, Vma &vma, VAddr win);
+
+    /**
+     * The eligibility half of promoteWindowHuge, side-effect free —
+     * kcoalesced asks it first so the coalesce-abort fault site can
+     * skip exactly the windows that would have promoted.
+     */
+    bool hugeWindowPromotable(AddressSpace &as, Vma &vma, VAddr win);
+
+    /**
+     * Stamp the NAPOT bit on the aligned 16-PTE window covering
+     * @p vaddr when every entry is present, synchronised and the
+     * frames are contiguous and equally aligned. No shootdown: the
+     * translation does not change, only its reach grows.
+     */
+    void maybePromoteNapot(AddressSpace &as, VAddr vaddr);
+
+    /** Clear a NAPOT window before one of its pages is remapped. */
+    void breakNapotRun(AddressSpace &as, VAddr vaddr);
+
+    /**
+     * Range shootdown callback (TLB + PWC on every core/socket). The
+     * bool marks broadcasts that are delayable: promotion and split
+     * keep every frame in place, so a straggling wide TLB entry still
+     * reads the right data (the staleWideTlb fault site exploits
+     * this); unmap/eviction broadcasts pass false and must apply
+     * immediately.
+     */
+    using ShootdownRangeFn =
+        std::function<void(AddressSpace &, VAddr, std::uint64_t, bool)>;
+    void setShootdownRangeFn(ShootdownRangeFn fn)
+    {
+        shootdownRangeFn = std::move(fn);
+    }
+
+    /**
+     * hugeSplitStorm fault site: forces the reclaimer to split a
+     * clean huge unit instead of reclaiming it whole.
+     */
+    void setHugeSplitHook(std::function<bool()> fn)
+    {
+        hugeSplitHook = std::move(fn);
+    }
+    bool hugeSplitForced() { return hugeSplitHook && hugeSplitHook(); }
+
+    std::uint64_t thpFaults() const { return nThpFaults; }
+    std::uint64_t napotPromotions() const { return nNapotPromotions; }
+    std::uint64_t napotBreaks() const { return nNapotBreaks; }
+    std::uint64_t hugePromotions() const { return nHugePromotions; }
+    std::uint64_t hugeSplits() const { return nHugeSplits; }
+    std::uint64_t hugeReclaims() const { return nHugeReclaims; }
+
     // ---- HWDP hook points -------------------------------------------------
     /**
      * Early-fault interceptor (the SW-emulated SMU). Returns true when
@@ -312,6 +415,27 @@ class Kernel : public sim::SimObject
     HwdpHooks hwdpHooks;
     Rmap::ShootdownFn shootdownFn;
     std::function<void(AddressSpace &, VAddr)> pteSyncFn;
+    ShootdownRangeFn shootdownRangeFn;
+    std::function<bool()> hugeSplitHook;
+
+    /**
+     * Plain members (not sim::Counters) so a pageMode = off machine's
+     * stats dump stays byte-identical to the pre-huge-page one; they
+     * are serialized (guarded) and surfaced through metrics.
+     */
+    std::uint64_t nThpFaults = 0;
+    std::uint64_t nNapotPromotions = 0;
+    std::uint64_t nNapotBreaks = 0;
+    std::uint64_t nHugePromotions = 0;
+    std::uint64_t nHugeSplits = 0;
+    std::uint64_t nHugeReclaims = 0;
+
+    void shootdownRange(AddressSpace &as, VAddr va, std::uint64_t pages,
+                        bool delayable)
+    {
+        if (shootdownRangeFn)
+            shootdownRangeFn(as, va, pages, delayable);
+    }
 
     /** PTE population for a fast-mmap area; returns pages touched. */
     std::uint64_t populateFastVma(AddressSpace &as, File &file, Vma *vma);

@@ -115,6 +115,19 @@ const KernelPhase kpooldPerPage =
 const KernelPhase shootdownIpi =
     {"shootdown_ipi", 1400, 520, 10, 8, 35, KernelCostCat::irq};
 
+// kcoalesced (Mosaic-style transparent coalescing, pageMode=coalesce).
+// The window check reads up to one cache line per eight PTEs but
+// early-outs on the first ineligible entry, so the common sparse
+// window is cheap; a promotion rewrites the PMD, flags 512 struct
+// pages and issues the shootdown bookkeeping — khugepaged-like cost.
+// Charged to the kpted bucket: adding a Figure-15 category would
+// change the accounting-array layout for every machine, including
+// pageMode=off ones that must stay byte-identical.
+const KernelPhase coalesceScan =
+    {"kcoalesced_scan_window", 160, 90, 3, 8, 14, KernelCostCat::kpted};
+const KernelPhase coalescePromote =
+    {"kcoalesced_promote", 2600, 1500, 24, 40, 70, KernelCostCat::kpted};
+
 // Software-emulated SMU (the real-machine prototype of Section VI-A):
 // the fault still traps, then runs an in-kernel SMU emulation and an
 // mwait-based completion wait. Total ~2.0 us of software per fault,

@@ -101,6 +101,10 @@ extern const KernelPhase kptedScanEntry;   ///< Per page-table entry visit.
 extern const KernelPhase kpooldPerPage;    ///< Batched free-page refill.
 extern const KernelPhase shootdownIpi;     ///< Cross-socket TLB/PWC IPI.
 
+// --- Transparent coalescing (kcoalesced, pageMode=coalesce) -----------
+extern const KernelPhase coalesceScan;     ///< Per 2 MB window check.
+extern const KernelPhase coalescePromote;  ///< Collapse 512 PTEs to a leaf.
+
 // --- Software-emulated SMU (Figure 17 baseline) -----------------------
 extern const KernelPhase swSmuSubmit;      ///< Emulated PMSHR + NVMe cmd.
 extern const KernelPhase swSmuWake;        ///< mwait wakeup.

@@ -42,6 +42,19 @@ struct Page
     bool underWriteback = false;
     bool inSmuQueue = false;   ///< Donated to the SMU free page queue.
 
+    /**
+     * Compound-page shape (pageMode != off; always 0/false at off).
+     * The head of a 2 MB mapping carries order 9 and is the only
+     * LRU-linked page of the unit; its 511 tails carry the head's PFN
+     * so any frame resolves to its unit in O(1). Dirty/referenced
+     * tracking stays per 4 KB frame.
+     */
+    std::uint8_t order = 0;    ///< log2(pages) of the unit (head only).
+    bool tail = false;         ///< Member (not head) of a compound unit.
+    Pfn headPfn = 0;           ///< Head frame when tail is set.
+
+    bool isCompoundHead() const { return order > 0; }
+
     void
     resetMetadata()
     {
@@ -57,6 +70,9 @@ struct Page
         inPageCache = false;
         underWriteback = false;
         inSmuQueue = false;
+        order = 0;
+        tail = false;
+        headPfn = 0;
     }
 };
 

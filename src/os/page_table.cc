@@ -42,6 +42,15 @@ PageTable::levelIndex(VAddr vaddr, PtLevel level)
 PageTable::Table *
 PageTable::childTable(Table &t, unsigned idx, bool allocate)
 {
+    // A 2 MB leaf terminates the walk at its own entry: the child
+    // table (kept allocated across promote/demote cycles so entry
+    // addresses never change) is unreachable while the leaf is live.
+    if (pte::isHugeLeaf(t.e[idx])) {
+        if (allocate)
+            panic("page table: walk would descend through a 2 MB leaf; "
+                  "demote it first");
+        return nullptr;
+    }
     if (!t.child[idx]) {
         if (!allocate)
             return nullptr;
@@ -61,6 +70,17 @@ PageTable::readPte(VAddr vaddr) const
     const Table *t = root.get();
     for (int level = 3; level >= 1; --level) {
         unsigned idx = levelIndex(vaddr, static_cast<PtLevel>(level));
+        if (level == 1 && pte::isHugeLeaf(t->e[idx])) {
+            // Synthesize the covered 4 KB view: same flags, exact
+            // frame. Readers that never learned about huge pages keep
+            // working; reach-aware ones test psBit.
+            pte::Entry leaf = t->e[idx];
+            Pfn pfn = pte::pfnOf(leaf) +
+                      ((vaddr >> pageShift) & (pmdLeafPages - 1));
+            return (leaf & ~pte::pfnMask) |
+                   ((static_cast<pte::Entry>(pfn) << pte::pfnShift) &
+                    pte::pfnMask);
+        }
         const Table *c = t->child[idx].get();
         if (!c)
             return 0;
@@ -78,6 +98,70 @@ PageTable::writePte(VAddr vaddr, pte::Entry e)
         t = childTable(*t, idx, true);
     }
     t->e[levelIndex(vaddr, PtLevel::pt)] = e;
+}
+
+EntryRef
+PageTable::hugeLeafRef(VAddr vaddr, bool allocate)
+{
+    Table *pgd = root.get();
+    Table *pud = childTable(*pgd, levelIndex(vaddr, PtLevel::pgd),
+                            allocate);
+    if (!pud)
+        return {};
+    Table *pmd = childTable(*pud, levelIndex(vaddr, PtLevel::pud),
+                            allocate);
+    if (!pmd)
+        return {};
+    unsigned idx = levelIndex(vaddr, PtLevel::pmd);
+    return {&pmd->e[idx], pmd->base + idx * sizeof(pte::Entry)};
+}
+
+void
+PageTable::writeHugeLeaf(VAddr vaddr, pte::Entry leaf)
+{
+    Table *pgd = root.get();
+    Table *pud = childTable(*pgd, levelIndex(vaddr, PtLevel::pgd), true);
+    Table *pmd = childTable(*pud, levelIndex(vaddr, PtLevel::pud), true);
+    unsigned idx = levelIndex(vaddr, PtLevel::pmd);
+    // A kept-from-earlier child table becomes unreachable; clear its
+    // entries so nothing stale survives a later demotion or scan.
+    if (pmd->child[idx])
+        pmd->child[idx]->e.fill(0);
+    pmd->e[idx] = leaf;
+}
+
+void
+PageTable::splitHugeLeaf(VAddr vaddr)
+{
+    Table *pgd = root.get();
+    Table *pud = childTable(*pgd, levelIndex(vaddr, PtLevel::pgd), true);
+    Table *pmd = childTable(*pud, levelIndex(vaddr, PtLevel::pud), true);
+    unsigned idx = levelIndex(vaddr, PtLevel::pmd);
+    pte::Entry leaf = pmd->e[idx];
+    if (!pte::isHugeLeaf(leaf))
+        panic("page table: splitHugeLeaf on a non-leaf PMD entry");
+    // Demote the entry to a table pointer *first* so childTable is
+    // willing to descend (allocating or reviving the kept table).
+    pmd->e[idx] = pte::presentBit;
+    Table *pt = childTable(*pmd, idx, true);
+    Pfn base = pte::pfnOf(leaf);
+    pte::Entry flags = leaf & ~(pte::pfnMask | pte::psBit);
+    for (unsigned i = 0; i < entriesPerTable; ++i)
+        pt->e[i] = (flags & ~pte::pfnMask) |
+                   ((static_cast<pte::Entry>(base + i) << pte::pfnShift) &
+                    pte::pfnMask);
+}
+
+void
+PageTable::forEachHugeLeaf(VAddr start, VAddr end,
+                           const std::function<void(VAddr, EntryRef)> &fn)
+{
+    constexpr VAddr span = levelSpan(PtLevel::pmd);
+    for (VAddr va = start & ~(span - 1); va < end; va += span) {
+        EntryRef ref = hugeLeafRef(va, false);
+        if (ref.valid() && pte::isHugeLeaf(ref.value()))
+            fn(va, ref);
+    }
 }
 
 WalkRefs

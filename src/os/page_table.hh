@@ -84,6 +84,33 @@ class PageTable
     /** Set the LBA bit on the PMD and PUD entries covering @p vaddr. */
     void markUpperLba(VAddr vaddr);
 
+    // ---- 2 MB PMD leaves (pageMode != off) ---------------------------
+    /**
+     * Reference to the PMD entry covering @p vaddr (the slot a 2 MB
+     * leaf occupies), creating upper tables when @p allocate. Invalid
+     * when the PUD/PMD path is absent and !allocate.
+     */
+    EntryRef hugeLeafRef(VAddr vaddr, bool allocate);
+
+    /**
+     * Install @p leaf (pte::makeHugeLeaf) as the PMD entry covering
+     * @p vaddr. Any child PT kept from an earlier demotion stays
+     * allocated (entry addresses are forever) but is zeroed and
+     * unreachable while the leaf is live.
+     */
+    void writeHugeLeaf(VAddr vaddr, pte::Entry leaf);
+
+    /**
+     * Demote the 2 MB leaf covering @p vaddr into a child PT of 512
+     * per-4 KB PTEs with the leaf's flags and consecutive frames.
+     */
+    void splitHugeLeaf(VAddr vaddr);
+
+    /** Invoke @p fn for every 2 MB leaf whose window intersects
+     * [start, end), with the window base address and the PMD ref. */
+    void forEachHugeLeaf(VAddr start, VAddr end,
+                         const std::function<void(VAddr, EntryRef)> &fn);
+
     /**
      * kpted scan over [start, end): visits only subtrees whose upper
      * -level LBA bits are set, clearing those bits before descending

@@ -38,6 +38,20 @@ inline constexpr Entry dirtyBit = 1ULL << 6;
 inline constexpr Entry lbaBit = 1ULL << 10;
 inline constexpr Entry nxBit = 1ULL << 63;
 
+/**
+ * Wide-translation bits (pageMode != off; never set otherwise). Bit 7
+ * is the x86 PS bit: set on a *PMD* entry it makes that entry a 2 MB
+ * leaf whose PFN is 512-frame aligned. Bit 8 is the SVNAPOT idiom
+ * squeezed into a free x86 ignored bit: set on a 4 KB PTE it promises
+ * that the whole naturally aligned 16-page (64 KB) range around it is
+ * present with contiguous, equally aligned frames, so the TLB may
+ * install one wide entry for the range. Both bits live in the
+ * present-shape's free bits (3, 4, 7, 8, 9) and never collide with the
+ * LBA-augmented layout, which only exists on non-present PTEs.
+ */
+inline constexpr Entry psBit = 1ULL << 7;
+inline constexpr Entry napotBit = 1ULL << 8;
+
 inline constexpr unsigned pfnShift = 12;
 inline constexpr Entry pfnMask = ((1ULL << 40) - 1) << pfnShift;
 
@@ -153,6 +167,52 @@ inline Entry
 setLbaBit(Entry e)
 {
     return e | lbaBit;
+}
+
+// ---- Wide-translation helpers (pageMode != off) ------------------------
+
+/** Present PMD entry that is itself a 2 MB leaf. */
+inline bool
+isHugeLeaf(Entry e)
+{
+    return isPresent(e) && (e & psBit);
+}
+
+/** Present 4 KB PTE inside a promoted 64 KB NAPOT range. */
+inline bool
+hasNapotBit(Entry e)
+{
+    return isPresent(e) && (e & napotBit);
+}
+
+/** log2(pages) of reach a present entry grants the TLB (0, 4 or 9). */
+inline unsigned
+reachOf(Entry e)
+{
+    if (e & psBit)
+        return pmdLeafShift;
+    if (e & napotBit)
+        return napotShift;
+    return 0;
+}
+
+/** Build a 2 MB PMD-leaf entry. @p pfn must be 512-frame aligned. */
+inline Entry
+makeHugeLeaf(Pfn pfn, Entry prot, bool keep_lba_bit = false)
+{
+    return makePresent(pfn, prot, keep_lba_bit) | psBit;
+}
+
+inline Entry
+setNapotBit(Entry e)
+{
+    return e | napotBit;
+}
+
+inline Entry
+clearNapotBit(Entry e)
+{
+    return e & ~napotBit;
 }
 
 } // namespace hwdp::os::pte

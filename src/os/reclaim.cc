@@ -133,8 +133,16 @@ Reclaimer::shrink(unsigned core, std::uint64_t want,
         Page &pg = kernel.page(pfn);
         pg.lruLinked = false;
 
-        if (!pg.inUse || pg.underWriteback || pg.inSmuQueue) {
+        if (!pg.inUse || pg.underWriteback || pg.inSmuQueue || pg.tail) {
             // Should not be on the LRU; tolerate and drop the link.
+            continue;
+        }
+
+        // Compound heads stand for their whole 2 MB unit: reclaim the
+        // unit wholesale (clean, file-backed) or demote it so the
+        // subpages age out individually.
+        if (pg.isCompoundHead()) {
+            freed += reclaimHugeHead(pg);
             continue;
         }
 
@@ -165,6 +173,13 @@ Reclaimer::shrink(unsigned core, std::uint64_t want,
 
         bool dirty;
         if (pg.as != nullptr) {
+            // Evicting a member of a NAPOT run breaks the run first —
+            // the wide TLB reach must die before the frame is freed.
+            if (kernel.pageMode() != PageMode::off) {
+                pte::Entry e = pg.as->pageTable().readPte(pg.vaddr);
+                if (pte::hasNapotBit(e))
+                    kernel.breakNapotRun(*pg.as, pg.vaddr);
+            }
             dirty = kernel.rmap().unmapForEviction(pg);
         } else {
             dirty = pg.dirty; // unmapped page-cache page
@@ -202,6 +217,53 @@ Reclaimer::shrink(unsigned core, std::uint64_t want,
     if (scanned)
         *scanned = seen;
     return freed;
+}
+
+std::uint64_t
+Reclaimer::reclaimHugeHead(Page &pg)
+{
+    // Anonymous units are unevictable, like anonymous 4 KB pages:
+    // park the head on the active list.
+    if (pg.file == nullptr) {
+        pg.referenced = false;
+        lists.secondChance(pg);
+        return 0;
+    }
+    AddressSpace &as = *pg.as;
+    EntryRef leaf = as.pageTable().hugeLeafRef(pg.vaddr, false);
+    if (!leaf.valid() || !pte::isHugeLeaf(leaf.value()))
+        panic("reclaim: compound head ", pg.pfn, " without a 2 MB leaf");
+
+    // Unit-level second chance: the leaf A-bit (hardware-set on any
+    // access inside the window) or the software referenced flag.
+    bool referenced = pg.referenced;
+    if (pte::isAccessed(leaf.value())) {
+        referenced = true;
+        leaf.write(leaf.value() & ~pte::accessedBit);
+    }
+    if (referenced) {
+        lists.secondChance(pg);
+        return 0;
+    }
+
+    // A dirty subpage (or the split-storm fault hook) forces the
+    // split path: demote and let the 4 KB pages age out one by one —
+    // whole-unit writeback would stall the scan on 2 MB of I/O.
+    bool any_dirty = false;
+    for (std::uint64_t i = 0; i < pmdLeafPages && !any_dirty; ++i)
+        any_dirty = kernel.page(pg.pfn + i).dirty;
+    if (any_dirty || kernel.hugeSplitForced()) {
+        kernel.demoteHugePage(as, pg.vaddr);
+        // demoteHugePage linked the tails; the head rejoins here.
+        if (!pg.lruLinked)
+            lists.insertInactive(pg);
+        return 0;
+    }
+
+    // Clean file-backed unit: one scan candidate frees 512 frames.
+    kernel.reclaimHugeUnit(pg);
+    nEvicted += pmdLeafPages;
+    return pmdLeafPages;
 }
 
 void

@@ -136,6 +136,15 @@ class Reclaimer : public KThread
      */
     std::uint64_t shrink(unsigned core, std::uint64_t want,
                          std::uint64_t *scanned);
+
+    /**
+     * A 2 MB compound head reached the inactive tail. Clean file
+     * units reclaim whole (one candidate frees 512 frames — the reach
+     * payoff on the eviction side too); a dirty subpage or the
+     * split-storm fault hook forces a demotion so the unit's pages
+     * age out individually. Returns the frames freed now.
+     */
+    std::uint64_t reclaimHugeHead(Page &pg);
 };
 
 } // namespace hwdp::os

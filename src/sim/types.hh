@@ -49,6 +49,30 @@ inline constexpr unsigned pageShift = 12;
 inline constexpr std::uint64_t pageSize = 1ULL << pageShift;
 inline constexpr std::uint64_t pageOffsetMask = pageSize - 1;
 
+/**
+ * Translation-reach mode (MachineConfig::pageMode). `off` keeps the
+ * 4 KB-only machine byte-identical to its pre-huge-page behaviour.
+ * The other modes grow reach without changing what the workloads see:
+ *
+ *  - thp:      2 MB transparent huge pages on the OS fault path (PMD
+ *              leaves) when a naturally aligned 512-frame run is free.
+ *  - napot:    SVNAPOT-style 64 KB contiguous-PTE ranges stamped on
+ *              demand-paged 4 KB pages as they become OS-visible, so
+ *              HWDP keeps its fault granularity but gains TLB reach.
+ *  - coalesce: both of the above plus a Mosaic-style background
+ *              kcoalesced pass that promotes 4 KB runs that happened
+ *              to land contiguously, with demotion on reclaim/munmap.
+ */
+enum class PageMode : unsigned { off = 0, thp, napot, coalesce };
+
+/** 64 KB NAPOT range: 16 contiguous, naturally aligned 4 KB pages. */
+inline constexpr unsigned napotShift = 4;
+inline constexpr std::uint64_t napotPages = 1ULL << napotShift;
+
+/** 2 MB PMD leaf: 512 contiguous, naturally aligned 4 KB frames. */
+inline constexpr unsigned pmdLeafShift = 9;
+inline constexpr std::uint64_t pmdLeafPages = 1ULL << pmdLeafShift;
+
 /** Cache-line geometry used by the tag-array models. */
 inline constexpr unsigned lineShift = 6;
 inline constexpr std::uint64_t lineSize = 1ULL << lineShift;

@@ -60,7 +60,13 @@ class Checkpoint
   public:
     /** 'HDPC' little-endian. */
     static constexpr std::uint32_t magicWord = 0x43504448;
-    static constexpr std::uint32_t formatVersion = 1;
+    /**
+     * v2: translation-reach state (compound-page metadata, wide-PTE
+     * counters, kcoalesced) can appear in the body, and the config
+     * hash covers the page mode via the describe() fold. v1 blobs are
+     * rejected up front.
+     */
+    static constexpr std::uint32_t formatVersion = 2;
 
     /**
      * Quiesce @p sys and serialize it into a blob. The caller resumes

@@ -27,6 +27,19 @@ numaPlacementName(NumaPlacement p)
     return "?";
 }
 
+const char *
+pageModeName(PageMode mode)
+{
+    switch (mode) {
+      case PageMode::off: return "off (4 KB only)";
+      case PageMode::thp: return "thp (2 MB transparent huge pages)";
+      case PageMode::napot: return "napot (64 KB contiguous-PTE reach)";
+      case PageMode::coalesce:
+        return "coalesce (thp + napot + kcoalesced)";
+    }
+    return "?";
+}
+
 std::string
 MachineConfig::describe() const
 {
@@ -63,6 +76,16 @@ MachineConfig::describe() const
            << " cyc, remote SMU +"
            << toNanoseconds(numaRemoteSmuLatency) << " ns, "
            << numaPlacementName(numaPlacement) << " placement\n";
+    // Shown only when engaged, keeping the default dump (and the
+    // checkpoint config hash) identical to the 4 KB-only machine.
+    if (pageMode != PageMode::off) {
+        os << "page mode        : " << pageModeName(pageMode);
+        if (pageMode == PageMode::coalesce)
+            os << ", kcoalesced period "
+               << toMicroseconds(kcoalescePeriod) / 1000.0 << " ms, "
+               << kcoalesceBatch << " windows/pass";
+        os << '\n';
+    }
     // Host-only knob: shown only when engaged, so the default dump
     // stays a pure Table II reproduction.
     if (simThreads > 1)

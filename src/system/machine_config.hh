@@ -37,6 +37,8 @@ enum class NumaPlacement {
 
 const char *numaPlacementName(NumaPlacement p);
 
+const char *pageModeName(PageMode mode);
+
 struct MachineConfig
 {
     PagingMode mode = PagingMode::osdp;
@@ -83,6 +85,25 @@ struct MachineConfig
 
     /** Per-walker page-walk-cache entries (0 disables the PWC). */
     unsigned pwcEntries = 16;
+
+    // ---- Translation reach ----------------------------------------------
+    /**
+     * Huge pages and contiguity-aware translation. off (the default)
+     * builds a machine byte-identical to the pre-huge-page simulator:
+     * same stats dump, same checkpoint blob. thp enables fault-time
+     * 2 MB transparent huge pages on demand-paged (non fast-mmap)
+     * VMAs; napot stamps 64 KB NAPOT reach onto contiguous runs of
+     * demand-paged 4 KB file pages (HWDP keeps its 4 KB miss
+     * granularity, the TLB gains reach); coalesce is napot + thp plus
+     * the kcoalesced daemon promoting 4 KB runs that landed
+     * contiguously to 2 MB leaves in the background.
+     */
+    PageMode pageMode = PageMode::off;
+
+    /** kcoalesced wakeup period (pageMode=coalesce only). */
+    Tick kcoalescePeriod = milliseconds(8.0);
+    /** 2 MB windows kcoalesced examines per wakeup. */
+    std::uint64_t kcoalesceBatch = 32;
 
     // ---- Memory ---------------------------------------------------------
     /** Allocatable DRAM in 4 KB frames (default 512 MB scaled). */
@@ -156,6 +177,13 @@ struct MachineConfig
     unsigned reclaimCore() const
     {
         return nLogical >= 3 ? nLogical - 3 : 0;
+    }
+    unsigned kcoalesceCore() const
+    {
+        // Small machines co-locate with kpoold, whose batches are
+        // bounded — kpted can monopolize its core under sustained
+        // fault traffic, and core 0 belongs to the workload.
+        return nLogical >= 5 ? nLogical - 4 : kpooldCore();
     }
 
     /** Table II-style configuration dump. */

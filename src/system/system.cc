@@ -45,6 +45,7 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
     kp.reclaimCore = cfg.reclaimCore();
     kp.sockets = cfg.sockets;
     kp.numaRoundRobin = cfg.numaPlacement == NumaPlacement::roundRobin;
+    kp.pageMode = cfg.pageMode;
     kern = std::make_unique<os::Kernel>(eq, kp, *pm, *hierarchy, bps,
                                         rng.fork());
     kern->kexec().setPollutionEnabled(cfg.pollutionEnabled);
@@ -87,6 +88,18 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
     kern->setPteSyncFn([this](os::AddressSpace &as, VAddr va) {
         pwcShootdown(as, va, true);
     });
+
+    // Wide-range shootdowns (promotion, split, NAPOT break, huge
+    // reclaim). Wired only when reach modes are on: an off machine
+    // never produces a wide PTE and keeps the exact pre-huge-page
+    // callback set.
+    if (cfg.pageMode != PageMode::off) {
+        kern->setShootdownRangeFn([this](os::AddressSpace &as, VAddr va,
+                                         std::uint64_t pages,
+                                         bool delayable) {
+            rangeShootdown(as, va, pages, delayable);
+        });
+    }
 
     for (unsigned i = 0; i < cfg.nLogical; ++i) {
         cores.push_back(std::make_unique<cpu::Core>(
@@ -177,6 +190,18 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
         if (cfg.kpooldEnabled)
             kern->scheduler().addThread(kpooldThread.get());
         support->attachKpoold(kpooldThread.get());
+    }
+
+    // kcoalesced runs in every paging mode (it promotes whatever 4 KB
+    // runs land contiguously, OSDP faults and HWDP fast-mmap pages
+    // alike) but only when transparent coalescing is requested.
+    if (cfg.pageMode == PageMode::coalesce) {
+        kcoalescedThread = std::make_unique<core::Kcoalesced>(
+            *kern, cfg.kcoalesceCore(), cfg.kcoalescePeriod,
+            cfg.kcoalesceBatch);
+        if (cfg.sockets > 1)
+            kcoalescedThread->setCrossSocketIpis(cfg.sockets - 1);
+        kern->scheduler().addThread(kcoalescedThread.get());
     }
 
     // Topology view, built for every machine and mode (size 1 on a
@@ -281,6 +306,66 @@ System::pwcShootdown(os::AddressSpace &as, VAddr va, bool sync_path)
                 w.pwcInvalidate(refs.pmd.addr);
         }
     }
+}
+
+void
+System::rangeShootdown(os::AddressSpace &as, VAddr va,
+                       std::uint64_t pages, bool delayable)
+{
+    // The broadcast is one coherence event regardless of its span —
+    // the same epoch bump a 4 KB shootdown costs.
+    if (cfg.sockets > 1) {
+        for (auto &sk : socketTopo)
+            ++sk.shootdownEpoch;
+    }
+
+    auto apply = [this](os::AddressSpace *asp, VAddr base,
+                        std::uint64_t n) {
+        for (auto &c : cores)
+            c->mmu().tlb().invalidateRange(base, n);
+        bool any = false;
+        for (auto &c : cores) {
+            if (!c->mmu().walker().pwcEmpty()) {
+                any = true;
+                break;
+            }
+        }
+        if (!any)
+            return;
+        // A wide range never spans a PMD (2 MB windows are aligned,
+        // NAPOT windows are far smaller), so one walk resolves the
+        // covering upper entries for the whole range.
+        os::WalkRefs refs = asp->pageTable().walkRefs(base, false);
+        for (auto &c : cores) {
+            auto &w = c->mmu().walker();
+            if (refs.pud.valid())
+                w.pwcInvalidate(refs.pud.addr);
+            if (refs.pmd.valid())
+                w.pwcInvalidate(refs.pmd.addr);
+        }
+    };
+
+    if (delayable && wideShootdownHook) {
+        Tick delay = wideShootdownHook();
+        if (delay > 0) {
+            ++nWideShootdownsDelayed;
+            os::AddressSpace *asp = &as;
+            eq.postIn(
+                delay, [apply, asp, va, pages] { apply(asp, va, pages); },
+                "pagemode.shootdown.delayed");
+            return;
+        }
+    }
+    apply(&as, va, pages);
+}
+
+std::uint64_t
+System::totalTlbWideHits() const
+{
+    std::uint64_t t = 0;
+    for (const auto &c : cores)
+        t += c->mmu().tlb().wideHits();
+    return t;
 }
 
 core::FreePageQueue *
@@ -410,6 +495,8 @@ System::stopKthreads()
         kptedThread->stop();
     if (kpooldThread)
         kpooldThread->stop();
+    if (kcoalescedThread)
+        kcoalescedThread->stop();
     kern->reclaimer().stop();
 }
 
@@ -441,6 +528,8 @@ System::resumeKthreads()
         kptedThread->restart();
     if (kpooldThread && cfg.kpooldEnabled)
         kpooldThread->restart();
+    if (kcoalescedThread)
+        kcoalescedThread->restart();
     kern->reclaimer().restart();
 }
 
@@ -457,6 +546,11 @@ System::serialize(sim::Serializer &s)
     // Guarded so single-socket blobs keep the pre-NUMA byte layout.
     if (cfg.sockets > 1)
         s.check(cfg.sockets, "socket count");
+    // Guarded so pageMode=off blobs keep the 4 KB-only byte layout.
+    if (cfg.pageMode != PageMode::off) {
+        auto pm_word = static_cast<std::uint32_t>(cfg.pageMode);
+        s.check(pm_word, "page mode");
+    }
 
     eq.serialize(s);
     rng.serialize(s);
@@ -481,6 +575,11 @@ System::serialize(sim::Serializer &s)
         kptedThread->serialize(s);
     if (kpooldThread)
         kpooldThread->serialize(s);
+    if (kcoalescedThread)
+        kcoalescedThread->serialize(s);
+    // Guarded so pageMode=off blobs keep the 4 KB-only byte layout.
+    if (cfg.pageMode != PageMode::off)
+        s.io(nWideShootdownsDelayed);
     if (cfg.sockets > 1) {
         for (auto &sk : socketTopo) {
             s.io(sk.shootdownEpoch);

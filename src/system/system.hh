@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/fast_mmap.hh"
+#include "core/kcoalesced.hh"
 #include "core/kpoold.hh"
 #include "core/kpted.hh"
 #include "core/smu.hh"
@@ -60,6 +61,8 @@ class System
     }
     core::Kpted *kpted() { return kptedThread.get(); }
     core::Kpoold *kpoold() { return kpooldThread.get(); }
+    /** Non-null only when pageMode == coalesce. */
+    core::Kcoalesced *kcoalesced() { return kcoalescedThread.get(); }
     core::HwdpOsSupport *hwdpSupport() { return support.get(); }
     core::FreePageQueue *freePageQueue();
 
@@ -96,6 +99,28 @@ class System
     {
         shootdownFaultHook = std::move(fn);
     }
+
+    /**
+     * staleWideTlb fault site: queried on every *delayable* wide-range
+     * shootdown (promotion/split broadcasts, where the frames stay in
+     * place); a returned tick > 0 applies the whole broadcast that
+     * much later, leaving stale wide TLB entries resident in the
+     * window. Unmap/eviction broadcasts never consult it.
+     */
+    using WideShootdownHook = std::function<Tick()>;
+    void setWideShootdownHook(WideShootdownHook fn)
+    {
+        wideShootdownHook = std::move(fn);
+    }
+
+    /** Delayable wide shootdowns the hook actually deferred. */
+    std::uint64_t wideShootdownsDelayed() const
+    {
+        return nWideShootdownsDelayed;
+    }
+
+    /** TLB hits served by wide (NAPOT / 2 MB) entries, all cores. */
+    std::uint64_t totalTlbWideHits() const;
 
     /** Number of attached block devices. */
     unsigned numSsds() const
@@ -252,8 +277,11 @@ class System
     /** Topology view; built for every machine (size 1 at one socket). */
     std::vector<Socket> socketTopo;
     ShootdownFaultHook shootdownFaultHook;
+    WideShootdownHook wideShootdownHook;
+    std::uint64_t nWideShootdownsDelayed = 0;
     std::unique_ptr<core::Kpted> kptedThread;
     std::unique_ptr<core::Kpoold> kpooldThread;
+    std::unique_ptr<core::Kcoalesced> kcoalescedThread;
 
     std::vector<std::unique_ptr<workloads::Workload>> ownedWorkloads;
     std::vector<std::unique_ptr<cpu::ThreadContext>> tcs;
@@ -270,6 +298,16 @@ class System
      * ones the shootdown fault hook may drop or delay.
      */
     void pwcShootdown(os::AddressSpace &as, VAddr va, bool sync_path);
+
+    /**
+     * Wide-range shootdown (pageMode != off): invalidate [va,
+     * va + pages * 4 KB) in every core's TLB (reach-aware) and drop
+     * the covering PWC upper entries; multi-socket machines advance
+     * every socket's epoch, the same coherence event the 4 KB path
+     * counts.
+     */
+    void rangeShootdown(os::AddressSpace &as, VAddr va,
+                        std::uint64_t pages, bool delayable);
 
   public:
     /** Transfer ownership of a workload to the system (lifetime). */

@@ -55,6 +55,12 @@ faultSiteName(FaultSite s)
         return "shootdown_delay";
       case FaultSite::remotePmshrFull:
         return "remote_pmshr_full";
+      case FaultSite::hugeCoalesceAbort:
+        return "huge_coalesce_abort";
+      case FaultSite::hugeSplitStorm:
+        return "huge_split_storm";
+      case FaultSite::staleWideTlb:
+        return "stale_wide_tlb";
     }
     return "unknown";
 }
@@ -113,6 +119,23 @@ FaultPlan::attach(system::System &sys)
             attachFpq(*q, remote);
         if (sk.smu)
             attachPmshr(sk.smu->pmshr(), remote);
+    }
+    // Translation-reach sites exist only when the machine can produce
+    // wide PTEs; an off machine keeps the exact pre-huge-page hook
+    // set (and these sites' streams are simply never queried).
+    if (sys.config().pageMode != PageMode::off) {
+        sys.kernel().setHugeSplitHook(
+            [this] { return decide(FaultSite::hugeSplitStorm); });
+        sys.setWideShootdownHook([this]() -> Tick {
+            if (decide(FaultSite::staleWideTlb))
+                return states[idx(FaultSite::staleWideTlb)]
+                    .cfg.wideShootdownDeferral;
+            return 0;
+        });
+        if (sys.kcoalesced())
+            sys.kcoalesced()->setAbortHook([this] {
+                return decide(FaultSite::hugeCoalesceAbort);
+            });
     }
     if (sys.numSockets() > 1) {
         sys.setShootdownFaultHook([this](unsigned) {

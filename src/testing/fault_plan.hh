@@ -48,8 +48,13 @@ enum class FaultSite : unsigned {
     shootdownDrop,      ///< Cross-socket sync shootdown dropped.
     shootdownDelay,     ///< Cross-socket sync shootdown deferred.
     remotePmshrFull,    ///< Forced-full window on a remote PMSHR.
+    // Translation-reach sites (appended: earlier sites keep their
+    // fork streams, so pre-huge-page plans replay unchanged).
+    hugeCoalesceAbort,  ///< kcoalesced skips a promotable window.
+    hugeSplitStorm,     ///< Reclaim splits a clean huge unit.
+    staleWideTlb,       ///< Promotion/split shootdown deferred.
 };
-inline constexpr unsigned numFaultSites = 10;
+inline constexpr unsigned numFaultSites = 13;
 
 const char *faultSiteName(FaultSite s);
 
@@ -75,6 +80,9 @@ struct SiteConfig
 
     /** Deferral applied when shootdownDelay hits. */
     Tick shootdownDeferral = microseconds(2.0);
+
+    /** Deferral applied when staleWideTlb hits. */
+    Tick wideShootdownDeferral = microseconds(5.0);
 };
 
 class FaultPlan : public sim::SimObject, public ssd::IoFaultInjector

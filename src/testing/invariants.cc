@@ -192,7 +192,124 @@ checkInvariants(system::System &sys)
             v.push_back(where + ": inSmuQueue and on an LRU list");
     }
 
-    // ---- 5. Socket topology ---------------------------------------------
+    // ---- 5. Translation-reach audits -------------------------------------
+    // Wide PTEs promise the hardware contiguity; a promotion that lied
+    // (or a demotion that missed a stamp) is a silent wrong-data bug,
+    // so audit every leaf and every NAPOT window structurally.
+    if (sys.config().pageMode != PageMode::off) {
+        constexpr VAddr hugeSpan = pmdLeafPages << pageShift;
+        constexpr VAddr napotSpan = napotPages << pageShift;
+        for (const auto &as : kern.addressSpaces()) {
+            for (const auto &vma : as->vmas()) {
+                // 2 MB PMD leaves: aligned window, 512-aligned head,
+                // coherent compound metadata, page-cache agreement.
+                as->pageTable().forEachHugeLeaf(
+                    vma->start, vma->end,
+                    [&](VAddr win, os::EntryRef ref) {
+                        if (win < vma->start)
+                            return; // neighbour VMA's leaf
+                        std::string where = "as " +
+                                            std::to_string(as->id()) +
+                                            " 2MB leaf " + hex(win);
+                        Entry leaf = ref.value();
+                        Pfn head = pfnOf(leaf);
+                        if (win % hugeSpan != 0)
+                            v.push_back(where +
+                                        ": window not 2 MB aligned");
+                        if (head % pmdLeafPages != 0) {
+                            v.push_back(where + ": head pfn " +
+                                        std::to_string(head) +
+                                        " not 512-frame aligned");
+                            return;
+                        }
+                        const os::Page &hp = kern.page(head);
+                        if (hp.order != pmdLeafShift || hp.tail)
+                            v.push_back(where +
+                                        ": head frame metadata is not "
+                                        "a compound head");
+                        if (!hp.lruLinked)
+                            v.push_back(where +
+                                        ": head frame off the LRU");
+                        for (std::uint64_t i = 0; i < pmdLeafPages;
+                             ++i) {
+                            const os::Page &pg = kern.page(head + i);
+                            VAddr va = win + (i << pageShift);
+                            if (!pg.inUse || pg.as != as.get() ||
+                                pg.vaddr != va) {
+                                v.push_back(
+                                    where + ": subframe " +
+                                    std::to_string(head + i) +
+                                    " metadata disagrees with the leaf");
+                                break;
+                            }
+                            if (i > 0 &&
+                                (!pg.tail || pg.headPfn != head)) {
+                                v.push_back(where + ": subframe " +
+                                            std::to_string(head + i) +
+                                            " not flagged as a tail");
+                                break;
+                            }
+                            if (i > 0 && pg.lruLinked) {
+                                v.push_back(where + ": tail frame " +
+                                            std::to_string(head + i) +
+                                            " on an LRU list");
+                                break;
+                            }
+                            if (vma->file &&
+                                kern.pageCache().lookup(
+                                    *vma->file, vma->fileIndexOf(va)) !=
+                                    head + i) {
+                                v.push_back(
+                                    where + ": page cache disagrees at "
+                                    "index " +
+                                    std::to_string(vma->fileIndexOf(va)));
+                                break;
+                            }
+                        }
+                    });
+
+                // NAPOT windows: every stamped PTE implies its whole
+                // aligned 16-page window is stamped, present and maps
+                // an equally aligned contiguous run.
+                std::unordered_set<VAddr> napotWins;
+                for (std::uint64_t i = 0; i < vma->numPages(); ++i) {
+                    VAddr va = vma->start + (i << pageShift);
+                    Entry e = as->pageTable().readPte(va);
+                    if (isPresent(e) && hasNapotBit(e) && !isHugeLeaf(e))
+                        napotWins.insert(va & ~(napotSpan - 1));
+                }
+                for (VAddr wb : napotWins) {
+                    std::string where = "as " + std::to_string(as->id()) +
+                                        " NAPOT window " + hex(wb);
+                    if (wb < vma->start ||
+                        wb + napotSpan > vma->end) {
+                        v.push_back(where + ": crosses the VMA bounds");
+                        continue;
+                    }
+                    Entry base = as->pageTable().readPte(wb);
+                    Pfn bpfn = pfnOf(base);
+                    if (bpfn % napotPages != 0)
+                        v.push_back(where + ": base pfn " +
+                                    std::to_string(bpfn) +
+                                    " not 16-frame aligned");
+                    for (std::uint64_t i = 0; i < napotPages; ++i) {
+                        Entry e = as->pageTable().readPte(
+                            wb + (i << pageShift));
+                        if (!isPresent(e) || !hasNapotBit(e) ||
+                            pfnOf(e) != bpfn + i) {
+                            v.push_back(
+                                where +
+                                ": member PTEs are not uniformly "
+                                "stamped/contiguous");
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- 6. Socket topology ---------------------------------------------
     // Every shootdown broadcast bumps every socket's epoch — dropped or
     // deferred remote invalidations change PWC contents, never the
     // epoch — so the epochs must agree at all times, fault plan or not.

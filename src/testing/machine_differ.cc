@@ -82,6 +82,20 @@ diff(const MachineState &a, const MachineState &b, const DiffOptions &opt)
                     continue;
                 }
                 for (std::size_t p = 0; p < vm_a.pages.size(); ++p) {
+                    if (opt.userDataOnly) {
+                        if (vm_a.pages[p].dirty != vm_b.pages[p].dirty) {
+                            std::ostringstream line;
+                            line << "as " << as_a.asid << " vma " << v
+                                 << " page " << p << " (va 0x"
+                                 << std::hex
+                                 << (vm_a.start + (p << pageShift))
+                                 << std::dec << "): dirty "
+                                 << vm_a.pages[p].dirty << " vs "
+                                 << vm_b.pages[p].dirty;
+                            divergence(line.str());
+                        }
+                        continue;
+                    }
                     if (vm_a.pages[p] == vm_b.pages[p])
                         continue;
                     std::ostringstream line;
@@ -165,6 +179,29 @@ dumpMachineStats(system::System &sys, std::ostream &os)
         if (core::Kpted *kt = sys.kpted())
             os << "numa.shootdownIpisSent " << kt->shootdownIpisSent()
                << "\n";
+    }
+
+    // Translation-reach counters: emitted only when a page mode is on,
+    // so the pageMode=off dump stays byte-identical to the seed (the
+    // identity gate depends on that).
+    if (sys.config().pageMode != PageMode::off) {
+        const os::Kernel &k = sys.kernel();
+        os << "pagemode.thpFaults " << k.thpFaults() << "\n"
+           << "pagemode.napotPromotions " << k.napotPromotions() << "\n"
+           << "pagemode.napotBreaks " << k.napotBreaks() << "\n"
+           << "pagemode.hugePromotions " << k.hugePromotions() << "\n"
+           << "pagemode.hugeSplits " << k.hugeSplits() << "\n"
+           << "pagemode.hugeReclaims " << k.hugeReclaims() << "\n"
+           << "pagemode.tlbWideHits " << sys.totalTlbWideHits() << "\n"
+           << "pagemode.wideShootdownsDelayed "
+           << sys.wideShootdownsDelayed() << "\n";
+        if (core::Kcoalesced *kc = sys.kcoalesced())
+            os << "pagemode.kcoalesced.windowsScanned "
+               << kc->windowsScanned() << "\n"
+               << "pagemode.kcoalesced.windowsPromoted "
+               << kc->windowsPromoted() << "\n"
+               << "pagemode.kcoalesced.promotionsAborted "
+               << kc->promotionsAborted() << "\n";
     }
 }
 

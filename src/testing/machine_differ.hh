@@ -41,6 +41,16 @@ struct DiffOptions
      */
     bool compareFaultTotals = false;
 
+    /**
+     * Compare only the user-visible data surface: per-page dirtiness
+     * (the writes the workload made durable), app ops and OOM kills.
+     * Residency, sync status and LRU/page-cache bookkeeping are
+     * ignored — a 2 MB fault legitimately makes 511 extra pages
+     * resident, so cross-pageMode comparisons need this relaxation
+     * while staying exact about what the user wrote.
+     */
+    bool userDataOnly = false;
+
     /** Divergences rendered into the report before truncation. */
     unsigned maxReports = 8;
 };

@@ -68,6 +68,13 @@ const ht::FaultSite numaSites[] = {
     ht::FaultSite::remoteFpqDry, ht::FaultSite::shootdownDrop,
     ht::FaultSite::shootdownDelay, ht::FaultSite::remotePmshrFull};
 
+/** Every site a pageMode=off machine can expose (huge sites excluded). */
+constexpr unsigned numPageModeOffSites = 10;
+
+const ht::FaultSite hugeSites[] = {ht::FaultSite::hugeCoalesceAbort,
+                                   ht::FaultSite::hugeSplitStorm,
+                                   ht::FaultSite::staleWideTlb};
+
 /**
  * A two-socket machine with one FIO thread per socket, each working a
  * dataset on its local device — both sockets' SMUs field faults, and
@@ -102,6 +109,31 @@ makeNumaFioRun(system::PagingMode mode, std::uint64_t plan_seed,
     return r;
 }
 
+/**
+ * A single-socket machine with translation reach enabled. THP machines
+ * (osdp) allocate 2 MB units at fault time and reclaim them whole
+ * under pressure; coalesce machines (hwdp, sequential FIO) promote
+ * demand-paged runs in the background.
+ */
+FioRun
+makeHugeFioRun(system::PagingMode mode, PageMode page_mode,
+               bool sequential, std::uint64_t plan_seed,
+               std::uint64_t ops = 2500)
+{
+    FioRun r;
+    auto cfg = smallConfig(mode);
+    cfg.pageMode = page_mode;
+    r.sys = std::make_unique<system::System>(cfg);
+    r.plan = std::make_unique<ht::FaultPlan>(
+        "plan", r.sys->eventQueue(), plan_seed);
+    auto mf = r.sys->mapDataset("f", 16 * 1024);
+    auto *wl = r.sys->makeWorkload<workloads::FioWorkload>(
+        mf.vma, ops, 300, sequential);
+    r.tc = r.sys->addThread(*wl, 0, *mf.as);
+    r.plan->attach(*r.sys);
+    return r;
+}
+
 } // namespace
 
 TEST(FaultInjection, EverySiteFiresUnderFixedSeed)
@@ -129,12 +161,15 @@ TEST(FaultInjection, NumaSitesFireOnTwoSocketMachine)
     FioRun r = makeNumaFioRun(system::PagingMode::hwdp, 7);
     ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
 
-    for (unsigned i = 0; i < ht::numFaultSites; ++i) {
+    for (unsigned i = 0; i < numPageModeOffSites; ++i) {
         auto s = static_cast<ht::FaultSite>(i);
         EXPECT_GT(r.plan->queries(s), 0u) << ht::faultSiteName(s);
         EXPECT_GT(r.plan->injections(s), 0u)
             << ht::faultSiteName(s);
     }
+    // pageMode=off machines never query the translation-reach sites.
+    for (ht::FaultSite s : hugeSites)
+        EXPECT_EQ(r.plan->queries(s), 0u) << ht::faultSiteName(s);
     EXPECT_EQ(r.plan->totalInjections(), r.plan->log().size());
     EXPECT_EQ(r.sys->totalAppOps(), 3000u);
 
@@ -309,6 +344,115 @@ TEST(FaultInjection, InvariantsHoldMidRunAndAtCompletionUnderFaults)
     ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
     ht::quiesce(*r.sys);
     auto end = ht::checkInvariants(*r.sys);
+    EXPECT_TRUE(end.empty()) << end.front();
+}
+
+TEST(FaultInjection, ArmingHugeSitesDoesNotShiftOffModeReplay)
+{
+    // The huge sites are appended after every pre-existing site, and
+    // an off machine never queries them — so arming them at rate 1.0
+    // must leave a pageMode=off replay untouched, injection for
+    // injection and byte for byte.
+    FioRun a = makeNumaFioRun(system::PagingMode::hwdp, 41);
+    FioRun b = makeNumaFioRun(system::PagingMode::hwdp, 41);
+    for (ht::FaultSite s : hugeSites) {
+        b.plan->site(s).rate = 1.0;
+        b.plan->arm(s);
+    }
+    ASSERT_TRUE(a.sys->runUntilThreadsDone(seconds(30.0)));
+    ASSERT_TRUE(b.sys->runUntilThreadsDone(seconds(30.0)));
+
+    const auto &la = a.plan->log();
+    const auto &lb = b.plan->log();
+    ASSERT_EQ(la.size(), lb.size());
+    ASSERT_GT(la.size(), 0u);
+    for (std::size_t i = 0; i < la.size(); ++i) {
+        EXPECT_EQ(la[i].site, lb[i].site) << "entry " << i;
+        EXPECT_EQ(la[i].tick, lb[i].tick) << "entry " << i;
+    }
+    for (ht::FaultSite s : hugeSites)
+        EXPECT_EQ(b.plan->injections(s), 0u) << ht::faultSiteName(s);
+
+    ht::quiesce(*a.sys);
+    ht::quiesce(*b.sys);
+    std::ostringstream da, db;
+    ht::dumpMachineStats(*a.sys, da);
+    ht::dumpMachineStats(*b.sys, db);
+    ASSERT_FALSE(da.str().empty());
+    EXPECT_EQ(da.str(), db.str());
+}
+
+TEST(FaultInjection, HugeSplitStormForcesSplitsUnderReclaim)
+{
+    // Random FIO on a THP machine fills DRAM with 2 MB units, so
+    // reclaim meets clean compound heads; the armed site turns every
+    // whole-unit reclaim decision into a forced split.
+    FioRun r = makeHugeFioRun(system::PagingMode::osdp, PageMode::thp,
+                              false, 43, 3000);
+    r.plan->site(ht::FaultSite::hugeSplitStorm).rate = 1.0;
+    r.plan->arm(ht::FaultSite::hugeSplitStorm);
+    ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
+
+    EXPECT_GT(r.plan->queries(ht::FaultSite::hugeSplitStorm), 0u);
+    EXPECT_GT(r.plan->injections(ht::FaultSite::hugeSplitStorm), 0u);
+    EXPECT_GT(r.sys->kernel().hugeSplits(), 0u);
+    EXPECT_EQ(r.sys->kernel().hugeReclaims(), 0u);
+    EXPECT_EQ(r.sys->totalAppOps(), 3000u);
+
+    ht::quiesce(*r.sys);
+    auto end = ht::checkInvariants(*r.sys);
+    EXPECT_TRUE(end.empty()) << end.front();
+}
+
+TEST(FaultInjection, StaleWideTlbDefersDelayableShootdowns)
+{
+    // Forced splits demote in place (same frames), so their range
+    // shootdowns are delayable — the armed site defers each one,
+    // leaving a stale-wide-entry window the machine must absorb.
+    FioRun r = makeHugeFioRun(system::PagingMode::osdp, PageMode::thp,
+                              false, 47, 3000);
+    r.plan->site(ht::FaultSite::hugeSplitStorm).rate = 1.0;
+    r.plan->arm(ht::FaultSite::hugeSplitStorm);
+    r.plan->site(ht::FaultSite::staleWideTlb).rate = 1.0;
+    r.plan->arm(ht::FaultSite::staleWideTlb);
+    ASSERT_TRUE(r.sys->runUntilThreadsDone(seconds(30.0)));
+
+    EXPECT_GT(r.plan->queries(ht::FaultSite::staleWideTlb), 0u);
+    EXPECT_GT(r.plan->injections(ht::FaultSite::staleWideTlb), 0u);
+    EXPECT_GT(r.sys->wideShootdownsDelayed(), 0u);
+    EXPECT_EQ(r.sys->totalAppOps(), 3000u);
+
+    ht::quiesce(*r.sys);
+    auto end = ht::checkInvariants(*r.sys);
+    EXPECT_TRUE(end.empty()) << end.front();
+}
+
+TEST(FaultInjection, HugeCoalesceAbortSkipsEveryPromotion)
+{
+    // Sequential FIO on an hwdp coalesce machine lays down contiguous
+    // demand-paged runs; the disarmed twin proves they genuinely
+    // promote, the armed run proves the abort site vetoes each one.
+    FioRun armed = makeHugeFioRun(system::PagingMode::hwdp,
+                                  PageMode::coalesce, true, 53);
+    armed.plan->site(ht::FaultSite::hugeCoalesceAbort).rate = 1.0;
+    armed.plan->arm(ht::FaultSite::hugeCoalesceAbort);
+    FioRun clean = makeHugeFioRun(system::PagingMode::hwdp,
+                                  PageMode::coalesce, true, 53);
+    ASSERT_TRUE(armed.sys->runUntilThreadsDone(seconds(30.0)));
+    ASSERT_TRUE(clean.sys->runUntilThreadsDone(seconds(30.0)));
+
+    ASSERT_NE(armed.sys->kcoalesced(), nullptr);
+    EXPECT_GT(armed.plan->queries(ht::FaultSite::hugeCoalesceAbort),
+              0u);
+    EXPECT_GT(armed.plan->injections(ht::FaultSite::hugeCoalesceAbort),
+              0u);
+    EXPECT_GT(armed.sys->kcoalesced()->promotionsAborted(), 0u);
+    EXPECT_EQ(armed.sys->kcoalesced()->windowsPromoted(), 0u);
+    EXPECT_EQ(armed.sys->kernel().hugePromotions(), 0u);
+    EXPECT_GT(clean.sys->kcoalesced()->windowsPromoted(), 0u);
+
+    ht::quiesce(*armed.sys);
+    auto end = ht::checkInvariants(*armed.sys);
     EXPECT_TRUE(end.empty()) << end.front();
 }
 

@@ -321,6 +321,121 @@ TEST(FastPathAllocation, TlbHitAccessIsAllocationFree)
     EXPECT_FALSE(sink.called) << "hits complete inline, never via sink";
 }
 
+// ---- Translation-reach coherence on the fast path ---------------------------
+// The last-VPN latch and the PWC both sit in front of the arrays the
+// wide shootdown sweeps; each needs its own kill. A latched 4 KB VPN
+// inside a 2 MB window must die with the window, and a split must
+// drop the walker's cached upper entries so the next walk re-reads
+// the live tree.
+
+namespace {
+
+/** osdp + THP machine with at least one 2 MB leaf faulted in. */
+struct ThpMachine
+{
+    system::System sys;
+    system::System::MappedFile mf;
+    VAddr win = 0; ///< Base of one live 2 MB leaf window.
+
+    ThpMachine() : sys(makeConfig())
+    {
+        mf = sys.mapDataset("f", 2048);
+        auto *wl = sys.makeWorkload<workloads::FioWorkload>(mf.vma, 600);
+        sys.addThread(*wl, 0, *mf.as);
+        EXPECT_TRUE(sys.runUntilThreadsDone(seconds(30.0)));
+        EXPECT_GT(sys.kernel().thpFaults(), 0u);
+        mf.as->pageTable().forEachHugeLeaf(
+            mf.vma->start, mf.vma->end, [&](VAddr va, os::EntryRef) {
+                if (!win)
+                    win = va;
+            });
+        EXPECT_NE(win, 0u);
+    }
+
+    static system::MachineConfig
+    makeConfig()
+    {
+        system::MachineConfig cfg = tinyConfig(system::PagingMode::osdp);
+        cfg.memFrames = 8 * 1024; // all four windows fit: no reclaim
+        cfg.pageMode = PageMode::thp;
+        return cfg;
+    }
+};
+
+} // namespace
+
+TEST(FastPathReach, WideShootdownKillsLatchedVpnInsideWindow)
+{
+    ThpMachine m;
+    StubThread t;
+    StubSink sink;
+    cpu::AccessInfo info;
+    auto &mmu = m.sys.core(0).mmu();
+    VAddr va = m.win + 7 * pageSize;
+
+    // Two accesses: the first lands the wide entry in the L1 and the
+    // latch, the second must be a latch hit served by it.
+    ASSERT_TRUE(mmu.access(t, *m.mf.as, va, false, 0, sink, info));
+    auto latch_before = mmu.tlb().latchHits();
+    auto wide_before = mmu.tlb().wideHits();
+    ASSERT_TRUE(mmu.access(t, *m.mf.as, va, false, 0, sink, info));
+    EXPECT_GT(mmu.tlb().latchHits(), latch_before);
+    EXPECT_GT(mmu.tlb().wideHits(), wide_before);
+
+    // Demote the window. The broadcast must kill the latched VPN too:
+    // the next access misses the TLB entirely and re-walks.
+    m.sys.kernel().demoteHugePage(*m.mf.as, m.win);
+    auto miss_before = mmu.tlb().misses();
+    ASSERT_TRUE(mmu.access(t, *m.mf.as, va, false, 0, sink, info));
+    ASSERT_FALSE(info.faulted); // split left 512 present 4 KB PTEs
+    EXPECT_GT(mmu.tlb().misses(), miss_before)
+        << "stale latched translation served after the wide shootdown";
+
+    auto inv = ht::checkInvariants(m.sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+}
+
+TEST(FastPathReach, SplitDropsCoveringPwcEntries)
+{
+    ThpMachine m;
+    StubThread t;
+    StubSink sink;
+    cpu::AccessInfo info;
+    auto &mmu = m.sys.core(0).mmu();
+    auto &walker = mmu.walker();
+
+    // Clean slate, then one walk through the leaf window to populate
+    // the PWC with its covering upper entries.
+    mmu.tlb().flush();
+    walker.pwcFlush();
+    ASSERT_TRUE(mmu.access(t, *m.mf.as, m.win + 7 * pageSize, false, 0,
+                           sink, info));
+    ASSERT_FALSE(walker.pwcEmpty());
+
+    // A second walk in the same window rides the PWC.
+    mmu.tlb().flush();
+    auto hits_before = walker.pwcHits();
+    ASSERT_TRUE(mmu.access(t, *m.mf.as, m.win + 9 * pageSize, false, 0,
+                           sink, info));
+    EXPECT_GT(walker.pwcHits(), hits_before);
+
+    // The split rewrites the PMD slot; the shootdown must drop every
+    // PWC entry covering the window so the next walk re-reads the
+    // live tree instead of trusting a stale upper entry.
+    m.sys.kernel().demoteHugePage(*m.mf.as, m.win);
+    EXPECT_TRUE(walker.pwcEmpty());
+
+    mmu.tlb().flush();
+    auto misses_before = walker.pwcMisses();
+    ASSERT_TRUE(mmu.access(t, *m.mf.as, m.win + 7 * pageSize, false, 0,
+                           sink, info));
+    ASSERT_FALSE(info.faulted);
+    EXPECT_GT(walker.pwcMisses(), misses_before);
+
+    auto inv = ht::checkInvariants(m.sys);
+    EXPECT_TRUE(inv.empty()) << inv.front();
+}
+
 TEST(FastPathAllocation, WalkHitAccessIsAllocationFree)
 {
     if (!HWDP_HEAP_COUNTING)
