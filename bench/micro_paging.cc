@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Demand-paging event-path microbench: host cost of the fault fast
+ * path and the per-device service lanes (BENCH_paging_path.json).
+ *
+ * Two scenarios, both to completion on hwdp machines:
+ *
+ *  - Fault storm (serial): FIO random reads over a dataset 32x memory,
+ *    so nearly every op walks the full walker-miss -> SMU -> PMSHR ->
+ *    NVMe chain. Run with the fast path on and off at simThreads=1;
+ *    the stats dumps must match byte for byte before any timing is
+ *    quoted, and the CPU-seconds ratio is the serial win.
+ *
+ *  - Steady-state lanes: a 2-socket machine (one SMU/NVMe/SSD complex
+ *    per socket) at simThreads {1, 2, 4}; per-device SSD service
+ *    batches fan out as CAS-claimed lane tasks. State must hash
+ *    identically at every point — the lanes are host-side only.
+ *
+ * Timing is the BENCH_*.json protocol (host_timing.hh): median of N
+ * repeats, steal-immune process CPU seconds from getrusage beside the
+ * wall clock. The paging-path counter table prints next to the
+ * numbers so the event-elision the timing claims is visible.
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "bench/host_timing.hh"
+#include "testing/machine_differ.hh"
+
+using namespace hwdp;
+
+namespace {
+
+struct Out
+{
+    std::uint64_t stateHash = 0;
+    Tick finalTick = 0;
+    std::uint64_t hwHandled = 0;
+    std::string stats;
+    std::string pagingTable;
+};
+
+Out
+runFaultStorm(bool fast)
+{
+    auto cfg = bench::paperConfig(system::PagingMode::hwdp);
+    cfg.memFrames = 32 * 1024;
+    cfg.faultFastPath = fast;
+    system::System sys(cfg);
+    auto mf = sys.mapDataset("storm.dat", 32 * cfg.memFrames);
+    for (unsigned t = 0; t < 4; ++t) {
+        auto *wl =
+            sys.makeWorkload<workloads::FioWorkload>(mf.vma, 6000);
+        sys.addThread(*wl, t, *mf.as);
+    }
+    sys.runUntilThreadsDone(seconds(120.0));
+    testing::quiesce(sys);
+
+    Out o;
+    auto snap = testing::snapshot(sys, "micro_paging");
+    o.stateHash = snap.stateHash;
+    o.finalTick = sys.now();
+    for (auto &tc : sys.threads())
+        o.hwHandled += tc->hwHandledOps();
+    std::ostringstream os;
+    testing::dumpMachineStats(sys, os);
+    o.stats = os.str();
+    o.pagingTable = metrics::pagingPathTable(sys).toString();
+    return o;
+}
+
+Out
+runLanes(unsigned sim_threads)
+{
+    auto cfg = bench::paperConfig(system::PagingMode::hwdp);
+    cfg.nLogical = 4;
+    cfg.nPhysical = 2;
+    cfg.memFrames = 32 * 1024;
+    cfg.sockets = 2;
+    cfg.simThreads = sim_threads;
+    system::System sys(cfg);
+    for (unsigned s = 0; s < cfg.sockets; ++s) {
+        auto mf = sys.mapDataset("lanes" + std::to_string(s),
+                                 16 * 1024, nullptr, s);
+        auto *wl =
+            sys.makeWorkload<workloads::FioWorkload>(mf.vma, 4000);
+        sys.addThread(*wl, s * cfg.coresPerSocket(), *mf.as);
+    }
+    sys.runUntilThreadsDone(seconds(120.0));
+    testing::quiesce(sys);
+
+    Out o;
+    auto snap = testing::snapshot(sys, "micro_paging_lanes");
+    o.stateHash = snap.stateHash;
+    o.finalTick = sys.now();
+    if (sim_threads > 1)
+        o.pagingTable = metrics::pagingPathTable(sys).toString();
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned repeats = 3;
+    if (argc > 1)
+        repeats = static_cast<unsigned>(std::atoi(argv[1]));
+    if (repeats == 0)
+        repeats = 1;
+
+    unsigned host = std::thread::hardware_concurrency();
+    metrics::banner("Paging-path microbench: fault fast path + lanes",
+                    "stats must be byte-identical before timing counts");
+    std::printf("host hardware concurrency: %u, repeats: %u\n\n", host,
+                repeats);
+
+    // ---- Scenario 1: serial fault storm, fast on vs off ----------------
+    Out fastOut, legacyOut;
+    bench::TimedRun fastT = bench::medianOfRuns(
+        repeats, [&] { fastOut = runFaultStorm(true); });
+    bench::TimedRun legacyT = bench::medianOfRuns(
+        repeats, [&] { legacyOut = runFaultStorm(false); });
+
+    bool stats_identical = fastOut.stats == legacyOut.stats &&
+                           fastOut.stateHash == legacyOut.stateHash &&
+                           fastOut.finalTick == legacyOut.finalTick;
+    double speedup =
+        fastT.cpuSec > 0 ? legacyT.cpuSec / fastT.cpuSec : 0.0;
+
+    metrics::Table st({"fault storm", "cpu s (median)",
+                       "wall s (median)", "hw faults"});
+    st.addRow({"fast path on", metrics::Table::num(fastT.cpuSec, 3),
+               metrics::Table::num(fastT.wallSec, 3),
+               std::to_string(fastOut.hwHandled)});
+    st.addRow({"event-per-hop", metrics::Table::num(legacyT.cpuSec, 3),
+               metrics::Table::num(legacyT.wallSec, 3),
+               std::to_string(legacyOut.hwHandled)});
+    st.print();
+    std::printf("\ncpu speedup: %.2fx   stats byte-identical: %s\n\n",
+                speedup, stats_identical ? "yes" : "NO");
+    std::fputs(fastOut.pagingTable.c_str(), stdout);
+
+    // ---- Scenario 2: lanes, simThreads sweep on 2 sockets --------------
+    const unsigned points[] = {1, 2, 4};
+    std::vector<bench::TimedRun> laneT(std::size(points));
+    std::vector<Out> laneOut(std::size(points));
+    for (std::size_t p = 0; p < std::size(points); ++p) {
+        laneT[p] = bench::medianOfRuns(
+            repeats, [&] { laneOut[p] = runLanes(points[p]); });
+    }
+    bool lanes_identical = true;
+    for (std::size_t p = 1; p < std::size(points); ++p) {
+        if (laneOut[p].stateHash != laneOut[0].stateHash ||
+            laneOut[p].finalTick != laneOut[0].finalTick)
+            lanes_identical = false;
+    }
+
+    std::printf("\n");
+    metrics::Table lt({"simThreads", "cpu s (median)", "wall s (median)",
+                       "wall speedup"});
+    for (std::size_t p = 0; p < std::size(points); ++p) {
+        lt.addRow({std::to_string(points[p]),
+                   metrics::Table::num(laneT[p].cpuSec, 3),
+                   metrics::Table::num(laneT[p].wallSec, 3),
+                   metrics::Table::num(laneT[0].wallSec /
+                                       laneT[p].wallSec) +
+                       "x"});
+    }
+    lt.print();
+    std::printf("\nbit-identical state across simThreads: %s\n\n",
+                lanes_identical ? "yes" : "NO — DETERMINISM VIOLATION");
+    std::fputs(laneOut.back().pagingTable.c_str(), stdout);
+
+    std::printf("\n{\"bench\": \"micro_paging\", \"host_cores\": %u, "
+                "\"repeats\": %u, \"storm_fast_cpu_s\": %.3f, "
+                "\"storm_legacy_cpu_s\": %.3f, \"fast_speedup\": %.2f, "
+                "\"stats_identical\": %s",
+                host, repeats, fastT.cpuSec, legacyT.cpuSec, speedup,
+                stats_identical ? "true" : "false");
+    for (std::size_t p = 0; p < std::size(points); ++p) {
+        std::printf(", \"lanes_t%u_wall_s\": %.3f, "
+                    "\"lanes_t%u_cpu_s\": %.3f",
+                    points[p], laneT[p].wallSec, points[p],
+                    laneT[p].cpuSec);
+    }
+    std::printf(", \"lanes_identical\": %s}\n",
+                lanes_identical ? "true" : "false");
+    return stats_identical && lanes_identical ? 0 : 1;
+}

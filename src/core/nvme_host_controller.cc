@@ -63,6 +63,14 @@ NvmeHostController::issueRead(unsigned dev_id, Lba lba, PAddr dma_addr,
                               std::uint16_t tag,
                               std::function<void()> issued)
 {
+    issueReadAt(dev_id, lba, dma_addr, tag, std::move(issued), now());
+}
+
+void
+NvmeHostController::issueReadAt(unsigned dev_id, Lba lba, PAddr dma_addr,
+                                std::uint16_t tag,
+                                std::function<void()> issued, Tick at)
+{
     if (!deviceConfigured(dev_id))
         panic("nvme host controller: read on unconfigured device ",
               dev_id);
@@ -82,16 +90,26 @@ NvmeHostController::issueRead(unsigned dev_id, Lba lba, PAddr dma_addr,
 
     // Command write to memory, then the doorbell: the generator builds
     // the 64-byte command and writes it at SQ base + SQ tail, then
-    // rings the SQ doorbell (Figure 11(b): 77.16 ns + 1.60 ns).
-    Tick delay = tm.cmdWrite + tm.doorbell;
-    eq.postIn(delay,
-                        [this, dev_id, issued = std::move(issued)] {
-                            descs[dev_id].dev->ringSqDoorbell(
-                                descs[dev_id].qid);
-                            if (issued)
-                                issued();
-                        },
-                        "nvme.doorbell");
+    // rings the SQ doorbell (Figure 11(b): 77.16 ns + 1.60 ns). When
+    // the doorbell lands before the next scheduled event, nothing can
+    // execute in between, so running it inline here is byte-identical
+    // to the posted event firing there.
+    Tick t_db = at + tm.cmdWrite + tm.doorbell;
+    if (fastPath && t_db < eq.nextEventTick()) {
+        ++nInlineDoorbells;
+        d.dev->ringSqDoorbellAt(d.qid, t_db);
+        if (issued)
+            issued();
+        return;
+    }
+    ++nEventDoorbells;
+    eq.post(t_db,
+            [this, dev_id, issued = std::move(issued)] {
+                descs[dev_id].dev->ringSqDoorbell(descs[dev_id].qid);
+                if (issued)
+                    issued();
+            },
+            "nvme.doorbell");
 }
 
 void
@@ -109,15 +127,25 @@ NvmeHostController::onCqWrite(unsigned dev_id,
     if (cqe.status != 0)
         ++statErrors;
 
-    Tick delay = tm.completionCycles * tm.cyclePeriod;
+    Tick t_c = now() + tm.completionCycles * tm.cyclePeriod;
     std::uint16_t tag = cqe.cid;
     std::uint16_t status = cqe.status;
-    eq.postIn(delay,
-                        [this, tag, status] {
-                            if (onComplete)
-                                onComplete(tag, status);
-                        },
-                        "nvme.complete");
+    // Successful completions may percolate inline under the timing
+    // gate; error completions always take the event (the handler's
+    // bounce path runs kernel code that needs real event time).
+    if (fastPath && status == 0 && onComplete &&
+        t_c < eq.nextEventTick()) {
+        ++nInlineCompletions;
+        onComplete(tag, status, t_c);
+        return;
+    }
+    ++nEventCompletions;
+    eq.post(t_c,
+            [this, tag, status, t_c] {
+                if (onComplete)
+                    onComplete(tag, status, t_c);
+            },
+            "nvme.complete");
 }
 
 } // namespace hwdp::core

@@ -73,20 +73,48 @@ class NvmeHostController : public sim::SimObject
                    std::uint16_t tag, std::function<void()> issued);
 
     /**
+     * issueRead() with the command generated at logical time @p at
+     * (>= now()): the inline fault fast path issues from within an
+     * earlier event. issueRead() is issueReadAt(..., now()).
+     */
+    void issueReadAt(unsigned dev_id, Lba lba, PAddr dma_addr,
+                     std::uint16_t tag, std::function<void()> issued,
+                     Tick at);
+
+    /**
      * Completion delivery to the page miss handler. @p status is the
      * NVMe completion status (0 = success); the handler owns the
-     * retry/bounce policy for errors.
+     * retry/bounce policy for errors. @p at is the logical time the
+     * completion protocol finished — now() on the reference path, and
+     * possibly ahead of now() when the fast path delivered inline.
      */
     void setCompletionCallback(
-        std::function<void(std::uint16_t tag, std::uint16_t status)> fn)
+        std::function<void(std::uint16_t tag, std::uint16_t status,
+                           Tick at)>
+            fn)
     {
         onComplete = std::move(fn);
     }
+
+    /**
+     * Fast-path mode: doorbell writes and successful completions run
+     * inline on the logical clock when the timing gate allows, instead
+     * of via "nvme.doorbell"/"nvme.complete" events. Simulated results
+     * are bit-identical either way.
+     */
+    void setFastPath(bool on) { fastPath = on; }
+    bool fastPathEnabled() const { return fastPath; }
 
     const Timing &timing() const { return tm; }
 
     std::uint64_t readsIssued() const { return statIssued.value(); }
     std::uint64_t errorsSnooped() const { return statErrors.value(); }
+
+    // ---- Host-side observability (never part of simulated state) ----
+    std::uint64_t inlineDoorbells() const { return nInlineDoorbells; }
+    std::uint64_t eventDoorbells() const { return nEventDoorbells; }
+    std::uint64_t inlineCompletions() const { return nInlineCompletions; }
+    std::uint64_t eventCompletions() const { return nEventCompletions; }
 
     /** Checkpoint the counters; descriptor registers are verified. */
     void serialize(sim::Serializer &s);
@@ -101,7 +129,13 @@ class NvmeHostController : public sim::SimObject
 
     Timing tm;
     std::array<Descriptor, maxDevices> descs;
-    std::function<void(std::uint16_t, std::uint16_t)> onComplete;
+    std::function<void(std::uint16_t, std::uint16_t, Tick)> onComplete;
+    bool fastPath = false;
+
+    std::uint64_t nInlineDoorbells = 0;
+    std::uint64_t nEventDoorbells = 0;
+    std::uint64_t nInlineCompletions = 0;
+    std::uint64_t nEventCompletions = 0;
 
     sim::Counter &statIssued;
     sim::Counter &statCompleted;

@@ -66,9 +66,10 @@ Smu::Smu(std::string name, sim::EventQueue &eq, unsigned sid,
     }
 
     nvme.setCompletionCallback(
-        [this](std::uint16_t tag, std::uint16_t status) {
-            onIoComplete(tag, status);
+        [this](std::uint16_t tag, std::uint16_t status, Tick at) {
+            onIoCompleteAt(tag, status, at);
         });
+    nvme.setFastPath(prm.fastPath);
 }
 
 FreePageQueue &
@@ -116,6 +117,35 @@ Smu::handleMiss(cpu::PageMissRequest req)
                             lookupStep(std::move(req), started);
                         },
                         "smu.lookup");
+}
+
+bool
+Smu::handleMissAt(cpu::PageMissRequest &req, Tick at)
+{
+    // The prefetcher spawns from inside the lookup and its SQE push
+    // order against the demand miss depends on event sequencing: keep
+    // the reference path.
+    if (!prm.fastPath || prm.sequentialPrefetch)
+        return false;
+
+    Tick delay =
+        (prm.requestRegWrites + prm.camLookup) * prm.cyclePeriod;
+    bool remote = prm.coresPerSocket != 0 &&
+                  req.core / prm.coresPerSocket != socketId;
+    if (remote)
+        delay += prm.remoteRequestLatency;
+    Tick t_l = at + delay;
+    // Strict gate: with t_l before the next scheduled event, nothing
+    // can execute between now and t_l, so running the lookup inline
+    // here is byte-identical to the mmu.smureq + smu.lookup events
+    // firing there.
+    if (t_l >= eq.nextEventTick())
+        return false;
+    if (remote)
+        ++nRemoteRequests;
+    ++nInlineMisses;
+    lookupStepAt(std::move(req), at, t_l);
+    return true;
 }
 
 void
@@ -173,7 +203,7 @@ Smu::lookupStep(cpu::PageMissRequest req, Tick started)
         eq.postIn(delay + prm.zeroFillLatency,
                             [this, tag, req_core] {
                                 freePageQueue(req_core).refillPrefetch();
-                                onIoComplete(tag, 0);
+                                onIoCompleteAt(tag, 0, now());
                             },
                             "smu.zerofill");
         return;
@@ -194,6 +224,101 @@ Smu::lookupStep(cpu::PageMissRequest req, Tick started)
     // further prefetches would run away through the whole mapping.
     if (prm.sequentialPrefetch && !e.req.isPrefetch)
         maybePrefetchNext(e.req);
+}
+
+void
+Smu::lookupStepAt(cpu::PageMissRequest req, Tick started, Tick at)
+{
+    // Mirrors lookupStep() at logical time `at` under the fast-path
+    // guarantee that no event fires before `at`: PMSHR and free-queue
+    // mutations run immediately (the SMU is the sole actor until
+    // `at`), while done()/onQueueEmpty()/checkBarrier() — which
+    // re-enter walker and kernel code expecting now() — go through a
+    // posted event at `at`. That event is next in line (the gate
+    // checked `at` against nextEventTick), so the relative execution
+    // order matches the reference path exactly.
+    int idx = pmshrUnit.lookup(req.refs.pte.addr);
+    if (idx >= 0) {
+        pmshrUnit.noteCoalesced();
+        ++statCoalesced;
+        pmshrUnit.entry(idx).waiters.push_back(std::move(req.done));
+        return;
+    }
+
+    idx = pmshrUnit.allocate(req.refs.pte.addr);
+    if (idx < 0) {
+        ++statRejectFull;
+        eq.post(at, [done = std::move(req.done)] { done(false); },
+                "smu.reject");
+        return;
+    }
+
+    FreePageQueue &fpq = freePageQueue(req.core);
+    auto pop = fpq.pop(prm.memRoundTrip);
+    if (!pop.ok) {
+        pmshrUnit.invalidate(idx);
+        ++statRejectEmpty;
+        eq.post(at,
+                [this, done = std::move(req.done)] {
+                    if (onQueueEmpty)
+                        onQueueEmpty();
+                    done(false);
+                    checkBarrier();
+                },
+                "smu.reject");
+        return;
+    }
+
+    Pmshr::Entry &e = pmshrUnit.entry(idx);
+    e.pfn = pop.pfn;
+    e.started = started;
+    unsigned dev = req.dev;
+    Lba lba = req.lba;
+    e.req = std::move(req);
+
+    PAddr dma = static_cast<PAddr>(pop.pfn) << pageShift;
+    Tick delay = pop.latency + prm.pfnWrite * prm.cyclePeriod;
+    auto tag = static_cast<std::uint16_t>(idx);
+    unsigned req_core = e.req.core;
+
+    if (lba == os::pte::zeroFillLba) {
+        ++statZeroFill;
+        Tick t_z = at + delay + prm.zeroFillLatency;
+        if (t_z < eq.nextEventTick()) {
+            freePageQueue(req_core).refillPrefetch();
+            onIoCompleteAt(tag, 0, t_z);
+            return;
+        }
+        eq.post(t_z,
+                [this, tag, req_core] {
+                    freePageQueue(req_core).refillPrefetch();
+                    onIoCompleteAt(tag, 0, now());
+                },
+                "smu.zerofill");
+        return;
+    }
+
+    Tick t_i = at + delay;
+    if (t_i < eq.nextEventTick()) {
+        nvme.issueReadAt(
+            dev, lba, dma, tag,
+            [this, req_core] {
+                // Device time: eagerly refill the prefetch buffer so
+                // the next free-page fetch costs nothing (III-C).
+                freePageQueue(req_core).refillPrefetch();
+            },
+            t_i);
+        return;
+    }
+    eq.post(t_i,
+            [this, dev, lba, dma, tag, req_core] {
+                nvme.issueRead(dev, lba, dma, tag, [this, req_core] {
+                    freePageQueue(req_core).refillPrefetch();
+                });
+            },
+            "smu.issue");
+    // No prefetch here: handleMissAt() rejects sequentialPrefetch
+    // configurations, so this path never needs maybePrefetchNext().
 }
 
 void
@@ -233,11 +358,15 @@ Smu::maybePrefetchNext(const cpu::PageMissRequest &req)
 }
 
 void
-Smu::onIoComplete(std::uint16_t tag, std::uint16_t status)
+Smu::onIoCompleteAt(std::uint16_t tag, std::uint16_t status, Tick at)
 {
     Pmshr::Entry &e = pmshrUnit.entry(tag);
 
     if (status != 0) {
+        // Error completions are never delivered ahead of the clock
+        // (the completion unit only inlines successes): at == now()
+        // on this branch, so the direct calls below see the event
+        // time the reference path gave them.
         if (!e.retried) {
             // Media errors are frequently transient: retry once on
             // the same isolated queue. The PMSHR entry stays live so
@@ -245,7 +374,8 @@ Smu::onIoComplete(std::uint16_t tag, std::uint16_t status)
             e.retried = true;
             ++statIoRetry;
             PAddr dma = static_cast<PAddr>(e.pfn) << pageShift;
-            nvme.issueRead(e.req.dev, e.req.lba, dma, tag, nullptr);
+            nvme.issueReadAt(e.req.dev, e.req.lba, dma, tag, nullptr,
+                             at);
             return;
         }
         // Persistent error: bounce to the OS exactly like the queue
@@ -264,12 +394,17 @@ Smu::onIoComplete(std::uint16_t tag, std::uint16_t status)
     }
 
     // (6) I/O complete: (7) update PTE/PMD/PUD in place, then (8)
-    // broadcast completion and invalidate the entry.
+    // broadcast completion and invalidate the entry. The update is
+    // time-free (pt_updater touches no clocks), so running it at an
+    // inline `at` ahead of now() is safe: nothing executes before
+    // `at` to observe the PTE early. The broadcast stays an event —
+    // it resumes walkers and samples the latency histogram, which
+    // need real event time.
     Tick update_lat = updater.update(e.req, e.pfn);
     Tick delay = update_lat + prm.notifyCycles * prm.cyclePeriod;
 
-    eq.postIn(
-        delay,
+    eq.post(
+        at + delay,
         [this, tag] {
             Pmshr::Entry &entry = pmshrUnit.entry(tag);
             // Model bookkeeping: the frame left the SMU queue (the OS

@@ -95,6 +95,18 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
         /** Cross-socket request round-trip premium. */
         Tick remoteRequestLatency = nanoseconds(120.0);
 
+        /**
+         * Inline fault fast path (MachineConfig::faultFastPath): the
+         * miss-handling chain executes inline on the logical clock
+         * whenever it finishes before the next scheduled event,
+         * skipping the smu.lookup/smu.issue/nvme.doorbell event hops.
+         * Simulated results are bit-identical either way. Disabled
+         * automatically when sequentialPrefetch is on (the prefetch
+         * spawns from inside the lookup, which must stay on the event
+         * path to preserve demand-vs-prefetch SQE push order).
+         */
+        bool fastPath = true;
+
         NvmeHostController::Timing nvme{};
         Tick cyclePeriod = 357;
     };
@@ -107,6 +119,7 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
 
     // ---- cpu::PageMissHandlerIface -------------------------------------
     void handleMiss(cpu::PageMissRequest req) override;
+    bool handleMissAt(cpu::PageMissRequest &req, Tick at) override;
 
     /** Queue serving @p core (queue 0 in the default global mode). */
     FreePageQueue &freePageQueue(unsigned core = 0);
@@ -151,6 +164,12 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
 
     /** Misses delivered from a core on another socket. */
     std::uint64_t remoteRequests() const { return nRemoteRequests; }
+
+    /**
+     * Misses whose lookup ran inline instead of via the smu.lookup
+     * event (host-side observability; never part of simulated state).
+     */
+    std::uint64_t inlineMisses() const { return nInlineMisses; }
     std::uint64_t rejectedIoError() const
     {
         return statRejectIoError.value();
@@ -182,6 +201,9 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
      */
     std::uint64_t nRemoteRequests = 0;
 
+    /** Host-side fast-path hit count; never serialized. */
+    std::uint64_t nInlineMisses = 0;
+
     sim::Counter &statHandled;
     sim::Counter &statZeroFill;
     sim::Counter &statPrefetch;
@@ -193,7 +215,24 @@ class Smu : public sim::SimObject, public cpu::PageMissHandlerIface
     sim::Histogram &statLatency;
 
     void lookupStep(cpu::PageMissRequest req, Tick started);
-    void onIoComplete(std::uint16_t tag, std::uint16_t status);
+
+    /**
+     * Fast-path lookup running at logical time @p at (> now()), under
+     * the guarantee that no event executes before @p at. Structure
+     * mutations (PMSHR, free page queue, counters) run immediately —
+     * nothing can observe them before @p at — while callbacks that
+     * re-enter kernel/MMU code are delivered through an event at
+     * @p at, where now() is what they expect.
+     */
+    void lookupStepAt(cpu::PageMissRequest req, Tick started, Tick at);
+
+    /**
+     * Completion at logical time @p at: == now() on the event path,
+     * >= now() when delivered inline by the snooping completion unit
+     * (successful completions only).
+     */
+    void onIoCompleteAt(std::uint16_t tag, std::uint16_t status,
+                        Tick at);
     void checkBarrier();
 
     /** Issue a next-page prefetch fill for the page after @p req. */

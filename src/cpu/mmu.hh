@@ -61,6 +61,23 @@ class PageMissHandlerIface
   public:
     virtual ~PageMissHandlerIface() = default;
     virtual void handleMiss(PageMissRequest req) = 0;
+
+    /**
+     * Fast-path delivery: handle the miss inline at logical time
+     * @p at (the tick the "mmu.smureq" event would have fired at),
+     * provided the handler's timing gate allows. Returns true after
+     * consuming @p req; false declines and leaves @p req intact — the
+     * caller then posts the reference-path event. The default
+     * declines always; simulated results are bit-identical whichever
+     * path runs.
+     */
+    virtual bool
+    handleMissAt(PageMissRequest &req, Tick at)
+    {
+        (void)req;
+        (void)at;
+        return false;
+    }
 };
 
 /** Outcome summary delivered with the access completion. */

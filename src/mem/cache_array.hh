@@ -351,6 +351,85 @@ class CacheArray
     }
 
     /**
+     * Wide-set scan with the way count a compile-time constant — the
+     * LLC counterpart of scanSetFixed. With AVX-512 the hit scan runs
+     * at exact trip count (the tail lanes via a masked load, never
+     * reading past the set) and the victim argmin min-reduces the
+     * (stamp << 6 | way) keys in u64 lanes instead of the generic
+     * scan's serial cmov chain over a runtime trip count. Keys are
+     * unique (the way bits break stamp ties exactly like the scalar
+     * strict-min), so the reduction picks the identical way.
+     * Semantically identical to the generic scan; hosts without
+     * AVX-512 just take the generic scan.
+     */
+    template <unsigned W>
+    [[gnu::always_inline]] inline SetScan
+    scanSetWide(std::size_t base, std::uint64_t want) const
+    {
+        static_assert(W > 8 && W <= 64, "wide scan covers 9..64 ways");
+#if defined(__AVX512F__)
+        const std::uint64_t tag_mask = ~stampMask;
+        const std::uint64_t *row = &meta[base];
+        __builtin_prefetch(row + 8);
+        if constexpr (W > 16)
+            __builtin_prefetch(row + 16);
+
+        const __m512i vmask =
+            _mm512_set1_epi64(static_cast<long long>(tag_mask));
+        const __m512i vwant =
+            _mm512_set1_epi64(static_cast<long long>(want));
+        constexpr unsigned full = W / 8 * 8;
+        constexpr __mmask8 tail =
+            static_cast<__mmask8>((1u << W % 8) - 1);
+        for (unsigned w = 0; w < full; w += 8) {
+            __m512i r = _mm512_loadu_si512(row + w);
+            __mmask8 m = _mm512_cmpeq_epi64_mask(
+                _mm512_and_epi64(r, vmask), vwant);
+            if (m)
+                return {base + w +
+                            static_cast<unsigned>(__builtin_ctz(m)),
+                        true, false};
+        }
+        if constexpr (W % 8) {
+            __m512i r = _mm512_maskz_loadu_epi64(tail, row + full);
+            __mmask8 m = tail & _mm512_cmpeq_epi64_mask(
+                                    _mm512_and_epi64(r, vmask), vwant);
+            if (m)
+                return {base + full +
+                            static_cast<unsigned>(__builtin_ctz(m)),
+                        true, false};
+        }
+
+        // Miss: re-walk the set (now host-resident) building keys and
+        // min-reducing; tail lanes are padded with ~0 so they lose.
+        const __m512i vstamp =
+            _mm512_set1_epi64(static_cast<long long>(stampMask));
+        const __m512i lane = _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+        __m512i best512 = _mm512_set1_epi64(-1);
+        for (unsigned w = 0; w < full; w += 8) {
+            __m512i r = _mm512_loadu_si512(row + w);
+            __m512i keys = _mm512_or_epi64(
+                _mm512_slli_epi64(_mm512_and_epi64(r, vstamp), 6),
+                _mm512_add_epi64(lane, _mm512_set1_epi64(w)));
+            best512 = _mm512_min_epu64(best512, keys);
+        }
+        if constexpr (W % 8) {
+            __m512i r = _mm512_maskz_loadu_epi64(tail, row + full);
+            __m512i keys = _mm512_or_epi64(
+                _mm512_slli_epi64(_mm512_and_epi64(r, vstamp), 6),
+                _mm512_add_epi64(lane, _mm512_set1_epi64(full)));
+            keys = _mm512_mask_blend_epi64(tail,
+                                           _mm512_set1_epi64(-1), keys);
+            best512 = _mm512_min_epu64(best512, keys);
+        }
+        std::uint64_t best = _mm512_reduce_min_epu64(best512);
+        return {base + (best & 63), false, best >> 6 == 0};
+#else
+        return scanSet(base, want);
+#endif
+    }
+
+    /**
      * Scan the set at @p base for @p want: hit way on a hit, LRU
      * victim on a miss. Read-only — the caller installs want | stamp
      * into meta[slot]. Both access() and accessBatch() funnel every
@@ -481,12 +560,16 @@ class CacheArray
         std::size_t base = (addr >> lineShiftBits & (sets - 1)) *
                            static_cast<std::size_t>(ways);
         std::uint64_t want = tagWord(addr);
+        // The 8- and 20-way arms cover every array the default
+        // CacheParams builds (L1/L2 and the LLC respectively); other
+        // geometries take the generic runtime-width scan.
         // Dispatch here, not inside scanSet: the fixed-width scan must
         // inline into the access loops (its whole point is killing
         // per-probe call overhead), while the generic scan stays a
         // call — it is cold by comparison and big.
-        SetScan s = ways == 8 ? scanSetFixed<8>(base, want)
-                              : scanSet(base, want);
+        SetScan s = ways == 8    ? scanSetFixed<8>(base, want)
+                    : ways == 20 ? scanSetWide<20>(base, want)
+                                 : scanSet(base, want);
         meta[s.slot] = want | clock;
         fills += s.fill;
         return s.hit;

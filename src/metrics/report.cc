@@ -135,6 +135,67 @@ checkpointTable(const std::vector<CheckpointRow> &ops)
 }
 
 Table
+pagingPathTable(system::System &sys)
+{
+    std::uint64_t inl_miss = 0, inl_db = 0, ev_db = 0;
+    std::uint64_t inl_cpl = 0, ev_cpl = 0;
+    for (unsigned s = 0; s < sys.numSockets(); ++s) {
+        core::Smu *smu = sys.smuAt(s);
+        if (!smu)
+            continue;
+        inl_miss += smu->inlineMisses();
+        const core::NvmeHostController &hc = smu->hostController();
+        inl_db += hc.inlineDoorbells();
+        ev_db += hc.eventDoorbells();
+        inl_cpl += hc.inlineCompletions();
+        ev_cpl += hc.eventCompletions();
+    }
+
+    std::uint64_t rings = 0, coalesced = 0, fetches = 0;
+    std::uint64_t nodes = 0, high_water = 0, deferred = 0;
+    for (unsigned d = 0; d < sys.numSsds(); ++d) {
+        const ssd::SsdDevice &dev = sys.ssdAt(d);
+        rings += dev.doorbellRings();
+        coalesced += dev.doorbellsCoalesced();
+        fetches += dev.inlineFetches();
+        nodes += dev.pooledNodesCreated();
+        high_water = std::max(high_water, dev.pooledPendingHighWater());
+        deferred += dev.serviceBatchesDeferred();
+    }
+
+    Table t({"paging path", "count"});
+    t.addRow({"inline fault lookups", std::to_string(inl_miss)});
+    t.addRow({"inline nvme doorbells", std::to_string(inl_db)});
+    t.addRow({"evented nvme doorbells", std::to_string(ev_db)});
+    t.addRow({"inline completions", std::to_string(inl_cpl)});
+    t.addRow({"evented completions", std::to_string(ev_cpl)});
+    t.addRow({"device doorbell rings", std::to_string(rings)});
+    t.addRow({"  coalesced onto a fetch", std::to_string(coalesced)});
+    t.addRow({"  coalesce ratio",
+              Table::pct(rings ? double(coalesced) / double(rings)
+                               : 0.0)});
+    t.addRow({"inline device fetches", std::to_string(fetches)});
+    t.addRow({"pooled completion nodes", std::to_string(nodes)});
+    t.addRow({"  occupancy high-water", std::to_string(high_water)});
+    t.addRow({"service batches on lanes", std::to_string(deferred)});
+    if (const sim::ShardPool *pool = sys.shardPool()) {
+        for (unsigned s = 1; s < sim::ShardPool::maxAsyncSlots; ++s) {
+            std::uint64_t posted = pool->asyncPosted(s);
+            if (posted == 0)
+                continue;
+            std::uint64_t runs = pool->asyncWorkerRuns(s);
+            t.addRow({"lane " + std::to_string(s) + " batches",
+                      std::to_string(posted)});
+            t.addRow({"  overlapped on a worker",
+                      std::to_string(runs) + " (" +
+                          Table::pct(double(runs) / double(posted)) +
+                          ")"});
+        }
+    }
+    return t;
+}
+
+Table
 translationReachTable(system::System &sys)
 {
     const os::Kernel &kern = sys.kernel();

@@ -93,6 +93,17 @@ struct CheckpointRow
 Table checkpointTable(const std::vector<CheckpointRow> &ops);
 
 /**
+ * Demand-paging fast-path observability: inline-fault hits (SMU
+ * lookups, controller doorbells/completions, device fetches that
+ * skipped their event hop), pooled-command occupancy, doorbell
+ * coalescing, and per-lane service-batch utilization when a shard
+ * pool is active. All host-side counters, never part of
+ * dumpMachineStats — simulated results are identical whether every
+ * row is zero (fast path off) or not.
+ */
+Table pagingPathTable(system::System &sys);
+
+/**
  * Translation-reach observability for the huge-page modes: wide-entry
  * TLB hit share, THP fault-time allocations, NAPOT window
  * promotions/breaks, kcoalesced scan/promote/abort counts, and the

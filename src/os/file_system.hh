@@ -52,6 +52,12 @@ class File
     /** LBA backing page @p index. One LBA covers one 4 KB page. */
     Lba lbaOf(std::uint64_t index) const;
 
+    /**
+     * Raw page-index -> LBA table (numPages() entries), for bulk
+     * population sweeps that bounds-check once instead of per page.
+     */
+    const Lba *lbaTable() const { return blockMap.data(); }
+
     /** True once the fast-mmap path has marked this file (IV-B). */
     bool lbaAugmentedMapping() const { return marked; }
     void markLbaAugmented() { marked = true; }

@@ -146,6 +146,7 @@ Kernel::Kernel(sim::EventQueue &eq, const KernelParams &params,
     framePages.resize(pm.totalFrames());
     for (std::uint64_t i = 0; i < framePages.size(); ++i)
         framePages[i].pfn = i;
+    pcache.reserve(framePages.size());
 
     auto alloc_frames = pm.totalFrames() - pm.reservedCount();
     auto low = static_cast<std::uint64_t>(
@@ -269,6 +270,25 @@ Kernel::populateFastVma(AddressSpace &as, File &file, Vma *vma)
 {
     file.markLbaAugmented();
     BlockDeviceId bdev = file.device();
+    if (pcache.empty()) {
+        // Nothing is resident, so every per-page lookup below would
+        // miss: account them in bulk and run-fill the tree one leaf
+        // table at a time. Same PTEs, same table-allocation order,
+        // same page-cache counters — only the host cost of a
+        // million-page mmap sweep changes.
+        std::uint64_t n = vma->numPages();
+        pcache.noteMissRun(n);
+        if (vma->filePageOffset + n > file.numPages())
+            panic("populateFastVma: vma extends past EOF of '",
+                  file.name(), "'");
+        const Lba *lba = file.lbaTable() + vma->filePageOffset;
+        as.pageTable().writePteRun(
+            vma->start, n, [&](std::uint64_t i) {
+                return pte::makeLbaAugmented(bdev.sid, bdev.dev, lba[i],
+                                             vma->prot);
+            });
+        return n;
+    }
     std::uint64_t populated = 0;
     for (std::uint64_t i = 0; i < vma->numPages(); ++i) {
         VAddr va = vma->start + i * pageSize;
@@ -312,12 +332,10 @@ Kernel::mmapAnonSync(AddressSpace &as, std::uint64_t n_pages,
         // Mark every PTE with the reserved zero-fill LBA: the SMU
         // allocates and installs a zeroed frame without touching any
         // device (Section V).
-        for (std::uint64_t i = 0; i < n_pages; ++i) {
-            as.pageTable().writePte(
-                vma->start + i * pageSize,
-                pte::makeLbaAugmented(0, 0, pte::zeroFillLba,
-                                      vma->prot));
-        }
+        const pte::Entry e =
+            pte::makeLbaAugmented(0, 0, pte::zeroFillLba, vma->prot);
+        as.pageTable().writePteRun(vma->start, n_pages,
+                                   [e](std::uint64_t) { return e; });
     }
     return vma;
 }

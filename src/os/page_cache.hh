@@ -41,10 +41,29 @@ class PageCache
 
     std::uint64_t size() const { return map.size(); }
 
+    /** True when no page of any file is resident. */
+    bool empty() const { return map.empty(); }
+
+    /**
+     * Account @p n lookups that are certain misses without probing
+     * the map — the bulk mmap-population sweep takes this when the
+     * cache is empty. Leaves nLookups/nHits (which are serialized)
+     * exactly as @p n individual missing lookup() calls would.
+     */
+    void noteMissRun(std::uint64_t n) const { nLookups += n; }
+
     std::uint64_t lookups() const { return nLookups; }
     std::uint64_t hits() const { return nHits; }
 
     static constexpr Pfn noFrame = ~Pfn(0);
+
+    /**
+     * Pre-size the hash table for @p n resident pages (the frame
+     * count bounds occupancy), so the fault-storm insert stream never
+     * pays a growth rehash. Host-side only: bucket count is an
+     * implementation detail, never serialized or observable.
+     */
+    void reserve(std::uint64_t n) { map.reserve(n); }
 
     /** Checkpoint the index (key-sorted for a deterministic blob). */
     void serialize(sim::Serializer &s);

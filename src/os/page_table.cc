@@ -257,18 +257,43 @@ PageTable::scanImpl(VAddr start, VAddr end, bool guided,
                         pte::clearLbaBit(pmd_t->e[pmd_idx]);
                 }
 
-                for (unsigned i = 0; i < entriesPerTable; ++i) {
-                    VAddr pte_va = mva + static_cast<VAddr>(i) * pageSize;
-                    if (pte_va < start || pte_va >= end)
-                        continue;
-                    ++visited;
-                    pte::Entry e = pt_t->e[i];
-                    if (pte::needsMetadataSync(e)) {
+                // In-range entry window, hoisted out of the loop
+                // (same entries the per-entry va check would pass).
+                unsigned i_lo = 0, i_hi = entriesPerTable;
+                if (start > mva) {
+                    i_lo = static_cast<unsigned>(
+                        (start - mva + pageSize - 1) / pageSize);
+                }
+                if (end < mva + pmd_span) {
+                    i_hi = static_cast<unsigned>(std::min<std::uint64_t>(
+                        entriesPerTable,
+                        (end - mva + pageSize - 1) / pageSize));
+                }
+                visited += i_hi > i_lo ? i_hi - i_lo : 0;
+                const pte::Entry *arr = pt_t->e.data();
+                for (unsigned i = i_lo; i < i_hi;) {
+                    // Sync-needing entries are rare (a few per leaf
+                    // table between scans), so test eight at a time:
+                    // the predicate needs *both* the present and LBA
+                    // bits, and if their union lacks either bit no
+                    // entry in the block can have both.
+                    if (i + 8 <= i_hi) {
+                        pte::Entry u = arr[i] | arr[i + 1] | arr[i + 2] |
+                                       arr[i + 3] | arr[i + 4] |
+                                       arr[i + 5] | arr[i + 6] |
+                                       arr[i + 7];
+                        if (!pte::needsMetadataSync(u)) {
+                            i += 8;
+                            continue;
+                        }
+                    }
+                    if (pte::needsMetadataSync(arr[i])) {
                         EntryRef ref{&pt_t->e[i],
                                      pt_t->base + i * sizeof(pte::Entry)};
-                        fn(pte_va, ref);
+                        fn(mva + static_cast<VAddr>(i) * pageSize, ref);
                         ++synced;
                     }
+                    ++i;
                 }
             }
         }

@@ -47,9 +47,10 @@ ShardPool::~ShardPool()
     // A posted-but-unjoined async task would be dropped silently:
     // workers see stopFlag before tryClaimAsync and exit. Fail loudly
     // instead of losing the update.
-    if (asyncState.load(std::memory_order_acquire) != 0)
-        fatal("shard pool: destroyed with an async task in flight "
-              "(missing joinAsync())");
+    for (auto &sl : slots)
+        if (sl.state.load(std::memory_order_acquire) != 0)
+            fatal("shard pool: destroyed with an async task in flight "
+                  "(missing joinAsync())");
     stopFlag.store(true, std::memory_order_release);
     gen.fetch_add(1, std::memory_order_release);
     gen.notify_all();
@@ -58,15 +59,18 @@ ShardPool::~ShardPool()
 }
 
 bool
-ShardPool::tryClaimAsync()
+ShardPool::tryClaimAsync(unsigned slot, bool worker)
 {
+    AsyncSlot &sl = slots[slot];
     unsigned expect = 1;
-    if (!asyncState.compare_exchange_strong(expect, 2,
-                                            std::memory_order_acquire))
+    if (!sl.state.compare_exchange_strong(expect, 2,
+                                          std::memory_order_acquire))
         return false;
-    asyncFn(asyncCtx, 0);
-    asyncState.store(3, std::memory_order_release);
-    asyncState.notify_all();
+    sl.fn(sl.ctx, 0);
+    if (worker)
+        sl.nWorkerRuns.fetch_add(1, std::memory_order_relaxed);
+    sl.state.store(3, std::memory_order_release);
+    sl.state.notify_all();
     return true;
 }
 
@@ -102,7 +106,8 @@ ShardPool::workerLoop()
         if (stopFlag.load(std::memory_order_acquire))
             return;
 
-        tryClaimAsync();
+        for (unsigned sl = 0; sl < maxAsyncSlots; ++sl)
+            tryClaimAsync(sl, true);
 
         // Join the region published for this wake epoch, if any. The
         // epoch check inside the active window is what excludes
@@ -163,37 +168,42 @@ ShardPool::run(unsigned n_tasks, TaskFn fn, void *ctx)
 }
 
 void
-ShardPool::launchAsync(TaskFn fn, void *ctx)
+ShardPool::launchAsyncSlot(unsigned slot, TaskFn fn, void *ctx)
 {
-    if (asyncState.load(std::memory_order_relaxed) != 0)
-        fatal("shard pool: async lane already in flight");
+    if (slot >= maxAsyncSlots)
+        fatal("shard pool: async slot ", slot, " out of range");
+    AsyncSlot &sl = slots[slot];
+    if (sl.state.load(std::memory_order_relaxed) != 0)
+        fatal("shard pool: async slot ", slot, " already in flight");
     ++nAsync;
-    asyncFn = fn;
-    asyncCtx = ctx;
-    asyncState.store(1, std::memory_order_release);
+    ++sl.nPosted;
+    sl.fn = fn;
+    sl.ctx = ctx;
+    sl.state.store(1, std::memory_order_release);
     gen.fetch_add(1, std::memory_order_release);
     gen.notify_all();
 }
 
 void
-ShardPool::joinAsync()
+ShardPool::joinAsyncSlot(unsigned slot)
 {
-    unsigned st = asyncState.load(std::memory_order_acquire);
+    AsyncSlot &sl = slots[slot];
+    unsigned st = sl.state.load(std::memory_order_acquire);
     if (st == 0)
         return;
     // Unclaimed: execute it here so completion never waits on a
     // worker being scheduled.
     unsigned expect = 1;
-    if (asyncState.compare_exchange_strong(expect, 2,
-                                           std::memory_order_acquire)) {
-        asyncFn(asyncCtx, 0);
-        asyncState.store(0, std::memory_order_relaxed);
+    if (sl.state.compare_exchange_strong(expect, 2,
+                                         std::memory_order_acquire)) {
+        sl.fn(sl.ctx, 0);
+        sl.state.store(0, std::memory_order_relaxed);
         return;
     }
     unsigned spins = 0;
-    while (asyncState.load(std::memory_order_acquire) != 3)
+    while (sl.state.load(std::memory_order_acquire) != 3)
         backoff(spins);
-    asyncState.store(0, std::memory_order_relaxed);
+    sl.state.store(0, std::memory_order_relaxed);
 }
 
 } // namespace hwdp::sim

@@ -29,6 +29,7 @@
 #ifndef HWDP_SIM_SHARD_POOL_HH
 #define HWDP_SIM_SHARD_POOL_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <thread>
@@ -80,14 +81,34 @@ class ShardPool
     }
 
     /**
-     * Post one side task to run concurrently with the caller (and
-     * with any parallelFor regions the caller issues before joining).
-     * Claimed by an idle worker, or executed by the caller inside
-     * joinAsync() if none got to it — so progress never depends on a
-     * worker being runnable. One async task may be in flight at a
-     * time; @p f must stay alive until joinAsync() returns.
+     * Independent async side lanes. Each slot carries at most one task
+     * at a time; distinct slots run concurrently with each other, with
+     * the caller, and with parallelFor regions. Slot 0 is the legacy
+     * launchAsync/joinAsync lane (the branch-predictor side lane);
+     * the paging pipeline gives each SSD device its own slot.
      */
-    void launchAsync(TaskFn fn, void *ctx);
+    static constexpr unsigned maxAsyncSlots = 8;
+
+    /**
+     * Post one side task on @p slot. Claimed by an idle worker, or
+     * executed by the caller inside joinAsyncSlot() if none got to it
+     * — so progress never depends on a worker being runnable. @p fn
+     * and @p ctx must stay alive until joinAsyncSlot(slot) returns.
+     */
+    void launchAsyncSlot(unsigned slot, TaskFn fn, void *ctx);
+
+    /**
+     * Wait for slot @p slot's task (executing it here if unclaimed).
+     * Its effects are visible to the caller on return. No-op when
+     * nothing is posted.
+     */
+    void joinAsyncSlot(unsigned slot);
+
+    /** Legacy single-lane API: slot 0. */
+    void launchAsync(TaskFn fn, void *ctx)
+    {
+        launchAsyncSlot(0, fn, ctx);
+    }
 
     template <typename F>
     void
@@ -97,17 +118,28 @@ class ShardPool
             [](void *c, unsigned) { (*static_cast<F *>(c))(); }, &f);
     }
 
-    /**
-     * Wait for the posted async task (executing it here if unclaimed).
-     * Its effects are visible to the caller on return. No-op when
-     * nothing is posted.
-     */
-    void joinAsync();
+    void joinAsync() { joinAsyncSlot(0); }
 
     // ---- Host-side observability (never part of simulated state) ----
     std::uint64_t regionsRun() const { return nRegions; }
     std::uint64_t regionTasksRun() const { return nRegionTasks; }
     std::uint64_t asyncTasksRun() const { return nAsync; }
+
+    /** Tasks posted on @p slot over the pool's lifetime. */
+    std::uint64_t asyncPosted(unsigned slot) const
+    {
+        return slots[slot].nPosted;
+    }
+
+    /**
+     * Of those, how many a worker claimed (the rest ran on the
+     * simulation thread inside the join) — the lane utilization
+     * numerator in the paging-path report.
+     */
+    std::uint64_t asyncWorkerRuns(unsigned slot) const
+    {
+        return slots[slot].nWorkerRuns.load(std::memory_order_relaxed);
+    }
 
   private:
     unsigned nLanes;
@@ -140,10 +172,16 @@ class ShardPool
     /** Workers currently inside the region-claim window. */
     std::atomic<unsigned> active{0};
 
-    // Async side lane: 0 idle, 1 posted, 2 claimed, 3 done.
-    TaskFn asyncFn = nullptr;
-    void *asyncCtx = nullptr;
-    std::atomic<unsigned> asyncState{0};
+    // Async side lanes: state is 0 idle, 1 posted, 2 claimed, 3 done.
+    struct AsyncSlot
+    {
+        TaskFn fn = nullptr;
+        void *ctx = nullptr;
+        std::atomic<unsigned> state{0};
+        std::uint64_t nPosted = 0; // written by the sim thread only
+        std::atomic<std::uint64_t> nWorkerRuns{0};
+    };
+    std::array<AsyncSlot, maxAsyncSlots> slots;
 
     std::uint64_t nRegions = 0;
     std::uint64_t nRegionTasks = 0;
@@ -151,7 +189,7 @@ class ShardPool
 
     void workerLoop();
     void help();
-    bool tryClaimAsync();
+    bool tryClaimAsync(unsigned slot, bool worker);
 };
 
 } // namespace hwdp::sim

@@ -4,18 +4,27 @@
 
 #include "sim/logging.hh"
 #include "sim/serialize.hh"
+#include "sim/shard_pool.hh"
 
 namespace hwdp::ssd {
 
 void
 SsdDevice::serialize(sim::Serializer &s)
 {
+    joinService();
     s.section("ssddevice");
     if (s.saving()) {
         if (nInflight != 0 || fetchScheduled)
             throw sim::SerializeError(
                 "checkpoint: ssd '" + name() +
                 "' has commands in flight; quiesce the machine first");
+        // Pooled completions count as in flight too: a live pending
+        // node is a command between service and its CQ write.
+        if (!livePending.empty() || !staged.empty() || drainEv)
+            throw sim::SerializeError(
+                "checkpoint: ssd '" + name() +
+                "' has pooled completions pending; quiesce the "
+                "machine first");
         for (auto &qs : queues)
             if (qs.doorbellPending)
                 throw sim::SerializeError(
@@ -40,8 +49,40 @@ SsdDevice::serialize(sim::Serializer &s)
         fetchScheduled = false;
         for (auto &qs : queues)
             qs.doorbellPending = false;
+        staged.clear();
+        livePending.clear();
+        cmdFree.clear();
+        cmdPool.clear();
+        if (drainEv) {
+            eq.deschedule(drainEv);
+            drainEv = nullptr;
+        }
     }
     stats().serialize(s);
+}
+
+SsdDevice::~SsdDevice()
+{
+    // A deferred service batch must never outlive the device (the
+    // shard pool would fault on an unjoined task at teardown).
+    joinService();
+}
+
+void
+SsdDevice::setServiceLane(sim::ShardPool *pool, unsigned slot)
+{
+    joinService();
+    lanePool = pool;
+    laneSlot = slot;
+}
+
+void
+SsdDevice::joinService()
+{
+    if (!laneBusy)
+        return;
+    laneBusy = false;
+    lanePool->joinAsyncSlot(laneSlot);
 }
 
 SsdDevice::SsdDevice(std::string name, sim::EventQueue &eq,
@@ -115,16 +156,40 @@ SsdDevice::queueInflight(std::uint16_t qid) const
 void
 SsdDevice::ringSqDoorbell(std::uint16_t qid)
 {
+    ringSqDoorbellAt(qid, now());
+}
+
+void
+SsdDevice::ringSqDoorbellAt(std::uint16_t qid, Tick at)
+{
     state(qid).doorbellPending = true;
+    ++nDoorbellRings;
     // An injected "dropped" doorbell defers the device-side fetch; the
     // write is never truly lost (forward progress is preserved), the
-    // device just notices it late.
+    // device just notices it late. Queried on every ring so the
+    // per-site injection stream advances identically on either path.
     Tick drop = injector ? injector->doorbellDropDelay(qid) : 0;
-    if (!fetchScheduled) {
-        fetchScheduled = true;
-        eq.postIn(prof.cmdFetch + drop, [this] { fetchCommands(); },
-                            "ssd.fetch");
+    if (fetchScheduled) {
+        // Coalesced: the already-scheduled fetch drains this queue too.
+        ++nDoorbellsCoalesced;
+        return;
     }
+    Tick fetch_at = at + prof.cmdFetch + drop;
+    if (fastPath && at > now() && fetch_at < eq.nextEventTick()) {
+        // Nothing can run before fetch_at, so fetching inline here is
+        // indistinguishable from the posted "ssd.fetch" event — but
+        // only for rings arriving ahead of the clock (the inline fault
+        // chain, which rings at most once and pushes nothing after the
+        // ring). A ring at now() may be followed by more same-instant
+        // pushes from the code still executing, which the scheduled
+        // fetch would coalesce into one priority-ordered batch; those
+        // must keep the event path.
+        ++nInlineFetches;
+        fetchCommandsAt(fetch_at);
+        return;
+    }
+    fetchScheduled = true;
+    eq.post(fetch_at, [this] { fetchCommands(); }, "ssd.fetch");
 }
 
 void
@@ -139,6 +204,33 @@ void
 SsdDevice::fetchCommands()
 {
     fetchScheduled = false;
+    fetchCommandsAt(now());
+}
+
+namespace {
+
+/** Pre-jitter media time for one opcode (shared with the due bound). */
+inline Tick
+mediaTimeOf(const SsdProfile &prof, nvme::Opcode op, const char *dev)
+{
+    switch (op) {
+      case nvme::Opcode::read:
+        return prof.readMedia;
+      case nvme::Opcode::write:
+        return prof.writeMedia;
+      case nvme::Opcode::flush:
+        return prof.cqeWrite; // effectively immediate in the model
+      default:
+        panic("ssd '", dev, "': unknown opcode");
+    }
+}
+
+} // namespace
+
+void
+SsdDevice::fetchCommandsAt(Tick at)
+{
+    joinService();
 
     // Urgent-priority queues are drained first (NVMe arbitration;
     // Section V notes SMU queues can use this to dodge queueing
@@ -152,65 +244,201 @@ SsdDevice::fetchCommands()
                                 static_cast<unsigned>(queues[b].qp->priority());
                      });
 
+    // Stage the whole batch first: bookkeeping and fault-injector
+    // queries stay on the simulation thread in canonical fetch order,
+    // whatever thread later runs the service arithmetic.
+    staged.clear();
+    bool lane_ok = fastPath && lanePool != nullptr;
     for (std::size_t qi : order) {
         QueueState &qs = queues[qi];
         if (!qs.doorbellPending)
             continue;
         qs.doorbellPending = false;
-        while (!qs.qp->sqEmpty())
-            serviceCommand(qi, qs.qp->popSqe());
+        while (!qs.qp->sqEmpty()) {
+            ++nInflight;
+            ++qs.inflight;
+            Staged s;
+            s.sqe = qs.qp->popSqe();
+            s.qidx = static_cast<std::uint32_t>(qi);
+            s.at = at;
+            if (injector)
+                s.fault = injector->onCommand(s.sqe, qs.qp->qid());
+            // Interrupt-queue commands post their own completion
+            // events, which only the simulation thread may do.
+            if (qs.interrupts)
+                lane_ok = false;
+            staged.push_back(s);
+        }
     }
+    if (staged.empty())
+        return;
+
+    if (lane_ok) {
+        // Defer the batch to the device's lane. The drain placeholder
+        // is a lower bound on the earliest CQ write (jitter floors at
+        // 0.5x, stalls and backlog only push dues later), so the
+        // hidden pending work is always preceded by a scheduled event
+        // — which keeps every inline-execution gate conservative.
+        Tick bound = maxTick;
+        for (const Staged &s : staged) {
+            Tick media =
+                mediaTimeOf(prof, s.sqe.opcode, name().c_str());
+            if (media > 0 && prof.mediaCv > 0.0)
+                media /= 2;
+            unsigned ch =
+                static_cast<unsigned>(s.sqe.slba % prof.channels);
+            Tick start = std::max(s.at, channelFreeAt[ch]);
+            bound = std::min(
+                bound, start + media + prof.xfer4k + prof.cqeWrite);
+        }
+        scheduleDrain(bound);
+        ++nDeferredBatches;
+        laneBusy = true;
+        lanePool->launchAsyncSlot(
+            laneSlot,
+            [](void *c, unsigned) {
+                static_cast<SsdDevice *>(c)->serviceStaged();
+            },
+            this);
+        return;
+    }
+
+    serviceStaged();
+    // Snooped-queue completions landed in the pending pool: keep the
+    // drain scheduled for the earliest due.
+    Tick min_due = maxTick;
+    for (std::uint32_t n : livePending)
+        min_due = std::min(min_due, cmdPool[n].due);
+    if (min_due != maxTick)
+        scheduleDrain(min_due);
 }
 
 void
-SsdDevice::serviceCommand(std::size_t qidx, const nvme::SubmissionEntry &sqe)
+SsdDevice::serviceStaged()
 {
-    ++nInflight;
-    ++queues[qidx].inflight;
-    Tick issued = now() >= prof.cmdFetch ? now() - prof.cmdFetch : 0;
+    for (const Staged &s : staged)
+        serviceOne(s);
+    staged.clear();
+}
 
-    IoFaultDecision fault;
-    if (injector)
-        fault = injector->onCommand(sqe, queues[qidx].qp->qid());
-
-    Tick media;
-    switch (sqe.opcode) {
-      case nvme::Opcode::read:
-        media = prof.readMedia;
-        break;
-      case nvme::Opcode::write:
-        media = prof.writeMedia;
-        break;
-      case nvme::Opcode::flush:
-        media = prof.cqeWrite; // effectively immediate in the model
-        break;
-      default:
-        panic("ssd '", name(), "': unknown opcode");
-    }
-
+void
+SsdDevice::serviceOne(const Staged &s)
+{
+    Tick media = mediaTimeOf(prof, s.sqe.opcode, name().c_str());
     if (media > 0 && prof.mediaCv > 0.0) {
         double jitter = rng.normal(1.0, prof.mediaCv);
         jitter = std::max(jitter, 0.5);
         media = static_cast<Tick>(static_cast<double>(media) * jitter);
     }
 
-    unsigned ch = static_cast<unsigned>(sqe.slba % prof.channels);
-    if (fault.channelStall > 0) {
+    unsigned ch = static_cast<unsigned>(s.sqe.slba % prof.channels);
+    if (s.fault.channelStall > 0) {
         channelFreeAt[ch] =
-            std::max(now(), channelFreeAt[ch]) + fault.channelStall;
+            std::max(s.at, channelFreeAt[ch]) + s.fault.channelStall;
     }
-    Tick start = std::max(now(), channelFreeAt[ch]);
+    Tick start = std::max(s.at, channelFreeAt[ch]);
     Tick media_done = start + media;
     channelFreeAt[ch] = media_done;
 
     Tick cqe_written =
-        media_done + prof.xfer4k + prof.cqeWrite + fault.extraLatency;
-    auto status = fault.status;
+        media_done + prof.xfer4k + prof.cqeWrite + s.fault.extraLatency;
+    Tick issued = s.at >= prof.cmdFetch ? s.at - prof.cmdFetch : 0;
+
+    if (fastPath && !queues[s.qidx].interrupts) {
+        // Snooped queue: pool the completion; the drain event writes
+        // the CQE at the due tick. Steady state allocates nothing.
+        std::uint32_t n;
+        if (!cmdFree.empty()) {
+            n = cmdFree.back();
+            cmdFree.pop_back();
+        } else {
+            n = static_cast<std::uint32_t>(cmdPool.size());
+            cmdPool.emplace_back();
+        }
+        cmdPool[n] =
+            PendingCmd{s.sqe, s.qidx, s.fault.status, issued, cqe_written};
+        livePending.push_back(n);
+        pendingHighWater =
+            std::max<std::uint64_t>(pendingHighWater, livePending.size());
+        return;
+    }
+
+    // Interrupt-driven queue or reference path: one completion event
+    // per command.
+    auto status = s.fault.status;
     eq.post(cqe_written,
-                      [this, qidx, sqe, issued, status] {
-                          complete(qidx, sqe, issued, status);
-                      },
-                      "ssd.complete");
+            [this, qidx = static_cast<std::size_t>(s.qidx), sqe = s.sqe,
+             issued, status] { complete(qidx, sqe, issued, status); },
+            "ssd.complete");
+}
+
+void
+SsdDevice::scheduleDrain(Tick t)
+{
+    if (drainEv) {
+        if (t < drainAt) {
+            eq.reschedule(drainEv, t);
+            drainAt = t;
+        }
+        return;
+    }
+    drainAt = t;
+    drainEv = eq.post(
+        t,
+        [this] {
+            drainEv = nullptr;
+            drainFired();
+        },
+        "ssd.drain");
+}
+
+void
+SsdDevice::drainFired()
+{
+    joinService();
+    if (livePending.empty())
+        return;
+    Tick d = maxTick;
+    for (std::uint32_t n : livePending)
+        d = std::min(d, cmdPool[n].due);
+    if (d > now()) {
+        // Placeholder fired at the lower bound; the exact due is now
+        // known, move there.
+        scheduleDrain(d);
+        return;
+    }
+    if (d < now())
+        panic("ssd '", name(), "': pooled completion due ", d,
+              " passed (drain at ", now(), ")");
+
+    // Pop every command due now, preserving service order (the order
+    // the reference path would have posted their events in), and
+    // reschedule for the remainder BEFORE completing anything: the
+    // inline-completion gate downstream must see the next pending due
+    // as a scheduled event.
+    dueBatch.clear();
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < livePending.size(); ++r) {
+        std::uint32_t n = livePending[r];
+        if (cmdPool[n].due == d) {
+            dueBatch.push_back(cmdPool[n]);
+            cmdFree.push_back(n);
+        } else {
+            livePending[w++] = n;
+        }
+    }
+    livePending.resize(w);
+    Tick next = maxTick;
+    for (std::uint32_t n : livePending)
+        next = std::min(next, cmdPool[n].due);
+    if (next != maxTick)
+        scheduleDrain(next);
+
+    // complete() may re-enter the device inline (an SMU retry rings
+    // the doorbell again); dueBatch holds values, not pool references,
+    // so reentrant staging is safe.
+    for (const PendingCmd &pc : dueBatch)
+        complete(pc.qidx, pc.sqe, pc.issued, pc.status);
 }
 
 void

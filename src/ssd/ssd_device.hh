@@ -23,6 +23,10 @@
 #include "sim/sim_object.hh"
 #include "ssd/ssd_profile.hh"
 
+namespace hwdp::sim {
+class ShardPool;
+}
+
 namespace hwdp::ssd {
 
 /** Per-command fault decision returned by an IoFaultInjector. */
@@ -99,6 +103,15 @@ class SsdDevice : public sim::SimObject
      */
     void ringSqDoorbell(std::uint16_t qid);
 
+    /**
+     * Doorbell write landing at logical time @p at (>= now()). The
+     * inline fault fast path rings doorbells from within an earlier
+     * event; when the device-side fetch would complete before the next
+     * scheduled event it runs inline too, saving the "ssd.fetch" hop.
+     * ringSqDoorbell(qid) is exactly ringSqDoorbellAt(qid, now()).
+     */
+    void ringSqDoorbellAt(std::uint16_t qid, Tick at);
+
     /** Host doorbell write after consuming CQ entries (bookkeeping). */
     void ringCqDoorbell(std::uint16_t qid);
 
@@ -118,11 +131,53 @@ class SsdDevice : public sim::SimObject
     void setFaultInjector(IoFaultInjector *inj) { injector = inj; }
 
     /**
+     * Fast-path mode: inline fetch after a doorbell when the timing
+     * gate allows, and batched snooped-queue completions through the
+     * pooled pending list + single drain event. Off (the default)
+     * keeps the event-per-hop reference behaviour; simulated results
+     * are bit-identical either way.
+     */
+    void setFastPath(bool on) { fastPath = on; }
+    bool fastPathEnabled() const { return fastPath; }
+
+    /**
+     * Defer service computation (media jitter, channel serialisation,
+     * completion dues) of pure snooped-queue fetch batches to shard
+     * pool slot @p slot. Joined before any dependent state is touched;
+     * the deferral never changes simulated results, only which host
+     * thread runs the arithmetic. Requires fast-path mode.
+     */
+    void setServiceLane(sim::ShardPool *pool, unsigned slot);
+
+    /** Join an outstanding deferred service batch (no-op when idle). */
+    void joinService();
+
+    // ---- Host-side observability (never part of simulated state) ----
+    std::uint64_t doorbellRings() const { return nDoorbellRings; }
+    std::uint64_t doorbellsCoalesced() const
+    {
+        return nDoorbellsCoalesced;
+    }
+    std::uint64_t inlineFetches() const { return nInlineFetches; }
+    std::uint64_t pooledPendingHighWater() const
+    {
+        return pendingHighWater;
+    }
+    std::uint64_t pooledNodesCreated() const { return cmdPool.size(); }
+    std::uint64_t serviceBatchesDeferred() const
+    {
+        return nDeferredBatches;
+    }
+    unsigned serviceLaneSlot() const { return laneSlot; }
+
+    /**
      * Checkpoint the device: RNG, channel busy horizon, queue rings
      * and counters. The device must be idle (no in-flight commands,
-     * no pending doorbells, no scheduled fetch).
+     * no pending doorbells or pooled completions, no scheduled fetch).
      */
     void serialize(sim::Serializer &s);
+
+    ~SsdDevice();
 
   private:
     struct QueueState
@@ -145,6 +200,45 @@ class SsdDevice : public sim::SimObject
     bool fetchScheduled = false;
     IoFaultInjector *injector = nullptr;
 
+    // ---- Fast-path machinery (host-side; simulated results are
+    // bit-identical to the reference path) --------------------------
+    bool fastPath = false;
+    sim::ShardPool *lanePool = nullptr;
+    unsigned laneSlot = 0;
+    bool laneBusy = false;
+
+    /** One fetched command awaiting service computation. */
+    struct Staged
+    {
+        nvme::SubmissionEntry sqe;
+        std::uint32_t qidx = 0;
+        IoFaultDecision fault;
+        Tick at = 0;
+    };
+    std::vector<Staged> staged; ///< Reused fetch-batch buffer.
+
+    /** One serviced snooped-queue command awaiting its CQ write. */
+    struct PendingCmd
+    {
+        nvme::SubmissionEntry sqe;
+        std::uint32_t qidx = 0;
+        std::uint16_t status = 0;
+        Tick issued = 0;
+        Tick due = 0;
+    };
+    std::vector<PendingCmd> cmdPool;       ///< Node storage.
+    std::vector<std::uint32_t> cmdFree;    ///< Free node indices.
+    std::vector<std::uint32_t> livePending; ///< Nodes in service order.
+    std::vector<PendingCmd> dueBatch;      ///< Reused drain scratch.
+    sim::Event *drainEv = nullptr;
+    Tick drainAt = 0;
+
+    std::uint64_t nDoorbellRings = 0;
+    std::uint64_t nDoorbellsCoalesced = 0;
+    std::uint64_t nInlineFetches = 0;
+    std::uint64_t pendingHighWater = 0;
+    std::uint64_t nDeferredBatches = 0;
+
     sim::Counter &statReads;
     sim::Counter &statWrites;
     sim::Counter &statErrors;
@@ -153,8 +247,20 @@ class SsdDevice : public sim::SimObject
     /** Fetch pending commands from all doorbelled queues. */
     void fetchCommands();
 
-    /** Start servicing one command fetched from queue @p qidx. */
-    void serviceCommand(std::size_t qidx, const nvme::SubmissionEntry &sqe);
+    /** Fetch running at logical time @p at (== now() off fast path). */
+    void fetchCommandsAt(Tick at);
+
+    /** Service every staged command, in fetch order. */
+    void serviceStaged();
+
+    /** Service one staged command: jitter, channel, route completion. */
+    void serviceOne(const Staged &s);
+
+    /** Keep the drain event scheduled no later than @p t. */
+    void scheduleDrain(Tick t);
+
+    /** Drain event body: complete every pooled command now due. */
+    void drainFired();
 
     /** Finish a command: CQ write, then interrupt or snoop delivery. */
     void complete(std::size_t qidx, const nvme::SubmissionEntry &sqe,

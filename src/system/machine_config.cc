@@ -91,6 +91,12 @@ MachineConfig::describe() const
     if (simThreads > 1)
         os << "host sim threads : " << simThreads
            << " (parallel simulation mode, bit-identical)\n";
+    // Host-only knob: shown only when the reference path is selected,
+    // so the default dump (and the checkpoint config hash) keeps the
+    // Table II text while fast-on and fast-off blobs never collide
+    // (their event-queue serial numbers legitimately differ).
+    if (!faultFastPath)
+        os << "fault fast path  : off (event-per-hop reference)\n";
     return os.str();
 }
 

@@ -152,6 +152,18 @@ struct MachineConfig
     bool quiet = true;
 
     /**
+     * Inline demand-paging fast path: walker-miss -> SMU -> PMSHR ->
+     * NVMe-submit hops execute inline on the logical clock whenever
+     * the chain finishes before the next scheduled event, device
+     * completions of the SMU's snooped queues pool into a per-device
+     * drain event, and doorbell/fetch events coalesce. Off selects the
+     * event-per-hop reference path; simulated results and stats dumps
+     * are bit-identical either way (the paging differential suite
+     * proves it), only host speed differs.
+     */
+    bool faultFastPath = true;
+
+    /**
      * Host execution lanes for one simulated machine (the parallel
      * simulation mode). 1 runs the engine exactly as before — no pool
      * is built and no parallel code path is reachable. Values > 1

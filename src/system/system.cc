@@ -64,9 +64,19 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
     // exactly (same names, same rng fork sequence).
     for (unsigned s = 0; s < cfg.sockets; ++s) {
         for (unsigned d = 0; d < cfg.nDevices; ++d) {
+            unsigned idx = s * cfg.nDevices + d;
             ssds.push_back(std::make_unique<ssd::SsdDevice>(
-                "ssd" + std::to_string(s * cfg.nDevices + d), eq, prof,
-                rng.fork()));
+                "ssd" + std::to_string(idx), eq, prof, rng.fork()));
+            ssds.back()->setFastPath(cfg.faultFastPath);
+            // Parallel service lanes: each device gets a shard-pool
+            // async slot (slot 0 stays the branch-predictor side
+            // lane). Pure snooped-queue fetch batches then run their
+            // channel arithmetic off the simulation thread —
+            // bit-identical results, the lane only moves host work.
+            if (pool && cfg.faultFastPath)
+                ssds.back()->setServiceLane(
+                    pool.get(),
+                    1 + idx % (sim::ShardPool::maxAsyncSlots - 1));
             kern->attachDevice(ssds.back().get(),
                                os::BlockDeviceId{s, d});
         }
@@ -123,6 +133,7 @@ System::System(const MachineConfig &cfg_in) : cfg(cfg_in), rng(cfg.seed)
             core::Smu::Params sp = cfg.smu;
             sp.cyclePeriod = cfg.cyclePeriod;
             sp.nvme.cyclePeriod = cfg.cyclePeriod;
+            sp.fastPath = cfg.faultFastPath;
             if (cfg.sockets > 1) {
                 sp.coresPerSocket = cfg.coresPerSocket();
                 sp.remoteRequestLatency = cfg.numaRemoteSmuLatency;

@@ -76,10 +76,11 @@ TEST(NvmeHostController, CompletionSnoopDeliversTag)
     h.hc.configureDevice(0, &h.dev);
     std::uint16_t tag_seen = 0;
     Tick when = 0;
-    h.hc.setCompletionCallback([&](std::uint16_t tag, std::uint16_t) {
-        tag_seen = tag;
-        when = h.eq.now();
-    });
+    h.hc.setCompletionCallback(
+        [&](std::uint16_t tag, std::uint16_t, Tick) {
+            tag_seen = tag;
+            when = h.eq.now();
+        });
     h.hc.issueRead(0, 4, 0x1000, 23, nullptr);
     h.eq.run();
     EXPECT_EQ(tag_seen, 23u);
@@ -94,9 +95,10 @@ TEST(NvmeHostController, MultipleOutstandingReadsResolveByTag)
     Harness h;
     h.hc.configureDevice(0, &h.dev);
     std::vector<std::uint16_t> tags;
-    h.hc.setCompletionCallback([&](std::uint16_t tag, std::uint16_t) {
-        tags.push_back(tag);
-    });
+    h.hc.setCompletionCallback(
+        [&](std::uint16_t tag, std::uint16_t, Tick) {
+            tags.push_back(tag);
+        });
     // Different channels: all overlap; completion unit resolves each
     // by the PMSHR index riding in the cid.
     for (std::uint16_t t = 0; t < 4; ++t)
